@@ -1,0 +1,96 @@
+//! Criterion benches for the evaluation pipeline: JSON parsing, netlist
+//! validation, response evaluation (pass and fail paths) and Pass@k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use picbench_core::{pass_at_k, Evaluator};
+use picbench_netlist::{json, validate, Netlist, PortRef};
+use picbench_sim::ModelRegistry;
+
+fn json_parsing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("json");
+    for id in ["mzi-ps", "spanke-8x8"] {
+        let problem = picbench_problems::find(id).expect("problem exists");
+        let text = problem.golden.to_json_string();
+        group.bench_with_input(
+            BenchmarkId::new("parse", format!("{id}-{}B", text.len())),
+            &text,
+            |b, text| {
+                b.iter(|| json::parse(text).unwrap());
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("netlist", id), &text, |b, text| {
+            b.iter(|| Netlist::from_json_str(text).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn validation(c: &mut Criterion) {
+    let registry = ModelRegistry::with_builtins();
+    let mut group = c.benchmark_group("validate");
+    for id in ["mzi-ps", "clements-8x8", "spanke-8x8"] {
+        let problem = picbench_problems::find(id).expect("problem exists");
+        group.bench_with_input(
+            BenchmarkId::new("table-ii-rules", id),
+            &problem,
+            |b, problem| {
+                b.iter(|| validate(&problem.golden, &registry, Some(&problem.spec)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn response_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate-response");
+    group.sample_size(20);
+    let problem = picbench_problems::find("mzi-ps").expect("problem exists");
+
+    // Pass path: full simulation + golden comparison.
+    let pass_text = format!("<result>\n{}\n</result>", problem.golden.to_json_string());
+    group.bench_function("mzi-ps-pass", |b| {
+        let mut evaluator = Evaluator::default();
+        evaluator.golden_response(&problem); // warm the cache
+        b.iter(|| {
+            let report = evaluator.evaluate_response(&problem, &pass_text);
+            assert!(report.functional_pass());
+        });
+    });
+
+    // Fail path: validation short-circuits before simulation.
+    let mut broken = problem.golden.clone();
+    broken.connections[1].b = PortRef::new("mmi2", "I2");
+    let fail_text = format!("<result>\n{}\n</result>", broken.to_json_string());
+    group.bench_function("mzi-ps-wrong-port", |b| {
+        let mut evaluator = Evaluator::default();
+        evaluator.golden_response(&problem);
+        b.iter(|| {
+            let report = evaluator.evaluate_response(&problem, &fail_text);
+            assert!(!report.syntax_pass());
+        });
+    });
+    group.finish();
+}
+
+fn pass_at_k_bench(c: &mut Criterion) {
+    c.bench_function("pass-at-k-sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 1..=50usize {
+                for c in 0..=n {
+                    acc += pass_at_k(n, c, 1.max(n / 2));
+                }
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    json_parsing,
+    validation,
+    response_evaluation,
+    pass_at_k_bench
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the S-parameter simulator: backend comparison
+//! (the DESIGN.md ablation), mesh-size scaling and full-band sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use picbench_math::{decomp, MeshScheme};
+use picbench_problems::meshes::mesh_netlist;
+use picbench_sim::{evaluate, sweep, Backend, Circuit, ModelRegistry, WavelengthGrid};
+
+fn backend_comparison(c: &mut Criterion) {
+    let registry = ModelRegistry::with_builtins();
+    let mut group = c.benchmark_group("backend");
+    for id in ["mzi-ps", "benes-8x8", "clements-8x8"] {
+        let problem = picbench_problems::find(id).expect("problem exists");
+        let circuit = Circuit::elaborate(&problem.golden, &registry, None).unwrap();
+        for backend in [Backend::PortElimination, Backend::Dense] {
+            group.bench_with_input(
+                BenchmarkId::new(backend.to_string(), id),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| evaluate(circuit, 1.55, backend).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn mesh_scaling(c: &mut Criterion) {
+    let registry = ModelRegistry::with_builtins();
+    let mut group = c.benchmark_group("mesh-scaling");
+    for n in [2usize, 4, 6, 8] {
+        let target = decomp::dft_matrix(n);
+        let mesh = decomp::clements_decompose(&target).unwrap();
+        let netlist = mesh_netlist(&mesh);
+        let circuit = Circuit::elaborate(&netlist, &registry, None).unwrap();
+        group.bench_with_input(BenchmarkId::new("clements", n), &circuit, |b, circuit| {
+            b.iter(|| evaluate(circuit, 1.55, Backend::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn full_band_sweep(c: &mut Criterion) {
+    let registry = ModelRegistry::with_builtins();
+    let problem = picbench_problems::find("wdm-demux").expect("problem exists");
+    let circuit = Circuit::elaborate(&problem.golden, &registry, None).unwrap();
+    let mut group = c.benchmark_group("sweep");
+    for (name, grid) in [
+        ("paper-fast-17pt", WavelengthGrid::paper_fast()),
+        ("paper-default-81pt", WavelengthGrid::paper_default()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("wdm-demux", name), &grid, |b, grid| {
+            b.iter(|| sweep(&circuit, grid, Backend::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    for n in [4usize, 8, 16] {
+        let target = decomp::dft_matrix(n);
+        for scheme in [MeshScheme::Reck, MeshScheme::Clements] {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.to_string(), n),
+                &target,
+                |b, target| {
+                    b.iter(|| decomp::decompose(target, scheme).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    backend_comparison,
+    mesh_scaling,
+    full_band_sweep,
+    decomposition
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro table1|table2|table3|table4|fig1|fig2|fig3|fig4|all [--samples N] [--seed S]
+//! ```
+//!
+//! The Monte-Carlo tables (III/IV) honour `--samples` (default 5, as in
+//! the paper) and `--seed`; everything else is deterministic. Build with
+//! `--release` — the campaign tables simulate thousands of circuits.
+
+use picbench_bench::{
+    error_histograms, fig1, fig2, fig3, fig4, restriction_ablation_table, table1, table2,
+    table3, table4, ReproScale,
+};
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro <artifact> [--samples N] [--seed S]\n\
+         artifacts: table1 table2 table3 table4 fig1 fig2 fig3 fig4 all\n\
+         extensions: errors (failure-category histogram), ablation (leave-one-out restrictions)"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let mut scale = ReproScale::default();
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--samples" => {
+                i += 1;
+                scale.samples = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--samples needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => artifacts.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if artifacts.iter().any(|a| a == "all") {
+        artifacts = [
+            "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    for artifact in &artifacts {
+        let started = std::time::Instant::now();
+        let text = match artifact.as_str() {
+            "table1" => table1(),
+            "table2" => table2(),
+            "table3" => table3(scale),
+            "table4" => table4(scale),
+            "fig1" => fig1(),
+            "fig2" => fig2(),
+            "fig3" => fig3(),
+            "fig4" => fig4(),
+            "errors" => error_histograms(scale),
+            "ablation" => restriction_ablation_table(scale),
+            other => {
+                eprintln!("unknown artifact: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+        eprintln!("[{artifact} generated in {:.1?}]", started.elapsed());
+        println!();
+    }
+}

@@ -1,0 +1,305 @@
+//! Campaign runner: the full evaluation matrix of Tables III and IV.
+//!
+//! A campaign runs `models × feedback settings × problems × samples`
+//! through the feedback loop and aggregates Pass@k. Problems are
+//! distributed over worker threads (each worker owns its own evaluator
+//! with its own golden-response cache); everything is seeded, so a
+//! campaign is exactly reproducible.
+
+use crate::evaluate::Evaluator;
+use crate::feedback_loop::{run_sample, LoopConfig};
+use crate::passk::{aggregate_pass_at_k, ProblemTally};
+use picbench_problems::Problem;
+use picbench_sim::{Backend, WavelengthGrid};
+use picbench_synthllm::{ModelProfile, SyntheticLlm};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Campaign-wide configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Samples per problem (the paper's default n = 5).
+    pub samples_per_problem: usize,
+    /// Pass@k values to report (the paper uses 1 and 5).
+    pub k_values: Vec<usize>,
+    /// Feedback-iteration settings (the paper uses 0, 1 and 3).
+    pub feedback_iters: Vec<usize>,
+    /// Whether the system prompt carries the Table II restrictions.
+    pub restrictions: bool,
+    /// Campaign seed (same seed ⇒ identical tables).
+    pub seed: u64,
+    /// Wavelength grid for simulation/comparison.
+    pub grid: WavelengthGrid,
+    /// Worker threads (0 = one per available core, capped by problems).
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            samples_per_problem: 5,
+            k_values: vec![1, 5],
+            feedback_iters: vec![0, 1, 3],
+            restrictions: false,
+            seed: 20_250_205, // the paper's arXiv date
+            grid: WavelengthGrid::paper_fast(),
+            threads: 0,
+        }
+    }
+}
+
+/// Aggregated scores of one `(model, feedback, k)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellScore {
+    /// Model display name.
+    pub model: String,
+    /// Feedback iterations.
+    pub feedback_iters: usize,
+    /// k of Pass@k.
+    pub k: usize,
+    /// Syntax Pass@k (percent).
+    pub syntax: f64,
+    /// Functional Pass@k (percent).
+    pub functional: f64,
+}
+
+/// Per-problem tallies of one `(model, feedback)` condition.
+#[derive(Debug, Clone)]
+pub struct ConditionTallies {
+    /// Model display name.
+    pub model: String,
+    /// Feedback iterations.
+    pub feedback_iters: usize,
+    /// Tallies keyed by problem id.
+    pub tallies: HashMap<String, ProblemTally>,
+}
+
+/// A completed campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Whether restrictions were active.
+    pub restrictions: bool,
+    /// Sample count per problem.
+    pub samples_per_problem: usize,
+    /// Aggregated scores for every cell.
+    pub cells: Vec<CellScore>,
+    /// Raw per-problem tallies for every condition.
+    pub conditions: Vec<ConditionTallies>,
+}
+
+impl CampaignReport {
+    /// Looks up one cell.
+    pub fn cell(&self, model: &str, feedback_iters: usize, k: usize) -> Option<&CellScore> {
+        self.cells
+            .iter()
+            .find(|c| c.model == model && c.feedback_iters == feedback_iters && c.k == k)
+    }
+}
+
+struct WorkItem {
+    problem: Problem,
+}
+
+/// Runs a campaign over the given model profiles and problems.
+///
+/// # Panics
+///
+/// Panics if `problems` or `config.k_values` is empty, or if a golden
+/// design fails to simulate (a bug, not an input condition).
+pub fn run_campaign(
+    profiles: &[ModelProfile],
+    problems: &[Problem],
+    config: &CampaignConfig,
+) -> CampaignReport {
+    assert!(!problems.is_empty(), "campaign needs problems");
+    assert!(!config.k_values.is_empty(), "campaign needs k values");
+
+    let queue: Mutex<Vec<WorkItem>> = Mutex::new(
+        problems
+            .iter()
+            .map(|p| WorkItem { problem: p.clone() })
+            .collect(),
+    );
+    // condition index = model_idx * feedback_settings + ef_idx
+    let results: Mutex<Vec<(String, usize, String, ProblemTally)>> = Mutex::new(Vec::new());
+
+    let worker_count = if config.threads > 0 {
+        config.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+    .min(problems.len())
+    .max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            scope.spawn(|| {
+                let mut evaluator = Evaluator::new(config.grid, Backend::default());
+                loop {
+                    let item = {
+                        let mut q = queue.lock().expect("queue poisoned");
+                        match q.pop() {
+                            Some(item) => item,
+                            None => break,
+                        }
+                    };
+                    let problem = &item.problem;
+                    let mut local = Vec::new();
+                    for profile in profiles {
+                        let mut llm = SyntheticLlm::new(profile.clone(), config.seed);
+                        for &ef in &config.feedback_iters {
+                            let loop_config = LoopConfig {
+                                max_feedback_iters: ef,
+                                restrictions: config.restrictions,
+                            };
+                            let mut tally = ProblemTally {
+                                n: config.samples_per_problem,
+                                syntax_passes: 0,
+                                functional_passes: 0,
+                            };
+                            for sample in 0..config.samples_per_problem as u64 {
+                                let result = run_sample(
+                                    &mut llm,
+                                    problem,
+                                    &mut evaluator,
+                                    loop_config,
+                                    sample,
+                                );
+                                if result.syntax_pass() {
+                                    tally.syntax_passes += 1;
+                                }
+                                if result.functional_pass() {
+                                    tally.functional_passes += 1;
+                                }
+                            }
+                            local.push((
+                                profile.name.to_string(),
+                                ef,
+                                problem.id.to_string(),
+                                tally,
+                            ));
+                        }
+                    }
+                    results.lock().expect("results poisoned").extend(local);
+                }
+            });
+        }
+    });
+
+    let raw = results.into_inner().expect("results poisoned");
+    let mut conditions: Vec<ConditionTallies> = Vec::new();
+    for profile in profiles {
+        for &ef in &config.feedback_iters {
+            let tallies: HashMap<String, ProblemTally> = raw
+                .iter()
+                .filter(|(m, e, _, _)| m == profile.name && *e == ef)
+                .map(|(_, _, pid, tally)| (pid.clone(), *tally))
+                .collect();
+            conditions.push(ConditionTallies {
+                model: profile.name.to_string(),
+                feedback_iters: ef,
+                tallies,
+            });
+        }
+    }
+
+    let mut cells = Vec::new();
+    for condition in &conditions {
+        let tally_vec: Vec<ProblemTally> = condition.tallies.values().copied().collect();
+        for &k in &config.k_values {
+            let (syntax, functional) = aggregate_pass_at_k(&tally_vec, k);
+            cells.push(CellScore {
+                model: condition.model.clone(),
+                feedback_iters: condition.feedback_iters,
+                k,
+                syntax,
+                functional,
+            });
+        }
+    }
+
+    CampaignReport {
+        restrictions: config.restrictions,
+        samples_per_problem: config.samples_per_problem,
+        cells,
+        conditions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_problems() -> Vec<Problem> {
+        ["mzi-ps", "mzm", "umatrix", "direct-modulator"]
+            .iter()
+            .map(|id| picbench_problems::find(id).unwrap())
+            .collect()
+    }
+
+    fn small_config() -> CampaignConfig {
+        CampaignConfig {
+            samples_per_problem: 4,
+            k_values: vec![1, 4],
+            feedback_iters: vec![0, 1],
+            restrictions: false,
+            seed: 99,
+            grid: WavelengthGrid::paper_fast(),
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn campaign_produces_all_cells() {
+        let profiles = vec![ModelProfile::gpt4(), ModelProfile::gemini15_pro()];
+        let report = run_campaign(&profiles, &small_problems(), &small_config());
+        // 2 models × 2 EF settings × 2 k values.
+        assert_eq!(report.cells.len(), 8);
+        assert!(report.cell("GPT-4", 0, 1).is_some());
+        assert!(report.cell("Gemini 1.5 pro", 1, 4).is_some());
+        assert!(report.cell("GPT-4", 2, 1).is_none());
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let profiles = vec![ModelProfile::claude35_sonnet()];
+        let a = run_campaign(&profiles, &small_problems(), &small_config());
+        let b = run_campaign(&profiles, &small_problems(), &small_config());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn feedback_never_hurts() {
+        let profiles = vec![ModelProfile::gpt4o()];
+        let report = run_campaign(&profiles, &small_problems(), &small_config());
+        let no_ef = report.cell("GPT-4o", 0, 1).unwrap();
+        let one_ef = report.cell("GPT-4o", 1, 1).unwrap();
+        assert!(one_ef.syntax >= no_ef.syntax);
+        assert!(one_ef.functional >= no_ef.functional);
+    }
+
+    #[test]
+    fn pass_at_5_bounds_pass_at_1() {
+        let profiles = vec![ModelProfile::gpt4()];
+        let report = run_campaign(&profiles, &small_problems(), &small_config());
+        let p1 = report.cell("GPT-4", 0, 1).unwrap();
+        let p4 = report.cell("GPT-4", 0, 4).unwrap();
+        assert!(p4.syntax >= p1.syntax);
+        assert!(p4.functional >= p1.functional);
+    }
+
+    #[test]
+    fn scores_are_percentages() {
+        let profiles = vec![ModelProfile::gpt_o1_mini()];
+        let report = run_campaign(&profiles, &small_problems(), &small_config());
+        for cell in &report.cells {
+            assert!((0.0..=100.0).contains(&cell.syntax));
+            assert!((0.0..=100.0).contains(&cell.functional));
+            assert!(cell.functional <= cell.syntax + 1e-9);
+        }
+    }
+}

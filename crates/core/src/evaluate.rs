@@ -1,0 +1,304 @@
+//! Syntax and functionality evaluation (§III-C).
+//!
+//! A raw chat response is judged in two stages, as in the paper:
+//!
+//! 1. **Syntax**: extract the JSON payload, parse it, interpret it as a
+//!    netlist, validate it structurally and simulate it. If a frequency
+//!    response comes out, syntax passes.
+//! 2. **Functionality**: compare the generated design's frequency
+//!    response against the golden design's over the full sweep.
+
+use crate::classify;
+use picbench_netlist::extract::extract_payload;
+use picbench_netlist::{json, Netlist, ValidationIssue};
+use picbench_problems::Problem;
+use picbench_sim::{
+    simulate_netlist, Backend, FrequencyResponse, ModelRegistry, ResponseComparison,
+    SimulateError, WavelengthGrid,
+};
+use std::collections::HashMap;
+
+/// Default tolerance on the maximum per-pair |ΔS|² for functional
+/// equivalence.
+pub const DEFAULT_FUNCTIONAL_TOLERANCE: f64 = 1e-5;
+
+/// The verdict on one response.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// `Ok(())` when the design simulated; otherwise every classified
+    /// issue found.
+    pub syntax: Result<(), Vec<ValidationIssue>>,
+    /// Functional verdict (`None` when syntax failed).
+    pub functional: Option<bool>,
+    /// Response-comparison details when functionality was checked.
+    pub comparison: Option<ResponseComparison>,
+}
+
+impl EvalReport {
+    /// Whether the design passed the syntax check.
+    pub fn syntax_pass(&self) -> bool {
+        self.syntax.is_ok()
+    }
+
+    /// Whether the design passed both checks.
+    pub fn functional_pass(&self) -> bool {
+        self.syntax_pass() && self.functional == Some(true)
+    }
+
+    /// The classified issues (empty when syntax passed).
+    pub fn issues(&self) -> &[ValidationIssue] {
+        match &self.syntax {
+            Ok(()) => &[],
+            Err(issues) => issues,
+        }
+    }
+
+    fn syntax_fail(issues: Vec<ValidationIssue>) -> Self {
+        EvalReport {
+            syntax: Err(issues),
+            functional: None,
+            comparison: None,
+        }
+    }
+}
+
+/// The evaluation engine: registry + sweep settings + golden-response
+/// cache.
+#[derive(Debug)]
+pub struct Evaluator {
+    registry: ModelRegistry,
+    grid: WavelengthGrid,
+    backend: Backend,
+    tolerance: f64,
+    golden_cache: HashMap<String, FrequencyResponse>,
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Evaluator::new(WavelengthGrid::paper_fast(), Backend::default())
+    }
+}
+
+impl Evaluator {
+    /// Creates an evaluator with the built-in model registry.
+    pub fn new(grid: WavelengthGrid, backend: Backend) -> Self {
+        Evaluator {
+            registry: ModelRegistry::with_builtins(),
+            grid,
+            backend,
+            tolerance: DEFAULT_FUNCTIONAL_TOLERANCE,
+            golden_cache: HashMap::new(),
+        }
+    }
+
+    /// Overrides the functional tolerance (max |ΔS|² across the sweep).
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// The model registry in use.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The wavelength grid in use.
+    pub fn grid(&self) -> &WavelengthGrid {
+        &self.grid
+    }
+
+    /// Simulates (and caches) a problem's golden design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden design itself fails to simulate — golden
+    /// designs are verified by the test suite, so this indicates a bug,
+    /// not an input error.
+    pub fn golden_response(&mut self, problem: &Problem) -> &FrequencyResponse {
+        if !self.golden_cache.contains_key(problem.id) {
+            let response = simulate_netlist(
+                &problem.golden,
+                &self.registry,
+                Some(&problem.spec),
+                &self.grid,
+                self.backend,
+            )
+            .unwrap_or_else(|e| panic!("golden design {} failed: {e}", problem.id));
+            self.golden_cache.insert(problem.id.to_string(), response);
+        }
+        &self.golden_cache[problem.id]
+    }
+
+    /// Parses a raw response into a netlist, collecting every classified
+    /// issue along the way.
+    pub fn parse_response(
+        &self,
+        response_text: &str,
+    ) -> (Option<Netlist>, Vec<ValidationIssue>) {
+        let mut issues = Vec::new();
+        let payload = match extract_payload(response_text) {
+            Ok(p) => p,
+            Err(e) => {
+                issues.push(classify::classify_extract_error(&e));
+                return (None, issues);
+            }
+        };
+        if let Some(issue) = classify::classify_extra_content(&payload) {
+            issues.push(issue);
+        }
+        let value = match json::parse(&payload.json) {
+            Ok(v) => v,
+            Err(e) => {
+                issues.push(classify::classify_json_error(&e));
+                return (None, issues);
+            }
+        };
+        match Netlist::from_value(&value) {
+            Ok(netlist) => (Some(netlist), issues),
+            Err(e) => {
+                issues.push(classify::classify_schema_error(&e));
+                (None, issues)
+            }
+        }
+    }
+
+    /// Evaluates one raw response against a problem.
+    pub fn evaluate_response(&mut self, problem: &Problem, response_text: &str) -> EvalReport {
+        let (netlist, mut issues) = self.parse_response(response_text);
+        let netlist = match netlist {
+            Some(n) if issues.is_empty() => n,
+            _ => return EvalReport::syntax_fail(issues),
+        };
+
+        let generated = match simulate_netlist(
+            &netlist,
+            &self.registry,
+            Some(&problem.spec),
+            &self.grid,
+            self.backend,
+        ) {
+            Ok(response) => response,
+            Err(SimulateError::Elaborate(e)) => {
+                issues.extend(e.issues);
+                return EvalReport::syntax_fail(issues);
+            }
+            Err(SimulateError::Sim(e)) => {
+                issues.push(classify::classify_sim_error(&e));
+                return EvalReport::syntax_fail(issues);
+            }
+        };
+
+        let tolerance = self.tolerance;
+        let golden = self.golden_response(problem);
+        let comparison = generated.compare(golden);
+        EvalReport {
+            syntax: Ok(()),
+            functional: Some(comparison.is_equivalent(tolerance)),
+            comparison: Some(comparison),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picbench_netlist::FailureType;
+
+    fn mzi_ps() -> Problem {
+        picbench_problems::find("mzi-ps").unwrap()
+    }
+
+    fn wrap(json: &str) -> String {
+        format!("<analysis>reasoning</analysis>\n<result>\n{json}\n</result>")
+    }
+
+    #[test]
+    fn golden_passes_both_checks() {
+        let problem = mzi_ps();
+        let mut ev = Evaluator::default();
+        let report = ev.evaluate_response(&problem, &wrap(&problem.golden.to_json_string()));
+        assert!(report.syntax_pass(), "{:?}", report.issues());
+        assert!(report.functional_pass());
+        let cmp = report.comparison.unwrap();
+        assert!(cmp.max_power_diff < 1e-12);
+    }
+
+    #[test]
+    fn fig4_wrong_port_fails_syntax_with_paper_message() {
+        let problem = mzi_ps();
+        let mut broken = problem.golden.clone();
+        broken.connections[1].b = picbench_netlist::PortRef::new("mmi2", "I2");
+        let mut ev = Evaluator::default();
+        let report = ev.evaluate_response(&problem, &wrap(&broken.to_json_string()));
+        assert!(!report.syntax_pass());
+        assert_eq!(report.functional, None);
+        let issue = &report.issues()[0];
+        assert_eq!(issue.failure, FailureType::WrongPort);
+        assert!(issue
+            .message
+            .starts_with("Instance mmi2 does not contain port I2. Available ports:"));
+    }
+
+    #[test]
+    fn functional_corruption_fails_functionality_only() {
+        let problem = mzi_ps();
+        let mut tweaked = problem.golden.clone();
+        tweaked
+            .instances
+            .get_mut("waveBottom")
+            .unwrap()
+            .settings
+            .insert("length".to_string(), 35.0);
+        let mut ev = Evaluator::default();
+        let report = ev.evaluate_response(&problem, &wrap(&tweaked.to_json_string()));
+        assert!(report.syntax_pass());
+        assert_eq!(report.functional, Some(false));
+        assert!(!report.functional_pass());
+    }
+
+    #[test]
+    fn fenced_response_is_extra_content() {
+        let problem = mzi_ps();
+        let text = format!(
+            "<result>\n```json\n{}\n```\n</result>",
+            problem.golden.to_json_string()
+        );
+        let mut ev = Evaluator::default();
+        let report = ev.evaluate_response(&problem, &text);
+        assert!(!report.syntax_pass());
+        assert_eq!(report.issues()[0].failure, FailureType::ExtraJsonContent);
+    }
+
+    #[test]
+    fn prose_only_response_is_other_syntax() {
+        let problem = mzi_ps();
+        let mut ev = Evaluator::default();
+        let report = ev.evaluate_response(&problem, "I'm sorry, I cannot design PICs.");
+        assert!(!report.syntax_pass());
+        assert_eq!(report.issues()[0].failure, FailureType::OtherSyntax);
+    }
+
+    #[test]
+    fn golden_cache_hits() {
+        let problem = mzi_ps();
+        let mut ev = Evaluator::default();
+        let a = ev.golden_response(&problem).clone();
+        let b = ev.golden_response(&problem).clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_24_goldens_pass_their_own_evaluation() {
+        let mut ev = Evaluator::default();
+        for problem in picbench_problems::suite() {
+            let report =
+                ev.evaluate_response(&problem, &wrap(&problem.golden.to_json_string()));
+            assert!(
+                report.functional_pass(),
+                "golden of {} failed: {:?}",
+                problem.id,
+                report.issues()
+            );
+        }
+    }
+}

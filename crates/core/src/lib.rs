@@ -1,0 +1,52 @@
+//! # picbench-core
+//!
+//! The PICBench evaluation framework — the paper's primary contribution,
+//! reproduced end to end:
+//!
+//! * [`Evaluator`] — syntax checking (extract → parse → validate →
+//!   simulate) and functionality checking (frequency-response comparison
+//!   against the golden design), §III-C;
+//! * [`classify`] — the error-classification loop mapping raw failures
+//!   onto the Table II taxonomy, §III-D;
+//! * [`run_sample`] — the error-feedback loop (Fig. 1/Fig. 4), §III-E;
+//! * [`pass_at_k`] / [`aggregate_pass_at_k`] — the unbiased Pass@k
+//!   estimator (Eq. 1);
+//! * [`run_campaign`] — the full `models × feedback × problems × samples`
+//!   matrix behind Tables III and IV, multi-threaded and seeded;
+//! * [`render_table`] / [`render_csv`] — paper-layout reporting.
+//!
+//! ## Example
+//!
+//! ```
+//! use picbench_core::{run_sample, Evaluator, LoopConfig};
+//! use picbench_synthllm::PerfectLlm;
+//!
+//! let problem = picbench_problems::find("mzi-ps").unwrap();
+//! let mut evaluator = Evaluator::default();
+//! let mut oracle = PerfectLlm::new();
+//! let result = run_sample(&mut oracle, &problem, &mut evaluator, LoopConfig::default(), 0);
+//! assert!(result.functional_pass());
+//! ```
+
+#![warn(missing_docs)]
+
+mod campaign;
+pub mod classify;
+mod evaluate;
+mod feedback_loop;
+mod passk;
+mod report;
+mod stats;
+mod trace;
+
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignReport, CellScore, ConditionTallies,
+};
+pub use evaluate::{EvalReport, Evaluator, DEFAULT_FUNCTIONAL_TOLERANCE};
+pub use feedback_loop::{run_sample, AttemptRecord, LoopConfig, SampleResult};
+pub use passk::{aggregate_pass_at_k, pass_at_k, ProblemTally};
+pub use report::{render_csv, render_table};
+pub use stats::{
+    collect_error_histogram, restriction_ablation, AblationRow, ErrorHistogram,
+};
+pub use trace::render_trace_markdown;

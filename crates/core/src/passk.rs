@@ -1,0 +1,187 @@
+//! The unbiased Pass@k estimator (Eq. 1 of the paper, after Chen et al.
+//! 2021).
+//!
+//! For a problem with `n` samples of which `c` pass,
+//! `pass@k = 1 − C(n−c, k)/C(n, k)`, computed in the numerically stable
+//! product form and averaged over problems.
+
+/// Unbiased single-problem Pass@k.
+///
+/// # Panics
+///
+/// Panics if `c > n` or `k == 0` or `k > n`.
+///
+/// # Examples
+///
+/// ```
+/// use picbench_core::pass_at_k;
+///
+/// assert_eq!(pass_at_k(5, 0, 1), 0.0);
+/// assert_eq!(pass_at_k(5, 5, 1), 1.0);
+/// assert!((pass_at_k(5, 1, 1) - 0.2).abs() < 1e-12);
+/// assert_eq!(pass_at_k(5, 1, 5), 1.0); // any pass ⇒ pass@n = 1
+/// ```
+pub fn pass_at_k(n: usize, c: usize, k: usize) -> f64 {
+    assert!(c <= n, "cannot pass more samples than were drawn");
+    assert!(k >= 1 && k <= n, "k must be within 1..=n");
+    if c == 0 {
+        return 0.0;
+    }
+    if n - c < k {
+        return 1.0;
+    }
+    // 1 − Π_{i=n−c+1..=n} (1 − k/i)
+    let mut fail_prob = 1.0f64;
+    for i in (n - c + 1)..=n {
+        fail_prob *= 1.0 - k as f64 / i as f64;
+    }
+    1.0 - fail_prob
+}
+
+/// Per-problem sample tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProblemTally {
+    /// Samples drawn.
+    pub n: usize,
+    /// Samples whose final attempt had valid syntax.
+    pub syntax_passes: usize,
+    /// Samples whose final attempt was functionally correct.
+    pub functional_passes: usize,
+}
+
+/// Mean Pass@k over problems, as percentages `(syntax, functional)`.
+///
+/// # Panics
+///
+/// Panics if `tallies` is empty or `k` is invalid for any tally.
+pub fn aggregate_pass_at_k(tallies: &[ProblemTally], k: usize) -> (f64, f64) {
+    assert!(!tallies.is_empty(), "need at least one problem");
+    let mut syntax_sum = 0.0;
+    let mut func_sum = 0.0;
+    for t in tallies {
+        syntax_sum += pass_at_k(t.n, t.syntax_passes, k);
+        func_sum += pass_at_k(t.n, t.functional_passes, k);
+    }
+    let count = tallies.len() as f64;
+    (
+        100.0 * syntax_sum / count,
+        100.0 * func_sum / count,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binomial(n: usize, k: usize) -> f64 {
+        if k > n {
+            return 0.0;
+        }
+        let mut acc = 1.0f64;
+        for i in 0..k {
+            acc *= (n - i) as f64 / (k - i) as f64;
+        }
+        acc
+    }
+
+    #[test]
+    fn matches_binomial_definition() {
+        for n in 1..=10 {
+            for c in 0..=n {
+                for k in 1..=n {
+                    let direct = 1.0 - binomial(n - c, k) / binomial(n, k);
+                    let stable = pass_at_k(n, c, k);
+                    assert!(
+                        (direct - stable).abs() < 1e-12,
+                        "n={n} c={c} k={k}: {direct} vs {stable}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_c() {
+        for k in [1, 3, 5] {
+            let mut prev = -1.0;
+            for c in 0..=5 {
+                let v = pass_at_k(5, c, k);
+                assert!(v >= prev);
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        for c in 0..=5 {
+            let mut prev = -1.0;
+            for k in 1..=5 {
+                let v = pass_at_k(5, c, k);
+                assert!(v >= prev - 1e-12, "c={c} k={k}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn pass_at_1_is_sample_mean() {
+        for c in 0..=5 {
+            assert!((pass_at_k(5, c, 1) - c as f64 / 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn aggregate_averages_over_problems() {
+        let tallies = vec![
+            ProblemTally {
+                n: 5,
+                syntax_passes: 5,
+                functional_passes: 0,
+            },
+            ProblemTally {
+                n: 5,
+                syntax_passes: 0,
+                functional_passes: 0,
+            },
+        ];
+        let (syntax, func) = aggregate_pass_at_k(&tallies, 1);
+        assert!((syntax - 50.0).abs() < 1e-9);
+        assert!(func.abs() < 1e-9);
+        let (syntax5, _) = aggregate_pass_at_k(&tallies, 5);
+        assert!((syntax5 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneity_lowers_pass_at_5_below_iid_bound() {
+        // All problems p=0.2 concentrated on one problem: pass@5 = 50%,
+        // while an iid 20% sampler would give 1-(0.8)^5 = 67%.
+        let concentrated = vec![
+            ProblemTally {
+                n: 5,
+                syntax_passes: 5,
+                functional_passes: 5,
+            },
+            ProblemTally {
+                n: 5,
+                syntax_passes: 0,
+                functional_passes: 0,
+            },
+        ];
+        let (syntax, _) = aggregate_pass_at_k(&concentrated, 5);
+        assert!((syntax - 50.0).abs() < 1e-9);
+        assert!(syntax < 67.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be within")]
+    fn zero_k_panics() {
+        pass_at_k(5, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pass more samples")]
+    fn c_above_n_panics() {
+        pass_at_k(3, 4, 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Rendering campaign results in the layout of Tables III and IV.
+
+use crate::campaign::CampaignReport;
+use std::fmt::Write as _;
+
+/// Renders a campaign in the paper's table layout: one row per model,
+/// column groups Pass@k × feedback setting × {Syntax, Func.}.
+///
+/// `title` becomes the caption line. Feedback settings and k values are
+/// discovered from the report's cells.
+pub fn render_table(report: &CampaignReport, title: &str) -> String {
+    let mut models: Vec<String> = Vec::new();
+    let mut ks: Vec<usize> = Vec::new();
+    let mut efs: Vec<usize> = Vec::new();
+    for cell in &report.cells {
+        if !models.contains(&cell.model) {
+            models.push(cell.model.clone());
+        }
+        if !ks.contains(&cell.k) {
+            ks.push(cell.k);
+        }
+        if !efs.contains(&cell.feedback_iters) {
+            efs.push(cell.feedback_iters);
+        }
+    }
+    ks.sort_unstable();
+    efs.sort_unstable();
+
+    let model_width = models
+        .iter()
+        .map(String::len)
+        .max()
+        .unwrap_or(8)
+        .max("LLM".len())
+        + 2;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "(n = {} samples/problem, EF = error feedback iterations{})",
+        report.samples_per_problem,
+        if report.restrictions {
+            ", Table II restrictions ON"
+        } else {
+            ", restrictions OFF"
+        }
+    );
+
+    // Header rows.
+    let group_width = 2 * 8 + 1; // Syntax + Func columns
+    let _ = write!(out, "{:<model_width$}", "LLM");
+    for &k in &ks {
+        for &ef in &efs {
+            let label = match ef {
+                0 => format!("P@{k} noEF"),
+                1 => format!("P@{k} 1EF"),
+                e => format!("P@{k} {e}EF"),
+            };
+            let _ = write!(out, "|{label:^group_width$}");
+        }
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<model_width$}", "");
+    for _ in 0..ks.len() * efs.len() {
+        let _ = write!(out, "|{:^8}{:^9}", "Syntax", "Func.");
+    }
+    let _ = writeln!(out);
+    let total_width = model_width + ks.len() * efs.len() * (group_width + 1);
+    let _ = writeln!(out, "{}", "-".repeat(total_width));
+
+    for model in &models {
+        let _ = write!(out, "{model:<model_width$}");
+        for &k in &ks {
+            for &ef in &efs {
+                match report.cell(model, ef, k) {
+                    Some(cell) => {
+                        let _ = write!(
+                            out,
+                            "|{:>7.2} {:>7.2} ",
+                            cell.syntax, cell.functional
+                        );
+                    }
+                    None => {
+                        let _ = write!(out, "|{:>7} {:>7} ", "-", "-");
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the campaign as CSV (`model,k,feedback_iters,syntax,functional`).
+pub fn render_csv(report: &CampaignReport) -> String {
+    let mut out = String::from("model,k,feedback_iters,restrictions,syntax,functional\n");
+    for cell in &report.cells {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.2},{:.2}",
+            cell.model,
+            cell.k,
+            cell.feedback_iters,
+            report.restrictions,
+            cell.syntax,
+            cell.functional
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignReport, CellScore};
+
+    fn fake_report() -> CampaignReport {
+        CampaignReport {
+            restrictions: false,
+            samples_per_problem: 5,
+            cells: vec![
+                CellScore {
+                    model: "GPT-4".into(),
+                    feedback_iters: 0,
+                    k: 1,
+                    syntax: 16.67,
+                    functional: 6.67,
+                },
+                CellScore {
+                    model: "GPT-4".into(),
+                    feedback_iters: 1,
+                    k: 1,
+                    syntax: 34.17,
+                    functional: 6.67,
+                },
+            ],
+            conditions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn table_contains_models_and_scores() {
+        let text = render_table(&fake_report(), "TABLE III");
+        assert!(text.contains("TABLE III"));
+        assert!(text.contains("GPT-4"));
+        assert!(text.contains("16.67"));
+        assert!(text.contains("34.17"));
+        assert!(text.contains("Syntax"));
+        assert!(text.contains("Func."));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_cell() {
+        let csv = render_csv(&fake_report());
+        assert_eq!(csv.lines().count(), 3); // header + 2 cells
+        assert!(csv.starts_with("model,"));
+        assert!(csv.contains("GPT-4,1,0,false,16.67,6.67"));
+    }
+}

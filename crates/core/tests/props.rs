@@ -1,0 +1,77 @@
+//! Property-based tests for the Pass@k estimator and aggregation.
+
+use picbench_core::{aggregate_pass_at_k, pass_at_k, ProblemTally};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pass_at_k_is_a_probability(n in 1usize..30, c_frac in 0.0f64..=1.0, k_frac in 0.0f64..=1.0) {
+        let c = ((n as f64) * c_frac).floor() as usize;
+        let k = 1 + ((n.saturating_sub(1)) as f64 * k_frac).floor() as usize;
+        let v = pass_at_k(n, c, k);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn pass_at_k_monotone_in_c(n in 2usize..20, k_frac in 0.0f64..=1.0) {
+        let k = 1 + ((n - 1) as f64 * k_frac).floor() as usize;
+        let mut prev = -1.0;
+        for c in 0..=n {
+            let v = pass_at_k(n, c, k);
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn pass_at_k_monotone_in_k(n in 2usize..20, c_frac in 0.0f64..=1.0) {
+        let c = ((n as f64) * c_frac).floor() as usize;
+        let mut prev = -1.0;
+        for k in 1..=n {
+            let v = pass_at_k(n, c, k);
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn pass_at_n_is_any_pass_indicator(n in 1usize..20, c_frac in 0.0f64..=1.0) {
+        let c = ((n as f64) * c_frac).floor() as usize;
+        let v = pass_at_k(n, c, n);
+        if c == 0 {
+            prop_assert_eq!(v, 0.0);
+        } else {
+            prop_assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn aggregate_is_mean_of_singletons(
+        tallies in proptest::collection::vec((1usize..10, 0.0f64..=1.0, 0.0f64..=1.0), 1..10),
+    ) {
+        let tallies: Vec<ProblemTally> = tallies
+            .into_iter()
+            .map(|(n, s_frac, f_frac)| {
+                let syntax = ((n as f64) * s_frac).floor() as usize;
+                // Functional passes can never exceed syntax passes.
+                let functional = ((syntax as f64) * f_frac).floor() as usize;
+                ProblemTally { n, syntax_passes: syntax, functional_passes: functional }
+            })
+            .collect();
+        let min_n = tallies.iter().map(|t| t.n).min().unwrap();
+        let (syntax, func) = aggregate_pass_at_k(&tallies, min_n.min(1).max(1));
+        // Functional aggregate cannot exceed syntax aggregate.
+        prop_assert!(func <= syntax + 1e-9);
+        prop_assert!((0.0..=100.0).contains(&syntax));
+        prop_assert!((0.0..=100.0).contains(&func));
+        // Mean of per-problem values.
+        let manual: f64 = tallies
+            .iter()
+            .map(|t| pass_at_k(t.n, t.syntax_passes, 1))
+            .sum::<f64>()
+            / tallies.len() as f64;
+        prop_assert!((syntax - manual * 100.0).abs() < 1e-9);
+    }
+}

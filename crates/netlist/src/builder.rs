@@ -1,0 +1,168 @@
+//! Fluent construction of netlists.
+//!
+//! Golden designs, examples and tests build netlists programmatically; the
+//! builder keeps that terse while still producing the exact document
+//! structure the JSON schema defines.
+
+use crate::schema::{Connection, Instance, Netlist, PortRef};
+
+/// A non-consuming builder for [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use picbench_netlist::NetlistBuilder;
+///
+/// let netlist = NetlistBuilder::new()
+///     .instance("mmi1", "mmi")
+///     .instance_with("ps", "phaseshifter", &[("phase", 1.5708)])
+///     .connect("mmi1,O1", "ps,I1")
+///     .port("I1", "mmi1,I1")
+///     .port("O1", "ps,O1")
+///     .model("mmi", "mmi1x2")
+///     .model("phaseshifter", "phaseshifter")
+///     .build();
+/// assert_eq!(netlist.instances.len(), 2);
+/// ```
+///
+/// # Panics
+///
+/// `connect` and `port` panic on malformed `"instance,port"` strings; the
+/// builder is meant for trusted, test-covered construction code. Use
+/// [`Netlist::from_json_str`] for untrusted input.
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    netlist: Netlist,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        NetlistBuilder::default()
+    }
+
+    /// Adds an instance of `component` with default settings.
+    pub fn instance(&mut self, name: &str, component: &str) -> &mut Self {
+        self.netlist
+            .instances
+            .insert(name.to_string(), Instance::new(component));
+        self
+    }
+
+    /// Adds an instance with explicit settings.
+    pub fn instance_with(
+        &mut self,
+        name: &str,
+        component: &str,
+        settings: &[(&str, f64)],
+    ) -> &mut Self {
+        let mut inst = Instance::new(component);
+        for (k, v) in settings {
+            inst.settings.insert((*k).to_string(), *v);
+        }
+        self.netlist.instances.insert(name.to_string(), inst);
+        self
+    }
+
+    /// Connects two instance ports, each written `"instance,port"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either reference is malformed.
+    pub fn connect(&mut self, from: &str, to: &str) -> &mut Self {
+        let a: PortRef = from
+            .parse()
+            .unwrap_or_else(|e| panic!("builder: bad connection endpoint: {e}"));
+        let b: PortRef = to
+            .parse()
+            .unwrap_or_else(|e| panic!("builder: bad connection endpoint: {e}"));
+        self.netlist.connections.push(Connection { a, b });
+        self
+    }
+
+    /// Exposes an instance port as external port `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is malformed.
+    pub fn port(&mut self, name: &str, target: &str) -> &mut Self {
+        let pr: PortRef = target
+            .parse()
+            .unwrap_or_else(|e| panic!("builder: bad port target: {e}"));
+        self.netlist.ports.insert(name.to_string(), pr);
+        self
+    }
+
+    /// Binds a component type to a model reference.
+    pub fn model(&mut self, component: &str, model_ref: &str) -> &mut Self {
+        self.netlist
+            .models
+            .insert(component.to_string(), model_ref.to_string());
+        self
+    }
+
+    /// Finishes, returning the netlist.
+    pub fn build(&mut self) -> Netlist {
+        std::mem::take(&mut self.netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_complete_netlist() {
+        let n = NetlistBuilder::new()
+            .instance("a", "waveguide")
+            .instance_with("b", "phaseshifter", &[("phase", 3.14)])
+            .connect("a,O1", "b,I1")
+            .port("I1", "a,I1")
+            .port("O1", "b,O1")
+            .model("waveguide", "waveguide")
+            .model("phaseshifter", "phaseshifter")
+            .build();
+        assert_eq!(n.instances.len(), 2);
+        assert_eq!(n.connections.len(), 1);
+        assert_eq!(n.ports.len(), 2);
+        assert_eq!(n.models.len(), 2);
+        assert_eq!(
+            n.instances.get("b").unwrap().settings.get("phase"),
+            Some(&3.14)
+        );
+    }
+
+    #[test]
+    fn builder_roundtrips_through_json() {
+        let n = NetlistBuilder::new()
+            .instance("x", "mzi")
+            .port("I1", "x,I1")
+            .port("O1", "x,O1")
+            .model("mzi", "mzi")
+            .build();
+        let n2 = Netlist::from_json_str(&n.to_json_string()).unwrap();
+        assert_eq!(n, n2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad connection endpoint")]
+    fn malformed_connection_panics() {
+        NetlistBuilder::new().connect("nocomma", "b,I1");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad port target")]
+    fn malformed_port_panics() {
+        NetlistBuilder::new().port("I1", "nocomma");
+    }
+
+    #[test]
+    fn build_resets_builder() {
+        let mut b = NetlistBuilder::new();
+        b.instance("a", "waveguide");
+        let first = b.build();
+        let second = b.build();
+        assert_eq!(first.instances.len(), 1);
+        assert_eq!(second.instances.len(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! The Table II failure taxonomy.
+//!
+//! The paper's error-classification loop distilled every syntax failure
+//! observed during benchmark development into ten categories, each paired
+//! with a restriction sentence that is injected into the system prompt.
+//! This module is the single source of truth for both texts.
+
+use std::fmt;
+
+/// The failure types of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FailureType {
+    /// "Use undefined models".
+    UndefinedModel,
+    /// "Bind the I/O ports" — external ports also wired internally.
+    BoundIoPorts,
+    /// "Mess up 'Instances' and 'models' part".
+    InstancesModelsConfusion,
+    /// "Extra contents found in JSON" — prose, comments, code fences.
+    ExtraJsonContent,
+    /// "Duplicate connections to the same port".
+    DuplicatePortConnection,
+    /// "Wrong connections for dangling ports".
+    DanglingPortConnection,
+    /// "Wrong ports number".
+    WrongPortCount,
+    /// "Wrong ports" — invalid or undefined port mappings.
+    WrongPort,
+    /// "Wrong component name" — underscores are prohibited.
+    InvalidComponentName,
+    /// "Other syntax error".
+    OtherSyntax,
+}
+
+impl FailureType {
+    /// All failure types in Table II order.
+    pub const ALL: [FailureType; 10] = [
+        FailureType::UndefinedModel,
+        FailureType::BoundIoPorts,
+        FailureType::InstancesModelsConfusion,
+        FailureType::ExtraJsonContent,
+        FailureType::DuplicatePortConnection,
+        FailureType::DanglingPortConnection,
+        FailureType::WrongPortCount,
+        FailureType::WrongPort,
+        FailureType::InvalidComponentName,
+        FailureType::OtherSyntax,
+    ];
+
+    /// The failure-type label from the first column of Table II.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureType::UndefinedModel => "Use undefined models",
+            FailureType::BoundIoPorts => "Bind the I/O ports",
+            FailureType::InstancesModelsConfusion => "Mess up 'Instances' and 'models' part",
+            FailureType::ExtraJsonContent => "Extra contents found in JSON",
+            FailureType::DuplicatePortConnection => "Duplicate connections to the same port",
+            FailureType::DanglingPortConnection => "Wrong connections for dangling ports",
+            FailureType::WrongPortCount => "Wrong ports number",
+            FailureType::WrongPort => "Wrong ports",
+            FailureType::InvalidComponentName => "Wrong component name",
+            FailureType::OtherSyntax => "Other syntax error",
+        }
+    }
+
+    /// The restriction sentence from the second column of Table II
+    /// (empty for [`FailureType::OtherSyntax`], as in the paper).
+    pub fn restriction(self) -> &'static str {
+        match self {
+            FailureType::UndefinedModel => {
+                "Only built-in devices are permitted unless otherwise specified; \
+                 never use undefined models."
+            }
+            FailureType::BoundIoPorts => {
+                "Input or output ports in the ports section represent only the \
+                 system's start or end points; they must not appear in any \
+                 internal connections."
+            }
+            FailureType::InstancesModelsConfusion => {
+                "When specifying built-in components, the model reference must \
+                 appear in the models section like '... : \"<ref>\"' rather than \
+                 '\"<ref>\" : ...'. The instances section only instantiates these \
+                 components."
+            }
+            FailureType::ExtraJsonContent => {
+                "Only the required JSON netlist elements should appear in the \
+                 output. Do not include comments, advice, or code block markings."
+            }
+            FailureType::DuplicatePortConnection => {
+                "Each port can only be connected once; duplicate connections to \
+                 the same port are prohibited."
+            }
+            FailureType::DanglingPortConnection => {
+                "If a specific port mapping is not explicitly required, omit it \
+                 rather than introducing arbitrary or unused port names."
+            }
+            FailureType::WrongPortCount => {
+                "The total number of input and output ports must align with the \
+                 design specification. Each input port typically starts with I, \
+                 and each output port with O."
+            }
+            FailureType::WrongPort => {
+                "Ensure all connections and ports are valid and consistent with \
+                 the defined instances and models. Do not generate invalid or \
+                 undefined mappings."
+            }
+            FailureType::InvalidComponentName => {
+                "Underscores are prohibited in component names."
+            }
+            FailureType::OtherSyntax => "",
+        }
+    }
+
+    /// A short machine-friendly identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            FailureType::UndefinedModel => "undefined-model",
+            FailureType::BoundIoPorts => "bound-io-ports",
+            FailureType::InstancesModelsConfusion => "instances-models-confusion",
+            FailureType::ExtraJsonContent => "extra-json-content",
+            FailureType::DuplicatePortConnection => "duplicate-port-connection",
+            FailureType::DanglingPortConnection => "dangling-port-connection",
+            FailureType::WrongPortCount => "wrong-port-count",
+            FailureType::WrongPort => "wrong-port",
+            FailureType::InvalidComponentName => "invalid-component-name",
+            FailureType::OtherSyntax => "other-syntax",
+        }
+    }
+}
+
+impl fmt::Display for FailureType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One validation finding: a classified failure plus a human-readable
+/// message (the "detailed error report" fed back to the language model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationIssue {
+    /// Taxonomy category.
+    pub failure: FailureType,
+    /// Detailed report, e.g. the paper's
+    /// `Instance mmi2 does not contain port I2. Available ports: [...]`.
+    pub message: String,
+}
+
+impl ValidationIssue {
+    /// Creates an issue.
+    pub fn new(failure: FailureType, message: impl Into<String>) -> Self {
+        ValidationIssue {
+            failure,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error, {}", self.failure.label(), self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_ten_entries_in_order() {
+        assert_eq!(FailureType::ALL.len(), 10);
+        assert_eq!(FailureType::ALL[0], FailureType::UndefinedModel);
+        assert_eq!(FailureType::ALL[9], FailureType::OtherSyntax);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = FailureType::ALL.iter().map(|f| f.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn every_type_but_other_has_a_restriction() {
+        for ft in FailureType::ALL {
+            if ft == FailureType::OtherSyntax {
+                assert!(ft.restriction().is_empty());
+            } else {
+                assert!(!ft.restriction().is_empty(), "{ft:?} lacks a restriction");
+            }
+        }
+    }
+
+    #[test]
+    fn issue_display_matches_paper_format() {
+        let issue = ValidationIssue::new(
+            FailureType::WrongPort,
+            "Instance mmi2 does not contain port I2. Available ports: [\"I1\", \"O1\", \"O2\"].",
+        );
+        let text = issue.to_string();
+        assert!(text.starts_with("Wrong ports error, "));
+        assert!(text.contains("does not contain port I2"));
+    }
+}

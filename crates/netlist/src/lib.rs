@@ -1,0 +1,53 @@
+//! # picbench-netlist
+//!
+//! The netlist layer of the PICBench-rs reproduction: the JSON document
+//! format LLM-generated photonic designs arrive in, plus everything needed
+//! to judge their *structure*:
+//!
+//! * [`json`] — a from-scratch strict JSON parser/serializer with
+//!   positioned errors (the offline crate set has no `serde_json`, and the
+//!   benchmark wants to classify *why* parses fail);
+//! * [`extract`] — locating the JSON payload inside a raw chat response
+//!   (`<result>` sections, markdown fences, stray prose);
+//! * the schema types [`Netlist`], [`Instance`], [`Connection`],
+//!   [`PortRef`] with JSON round-tripping;
+//! * [`FailureType`] — the ten-entry Table II error taxonomy with its
+//!   restriction texts;
+//! * [`validate`] — the structural rule checks that produce classified
+//!   [`ValidationIssue`]s;
+//! * [`NetlistBuilder`] — fluent programmatic construction for golden
+//!   designs and tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use picbench_netlist::{Netlist, NetlistBuilder};
+//!
+//! let netlist = NetlistBuilder::new()
+//!     .instance("wg", "waveguide")
+//!     .port("I1", "wg,I1")
+//!     .port("O1", "wg,O1")
+//!     .model("waveguide", "waveguide")
+//!     .build();
+//! let text = netlist.to_json_string();
+//! assert_eq!(Netlist::from_json_str(&text)?, netlist);
+//! # Ok::<(), picbench_netlist::NetlistParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+pub mod extract;
+mod failure;
+pub mod json;
+mod ordmap;
+mod schema;
+mod validate;
+
+pub use builder::NetlistBuilder;
+pub use failure::{FailureType, ValidationIssue};
+pub use ordmap::OrderedMap;
+pub use schema::{
+    Connection, Instance, Netlist, NetlistParseError, ParsePortRefError, PortRef, SchemaError,
+};
+pub use validate::{validate, ComponentCatalog, PortSpec};

@@ -1,0 +1,112 @@
+//! Property-based tests for JSON and netlist round-trips.
+
+use picbench_netlist::{json, Connection, Instance, Netlist, OrderedMap, PortRef};
+use proptest::prelude::*;
+
+fn json_value_strategy() -> impl Strategy<Value = json::Value> {
+    let leaf = prop_oneof![
+        Just(json::Value::Null),
+        any::<bool>().prop_map(json::Value::Bool),
+        (-1e9f64..1e9).prop_map(|n| json::Value::Number((n * 1e3).round() / 1e3)),
+        "[a-zA-Z0-9 _,.\\-{}\"\\\\]{0,20}".prop_map(json::Value::String),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(json::Value::Array),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..5).prop_map(|entries| {
+                // JSON objects keep first occurrence of duplicate keys.
+                let mut seen = Vec::new();
+                let mut out = Vec::new();
+                for (k, v) in entries {
+                    if !seen.contains(&k) {
+                        seen.push(k.clone());
+                        out.push((k, v));
+                    }
+                }
+                json::Value::Object(out)
+            }),
+        ]
+    })
+}
+
+fn identifier() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9]{0,10}"
+}
+
+fn netlist_strategy() -> impl Strategy<Value = Netlist> {
+    (
+        proptest::collection::vec((identifier(), identifier(), proptest::collection::vec(("[a-z]{1,8}", -100.0f64..100.0), 0..3)), 1..6),
+        proptest::collection::vec((identifier(), "[IO][1-4]", identifier(), "[IO][1-4]"), 0..6),
+        proptest::collection::vec(("[IO][1-9]", identifier(), "[IO][1-4]"), 0..4),
+        proptest::collection::vec((identifier(), identifier()), 0..4),
+    )
+        .prop_map(|(instances, connections, ports, models)| {
+            let mut netlist = Netlist::default();
+            for (name, component, settings) in instances {
+                let mut inst = Instance::new(component);
+                for (param, value) in settings {
+                    inst.settings.insert(param, (value * 1e3).round() / 1e3);
+                }
+                netlist.instances.insert(name, inst);
+            }
+            for (ai, ap, bi, bp) in connections {
+                netlist.connections.push(Connection {
+                    a: PortRef::new(ai, ap),
+                    b: PortRef::new(bi, bp),
+                });
+            }
+            let mut port_map = OrderedMap::new();
+            for (ext, inst, port) in ports {
+                port_map.insert(ext, PortRef::new(inst, port));
+            }
+            netlist.ports = port_map;
+            for (component, model_ref) in models {
+                netlist.models.insert(component, model_ref);
+            }
+            netlist
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn json_roundtrip_compact(v in json_value_strategy()) {
+        let text = json::to_string(&v);
+        let back = json::parse(&text).expect("serialized JSON must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_roundtrip_pretty(v in json_value_strategy()) {
+        let text = json::to_string_pretty(&v);
+        let back = json::parse(&text).expect("pretty JSON must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_rejects_truncation(v in json_value_strategy()) {
+        let text = json::to_string(&v);
+        prop_assume!(text.len() > 1);
+        // Cutting the last byte must never parse to the same value.
+        let truncated = &text[..text.len() - 1];
+        match json::parse(truncated) {
+            Ok(other) => prop_assert_ne!(other, v),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn netlist_roundtrip(n in netlist_strategy()) {
+        let text = n.to_json_string();
+        let back = Netlist::from_json_str(&text).expect("netlist JSON must parse");
+        prop_assert_eq!(back, n);
+    }
+
+    #[test]
+    fn portref_display_parse_roundtrip(inst in "[a-zA-Z][a-zA-Z0-9]{0,10}", port in "[IO][0-9]{1,2}") {
+        let pr = PortRef::new(inst, port);
+        let back: PortRef = pr.to_string().parse().expect("round-trip");
+        prop_assert_eq!(back, pr);
+    }
+}

@@ -1,0 +1,545 @@
+//! Unitary-to-mesh decompositions (Reck and Clements schemes).
+//!
+//! The optical-computing problems in the PICBench suite ask for MZI meshes
+//! "arranged using the Clements method" / "the Reck method". To make those
+//! golden designs more than topology sketches, this module implements the
+//! actual synthesis algorithms: given a target N×N unitary, produce the
+//! ordered list of 2×2 Givens/MZI factors (θ, φ per crossing) plus output
+//! phases such that the product reproduces the unitary.
+//!
+//! Conventions: each factor `T_m(θ, φ)` acts on adjacent modes `(m, m+1)` as
+//!
+//! ```text
+//! ⎡ e^{iφ}·cosθ   −sinθ ⎤
+//! ⎣ e^{iφ}·sinθ    cosθ ⎦
+//! ```
+//!
+//! and the decomposition satisfies
+//! `U = diag(output_phases) · T_last · … · T_first`
+//! (the first factor in `factors` is applied to the input vector first).
+
+use crate::{CMatrix, Complex};
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Mesh arrangement produced by a decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeshScheme {
+    /// Triangular arrangement (Reck et al., 1994).
+    Reck,
+    /// Rectangular arrangement (Clements et al., 2016).
+    Clements,
+}
+
+impl fmt::Display for MeshScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshScheme::Reck => write!(f, "Reck"),
+            MeshScheme::Clements => write!(f, "Clements"),
+        }
+    }
+}
+
+/// One 2×2 stage of the mesh: an MZI on modes `(mode, mode + 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GivensFactor {
+    /// Upper mode index the factor acts on (it also touches `mode + 1`).
+    pub mode: usize,
+    /// Mixing angle θ ∈ [0, π/2].
+    pub theta: f64,
+    /// Input phase φ ∈ (−π, π].
+    pub phi: f64,
+}
+
+impl GivensFactor {
+    /// The 2×2 transfer matrix of this factor.
+    pub fn block(&self) -> [[Complex; 2]; 2] {
+        let (s, c) = self.theta.sin_cos();
+        let ph = Complex::cis(self.phi);
+        [
+            [ph * c, Complex::real(-s)],
+            [ph * s, Complex::real(c)],
+        ]
+    }
+
+    /// The N×N embedding of [`GivensFactor::block`] at `self.mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.mode + 1 >= n`.
+    pub fn embed(&self, n: usize) -> CMatrix {
+        assert!(self.mode + 1 < n, "factor mode out of range for size {n}");
+        let mut m = CMatrix::identity(n);
+        let b = self.block();
+        m[(self.mode, self.mode)] = b[0][0];
+        m[(self.mode, self.mode + 1)] = b[0][1];
+        m[(self.mode + 1, self.mode)] = b[1][0];
+        m[(self.mode + 1, self.mode + 1)] = b[1][1];
+        m
+    }
+}
+
+/// A full mesh decomposition: `U = D · T_k · … · T_1`.
+#[derive(Debug, Clone)]
+pub struct MeshDecomposition {
+    /// Which synthesis scheme produced this decomposition.
+    pub scheme: MeshScheme,
+    /// Number of optical modes.
+    pub size: usize,
+    /// Factors in application order (first entry acts on the input first).
+    pub factors: Vec<GivensFactor>,
+    /// Per-mode output phases (unit-magnitude complex numbers).
+    pub output_phases: Vec<Complex>,
+}
+
+impl MeshDecomposition {
+    /// Rebuilds the unitary realized by this mesh.
+    pub fn rebuild(&self) -> CMatrix {
+        let mut u = CMatrix::identity(self.size);
+        for f in &self.factors {
+            u = &f.embed(self.size) * &u;
+        }
+        &CMatrix::from_diag(&self.output_phases) * &u
+    }
+
+    /// Number of 2×2 stages (should be `n(n−1)/2` for an exact synthesis).
+    pub fn stage_count(&self) -> usize {
+        self.factors.len()
+    }
+}
+
+/// Error returned when the input matrix cannot be decomposed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecomposeError {
+    /// Input matrix is not square.
+    NotSquare {
+        /// Observed row count.
+        rows: usize,
+        /// Observed column count.
+        cols: usize,
+    },
+    /// Input matrix deviates from unitarity by more than the tolerance.
+    NotUnitary {
+        /// Max entry-wise deviation of `U†U` from the identity.
+        deviation: f64,
+    },
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecomposeError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}×{cols})")
+            }
+            DecomposeError::NotUnitary { deviation } => {
+                write!(f, "matrix is not unitary (deviation {deviation:.3e})")
+            }
+        }
+    }
+}
+
+impl Error for DecomposeError {}
+
+const UNITARY_TOL: f64 = 1e-8;
+
+fn check_unitary(u: &CMatrix) -> Result<(), DecomposeError> {
+    if !u.is_square() {
+        return Err(DecomposeError::NotSquare {
+            rows: u.rows(),
+            cols: u.cols(),
+        });
+    }
+    let dev = (&u.dagger() * u).max_abs_diff(&CMatrix::identity(u.rows()));
+    if dev > UNITARY_TOL {
+        return Err(DecomposeError::NotUnitary { deviation: dev });
+    }
+    Ok(())
+}
+
+/// Parameters that null `target` via right-multiplication by `T⁻¹` on
+/// columns `(c, c+1)`: chooses (θ, φ) so `(U·T⁻¹)[row, c] = 0`.
+fn null_right(u: &CMatrix, row: usize, c: usize) -> GivensFactor {
+    let a = u[(row, c)];
+    let b = u[(row, c + 1)];
+    let (theta, phi) = if b.abs() < 1e-14 {
+        if a.abs() < 1e-14 {
+            (0.0, 0.0)
+        } else {
+            (std::f64::consts::FRAC_PI_2, 0.0)
+        }
+    } else {
+        let ratio = a / b;
+        (ratio.abs().atan(), ratio.arg())
+    };
+    GivensFactor {
+        mode: c,
+        theta,
+        phi,
+    }
+}
+
+/// Parameters that null `target` via left-multiplication by `T` on rows
+/// `(m, m+1)`: chooses (θ, φ) so `(T·U)[m+1, col] = 0`.
+fn null_left(u: &CMatrix, m: usize, col: usize) -> GivensFactor {
+    let a = u[(m, col)];
+    let b = u[(m + 1, col)];
+    let (theta, phi) = if a.abs() < 1e-14 {
+        if b.abs() < 1e-14 {
+            (0.0, 0.0)
+        } else {
+            (std::f64::consts::FRAC_PI_2, std::f64::consts::PI)
+        }
+    } else {
+        let ratio = -b / a;
+        (ratio.abs().atan(), ratio.arg())
+    };
+    GivensFactor {
+        mode: m,
+        theta,
+        phi,
+    }
+}
+
+fn inv_block(f: &GivensFactor) -> [[Complex; 2]; 2] {
+    // T is unitary, so T⁻¹ = T†.
+    let b = f.block();
+    [
+        [b[0][0].conj(), b[1][0].conj()],
+        [b[0][1].conj(), b[1][1].conj()],
+    ]
+}
+
+/// Reck (triangular) decomposition.
+///
+/// Progressively nulls the bottom row with right-multiplications by `T⁻¹`,
+/// then recurses on the leading block; yields `U = D · T_k … T_1` with
+/// `n(n−1)/2` factors.
+///
+/// # Errors
+///
+/// Returns [`DecomposeError`] if `u` is not square or not unitary.
+///
+/// # Examples
+///
+/// ```
+/// use picbench_math::{decomp, CMatrix};
+///
+/// let u = decomp::dft_matrix(4);
+/// let mesh = decomp::reck_decompose(&u)?;
+/// assert_eq!(mesh.stage_count(), 6);
+/// assert!(mesh.rebuild().max_abs_diff(&u) < 1e-9);
+/// # Ok::<(), decomp::DecomposeError>(())
+/// ```
+pub fn reck_decompose(u: &CMatrix) -> Result<MeshDecomposition, DecomposeError> {
+    check_unitary(u)?;
+    let n = u.rows();
+    let mut work = u.clone();
+    // Right-multiplications recorded in application order R_1, R_2, ….
+    let mut rights: Vec<GivensFactor> = Vec::with_capacity(n * (n - 1) / 2);
+
+    // Null row r (from the bottom) left-to-right: entries (r, 0..r).
+    for r in (1..n).rev() {
+        for c in 0..r {
+            let f = null_right(&work, r, c);
+            work.apply_right_2x2(c, inv_block(&f));
+            rights.push(f);
+        }
+    }
+    // work is now diagonal: U = D · R_q · … · R_1 (application order R_1 first).
+    let output_phases: Vec<Complex> = (0..n).map(|i| work[(i, i)]).collect();
+    Ok(MeshDecomposition {
+        scheme: MeshScheme::Reck,
+        size: n,
+        factors: rights,
+        output_phases,
+    })
+}
+
+/// Rewrites `T† · D` as `D' · T'` (same θ, new φ and diagonal), the phase
+/// push used to bring Clements left-factors to the output side.
+fn push_phase_through(f: &GivensFactor, diag: &mut [Complex]) -> GivensFactor {
+    let m = f.mode;
+    let d_m = diag[m];
+    let d_m1 = diag[m + 1];
+    let phi_new = (-d_m / d_m1).arg();
+    let d_m_new = -Complex::cis(-f.phi) * d_m1;
+    diag[m] = d_m_new;
+    // diag[m + 1] unchanged.
+    GivensFactor {
+        mode: m,
+        theta: f.theta,
+        phi: phi_new,
+    }
+}
+
+/// Clements (rectangular) decomposition.
+///
+/// Alternates nulling anti-diagonals with right-multiplications by `T⁻¹`
+/// and left-multiplications by `T`, then pushes the left factors through the
+/// diagonal so the result has the canonical form `U = D · T_k … T_1` with
+/// `n(n−1)/2` factors arranged in the rectangular (minimum-depth) mesh.
+///
+/// # Errors
+///
+/// Returns [`DecomposeError`] if `u` is not square or not unitary.
+///
+/// # Examples
+///
+/// ```
+/// use picbench_math::{decomp, CMatrix};
+///
+/// let u = decomp::dft_matrix(4);
+/// let mesh = decomp::clements_decompose(&u)?;
+/// assert_eq!(mesh.stage_count(), 6);
+/// assert!(mesh.rebuild().max_abs_diff(&u) < 1e-9);
+/// # Ok::<(), decomp::DecomposeError>(())
+/// ```
+pub fn clements_decompose(u: &CMatrix) -> Result<MeshDecomposition, DecomposeError> {
+    check_unitary(u)?;
+    let n = u.rows();
+    let mut work = u.clone();
+    let mut rights: Vec<GivensFactor> = Vec::new();
+    let mut lefts: Vec<GivensFactor> = Vec::new();
+
+    for k in 0..n.saturating_sub(1) {
+        if k % 2 == 0 {
+            // Null the k-th lower anti-diagonal from the left edge using
+            // right multiplications: entries (n-1-j, k-j) for j = 0..=k.
+            for j in 0..=k {
+                let row = n - 1 - j;
+                let col = k - j;
+                let f = null_right(&work, row, col);
+                work.apply_right_2x2(col, inv_block(&f));
+                rights.push(f);
+            }
+        } else {
+            // Null using left multiplications: entries (n-1-k+j, j) for
+            // j = 0..=k, eliminated via rows (row-1, row).
+            for j in 0..=k {
+                let row = n - 1 - k + j;
+                let col = j;
+                let f = null_left(&work, row - 1, col);
+                work.apply_left_2x2(row - 1, f.block());
+                lefts.push(f);
+            }
+        }
+    }
+
+    // Now: L_p … L_1 · U · R_1⁻¹ … R_q⁻¹ = D, i.e.
+    // U = L_1† … L_p† · D · R_q … R_1.
+    let mut diag: Vec<Complex> = (0..n).map(|i| work[(i, i)]).collect();
+
+    // Push D through the daggered left factors, innermost (L_p†) first:
+    // L† · D = D' · T'. Afterwards U = D_final · T'_1 … T'_p · R_q … R_1,
+    // so application order is R_1, …, R_q, T'_p, …, T'_1.
+    let mut pushed: Vec<GivensFactor> = Vec::with_capacity(lefts.len());
+    for f in lefts.iter().rev() {
+        pushed.push(push_phase_through(f, &mut diag));
+    }
+    // `pushed` currently holds T'_p, T'_{p-1}, …, T'_1 in that order, which
+    // is exactly the application order after the rights.
+    let mut factors = rights;
+    factors.extend(pushed);
+
+    Ok(MeshDecomposition {
+        scheme: MeshScheme::Clements,
+        size: n,
+        factors,
+        output_phases: diag,
+    })
+}
+
+/// Decomposes with the requested scheme.
+///
+/// # Errors
+///
+/// Returns [`DecomposeError`] if `u` is not square or not unitary.
+pub fn decompose(u: &CMatrix, scheme: MeshScheme) -> Result<MeshDecomposition, DecomposeError> {
+    match scheme {
+        MeshScheme::Reck => reck_decompose(u),
+        MeshScheme::Clements => clements_decompose(u),
+    }
+}
+
+/// The N×N discrete Fourier transform matrix (unitary normalization).
+///
+/// A convenient deterministic, maximally-mixing target unitary for mesh
+/// synthesis tests and golden designs.
+pub fn dft_matrix(n: usize) -> CMatrix {
+    let scale = 1.0 / (n as f64).sqrt();
+    CMatrix::from_fn(n, n, |r, c| {
+        Complex::cis(-2.0 * std::f64::consts::PI * (r * c) as f64 / n as f64) * scale
+    })
+}
+
+/// Draws a Haar-distributed random unitary via Gram–Schmidt on a complex
+/// Gaussian matrix.
+///
+/// # Examples
+///
+/// ```
+/// use picbench_math::decomp::random_unitary;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let u = random_unitary(5, &mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMatrix {
+    // Box–Muller standard normals.
+    let normal = |rng: &mut R| -> f64 {
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    };
+    let mut cols: Vec<Vec<Complex>> = (0..n)
+        .map(|_| {
+            (0..n)
+                .map(|_| Complex::new(normal(rng), normal(rng)))
+                .collect()
+        })
+        .collect();
+
+    // Modified Gram–Schmidt, twice for numerical orthogonality.
+    for _pass in 0..2 {
+        for i in 0..n {
+            for j in 0..i {
+                let proj: Complex = (0..n).map(|k| cols[j][k].conj() * cols[i][k]).sum();
+                for k in 0..n {
+                    let sub = proj * cols[j][k];
+                    cols[i][k] -= sub;
+                }
+            }
+            let norm: f64 = cols[i].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            for k in 0..n {
+                cols[i][k] = cols[i][k] / norm;
+            }
+        }
+    }
+    CMatrix::from_fn(n, n, |r, c| cols[c][r])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn factor_block_is_unitary() {
+        let f = GivensFactor {
+            mode: 0,
+            theta: 0.63,
+            phi: -1.2,
+        };
+        assert!(f.embed(2).is_unitary(1e-12));
+        assert!(f.embed(5).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn dft_is_unitary() {
+        for n in [1, 2, 3, 4, 8] {
+            assert!(dft_matrix(n).is_unitary(1e-10), "DFT({n}) not unitary");
+        }
+    }
+
+    #[test]
+    fn random_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for n in [1, 2, 3, 6, 9] {
+            assert!(random_unitary(n, &mut rng).is_unitary(1e-9));
+        }
+    }
+
+    #[test]
+    fn reck_roundtrip_dft() {
+        for n in [2, 3, 4, 8] {
+            let u = dft_matrix(n);
+            let mesh = reck_decompose(&u).unwrap();
+            assert_eq!(mesh.stage_count(), n * (n - 1) / 2);
+            assert!(
+                mesh.rebuild().max_abs_diff(&u) < 1e-9,
+                "Reck rebuild failed for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn clements_roundtrip_dft() {
+        for n in [2, 3, 4, 8] {
+            let u = dft_matrix(n);
+            let mesh = clements_decompose(&u).unwrap();
+            assert_eq!(mesh.stage_count(), n * (n - 1) / 2);
+            assert!(
+                mesh.rebuild().max_abs_diff(&u) < 1e-9,
+                "Clements rebuild failed for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_random_unitaries() {
+        let mut rng = StdRng::seed_from_u64(20260611);
+        for n in [2, 3, 4, 5, 6, 8] {
+            let u = random_unitary(n, &mut rng);
+            for scheme in [MeshScheme::Reck, MeshScheme::Clements] {
+                let mesh = decompose(&u, scheme).unwrap();
+                let err = mesh.rebuild().max_abs_diff(&u);
+                assert!(err < 1e-8, "{scheme} rebuild error {err:.2e} for n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_decomposes_to_trivial_angles() {
+        let u = CMatrix::identity(4);
+        let mesh = clements_decompose(&u).unwrap();
+        for f in &mesh.factors {
+            assert!(f.theta.abs() < 1e-9, "identity should need no mixing");
+        }
+        assert!(mesh.rebuild().max_abs_diff(&u) < 1e-9);
+    }
+
+    #[test]
+    fn output_phases_are_unit_magnitude() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = random_unitary(5, &mut rng);
+        for scheme in [MeshScheme::Reck, MeshScheme::Clements] {
+            let mesh = decompose(&u, scheme).unwrap();
+            for p in &mesh.output_phases {
+                assert!((p.abs() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_unitary() {
+        let m = CMatrix::from_fn(3, 3, |r, c| Complex::real((r + c) as f64));
+        assert!(matches!(
+            clements_decompose(&m),
+            Err(DecomposeError::NotUnitary { .. })
+        ));
+        let rect = CMatrix::zeros(2, 3);
+        assert!(matches!(
+            reck_decompose(&rect),
+            Err(DecomposeError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn factor_modes_are_adjacent_and_in_range() {
+        let u = dft_matrix(6);
+        for scheme in [MeshScheme::Reck, MeshScheme::Clements] {
+            let mesh = decompose(&u, scheme).unwrap();
+            for f in &mesh.factors {
+                assert!(f.mode + 1 < 6);
+                assert!(f.theta >= -1e-12 && f.theta <= std::f64::consts::FRAC_PI_2 + 1e-12);
+            }
+        }
+    }
+}

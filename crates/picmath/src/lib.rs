@@ -1,0 +1,96 @@
+//! # picbench-math
+//!
+//! Complex linear algebra for the PICBench-rs reproduction: a [`Complex`]
+//! number type, dense [`CMatrix`] matrices, partial-pivot LU solves
+//! ([`LuDecomposition`]) and unitary-to-MZI-mesh decompositions
+//! ([`decomp`], Reck and Clements schemes).
+//!
+//! Everything is implemented in-repo (no external linear-algebra crates) and
+//! sized for the workloads of a photonic circuit benchmark: matrices up to a
+//! few hundred rows, evaluated thousands of times across wavelength sweeps.
+//!
+//! ## Example
+//!
+//! ```
+//! use picbench_math::{decomp, CMatrix, Complex};
+//!
+//! // Synthesize a 4×4 DFT as a rectangular MZI mesh and verify it.
+//! let target = decomp::dft_matrix(4);
+//! let mesh = decomp::clements_decompose(&target)?;
+//! assert!(mesh.rebuild().max_abs_diff(&target) < 1e-9);
+//! # Ok::<(), decomp::DecomposeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+pub mod decomp;
+mod lu;
+mod matrix;
+
+pub use complex::Complex;
+pub use decomp::{DecomposeError, GivensFactor, MeshDecomposition, MeshScheme};
+pub use lu::{inverse, solve, LuDecomposition, SingularMatrixError};
+pub use matrix::CMatrix;
+
+/// Speed of light in vacuum, metres per second.
+pub const SPEED_OF_LIGHT_M_S: f64 = 299_792_458.0;
+
+/// Converts a wavelength in micrometres to an optical frequency in THz.
+///
+/// ```
+/// use picbench_math::wavelength_um_to_thz;
+/// let f = wavelength_um_to_thz(1.55);
+/// assert!((f - 193.414).abs() < 1e-2);
+/// ```
+pub fn wavelength_um_to_thz(wavelength_um: f64) -> f64 {
+    SPEED_OF_LIGHT_M_S / (wavelength_um * 1e-6) / 1e12
+}
+
+/// Converts a power ratio to decibels (`10·log10`), clamping zero to −300 dB.
+///
+/// ```
+/// use picbench_math::power_ratio_to_db;
+/// assert!((power_ratio_to_db(0.5) + 3.0103).abs() < 1e-3);
+/// ```
+pub fn power_ratio_to_db(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        -300.0
+    } else {
+        10.0 * ratio.log10()
+    }
+}
+
+/// Converts decibels to a power ratio (`10^{dB/10}`).
+///
+/// ```
+/// use picbench_math::db_to_power_ratio;
+/// assert!((db_to_power_ratio(-3.0103) - 0.5).abs() < 1e-4);
+/// ```
+pub fn db_to_power_ratio(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thz_conversion_is_monotone_decreasing() {
+        assert!(wavelength_um_to_thz(1.51) > wavelength_um_to_thz(1.59));
+    }
+
+    #[test]
+    fn db_roundtrip() {
+        for r in [1.0, 0.5, 0.1, 1e-4] {
+            let db = power_ratio_to_db(r);
+            assert!((db_to_power_ratio(db) - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_power_clamps() {
+        assert_eq!(power_ratio_to_db(0.0), -300.0);
+        assert_eq!(power_ratio_to_db(-1.0), -300.0);
+    }
+}

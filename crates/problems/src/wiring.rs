@@ -1,0 +1,195 @@
+//! Multi-wire netlist construction helper.
+//!
+//! Mesh and switch-fabric goldens are built column by column over a set of
+//! parallel optical "wires". [`WireBus`] tracks the dangling end of each
+//! wire so construction code can say "feed wire 3 into this component's
+//! I2" without hand-managing connection bookkeeping, then exposes the
+//! first/last port of every wire as the external `I*`/`O*` ports.
+
+use picbench_netlist::NetlistBuilder;
+
+/// Tracks the open ends of `n` parallel wires during construction.
+#[derive(Debug)]
+pub struct WireBus {
+    /// Current dangling end (an `"instance,port"` string) per wire, if the
+    /// wire has been driven.
+    ends: Vec<Option<String>>,
+    /// First component input seen per wire — becomes the external input.
+    entries: Vec<Option<String>>,
+}
+
+impl WireBus {
+    /// Creates a bus of `n` untouched wires.
+    pub fn new(n: usize) -> Self {
+        WireBus {
+            ends: vec![None; n],
+            entries: vec![None; n],
+        }
+    }
+
+    /// Number of wires.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the bus has no wires.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Routes wire `w` into a component input port.
+    ///
+    /// If the wire already has a dangling end, a connection is recorded;
+    /// otherwise the input becomes the wire's external entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn feed(&mut self, builder: &mut NetlistBuilder, w: usize, input: &str) {
+        match self.ends[w].take() {
+            Some(end) => {
+                builder.connect(&end, input);
+            }
+            None => {
+                assert!(
+                    self.entries[w].is_none(),
+                    "wire {w} already has an entry point"
+                );
+                self.entries[w] = Some(input.to_string());
+            }
+        }
+    }
+
+    /// Declares a component output port as the new dangling end of wire
+    /// `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire already has a dangling end (feed it first).
+    pub fn drive(&mut self, w: usize, output: &str) {
+        assert!(
+            self.ends[w].is_none(),
+            "wire {w} already has a dangling end"
+        );
+        self.ends[w] = Some(output.to_string());
+    }
+
+    /// Convenience: runs wire `w` through a 1-in/1-out stage.
+    pub fn through(&mut self, builder: &mut NetlistBuilder, w: usize, input: &str, output: &str) {
+        self.feed(builder, w, input);
+        self.drive(w, output);
+    }
+
+    /// Finalizes: exposes each wire's entry as `I{w+1}` and its dangling
+    /// end as `O{w+1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any wire was never driven or never fed.
+    pub fn expose_standard_ports(self, builder: &mut NetlistBuilder) {
+        let n = self.len();
+        for (w, entry) in self.entries.iter().enumerate() {
+            let entry = entry
+                .as_ref()
+                .unwrap_or_else(|| panic!("wire {w} has no entry point"));
+            builder.port(&format!("I{}", w + 1), entry);
+        }
+        for (w, end) in self.ends.iter().enumerate() {
+            let end = end
+                .as_ref()
+                .unwrap_or_else(|| panic!("wire {w} has no dangling end"));
+            builder.port(&format!("O{}", w + 1), end);
+        }
+        let _ = n;
+    }
+
+    /// Finalizes with explicit external input/output exposure control:
+    /// `inputs[w]`/`outputs[w]` give the external names, or `None` to
+    /// leave that side of the wire unexposed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named wire lacks the corresponding endpoint.
+    pub fn expose_ports(
+        self,
+        builder: &mut NetlistBuilder,
+        inputs: &[Option<&str>],
+        outputs: &[Option<&str>],
+    ) {
+        for (w, name) in inputs.iter().enumerate() {
+            if let Some(name) = name {
+                let entry = self.entries[w]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("wire {w} has no entry point"));
+                builder.port(name, entry);
+            }
+        }
+        for (w, name) in outputs.iter().enumerate() {
+            if let Some(name) = name {
+                let end = self.ends[w]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("wire {w} has no dangling end"));
+                builder.port(name, end);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_two_stages() {
+        let mut b = NetlistBuilder::new();
+        b.instance("a", "waveguide").instance("c", "waveguide");
+        let mut bus = WireBus::new(1);
+        bus.through(&mut b, 0, "a,I1", "a,O1");
+        bus.through(&mut b, 0, "c,I1", "c,O1");
+        bus.expose_standard_ports(&mut b);
+        b.model("waveguide", "waveguide");
+        let n = b.build();
+        assert_eq!(n.connections.len(), 1);
+        assert_eq!(n.connections[0].a.to_string(), "a,O1");
+        assert_eq!(n.connections[0].b.to_string(), "c,I1");
+        assert_eq!(n.ports.get("I1").unwrap().to_string(), "a,I1");
+        assert_eq!(n.ports.get("O1").unwrap().to_string(), "c,O1");
+    }
+
+    #[test]
+    fn two_wires_into_one_block() {
+        let mut b = NetlistBuilder::new();
+        b.instance("sw", "switch2x2");
+        let mut bus = WireBus::new(2);
+        bus.feed(&mut b, 0, "sw,I1");
+        bus.feed(&mut b, 1, "sw,I2");
+        bus.drive(0, "sw,O1");
+        bus.drive(1, "sw,O2");
+        bus.expose_standard_ports(&mut b);
+        b.model("switch2x2", "switch2x2");
+        let n = b.build();
+        assert_eq!(n.connections.len(), 0);
+        assert_eq!(n.ports.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no dangling end")]
+    fn unfinished_wire_panics() {
+        let mut b = NetlistBuilder::new();
+        let mut bus = WireBus::new(1);
+        bus.feed(&mut b, 0, "a,I1");
+        bus.expose_standard_ports(&mut b);
+    }
+
+    #[test]
+    fn selective_exposure() {
+        let mut b = NetlistBuilder::new();
+        b.instance("a", "waveguide");
+        let mut bus = WireBus::new(1);
+        bus.through(&mut b, 0, "a,I1", "a,O1");
+        bus.expose_ports(&mut b, &[Some("I1")], &[None]);
+        b.model("waveguide", "waveguide");
+        let n = b.build();
+        assert_eq!(n.ports.len(), 1);
+    }
+}

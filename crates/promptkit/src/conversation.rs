@@ -1,0 +1,140 @@
+//! Conversation transcripts.
+//!
+//! The feedback loop is a multi-turn chat; recording it verbatim gives
+//! the benchmark auditable traces (and powers the Fig. 1 / Fig. 4
+//! reproduction binaries).
+
+use std::fmt;
+
+/// Who produced a turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The fixed system prompt.
+    System,
+    /// The benchmark (problem description or feedback).
+    User,
+    /// The language model.
+    Assistant,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::System => write!(f, "system"),
+            Role::User => write!(f, "user"),
+            Role::Assistant => write!(f, "assistant"),
+        }
+    }
+}
+
+/// One chat turn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Turn {
+    /// Speaker.
+    pub role: Role,
+    /// Verbatim content.
+    pub content: String,
+}
+
+/// An ordered chat transcript.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Conversation {
+    turns: Vec<Turn>,
+}
+
+impl Conversation {
+    /// Creates an empty conversation.
+    pub fn new() -> Self {
+        Conversation::default()
+    }
+
+    /// Starts a conversation from a system prompt.
+    pub fn with_system(system_prompt: impl Into<String>) -> Self {
+        let mut c = Conversation::new();
+        c.push(Role::System, system_prompt);
+        c
+    }
+
+    /// Appends a turn.
+    pub fn push(&mut self, role: Role, content: impl Into<String>) {
+        self.turns.push(Turn {
+            role,
+            content: content.into(),
+        });
+    }
+
+    /// The turns in order.
+    pub fn turns(&self) -> &[Turn] {
+        &self.turns
+    }
+
+    /// Number of turns.
+    pub fn len(&self) -> usize {
+        self.turns.len()
+    }
+
+    /// Whether the conversation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.turns.is_empty()
+    }
+
+    /// The most recent turn from a given role.
+    pub fn last_from(&self, role: Role) -> Option<&Turn> {
+        self.turns.iter().rev().find(|t| t.role == role)
+    }
+
+    /// The latest user-visible request (system prompt + all user turns),
+    /// concatenated — what a stateless generator conditions on.
+    pub fn rendered_context(&self) -> String {
+        let mut out = String::new();
+        for turn in &self.turns {
+            out.push_str(&format!("[{}]\n{}\n\n", turn.role, turn.content));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Conversation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for turn in &self.turns {
+            writeln!(f, "=== {} ===", turn.role)?;
+            writeln!(f, "{}", turn.content)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut c = Conversation::with_system("sys");
+        c.push(Role::User, "describe");
+        c.push(Role::Assistant, "netlist-1");
+        c.push(Role::User, "fix it");
+        c.push(Role::Assistant, "netlist-2");
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.last_from(Role::Assistant).unwrap().content, "netlist-2");
+        assert_eq!(c.last_from(Role::System).unwrap().content, "sys");
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn rendered_context_interleaves_roles() {
+        let mut c = Conversation::with_system("S");
+        c.push(Role::User, "U");
+        let ctx = c.rendered_context();
+        let sys_pos = ctx.find("[system]").unwrap();
+        let user_pos = ctx.find("[user]").unwrap();
+        assert!(sys_pos < user_pos);
+    }
+
+    #[test]
+    fn display_contains_markers() {
+        let mut c = Conversation::new();
+        c.push(Role::Assistant, "hello");
+        assert!(c.to_string().contains("=== assistant ==="));
+    }
+}

@@ -1,0 +1,95 @@
+//! Feedback prompt construction (Fig. 4 of the paper).
+//!
+//! When the evaluator detects a syntax error, the classified category plus
+//! the detailed error report and the crafted correction request are sent
+//! back to the model. Functional errors get the paper's fixed one-liner.
+
+use picbench_netlist::ValidationIssue;
+use std::fmt::Write as _;
+
+/// The crafted correction request of Fig. 4.
+pub const CORRECTION_REQUEST: &str = "\
+Here are the errors in previously generated code.
+Please follow the restrictions and write entire code by fixing the errors in previous code.
+Please only give me the code in the <result> part, for anything beside the code, please properly comment it out in <analysis> part.";
+
+/// The paper's functional-error feedback line (§III-E).
+pub const FUNCTIONAL_FEEDBACK: &str = "The syntax is correct, but a functional error has \
+occurred. Please review the problem description carefully";
+
+/// Renders the evaluation information block for a set of classified
+/// issues, in the `eval_<problem>: <category> error, <details>` shape of
+/// Fig. 4.
+pub fn evaluation_info(problem_id: &str, issues: &[ValidationIssue]) -> String {
+    let mut out = String::new();
+    let tag = problem_id.replace('-', "_");
+    for issue in issues {
+        let _ = writeln!(out, "eval_{tag}: {issue}");
+    }
+    out
+}
+
+/// Renders the full syntax-error feedback prompt: evaluation information
+/// followed by the correction request.
+///
+/// # Examples
+///
+/// ```
+/// use picbench_netlist::{FailureType, ValidationIssue};
+/// use picbench_prompt::syntax_feedback;
+///
+/// let issues = vec![ValidationIssue::new(
+///     FailureType::WrongPort,
+///     "Instance mmi2 does not contain port I2. Available ports: [\"I1\", \"O1\", \"O2\"].",
+/// )];
+/// let prompt = syntax_feedback("mzi-ps", &issues);
+/// assert!(prompt.contains("eval_mzi_ps: Wrong ports error,"));
+/// assert!(prompt.contains("fixing the errors"));
+/// ```
+pub fn syntax_feedback(problem_id: &str, issues: &[ValidationIssue]) -> String {
+    let mut out = evaluation_info(problem_id, issues);
+    out.push('\n');
+    out.push_str(CORRECTION_REQUEST);
+    out
+}
+
+/// Renders the functional-error feedback prompt.
+pub fn functional_feedback() -> String {
+    format!("{FUNCTIONAL_FEEDBACK}.")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picbench_netlist::FailureType;
+
+    #[test]
+    fn fig4_example_reproduced() {
+        let issues = vec![ValidationIssue::new(
+            FailureType::WrongPort,
+            "Instance mmi2 does not contain port I2. Available ports: [\"I1\", \"O1\", \"O2\"].",
+        )];
+        let info = evaluation_info("mzi-ps", &issues);
+        assert_eq!(
+            info.trim(),
+            "eval_mzi_ps: Wrong ports error, Instance mmi2 does not contain port I2. \
+             Available ports: [\"I1\", \"O1\", \"O2\"]."
+        );
+    }
+
+    #[test]
+    fn multiple_issues_listed_line_by_line() {
+        let issues = vec![
+            ValidationIssue::new(FailureType::UndefinedModel, "a"),
+            ValidationIssue::new(FailureType::DuplicatePortConnection, "b"),
+        ];
+        let prompt = syntax_feedback("benes-4x4", &issues);
+        assert_eq!(prompt.matches("eval_benes_4x4:").count(), 2);
+        assert!(prompt.ends_with("<analysis> part."));
+    }
+
+    #[test]
+    fn functional_feedback_is_the_paper_line() {
+        assert!(functional_feedback().starts_with("The syntax is correct"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # picbench-prompt
+//!
+//! Prompt construction for the PICBench-rs benchmark:
+//!
+//! * the three-section **system prompt** of Fig. 3 (format schema,
+//!   auto-generated API document, general notes) with the optional
+//!   **Table II restrictions** block ([`render_system_prompt`]);
+//! * the **feedback prompts** of Fig. 4 ([`syntax_feedback`],
+//!   [`functional_feedback`]);
+//! * [`Conversation`] transcripts recording every turn of the feedback
+//!   loop.
+//!
+//! ## Example
+//!
+//! ```
+//! use picbench_prompt::{render_system_prompt, SystemPromptConfig};
+//! use picbench_sparams::builtin_models;
+//!
+//! let models = builtin_models();
+//! let infos: Vec<_> = models.iter().map(|m| m.info().clone()).collect();
+//! let prompt = render_system_prompt(infos.iter(), SystemPromptConfig::default());
+//! assert!(prompt.contains("<<<API document>>>"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod conversation;
+mod feedback;
+mod system;
+
+pub use conversation::{Conversation, Role, Turn};
+pub use feedback::{
+    evaluation_info, functional_feedback, syntax_feedback, CORRECTION_REQUEST,
+    FUNCTIONAL_FEEDBACK,
+};
+pub use system::{
+    api_document, api_entry, render_system_prompt, render_system_prompt_with_restrictions,
+    restrictions_block, restrictions_block_for, SystemPromptConfig, GENERAL_NOTES,
+    NETLIST_FORMAT,
+};

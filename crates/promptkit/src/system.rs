@@ -1,0 +1,231 @@
+//! The system prompt template (Fig. 3 of the paper).
+//!
+//! Three sections, exactly as the paper structures them:
+//!
+//! 1. **Required format** — the JSON netlist schema;
+//! 2. **API document** — auto-generated from the component models'
+//!    metadata (ports, parameters, defaults);
+//! 3. **Notes / Restrictions** — the general answering rules, plus
+//!    (optionally) the Table II restrictions that §IV-B2 evaluates.
+
+use picbench_netlist::FailureType;
+use picbench_sparams::ModelInfo;
+use std::fmt::Write as _;
+
+/// Configuration for rendering the system prompt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SystemPromptConfig {
+    /// Include the Table II restriction list (the paper's "+ restrictions"
+    /// configurations in Table IV).
+    pub include_restrictions: bool,
+}
+
+/// The JSON netlist schema shown in the "Required format" section.
+pub const NETLIST_FORMAT: &str = r#"{
+  "netlist": {
+    "instances": {
+      "<component_name1>": "<component>",
+      "<component_name2>": {"component": "<component>", "settings": {"<parameter>": <value>}}
+    },
+    "connections": {
+      "<component_name>,<port>": "<component_name>,<port>"
+    },
+    "ports": {
+      "<port_name>": "<component_name>,<port>"
+    }
+  },
+  "models": {
+    "<component>": "<ref>"
+  }
+}"#;
+
+/// Renders one API-document entry from a model's metadata.
+pub fn api_entry(info: &ModelInfo) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}:", info.name);
+    let _ = writeln!(out, "    description: {}", info.description);
+    let _ = writeln!(
+        out,
+        "    input ports: {}  output ports: {}",
+        info.inputs.join(", "),
+        info.outputs.join(", ")
+    );
+    if info.params.is_empty() {
+        let _ = writeln!(out, "    parameters: (none)");
+    } else {
+        let _ = writeln!(out, "    parameters:");
+        for p in &info.params {
+            let _ = writeln!(out, "      - {p}");
+        }
+    }
+    out
+}
+
+/// Renders the full API document for a set of models.
+pub fn api_document<'a, I: IntoIterator<Item = &'a ModelInfo>>(models: I) -> String {
+    let mut out = String::new();
+    for info in models {
+        out.push_str(&api_entry(info));
+    }
+    out
+}
+
+/// The paper's general answering rules (Fig. 3, "Note that" items 1-6).
+pub const GENERAL_NOTES: &str = "\
+Note that:
+1. Your answers should be professional and logical.
+2. The analyses should be as detailed as possible. For example, you can think it step by step.
+3. The response must consist of two sections:
+   - analysis: A detailed explanation of how the netlist was generated. Start by <analysis>.
+   - result: The generated netlist JSON content. Start by <result>. Only the JSON content is required in the result.
+4. Never specify extra parameters unless explicitly stated in the instructions; always use default values. If a difference between two parameters is specified, use the default value for one and adjust the other by the specified difference.
+5. The default unit is micron.
+6. Unless otherwise specified, use built-in components to implement whenever possible. Never specify extra parameters if the instruction do not specify, always use the default value.";
+
+/// Renders the Table II restrictions block for a subset of categories
+/// (used by the leave-one-out restriction ablation).
+pub fn restrictions_block_for(categories: &[FailureType]) -> String {
+    let mut out = String::from("Restrictions (strictly follow each of these):\n");
+    let mut index = 1;
+    for failure in FailureType::ALL {
+        if !categories.contains(&failure) {
+            continue;
+        }
+        let text = failure.restriction();
+        if text.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{index}. {text}");
+        index += 1;
+    }
+    out
+}
+
+/// Renders the full Table II restrictions block.
+pub fn restrictions_block() -> String {
+    restrictions_block_for(&FailureType::ALL)
+}
+
+/// Renders the complete system prompt.
+///
+/// # Examples
+///
+/// ```
+/// use picbench_prompt::{render_system_prompt, SystemPromptConfig};
+/// use picbench_sparams::builtin_models;
+///
+/// let models = builtin_models();
+/// let infos: Vec<_> = models.iter().map(|m| m.info().clone()).collect();
+/// let prompt = render_system_prompt(
+///     infos.iter(),
+///     SystemPromptConfig { include_restrictions: true },
+/// );
+/// assert!(prompt.contains("professional Photonic Integrated Circuit"));
+/// assert!(prompt.contains("mzi2x2"));
+/// assert!(prompt.contains("Restrictions"));
+/// ```
+pub fn render_system_prompt<'a, I: IntoIterator<Item = &'a ModelInfo>>(
+    models: I,
+    config: SystemPromptConfig,
+) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "You are a professional Photonic Integrated Circuit (PIC) designer. Your task is to \
+         generate a JSON netlist based on the user's design requirements. This netlist should \
+         specify input/output ports, the necessary components, their configurations, and \
+         detailed connections between them. You only complete chats with syntax correct JSON \
+         code and the format is as follows:\n\n<<<JSON format>>>\n",
+    );
+    out.push_str(NETLIST_FORMAT);
+    out.push_str(
+        "\n\nYou have access to the following built-in devices, only these devices are \
+         permitted unless otherwise specified:\n\n<<<API document>>>\n",
+    );
+    out.push_str(&api_document(models));
+    out.push('\n');
+    out.push_str(GENERAL_NOTES);
+    if config.include_restrictions {
+        out.push_str("\n\n");
+        out.push_str(&restrictions_block());
+    }
+    out
+}
+
+/// Renders the system prompt with an explicit restriction subset — the
+/// entry point of the leave-one-out restriction ablation.
+pub fn render_system_prompt_with_restrictions<'a, I: IntoIterator<Item = &'a ModelInfo>>(
+    models: I,
+    categories: &[FailureType],
+) -> String {
+    let mut out = render_system_prompt(models, SystemPromptConfig::default());
+    out.push_str("\n\n");
+    out.push_str(&restrictions_block_for(categories));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picbench_sparams::builtin_models;
+
+    fn infos() -> Vec<ModelInfo> {
+        builtin_models().iter().map(|m| m.info().clone()).collect()
+    }
+
+    #[test]
+    fn prompt_contains_all_three_sections() {
+        let prompt =
+            render_system_prompt(infos().iter(), SystemPromptConfig::default());
+        assert!(prompt.contains("<<<JSON format>>>"));
+        assert!(prompt.contains("<<<API document>>>"));
+        assert!(prompt.contains("Note that:"));
+        assert!(!prompt.contains("Restrictions (strictly follow"));
+    }
+
+    #[test]
+    fn restrictions_toggle_works() {
+        let with = render_system_prompt(
+            infos().iter(),
+            SystemPromptConfig {
+                include_restrictions: true,
+            },
+        );
+        assert!(with.contains("Restrictions (strictly follow"));
+        // All nine non-empty Table II restrictions are numbered.
+        assert!(with.contains("9. "));
+        assert!(!with.contains("10. "));
+        assert!(with.contains("Underscores are prohibited"));
+    }
+
+    #[test]
+    fn api_document_lists_every_builtin() {
+        let doc = api_document(infos().iter());
+        for m in builtin_models() {
+            assert!(
+                doc.contains(&format!("{}:", m.info().name)),
+                "API doc missing {}",
+                m.info().name
+            );
+        }
+    }
+
+    #[test]
+    fn api_entry_mentions_ports_and_defaults() {
+        let all = infos();
+        let mzi = all.iter().find(|i| i.name == "mzi").unwrap();
+        let entry = api_entry(mzi);
+        assert!(entry.contains("input ports: I1"));
+        assert!(entry.contains("output ports: O1"));
+        assert!(entry.contains("delta_length (default 10 um)"));
+    }
+
+    #[test]
+    fn format_section_shows_paper_schema() {
+        assert!(NETLIST_FORMAT.contains("\"instances\""));
+        assert!(NETLIST_FORMAT.contains("\"connections\""));
+        assert!(NETLIST_FORMAT.contains("\"ports\""));
+        assert!(NETLIST_FORMAT.contains("\"models\""));
+        // The schema itself is valid-ish JSON template (placeholders aside).
+        assert!(NETLIST_FORMAT.contains("<component_name1>"));
+    }
+}

@@ -1,0 +1,162 @@
+//! # picbench-sim
+//!
+//! The frequency-domain S-parameter circuit simulator of PICBench-rs —
+//! the Rust stand-in for SAX, the "open-source simulator" the paper builds
+//! its evaluation on.
+//!
+//! Pipeline: a JSON [`Netlist`] is validated and [`Circuit::elaborate`]d
+//! against a [`ModelRegistry`], then [`sweep`]-simulated over a
+//! [`WavelengthGrid`] with one of two independent composition
+//! [`Backend`]s, yielding a [`FrequencyResponse`] that the benchmark
+//! compares against golden designs.
+//!
+//! ## Example
+//!
+//! ```
+//! use picbench_netlist::NetlistBuilder;
+//! use picbench_sim::{simulate_netlist, Backend, ModelRegistry, WavelengthGrid};
+//!
+//! let netlist = NetlistBuilder::new()
+//!     .instance_with("m", "mzi", &[("delta_length", 10.0)])
+//!     .port("I1", "m,I1")
+//!     .port("O1", "m,O1")
+//!     .model("mzi", "mzi")
+//!     .build();
+//! let registry = ModelRegistry::with_builtins();
+//! let response = simulate_netlist(
+//!     &netlist,
+//!     &registry,
+//!     None,
+//!     &WavelengthGrid::paper_default(),
+//!     Backend::default(),
+//! )?;
+//! assert_eq!(response.wavelengths().len(), 81);
+//! # Ok::<(), picbench_sim::SimulateError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod backend;
+mod composite;
+mod elaborate;
+mod registry;
+mod response;
+
+pub use backend::{evaluate, Backend, SimError};
+pub use composite::CompositeModel;
+pub use elaborate::{Circuit, ElabInstance, ElaborateError};
+pub use registry::ModelRegistry;
+pub use response::{sweep, FrequencyResponse, ResponseComparison, WavelengthGrid};
+
+// Re-exported so downstream crates can name the netlist types this crate
+// consumes without an extra dependency edge.
+pub use picbench_netlist::{Netlist, PortSpec};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from the end-to-end [`simulate_netlist`] convenience function.
+#[derive(Debug)]
+pub enum SimulateError {
+    /// The netlist failed structural validation.
+    Elaborate(ElaborateError),
+    /// The simulation failed at some wavelength.
+    Sim(SimError),
+}
+
+impl fmt::Display for SimulateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulateError::Elaborate(e) => write!(f, "{e}"),
+            SimulateError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SimulateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimulateError::Elaborate(e) => Some(e),
+            SimulateError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<ElaborateError> for SimulateError {
+    fn from(e: ElaborateError) -> Self {
+        SimulateError::Elaborate(e)
+    }
+}
+
+impl From<SimError> for SimulateError {
+    fn from(e: SimError) -> Self {
+        SimulateError::Sim(e)
+    }
+}
+
+/// Validates, elaborates and sweeps a netlist in one call.
+///
+/// # Errors
+///
+/// Returns [`SimulateError::Elaborate`] with all validation issues, or
+/// [`SimulateError::Sim`] when a grid point fails to evaluate.
+pub fn simulate_netlist(
+    netlist: &Netlist,
+    registry: &ModelRegistry,
+    spec: Option<&PortSpec>,
+    grid: &WavelengthGrid,
+    backend: Backend,
+) -> Result<FrequencyResponse, SimulateError> {
+    let circuit = Circuit::elaborate(netlist, registry, spec)?;
+    Ok(sweep(&circuit, grid, backend)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picbench_netlist::NetlistBuilder;
+
+    #[test]
+    fn end_to_end_simulation() {
+        let netlist = NetlistBuilder::new()
+            .instance_with("wg", "waveguide", &[("length", 100.0)])
+            .port("I1", "wg,I1")
+            .port("O1", "wg,O1")
+            .model("waveguide", "waveguide")
+            .build();
+        let registry = ModelRegistry::with_builtins();
+        let r = simulate_netlist(
+            &netlist,
+            &registry,
+            Some(&PortSpec::new(1, 1)),
+            &WavelengthGrid::paper_fast(),
+            Backend::default(),
+        )
+        .unwrap();
+        // 100 µm at 2 dB/cm = 0.02 dB loss.
+        let db = r.transmission_db("I1", "O1").unwrap();
+        assert!(db.iter().all(|&d| (d + 0.02).abs() < 1e-6));
+    }
+
+    #[test]
+    fn validation_error_propagates() {
+        let netlist = NetlistBuilder::new()
+            .instance("wg", "warpdrive")
+            .port("I1", "wg,I1")
+            .port("O1", "wg,O1")
+            .model("warpdrive", "warpdrive")
+            .build();
+        let registry = ModelRegistry::with_builtins();
+        let err = simulate_netlist(
+            &netlist,
+            &registry,
+            None,
+            &WavelengthGrid::paper_fast(),
+            Backend::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimulateError::Elaborate(_)));
+        assert!(err.to_string().contains("warpdrive"));
+    }
+}

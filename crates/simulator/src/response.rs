@@ -1,0 +1,308 @@
+//! Wavelength sweeps and frequency responses.
+
+use crate::backend::{evaluate, Backend, SimError};
+use crate::elaborate::Circuit;
+use picbench_math::Complex;
+use picbench_sparams::SMatrix;
+use std::fmt;
+
+/// A uniform wavelength grid in micrometres.
+///
+/// The paper simulates "over the wavelength range of 1510 to 1590 nm";
+/// [`WavelengthGrid::paper_default`] reproduces that with 81 points
+/// (1 nm steps), and [`WavelengthGrid::paper_fast`] is a coarser grid for
+/// Monte-Carlo campaigns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WavelengthGrid {
+    /// First wavelength (µm).
+    pub start_um: f64,
+    /// Last wavelength (µm).
+    pub stop_um: f64,
+    /// Number of points (≥ 1).
+    pub points: usize,
+}
+
+impl WavelengthGrid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points == 0` or `stop_um < start_um`.
+    pub fn new(start_um: f64, stop_um: f64, points: usize) -> Self {
+        assert!(points >= 1, "grid needs at least one point");
+        assert!(stop_um >= start_um, "stop must not precede start");
+        WavelengthGrid {
+            start_um,
+            stop_um,
+            points,
+        }
+    }
+
+    /// The paper's 1510–1590 nm range at 1 nm resolution.
+    pub fn paper_default() -> Self {
+        WavelengthGrid::new(1.51, 1.59, 81)
+    }
+
+    /// The same range at 5 nm resolution, for fast campaign scoring.
+    pub fn paper_fast() -> Self {
+        WavelengthGrid::new(1.51, 1.59, 17)
+    }
+
+    /// The wavelengths, evenly spaced inclusive of both ends.
+    pub fn wavelengths(&self) -> Vec<f64> {
+        if self.points == 1 {
+            return vec![self.start_um];
+        }
+        let step = (self.stop_um - self.start_um) / (self.points - 1) as f64;
+        (0..self.points)
+            .map(|i| self.start_um + step * i as f64)
+            .collect()
+    }
+}
+
+/// The simulated frequency response of a circuit: one external S-matrix
+/// per grid wavelength.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyResponse {
+    wavelengths: Vec<f64>,
+    ports: Vec<String>,
+    samples: Vec<SMatrix>,
+}
+
+impl FrequencyResponse {
+    /// External port names.
+    pub fn ports(&self) -> &[String] {
+        &self.ports
+    }
+
+    /// The wavelength grid points (µm).
+    pub fn wavelengths(&self) -> &[f64] {
+        &self.wavelengths
+    }
+
+    /// The S-matrix at grid index `i`.
+    pub fn sample(&self, i: usize) -> Option<&SMatrix> {
+        self.samples.get(i)
+    }
+
+    /// The complex transfer series from `from` to `to` across the sweep,
+    /// or `None` if either port is unknown.
+    pub fn transmission(&self, from: &str, to: &str) -> Option<Vec<Complex>> {
+        self.samples.iter().map(|s| s.s(from, to)).collect()
+    }
+
+    /// The power transmission (|S|²) series in dB.
+    pub fn transmission_db(&self, from: &str, to: &str) -> Option<Vec<f64>> {
+        Some(
+            self.transmission(from, to)?
+                .iter()
+                .map(|t| picbench_math::power_ratio_to_db(t.norm_sqr()))
+                .collect(),
+        )
+    }
+
+    /// Compares two responses. See [`ResponseComparison`].
+    pub fn compare(&self, other: &FrequencyResponse) -> ResponseComparison {
+        if self.ports != other.ports {
+            return ResponseComparison {
+                ports_match: false,
+                grids_match: self.wavelengths == other.wavelengths,
+                max_power_diff: f64::INFINITY,
+                rms_power_diff: f64::INFINITY,
+            };
+        }
+        let grids_match = self.wavelengths == other.wavelengths;
+        if !grids_match {
+            return ResponseComparison {
+                ports_match: true,
+                grids_match: false,
+                max_power_diff: f64::INFINITY,
+                rms_power_diff: f64::INFINITY,
+            };
+        }
+        let mut max_diff = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut count = 0usize;
+        for (a, b) in self.samples.iter().zip(&other.samples) {
+            let n = a.dim();
+            for r in 0..n {
+                for c in 0..n {
+                    let pa = a.matrix()[(r, c)].norm_sqr();
+                    let pb = b.matrix()[(r, c)].norm_sqr();
+                    let d = (pa - pb).abs();
+                    max_diff = max_diff.max(d);
+                    sum_sq += d * d;
+                    count += 1;
+                }
+            }
+        }
+        let rms = if count > 0 {
+            (sum_sq / count as f64).sqrt()
+        } else {
+            0.0
+        };
+        ResponseComparison {
+            ports_match: true,
+            grids_match: true,
+            max_power_diff: max_diff,
+            rms_power_diff: rms,
+        }
+    }
+}
+
+/// The outcome of comparing two frequency responses.
+///
+/// The benchmark's functionality check compares the *power* response
+/// (|S|²) of every external port pair across the sweep — the same
+/// "compare the simulation results between generated code completions and
+/// golden reference solutions" criterion the paper uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseComparison {
+    /// Whether the external port name lists are identical.
+    pub ports_match: bool,
+    /// Whether the wavelength grids are identical.
+    pub grids_match: bool,
+    /// Largest |ΔS|² over all port pairs and wavelengths.
+    pub max_power_diff: f64,
+    /// Root-mean-square of the power differences.
+    pub rms_power_diff: f64,
+}
+
+impl ResponseComparison {
+    /// Whether the responses agree within `tol` (on the max power diff).
+    pub fn is_equivalent(&self, tol: f64) -> bool {
+        self.ports_match && self.grids_match && self.max_power_diff <= tol
+    }
+}
+
+impl fmt::Display for ResponseComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.ports_match {
+            return write!(f, "external port lists differ");
+        }
+        if !self.grids_match {
+            return write!(f, "wavelength grids differ");
+        }
+        write!(
+            f,
+            "max |ΔS|² = {:.3e}, rms = {:.3e}",
+            self.max_power_diff, self.rms_power_diff
+        )
+    }
+}
+
+/// Sweeps a circuit over a wavelength grid.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered at any grid point.
+pub fn sweep(
+    circuit: &Circuit,
+    grid: &WavelengthGrid,
+    backend: Backend,
+) -> Result<FrequencyResponse, SimError> {
+    let wavelengths = grid.wavelengths();
+    let mut samples = Vec::with_capacity(wavelengths.len());
+    for &wl in &wavelengths {
+        samples.push(evaluate(circuit, wl, backend)?);
+    }
+    Ok(FrequencyResponse {
+        wavelengths,
+        ports: circuit.external_names(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use picbench_netlist::NetlistBuilder;
+
+    fn mzi_circuit(delta: f64) -> Circuit {
+        let netlist = NetlistBuilder::new()
+            .instance_with("m", "mzi", &[("delta_length", delta)])
+            .port("I1", "m,I1")
+            .port("O1", "m,O1")
+            .model("mzi", "mzi")
+            .build();
+        Circuit::elaborate(&netlist, &ModelRegistry::with_builtins(), None).unwrap()
+    }
+
+    #[test]
+    fn grid_generation() {
+        let g = WavelengthGrid::new(1.0, 2.0, 5);
+        assert_eq!(g.wavelengths(), vec![1.0, 1.25, 1.5, 1.75, 2.0]);
+        let single = WavelengthGrid::new(1.55, 1.55, 1);
+        assert_eq!(single.wavelengths(), vec![1.55]);
+    }
+
+    #[test]
+    fn paper_grid_covers_cl_band() {
+        let g = WavelengthGrid::paper_default();
+        let wl = g.wavelengths();
+        assert_eq!(wl.len(), 81);
+        assert!((wl[0] - 1.51).abs() < 1e-12);
+        assert!((wl[80] - 1.59).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_produces_one_sample_per_point() {
+        let c = mzi_circuit(10.0);
+        let r = sweep(&c, &WavelengthGrid::paper_fast(), Backend::default()).unwrap();
+        assert_eq!(r.wavelengths().len(), 17);
+        assert_eq!(r.ports(), &["I1".to_string(), "O1".to_string()]);
+        assert!(r.sample(0).is_some());
+        assert!(r.sample(17).is_none());
+        assert_eq!(r.transmission("I1", "O1").unwrap().len(), 17);
+    }
+
+    #[test]
+    fn identical_circuits_compare_equal() {
+        let c1 = mzi_circuit(10.0);
+        let c2 = mzi_circuit(10.0);
+        let g = WavelengthGrid::paper_fast();
+        let r1 = sweep(&c1, &g, Backend::default()).unwrap();
+        let r2 = sweep(&c2, &g, Backend::default()).unwrap();
+        let cmp = r1.compare(&r2);
+        assert!(cmp.is_equivalent(1e-12), "{cmp}");
+    }
+
+    #[test]
+    fn different_delta_lengths_differ() {
+        let g = WavelengthGrid::paper_default();
+        let r1 = sweep(&mzi_circuit(10.0), &g, Backend::default()).unwrap();
+        let r2 = sweep(&mzi_circuit(12.0), &g, Backend::default()).unwrap();
+        let cmp = r1.compare(&r2);
+        assert!(!cmp.is_equivalent(1e-3), "{cmp}");
+        assert!(cmp.max_power_diff > 0.01);
+    }
+
+    #[test]
+    fn port_mismatch_is_never_equivalent() {
+        let c1 = mzi_circuit(10.0);
+        let netlist = NetlistBuilder::new()
+            .instance("s", "mmi1x2")
+            .port("I1", "s,I1")
+            .port("O1", "s,O1")
+            .port("O2", "s,O2")
+            .model("mmi1x2", "mmi1x2")
+            .build();
+        let c2 = Circuit::elaborate(&netlist, &ModelRegistry::with_builtins(), None).unwrap();
+        let g = WavelengthGrid::paper_fast();
+        let r1 = sweep(&c1, &g, Backend::default()).unwrap();
+        let r2 = sweep(&c2, &g, Backend::default()).unwrap();
+        let cmp = r1.compare(&r2);
+        assert!(!cmp.ports_match);
+        assert!(!cmp.is_equivalent(1e9));
+    }
+
+    #[test]
+    fn transmission_db_is_finite_for_passive_circuit() {
+        let c = mzi_circuit(10.0);
+        let r = sweep(&c, &WavelengthGrid::paper_fast(), Backend::default()).unwrap();
+        for db in r.transmission_db("I1", "O1").unwrap() {
+            assert!(db <= 0.5, "passive circuit cannot have gain, got {db} dB");
+        }
+    }
+}

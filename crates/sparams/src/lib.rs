@@ -1,0 +1,150 @@
+//! # picbench-sparams
+//!
+//! Photonic component S-parameter models for the PICBench-rs reproduction.
+//!
+//! This crate provides the component vocabulary the benchmark's netlists
+//! reference — the Rust counterpart of the component library the paper
+//! constructs for SAX (§IV-A: "waveguides, couplers, MMIs, MZIs, MRRs, and
+//! phase shifters"). Each model:
+//!
+//! * publishes machine-readable metadata ([`ModelInfo`], [`ParamSpec`]) from
+//!   which the prompt kit renders the system prompt's "API document",
+//! * evaluates a port-labelled [`SMatrix`] at any wavelength, and
+//! * validates its settings (unknown parameters and out-of-range values are
+//!   reported as [`ModelError`]s, which the benchmark classifies).
+//!
+//! ## Example
+//!
+//! ```
+//! use picbench_sparams::{models::Mzi, Model, Settings};
+//!
+//! let mzi = Mzi::default();
+//! let mut settings = Settings::new();
+//! settings.insert("delta_length", 10.0);
+//! let s = mzi.s_matrix(1.55, &settings)?;
+//! println!("T = {}", s.s("I1", "O1").unwrap().norm_sqr());
+//! # Ok::<(), picbench_sparams::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod model;
+pub mod models;
+mod port;
+mod settings;
+mod smatrix;
+
+pub use model::{check_known_params, check_range, Model, ModelError, ModelInfo};
+pub use port::{input_port, output_port, port_direction, standard_ports, PortDirection};
+pub use settings::{ParamSpec, Settings};
+pub use smatrix::SMatrix;
+
+use std::sync::Arc;
+
+/// All built-in models, in API-document order.
+///
+/// This is the device set the system prompt offers to the language model
+/// ("You have access to the following built-in devices, only these devices
+/// are permitted unless otherwise specified").
+pub fn builtin_models() -> Vec<Arc<dyn Model>> {
+    vec![
+        Arc::new(models::Waveguide::default()),
+        Arc::new(models::PhaseShifter::default()),
+        Arc::new(models::Mmi1x2::default()),
+        Arc::new(models::Mmi2x2::default()),
+        Arc::new(models::Coupler::default()),
+        Arc::new(models::Mzi::default()),
+        Arc::new(models::Mzi2x2::default()),
+        Arc::new(models::Mzm::default()),
+        Arc::new(models::RingAllPass::default()),
+        Arc::new(models::RingAddDrop::default()),
+        Arc::new(models::Crossing::default()),
+        Arc::new(models::Switch1x2::default()),
+        Arc::new(models::Switch2x2::default()),
+        Arc::new(models::Splitter::default()),
+        Arc::new(models::Attenuator::default()),
+        Arc::new(models::Reflector::default()),
+        Arc::new(models::GratingCoupler::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_model_names_are_unique() {
+        let models = builtin_models();
+        let mut names: Vec<&str> = models.iter().map(|m| m.info().name).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate model names");
+    }
+
+    #[test]
+    fn builtin_models_cover_paper_component_set() {
+        let models = builtin_models();
+        let names: Vec<&str> = models.iter().map(|m| m.info().name).collect();
+        for required in [
+            "waveguide",
+            "coupler",
+            "mmi1x2",
+            "mmi2x2",
+            "mzi",
+            "ringap",
+            "ringad",
+            "phaseshifter",
+        ] {
+            assert!(names.contains(&required), "missing paper model {required}");
+        }
+    }
+
+    #[test]
+    fn all_builtins_evaluate_at_defaults() {
+        for model in builtin_models() {
+            let s = model
+                .s_matrix(1.55, &Settings::new())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", model.info().name));
+            assert_eq!(s.dim(), model.info().ports().len());
+            assert!(
+                s.is_passive(1e-9),
+                "{} is not passive at defaults",
+                model.info().name
+            );
+            assert!(
+                s.is_reciprocal(1e-9),
+                "{} is not reciprocal at defaults",
+                model.info().name
+            );
+        }
+    }
+
+    #[test]
+    fn all_builtins_reject_unknown_parameter() {
+        for model in builtin_models() {
+            let mut settings = Settings::new();
+            settings.insert("definitely_not_a_param", 1.0);
+            assert!(
+                matches!(
+                    model.s_matrix(1.55, &settings),
+                    Err(ModelError::UnknownParameter { .. })
+                ),
+                "{} accepted an unknown parameter",
+                model.info().name
+            );
+        }
+    }
+
+    #[test]
+    fn model_names_have_no_underscores() {
+        // Table II: "Underscores are prohibited in component names."
+        for model in builtin_models() {
+            assert!(
+                !model.info().name.contains('_'),
+                "model name {} contains an underscore",
+                model.info().name
+            );
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The component-model trait and its error type.
+
+use crate::{ParamSpec, SMatrix, Settings};
+use std::error::Error;
+use std::fmt;
+
+/// Static metadata describing a component model.
+///
+/// This is the machine-readable form of one entry in the paper's
+/// "API document" prompt section: name, behaviour, port list and
+/// configurable parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    /// Registry name, e.g. `"waveguide"`.
+    pub name: &'static str,
+    /// One-line behavioural description.
+    pub description: &'static str,
+    /// Input port names (`I*`).
+    pub inputs: Vec<String>,
+    /// Output port names (`O*`).
+    pub outputs: Vec<String>,
+    /// Configurable parameters.
+    pub params: Vec<ParamSpec>,
+}
+
+impl ModelInfo {
+    /// All ports, inputs first.
+    pub fn ports(&self) -> Vec<String> {
+        self.inputs.iter().chain(&self.outputs).cloned().collect()
+    }
+}
+
+/// Error produced when a model cannot evaluate its S-matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A provided setting does not correspond to any declared parameter.
+    UnknownParameter {
+        /// Model name.
+        model: String,
+        /// Offending parameter name.
+        param: String,
+        /// The parameters the model accepts.
+        allowed: Vec<String>,
+    },
+    /// A parameter value is outside the physically meaningful range.
+    InvalidValue {
+        /// Model name.
+        model: String,
+        /// Parameter name.
+        param: String,
+        /// Offending value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be within [0, 1]"`.
+        constraint: String,
+    },
+    /// The requested wavelength is outside the model's validity range.
+    WavelengthOutOfRange {
+        /// Model name.
+        model: String,
+        /// Requested wavelength in µm.
+        wavelength_um: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownParameter {
+                model,
+                param,
+                allowed,
+            } => write!(
+                f,
+                "Model {model} does not accept parameter '{param}'. Allowed parameters: {allowed:?}."
+            ),
+            ModelError::InvalidValue {
+                model,
+                param,
+                value,
+                constraint,
+            } => write!(
+                f,
+                "Model {model}: parameter '{param}' = {value} is invalid ({constraint})."
+            ),
+            ModelError::WavelengthOutOfRange {
+                model,
+                wavelength_um,
+            } => write!(
+                f,
+                "Model {model}: wavelength {wavelength_um} um is outside the supported range."
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// A frequency-domain component model.
+///
+/// Implementors produce a port-labelled scattering matrix at a given
+/// wavelength under the provided settings. The trait is object-safe so the
+/// simulator's registry can store heterogeneous models.
+///
+/// # Examples
+///
+/// ```
+/// use picbench_sparams::{models::Waveguide, Model, Settings};
+///
+/// let wg = Waveguide::default();
+/// let s = wg.s_matrix(1.55, &Settings::new())?;
+/// // A passive waveguide transmits with |S| ≤ 1.
+/// assert!(s.s("I1", "O1").unwrap().abs() <= 1.0);
+/// # Ok::<(), picbench_sparams::ModelError>(())
+/// ```
+pub trait Model: Send + Sync {
+    /// Metadata: name, description, ports, parameters.
+    fn info(&self) -> &ModelInfo;
+
+    /// Evaluates the scattering matrix at `wavelength_um` under `settings`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] for unknown parameters, out-of-range values or
+    /// unsupported wavelengths.
+    fn s_matrix(&self, wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError>;
+}
+
+/// Shared validation: rejects settings whose names are not declared
+/// parameters of the model.
+///
+/// # Errors
+///
+/// Returns [`ModelError::UnknownParameter`] naming the first offender.
+pub fn check_known_params(info: &ModelInfo, settings: &Settings) -> Result<(), ModelError> {
+    let unknown = settings.unknown_params(&info.params);
+    if let Some(first) = unknown.first() {
+        return Err(ModelError::UnknownParameter {
+            model: info.name.to_string(),
+            param: (*first).to_string(),
+            allowed: info.params.iter().map(|p| p.name.to_string()).collect(),
+        });
+    }
+    Ok(())
+}
+
+/// Shared validation: checks `value ∈ [lo, hi]`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidValue`] when out of range.
+pub fn check_range(
+    model: &str,
+    param: &str,
+    value: f64,
+    lo: f64,
+    hi: f64,
+) -> Result<(), ModelError> {
+    if value.is_finite() && value >= lo && value <= hi {
+        Ok(())
+    } else {
+        Err(ModelError::InvalidValue {
+            model: model.to_string(),
+            param: param.to_string(),
+            value,
+            constraint: format!("must be within [{lo}, {hi}]"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> ModelInfo {
+        ModelInfo {
+            name: "dummy",
+            description: "test model",
+            inputs: vec!["I1".into()],
+            outputs: vec!["O1".into()],
+            params: vec![ParamSpec::new("length", 1.0, "um", "length")],
+        }
+    }
+
+    #[test]
+    fn ports_concatenates_inputs_then_outputs() {
+        assert_eq!(info().ports(), vec!["I1", "O1"]);
+    }
+
+    #[test]
+    fn unknown_parameter_is_rejected() {
+        let mut s = Settings::new();
+        s.insert("nonsense", 3.0);
+        let err = check_known_params(&info(), &s).unwrap_err();
+        match &err {
+            ModelError::UnknownParameter { param, allowed, .. } => {
+                assert_eq!(param, "nonsense");
+                assert_eq!(allowed, &vec!["length".to_string()]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("does not accept parameter"));
+    }
+
+    #[test]
+    fn known_parameter_is_accepted() {
+        let mut s = Settings::new();
+        s.insert("length", 3.0);
+        assert!(check_known_params(&info(), &s).is_ok());
+    }
+
+    #[test]
+    fn range_check() {
+        assert!(check_range("m", "x", 0.5, 0.0, 1.0).is_ok());
+        assert!(check_range("m", "x", -0.1, 0.0, 1.0).is_err());
+        assert!(check_range("m", "x", f64::NAN, 0.0, 1.0).is_err());
+        let err = check_range("m", "x", 2.0, 0.0, 1.0).unwrap_err();
+        assert!(err.to_string().contains("invalid"));
+    }
+}

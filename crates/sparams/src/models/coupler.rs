@@ -1,0 +1,101 @@
+//! Directional coupler with adjustable coupling ratio.
+
+use super::from_transfer;
+use crate::model::{check_known_params, check_range, Model, ModelError, ModelInfo};
+use crate::{ParamSpec, SMatrix, Settings};
+use picbench_math::{CMatrix, Complex};
+
+/// 2×2 directional coupler.
+///
+/// Ports: `I1, I2 → O1, O2`. The power coupling ratio `coupling` sets the
+/// cross-port power; the bar amplitude is `√(1−κ)` and the cross amplitude
+/// `i·√κ`. The non-linear-sign-gate golden design uses couplers with the
+/// KLM reflectivities.
+///
+/// Parameters: `coupling` (power fraction to the cross port, default 0.5),
+/// `loss` (excess loss in dB).
+#[derive(Debug)]
+pub struct Coupler {
+    info: ModelInfo,
+}
+
+impl Default for Coupler {
+    fn default() -> Self {
+        Coupler {
+            info: ModelInfo {
+                name: "coupler",
+                description: "Directional coupler with adjustable power coupling ratio",
+                inputs: vec!["I1".into(), "I2".into()],
+                outputs: vec!["O1".into(), "O2".into()],
+                params: vec![
+                    ParamSpec::new("coupling", 0.5, "", "power coupling ratio to the cross port"),
+                    ParamSpec::new("loss", 0.0, "dB", "excess insertion loss"),
+                ],
+            },
+        }
+    }
+}
+
+impl Model for Coupler {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, _wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let kappa = settings.resolve(&self.info.params[0]);
+        let loss_db = settings.resolve(&self.info.params[1]);
+        check_range("coupler", "coupling", kappa, 0.0, 1.0)?;
+        check_range("coupler", "loss", loss_db, 0.0, 100.0)?;
+        let amp = 10f64.powf(-loss_db / 20.0);
+        let bar = Complex::real(amp * (1.0 - kappa).sqrt());
+        let cross = Complex::new(0.0, amp * kappa.sqrt());
+        let t = CMatrix::from_rows(&[vec![bar, cross], vec![cross, bar]]);
+        Ok(from_transfer(&["I1", "I2"], &["O1", "O2"], &t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_50_50() {
+        let c = Coupler::default();
+        let s = c.s_matrix(1.55, &Settings::new()).unwrap();
+        assert!((s.s("I1", "O1").unwrap().norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((s.s("I1", "O2").unwrap().norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupling_sets_cross_power() {
+        let c = Coupler::default();
+        for kappa in [0.0, 0.1, 0.2265, 0.5, 0.9, 1.0] {
+            let mut settings = Settings::new();
+            settings.insert("coupling", kappa);
+            let s = c.s_matrix(1.55, &settings).unwrap();
+            assert!((s.s("I1", "O2").unwrap().norm_sqr() - kappa).abs() < 1e-12);
+            assert!((s.s("I1", "O1").unwrap().norm_sqr() - (1.0 - kappa)).abs() < 1e-12);
+            assert!(s.is_unitary(1e-12), "lossless coupler must be unitary");
+        }
+    }
+
+    #[test]
+    fn out_of_range_coupling_rejected() {
+        let c = Coupler::default();
+        for bad in [-0.1, 1.1, f64::NAN] {
+            let mut settings = Settings::new();
+            settings.insert("coupling", bad);
+            assert!(c.s_matrix(1.55, &settings).is_err());
+        }
+    }
+
+    #[test]
+    fn reciprocity_holds() {
+        let c = Coupler::default();
+        let mut settings = Settings::new();
+        settings.insert("coupling", 0.3);
+        let s = c.s_matrix(1.55, &settings).unwrap();
+        assert!(s.is_reciprocal(1e-12));
+    }
+}

@@ -1,0 +1,100 @@
+//! Waveguide crossing.
+
+use crate::model::{check_known_params, check_range, Model, ModelError, ModelInfo};
+use crate::{ParamSpec, SMatrix, Settings};
+use picbench_math::Complex;
+
+/// Low-loss waveguide crossing.
+///
+/// Ports: `I1 → O1` and `I2 → O2` pass straight through; a small
+/// crosstalk amplitude leaks `I1 → O2` / `I2 → O1`. Crossbar switch
+/// fabrics route their column buses through these.
+///
+/// Parameters: `loss` (through loss, dB), `crosstalk` (power leakage, dB,
+/// negative).
+#[derive(Debug)]
+pub struct Crossing {
+    info: ModelInfo,
+}
+
+impl Default for Crossing {
+    fn default() -> Self {
+        Crossing {
+            info: ModelInfo {
+                name: "crossing",
+                description: "Waveguide crossing: straight-through paths with weak crosstalk",
+                inputs: vec!["I1".into(), "I2".into()],
+                outputs: vec!["O1".into(), "O2".into()],
+                params: vec![
+                    ParamSpec::new("loss", 0.1, "dB", "through-path insertion loss"),
+                    ParamSpec::new("crosstalk", -40.0, "dB", "cross-path power leakage"),
+                ],
+            },
+        }
+    }
+}
+
+impl Model for Crossing {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, _wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let loss_db = settings.resolve(&self.info.params[0]);
+        let xt_db = settings.resolve(&self.info.params[1]);
+        check_range("crossing", "loss", loss_db, 0.0, 100.0)?;
+        check_range("crossing", "crosstalk", xt_db, -300.0, 0.0)?;
+        let through = Complex::real(10f64.powf(-loss_db / 20.0));
+        let xt = Complex::new(0.0, 10f64.powf(xt_db / 20.0));
+        let mut s = SMatrix::new(self.info.ports());
+        s.set_sym("I1", "O1", through);
+        s.set_sym("I2", "O2", through);
+        s.set_sym("I1", "O2", xt);
+        s.set_sym("I2", "O1", xt);
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn through_dominates_crosstalk() {
+        let x = Crossing::default();
+        let s = x.s_matrix(1.55, &Settings::new()).unwrap();
+        let thru = s.s("I1", "O1").unwrap().norm_sqr();
+        let leak = s.s("I1", "O2").unwrap().norm_sqr();
+        assert!(thru > 0.97);
+        assert!(leak < 1.1e-4);
+        assert!((picbench_math::power_ratio_to_db(leak) + 40.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn passivity_and_reciprocity() {
+        let x = Crossing::default();
+        let s = x.s_matrix(1.55, &Settings::new()).unwrap();
+        assert!(s.is_passive(1e-9));
+        assert!(s.is_reciprocal(1e-12));
+    }
+
+    #[test]
+    fn ideal_crossing_is_lossless() {
+        let x = Crossing::default();
+        let mut settings = Settings::new();
+        settings.insert("loss", 0.0);
+        settings.insert("crosstalk", -300.0);
+        let s = x.s_matrix(1.55, &settings).unwrap();
+        assert!((s.s("I1", "O1").unwrap().abs() - 1.0).abs() < 1e-12);
+        assert!(s.s("I1", "O2").unwrap().abs() < 1e-14);
+    }
+
+    #[test]
+    fn positive_crosstalk_rejected() {
+        let x = Crossing::default();
+        let mut settings = Settings::new();
+        settings.insert("crosstalk", 3.0);
+        assert!(x.s_matrix(1.55, &settings).is_err());
+    }
+}

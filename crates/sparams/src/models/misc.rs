@@ -1,0 +1,149 @@
+//! Auxiliary passive devices: asymmetric splitter and attenuator.
+
+use super::from_transfer;
+use crate::model::{check_known_params, check_range, Model, ModelError, ModelInfo};
+use crate::{ParamSpec, SMatrix, Settings};
+use picbench_math::{CMatrix, Complex};
+
+/// 1×2 power splitter with an adjustable ratio.
+///
+/// Ports: `I1 → O1, O2` with power `ratio` to `O1` and `1 − ratio` to
+/// `O2`. The QAM modulator golden designs use asymmetric splits to weight
+/// their constellation branches.
+///
+/// Parameters: `ratio` ∈ [0, 1] (default 0.5), `loss` (dB).
+#[derive(Debug)]
+pub struct Splitter {
+    info: ModelInfo,
+}
+
+impl Default for Splitter {
+    fn default() -> Self {
+        Splitter {
+            info: ModelInfo {
+                name: "splitter",
+                description: "1x2 power splitter with adjustable split ratio",
+                inputs: vec!["I1".into()],
+                outputs: vec!["O1".into(), "O2".into()],
+                params: vec![
+                    ParamSpec::new("ratio", 0.5, "", "power fraction routed to O1"),
+                    ParamSpec::new("loss", 0.0, "dB", "excess insertion loss"),
+                ],
+            },
+        }
+    }
+}
+
+impl Model for Splitter {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, _wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let ratio = settings.resolve(&self.info.params[0]);
+        let loss_db = settings.resolve(&self.info.params[1]);
+        check_range("splitter", "ratio", ratio, 0.0, 1.0)?;
+        check_range("splitter", "loss", loss_db, 0.0, 100.0)?;
+        let amp = 10f64.powf(-loss_db / 20.0);
+        let t = CMatrix::from_rows(&[
+            vec![Complex::real(amp * ratio.sqrt())],
+            vec![Complex::real(amp * (1.0 - ratio).sqrt())],
+        ]);
+        Ok(from_transfer(&["I1"], &["O1", "O2"], &t))
+    }
+}
+
+/// Fixed optical attenuator.
+///
+/// Ports: `I1 → O1`. Parameters: `attenuation` (power attenuation in dB).
+#[derive(Debug)]
+pub struct Attenuator {
+    info: ModelInfo,
+}
+
+impl Default for Attenuator {
+    fn default() -> Self {
+        Attenuator {
+            info: ModelInfo {
+                name: "attenuator",
+                description: "Fixed optical attenuator",
+                inputs: vec!["I1".into()],
+                outputs: vec!["O1".into()],
+                params: vec![ParamSpec::new(
+                    "attenuation",
+                    3.0103,
+                    "dB",
+                    "power attenuation",
+                )],
+            },
+        }
+    }
+}
+
+impl Model for Attenuator {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, _wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let att_db = settings.resolve(&self.info.params[0]);
+        check_range("attenuator", "attenuation", att_db, 0.0, 300.0)?;
+        let mut s = SMatrix::new(self.info.ports());
+        s.set_sym("I1", "O1", Complex::real(10f64.powf(-att_db / 20.0)));
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitter_ratio_controls_power() {
+        let sp = Splitter::default();
+        for ratio in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let mut settings = Settings::new();
+            settings.insert("ratio", ratio);
+            let s = sp.s_matrix(1.55, &settings).unwrap();
+            assert!((s.s("I1", "O1").unwrap().norm_sqr() - ratio).abs() < 1e-12);
+            assert!((s.s("I1", "O2").unwrap().norm_sqr() - (1.0 - ratio)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn splitter_rejects_bad_ratio() {
+        let sp = Splitter::default();
+        let mut settings = Settings::new();
+        settings.insert("ratio", 1.2);
+        assert!(sp.s_matrix(1.55, &settings).is_err());
+    }
+
+    #[test]
+    fn attenuator_default_is_half_power() {
+        let att = Attenuator::default();
+        let s = att.s_matrix(1.55, &Settings::new()).unwrap();
+        assert!((s.s("I1", "O1").unwrap().norm_sqr() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn attenuator_20db_is_one_percent() {
+        let att = Attenuator::default();
+        let mut settings = Settings::new();
+        settings.insert("attenuation", 20.0);
+        let s = att.s_matrix(1.55, &settings).unwrap();
+        assert!((s.s("I1", "O1").unwrap().norm_sqr() - 0.01).abs() < 1e-10);
+    }
+
+    #[test]
+    fn negative_attenuation_rejected() {
+        let att = Attenuator::default();
+        let mut settings = Settings::new();
+        settings.insert("attenuation", -3.0);
+        assert!(matches!(
+            att.s_matrix(1.55, &settings),
+            Err(ModelError::InvalidValue { .. })
+        ));
+    }
+}

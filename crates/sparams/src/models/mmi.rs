@@ -1,0 +1,164 @@
+//! Multimode interference couplers (1×2 and 2×2).
+
+use super::from_transfer;
+use crate::model::{check_known_params, check_range, Model, ModelError, ModelInfo};
+use crate::{ParamSpec, SMatrix, Settings};
+use picbench_math::{CMatrix, Complex};
+
+const SQRT_HALF: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// 1×2 multimode interference splitter/combiner.
+///
+/// Ports: `I1 → O1, O2` (equal split). Because the S-matrix is reciprocal,
+/// the same component acts as a 2→1 combiner when driven through `O1`/`O2`
+/// — exactly how the paper's golden `MZI ps` design uses its second MMI
+/// (Fig. 4).
+///
+/// Parameters: `loss` (excess insertion loss in dB).
+#[derive(Debug)]
+pub struct Mmi1x2 {
+    info: ModelInfo,
+}
+
+impl Default for Mmi1x2 {
+    fn default() -> Self {
+        Mmi1x2 {
+            info: ModelInfo {
+                name: "mmi1x2",
+                description: "1x2 multimode interference splitter (equal power split)",
+                inputs: vec!["I1".into()],
+                outputs: vec!["O1".into(), "O2".into()],
+                params: vec![ParamSpec::new("loss", 0.0, "dB", "excess insertion loss")],
+            },
+        }
+    }
+}
+
+impl Model for Mmi1x2 {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, _wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let loss_db = settings.resolve(&self.info.params[0]);
+        check_range("mmi1x2", "loss", loss_db, 0.0, 100.0)?;
+        let t = 10f64.powf(-loss_db / 20.0) * SQRT_HALF;
+        let mut s = SMatrix::new(self.info.ports());
+        s.set_sym("I1", "O1", Complex::real(t));
+        s.set_sym("I1", "O2", Complex::real(t));
+        Ok(s)
+    }
+}
+
+/// 2×2 multimode interference coupler (quadrature hybrid).
+///
+/// Ports: `I1, I2 → O1, O2`. The cross path picks up a 90° phase relative
+/// to the bar path, which is what makes Mach-Zehnder structures built from
+/// two of these interfere correctly.
+///
+/// Parameters: `loss` (excess insertion loss in dB).
+#[derive(Debug)]
+pub struct Mmi2x2 {
+    info: ModelInfo,
+}
+
+impl Default for Mmi2x2 {
+    fn default() -> Self {
+        Mmi2x2 {
+            info: ModelInfo {
+                name: "mmi2x2",
+                description: "2x2 multimode interference coupler (50/50, 90-degree hybrid)",
+                inputs: vec!["I1".into(), "I2".into()],
+                outputs: vec!["O1".into(), "O2".into()],
+                params: vec![ParamSpec::new("loss", 0.0, "dB", "excess insertion loss")],
+            },
+        }
+    }
+}
+
+impl Model for Mmi2x2 {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, _wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let loss_db = settings.resolve(&self.info.params[0]);
+        check_range("mmi2x2", "loss", loss_db, 0.0, 100.0)?;
+        let amp = 10f64.powf(-loss_db / 20.0) * SQRT_HALF;
+        let bar = Complex::real(amp);
+        let cross = Complex::new(0.0, amp);
+        let t = CMatrix::from_rows(&[vec![bar, cross], vec![cross, bar]]);
+        Ok(from_transfer(&["I1", "I2"], &["O1", "O2"], &t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmi1x2_splits_power_equally() {
+        let mmi = Mmi1x2::default();
+        let s = mmi.s_matrix(1.55, &Settings::new()).unwrap();
+        let p1 = s.s("I1", "O1").unwrap().norm_sqr();
+        let p2 = s.s("I1", "O2").unwrap().norm_sqr();
+        assert!((p1 - 0.5).abs() < 1e-12);
+        assert!((p2 - 0.5).abs() < 1e-12);
+        assert!(s.is_reciprocal(1e-12));
+        assert!(s.is_passive(1e-12));
+    }
+
+    #[test]
+    fn mmi1x2_loss_reduces_power() {
+        let mmi = Mmi1x2::default();
+        let mut settings = Settings::new();
+        settings.insert("loss", 3.0103);
+        let s = mmi.s_matrix(1.55, &settings).unwrap();
+        let p = s.s("I1", "O1").unwrap().norm_sqr();
+        assert!((p - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mmi1x2_negative_loss_rejected() {
+        let mmi = Mmi1x2::default();
+        let mut settings = Settings::new();
+        settings.insert("loss", -1.0);
+        assert!(matches!(
+            mmi.s_matrix(1.55, &settings),
+            Err(ModelError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn mmi2x2_is_lossless_unitary() {
+        let mmi = Mmi2x2::default();
+        let s = mmi.s_matrix(1.55, &Settings::new()).unwrap();
+        assert!(s.is_unitary(1e-12));
+        assert!(s.is_reciprocal(1e-12));
+    }
+
+    #[test]
+    fn mmi2x2_cross_path_is_quadrature() {
+        let mmi = Mmi2x2::default();
+        let s = mmi.s_matrix(1.55, &Settings::new()).unwrap();
+        let bar = s.s("I1", "O1").unwrap();
+        let cross = s.s("I1", "O2").unwrap();
+        assert!(((cross / bar).arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_mmi2x2_in_series_form_full_cross() {
+        // A balanced MZI with zero phase difference: H·H = i·X.
+        let mmi = Mmi2x2::default();
+        let s = mmi.s_matrix(1.55, &Settings::new()).unwrap();
+        let t = CMatrix::from_rows(&[
+            vec![s.s("I1", "O1").unwrap(), s.s("I2", "O1").unwrap()],
+            vec![s.s("I1", "O2").unwrap(), s.s("I2", "O2").unwrap()],
+        ]);
+        let tt = &t * &t;
+        assert!(tt[(0, 0)].abs() < 1e-12);
+        assert!((tt[(0, 1)] - Complex::i()).abs() < 1e-12);
+    }
+}

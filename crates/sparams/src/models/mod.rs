@@ -1,0 +1,173 @@
+//! Built-in photonic component models.
+//!
+//! These are the Rust equivalents of the component library the paper builds
+//! on top of SAX ("waveguides, couplers, MMIs, MZIs, MRRs, and phase
+//! shifters", §IV-A), plus the auxiliary devices the benchmark circuits
+//! need (crossings, 1×2/2×2 switches, asymmetric splitters, attenuators,
+//! Mach-Zehnder modulators).
+//!
+//! All models share conventions:
+//!
+//! * wavelengths in micrometres, lengths in micrometres (the paper's
+//!   "default unit is micron"),
+//! * input ports `I1..In`, output ports `O1..Om`,
+//! * reciprocal scattering (`S = Sᵀ`) and passivity (`|S| ≤ 1`),
+//! * silicon-on-insulator-flavoured dispersion defaults
+//!   (n_eff = 2.34, n_g = 4.2 at λ₀ = 1.55 µm).
+
+mod coupler;
+mod crossing;
+mod misc;
+mod mmi;
+mod mzi;
+mod reflect;
+mod ring;
+mod switch;
+mod waveguide;
+
+pub use coupler::Coupler;
+pub use crossing::Crossing;
+pub use misc::{Attenuator, Splitter};
+pub use mmi::{Mmi1x2, Mmi2x2};
+pub use mzi::{Mzi, Mzi2x2, Mzm};
+pub use reflect::{GratingCoupler, Reflector};
+pub use ring::{RingAddDrop, RingAllPass};
+pub use switch::{Switch1x2, Switch2x2};
+pub use waveguide::{PhaseShifter, Waveguide};
+
+use crate::{ParamSpec, SMatrix};
+use picbench_math::{CMatrix, Complex};
+
+/// Default effective index at the reference wavelength.
+pub const DEFAULT_NEFF: f64 = 2.34;
+/// Default group index.
+pub const DEFAULT_NG: f64 = 4.2;
+/// Default propagation loss in dB/cm.
+pub const DEFAULT_LOSS_DB_CM: f64 = 2.0;
+/// Default reference wavelength in µm.
+pub const DEFAULT_WL0_UM: f64 = 1.55;
+
+/// The shared guided-propagation parameter specs (`neff`, `ng`, `loss`,
+/// `wl0`), appended to models that contain waveguide sections.
+pub fn guide_param_specs() -> Vec<ParamSpec> {
+    vec![
+        ParamSpec::new("neff", DEFAULT_NEFF, "", "effective index at wl0"),
+        ParamSpec::new("ng", DEFAULT_NG, "", "group index"),
+        ParamSpec::new("loss", DEFAULT_LOSS_DB_CM, "dB/cm", "propagation loss"),
+        ParamSpec::new("wl0", DEFAULT_WL0_UM, "um", "reference wavelength"),
+    ]
+}
+
+/// First-order dispersive effective index:
+/// `n_eff(λ) = n_eff0 + (n_eff0 − n_g)·(λ − λ₀)/λ₀`.
+///
+/// ```
+/// use picbench_sparams::models::effective_index;
+/// let n = effective_index(1.55, 2.34, 4.2, 1.55);
+/// assert!((n - 2.34).abs() < 1e-12);
+/// ```
+pub fn effective_index(wavelength_um: f64, neff0: f64, ng: f64, wl0_um: f64) -> f64 {
+    neff0 + (neff0 - ng) * (wavelength_um - wl0_um) / wl0_um
+}
+
+/// Complex propagation factor of a guided section: amplitude from dB/cm
+/// loss over `length_um`, phase `2π·n_eff·L/λ`.
+///
+/// ```
+/// use picbench_sparams::models::propagation;
+/// let p = propagation(1.55, 100.0, 2.34, 4.2, 1.55, 0.0);
+/// assert!((p.abs() - 1.0).abs() < 1e-12); // lossless keeps unit magnitude
+/// ```
+pub fn propagation(
+    wavelength_um: f64,
+    length_um: f64,
+    neff0: f64,
+    ng: f64,
+    wl0_um: f64,
+    loss_db_cm: f64,
+) -> Complex {
+    let neff = effective_index(wavelength_um, neff0, ng, wl0_um);
+    let phase = 2.0 * std::f64::consts::PI * neff * length_um / wavelength_um;
+    let amplitude = 10f64.powf(-loss_db_cm * (length_um * 1e-4) / 20.0);
+    Complex::from_polar(amplitude, phase)
+}
+
+/// Builds a reciprocal 2N-port S-matrix from a forward transfer block:
+/// `S[out, in] = T`, `S[in, out] = Tᵀ`, no reflections.
+///
+/// `t[o][i]` is the amplitude transfer from `ins[i]` to `outs[o]`.
+///
+/// # Panics
+///
+/// Panics if `t` is not `outs.len() × ins.len()`.
+pub fn from_transfer(ins: &[&str], outs: &[&str], t: &CMatrix) -> SMatrix {
+    assert_eq!(t.rows(), outs.len(), "transfer rows must match outputs");
+    assert_eq!(t.cols(), ins.len(), "transfer cols must match inputs");
+    let ports: Vec<String> = ins.iter().chain(outs.iter()).map(|p| p.to_string()).collect();
+    let mut s = SMatrix::new(ports);
+    for (o, out) in outs.iter().enumerate() {
+        for (i, inp) in ins.iter().enumerate() {
+            s.set(inp, out, t[(o, i)]);
+            s.set(out, inp, t[(o, i)]);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_index_reduces_with_wavelength() {
+        // Normal dispersion: ng > neff, so neff decreases as λ grows.
+        let lo = effective_index(1.51, DEFAULT_NEFF, DEFAULT_NG, DEFAULT_WL0_UM);
+        let hi = effective_index(1.59, DEFAULT_NEFF, DEFAULT_NG, DEFAULT_WL0_UM);
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn group_index_matches_derivative() {
+        // ng = neff − λ·dn/dλ at λ₀.
+        let d = 1e-6;
+        let n_plus = effective_index(DEFAULT_WL0_UM + d, DEFAULT_NEFF, DEFAULT_NG, DEFAULT_WL0_UM);
+        let n_minus = effective_index(DEFAULT_WL0_UM - d, DEFAULT_NEFF, DEFAULT_NG, DEFAULT_WL0_UM);
+        let slope = (n_plus - n_minus) / (2.0 * d);
+        let ng = DEFAULT_NEFF - DEFAULT_WL0_UM * slope;
+        assert!((ng - DEFAULT_NG).abs() < 1e-6);
+    }
+
+    #[test]
+    fn propagation_loss_halves_power_at_3db() {
+        // 3.0103 dB total → |S|² = 0.5. 2 dB/cm × 1.50515 cm ≈ 3.0103 dB.
+        let length_um = 3.0103 / 2.0 * 1e4;
+        let p = propagation(1.55, length_um, DEFAULT_NEFF, DEFAULT_NG, 1.55, 2.0);
+        assert!((p.norm_sqr() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn propagation_phase_wraps_with_wavelength() {
+        let p1 = propagation(1.55, 10.0, DEFAULT_NEFF, DEFAULT_NG, 1.55, 0.0);
+        let p2 = propagation(1.56, 10.0, DEFAULT_NEFF, DEFAULT_NG, 1.55, 0.0);
+        assert!((p1.arg() - p2.arg()).abs() > 1e-3);
+    }
+
+    #[test]
+    fn from_transfer_is_reciprocal() {
+        let t = CMatrix::from_rows(&[
+            vec![Complex::real(0.6), Complex::new(0.0, 0.8)],
+            vec![Complex::new(0.0, 0.8), Complex::real(0.6)],
+        ]);
+        let s = from_transfer(&["I1", "I2"], &["O1", "O2"], &t);
+        assert!(s.is_reciprocal(1e-12));
+        assert_eq!(s.s("I1", "O2"), Some(Complex::new(0.0, 0.8)));
+        assert_eq!(s.s("O2", "I1"), Some(Complex::new(0.0, 0.8)));
+        assert_eq!(s.s("I1", "I2"), Some(Complex::ZERO));
+    }
+
+    #[test]
+    fn guide_specs_have_expected_names() {
+        let names: Vec<&str> = guide_param_specs().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["neff", "ng", "loss", "wl0"]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Mach-Zehnder structures: the built-in 1×1 MZI, the ideal 2×2 mesh
+//! block, and the Mach-Zehnder modulator.
+
+use super::from_transfer;
+use super::waveguide::GuideParams;
+use super::guide_param_specs;
+use crate::model::{check_known_params, Model, ModelError, ModelInfo};
+use crate::{ParamSpec, SMatrix, Settings};
+use picbench_math::{CMatrix, Complex};
+
+/// Built-in 1×1 Mach-Zehnder interferometer.
+///
+/// Ports: `I1 → O1`. Internally: an equal split, two arms of length
+/// `length` and `length + delta_length`, and a combiner. The transfer is
+/// `(e^{iφ₁} + e^{iφ₂})/2`, which produces the classic sinusoidal fringe
+/// over wavelength. This mirrors the paper's API-document entry
+/// "mzi: Mach-Zehnder interferometer with one input and one output;
+/// parameters: delta length…".
+#[derive(Debug)]
+pub struct Mzi {
+    info: ModelInfo,
+}
+
+impl Default for Mzi {
+    fn default() -> Self {
+        let mut params = vec![
+            ParamSpec::new("delta_length", 10.0, "um", "arm length difference"),
+            ParamSpec::new("length", 10.0, "um", "base (shorter) arm length"),
+        ];
+        params.extend(guide_param_specs());
+        Mzi {
+            info: ModelInfo {
+                name: "mzi",
+                description: "Mach-Zehnder interferometer with one input and one output",
+                inputs: vec!["I1".into()],
+                outputs: vec!["O1".into()],
+                params,
+            },
+        }
+    }
+}
+
+impl Model for Mzi {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let delta = settings.resolve(&self.info.params[0]);
+        let length = settings.resolve(&self.info.params[1]);
+        let guide = GuideParams::resolve(settings);
+        let short = guide.propagate(wavelength_um, length);
+        let long = guide.propagate(wavelength_um, length + delta);
+        let t = (short + long) * 0.5;
+        let mut s = SMatrix::new(self.info.ports());
+        s.set_sym("I1", "O1", t);
+        Ok(s)
+    }
+}
+
+/// Ideal calibrated 2×2 MZI mesh block.
+///
+/// Ports: `I1, I2 → O1, O2`. Implements exactly the Givens/Clements factor
+///
+/// ```text
+/// ⎡ e^{iφ}·cosθ   −sinθ ⎤
+/// ⎣ e^{iφ}·sinθ    cosθ ⎦
+/// ```
+///
+/// so that a mesh of these blocks, with settings produced by
+/// `picbench_math::decomp`, realizes a target unitary *exactly*. This is
+/// the building block of the Clements/Reck mesh and U-matrix-block golden
+/// designs.
+///
+/// Parameters: `theta` (mixing angle, rad), `phi` (input phase, rad).
+#[derive(Debug)]
+pub struct Mzi2x2 {
+    info: ModelInfo,
+}
+
+impl Default for Mzi2x2 {
+    fn default() -> Self {
+        Mzi2x2 {
+            info: ModelInfo {
+                name: "mzi2x2",
+                description: "Calibrated 2x2 MZI block realizing a Givens rotation (theta, phi)",
+                inputs: vec!["I1".into(), "I2".into()],
+                outputs: vec!["O1".into(), "O2".into()],
+                params: vec![
+                    ParamSpec::new("theta", 0.0, "rad", "mixing angle"),
+                    ParamSpec::new("phi", 0.0, "rad", "input phase on I1"),
+                ],
+            },
+        }
+    }
+}
+
+impl Model for Mzi2x2 {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, _wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let theta = settings.resolve(&self.info.params[0]);
+        let phi = settings.resolve(&self.info.params[1]);
+        let (sin, cos) = theta.sin_cos();
+        let ph = Complex::cis(phi);
+        let t = CMatrix::from_rows(&[
+            vec![ph * cos, Complex::real(-sin)],
+            vec![ph * sin, Complex::real(cos)],
+        ]);
+        Ok(from_transfer(&["I1", "I2"], &["O1", "O2"], &t))
+    }
+}
+
+/// Built-in Mach-Zehnder modulator.
+///
+/// Ports: `I1 → O1`. Two arms with independent drive phases (`phase_top`,
+/// `phase_bottom`) and an optional arm imbalance `delta_length`. At a
+/// fixed bias this is the frequency-domain transfer the paper's
+/// interconnect problems (direct/QPSK/QAM modulators) are built from.
+#[derive(Debug)]
+pub struct Mzm {
+    info: ModelInfo,
+}
+
+impl Default for Mzm {
+    fn default() -> Self {
+        let mut params = vec![
+            ParamSpec::new("phase_top", 0.0, "rad", "drive phase on the top arm"),
+            ParamSpec::new("phase_bottom", 0.0, "rad", "drive phase on the bottom arm"),
+            ParamSpec::new("delta_length", 0.0, "um", "arm length imbalance"),
+            ParamSpec::new("length", 10.0, "um", "base arm length"),
+        ];
+        params.extend(guide_param_specs());
+        Mzm {
+            info: ModelInfo {
+                name: "mzm",
+                description: "Mach-Zehnder modulator with independent arm drive phases",
+                inputs: vec!["I1".into()],
+                outputs: vec!["O1".into()],
+                params,
+            },
+        }
+    }
+}
+
+impl Model for Mzm {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let phase_top = settings.resolve(&self.info.params[0]);
+        let phase_bottom = settings.resolve(&self.info.params[1]);
+        let delta = settings.resolve(&self.info.params[2]);
+        let length = settings.resolve(&self.info.params[3]);
+        let guide = GuideParams::resolve(settings);
+        let top = guide.propagate(wavelength_um, length) * Complex::cis(phase_top);
+        let bottom = guide.propagate(wavelength_um, length + delta) * Complex::cis(phase_bottom);
+        let mut s = SMatrix::new(self.info.ports());
+        s.set_sym("I1", "O1", (top + bottom) * 0.5);
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossless() -> Settings {
+        let mut s = Settings::new();
+        s.insert("loss", 0.0);
+        s
+    }
+
+    #[test]
+    fn mzi_fringe_oscillates_over_wavelength() {
+        let mzi = Mzi::default();
+        let mut settings = lossless();
+        settings.insert("delta_length", 30.0);
+        let mut min_p = f64::INFINITY;
+        let mut max_p = f64::NEG_INFINITY;
+        let mut wl = 1.51;
+        while wl <= 1.59 {
+            let p = mzi
+                .s_matrix(wl, &settings)
+                .unwrap()
+                .s("I1", "O1")
+                .unwrap()
+                .norm_sqr();
+            min_p = min_p.min(p);
+            max_p = max_p.max(p);
+            wl += 0.0005;
+        }
+        assert!(max_p > 0.95, "fringe peak should be near unity");
+        assert!(min_p < 0.05, "fringe null should be near zero");
+    }
+
+    #[test]
+    fn mzi_balanced_arms_transmit_fully() {
+        let mzi = Mzi::default();
+        let mut settings = lossless();
+        settings.insert("delta_length", 0.0);
+        let t = mzi.s_matrix(1.55, &settings).unwrap().s("I1", "O1").unwrap();
+        assert!((t.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mzi2x2_matches_givens_factor() {
+        use picbench_math::GivensFactor;
+        let block = Mzi2x2::default();
+        let f = GivensFactor {
+            mode: 0,
+            theta: 0.83,
+            phi: -0.4,
+        };
+        let mut settings = Settings::new();
+        settings.insert("theta", f.theta);
+        settings.insert("phi", f.phi);
+        let s = block.s_matrix(1.55, &settings).unwrap();
+        let b = f.block();
+        assert!((s.s("I1", "O1").unwrap() - b[0][0]).abs() < 1e-12);
+        assert!((s.s("I2", "O1").unwrap() - b[0][1]).abs() < 1e-12);
+        assert!((s.s("I1", "O2").unwrap() - b[1][0]).abs() < 1e-12);
+        assert!((s.s("I2", "O2").unwrap() - b[1][1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mzi2x2_is_unitary_for_any_angles() {
+        let block = Mzi2x2::default();
+        for (theta, phi) in [(0.0, 0.0), (0.5, 1.0), (1.2, -2.0), (1.5707, 3.14)] {
+            let mut settings = Settings::new();
+            settings.insert("theta", theta);
+            settings.insert("phi", phi);
+            let s = block.s_matrix(1.55, &settings).unwrap();
+            assert!(s.is_unitary(1e-12));
+            assert!(s.is_reciprocal(1e-12));
+        }
+    }
+
+    #[test]
+    fn mzm_push_pull_extinguishes() {
+        let mzm = Mzm::default();
+        let mut settings = lossless();
+        settings.insert("phase_top", std::f64::consts::FRAC_PI_2);
+        settings.insert("phase_bottom", -std::f64::consts::FRAC_PI_2);
+        let t = mzm.s_matrix(1.55, &settings).unwrap().s("I1", "O1").unwrap();
+        assert!(t.abs() < 1e-12, "push-pull at ±π/2 should extinguish");
+    }
+
+    #[test]
+    fn mzm_default_is_transparent() {
+        let mzm = Mzm::default();
+        let t = mzm
+            .s_matrix(1.55, &lossless())
+            .unwrap()
+            .s("I1", "O1")
+            .unwrap();
+        assert!((t.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mzm_phase_difference_sets_amplitude() {
+        let mzm = Mzm::default();
+        let mut settings = lossless();
+        settings.insert("phase_top", std::f64::consts::FRAC_PI_2);
+        let t = mzm.s_matrix(1.55, &settings).unwrap().s("I1", "O1").unwrap();
+        // |cos(Δφ/2)| with Δφ = π/2 → 1/√2.
+        assert!((t.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! Reflective and fiber-interface elements: partial reflector and
+//! grating coupler.
+
+use crate::model::{check_known_params, check_range, Model, ModelError, ModelInfo};
+use crate::{ParamSpec, SMatrix, Settings};
+use picbench_math::Complex;
+
+/// A partial mirror (e.g. a broadband Bragg reflector or facet).
+///
+/// Ports: `I1 ↔ O1`. Power reflectivity `reflectivity` is returned at
+/// each port; the remainder transmits with a 90° phase (the lossless
+/// symmetric-mirror convention `S = [[r, it], [it, r]]`, which is
+/// unitary). Two of these around a waveguide form a Fabry-Perot cavity —
+/// the validation workload for the simulator's multiple-reflection
+/// handling.
+///
+/// Parameters: `reflectivity` ∈ [0, 1] (default 0.9), `loss` (dB).
+#[derive(Debug)]
+pub struct Reflector {
+    info: ModelInfo,
+}
+
+impl Default for Reflector {
+    fn default() -> Self {
+        Reflector {
+            info: ModelInfo {
+                name: "reflector",
+                description: "Partial mirror: reflects a set power fraction, transmits the rest",
+                inputs: vec!["I1".into()],
+                outputs: vec!["O1".into()],
+                params: vec![
+                    ParamSpec::new("reflectivity", 0.9, "", "power reflectivity"),
+                    ParamSpec::new("loss", 0.0, "dB", "excess insertion loss"),
+                ],
+            },
+        }
+    }
+}
+
+impl Model for Reflector {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, _wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let reflectivity = settings.resolve(&self.info.params[0]);
+        let loss_db = settings.resolve(&self.info.params[1]);
+        check_range("reflector", "reflectivity", reflectivity, 0.0, 1.0)?;
+        check_range("reflector", "loss", loss_db, 0.0, 100.0)?;
+        let amp = 10f64.powf(-loss_db / 20.0);
+        let r = Complex::real(amp * reflectivity.sqrt());
+        let t = Complex::new(0.0, amp * (1.0 - reflectivity).sqrt());
+        let mut s = SMatrix::new(self.info.ports());
+        s.set("I1", "I1", r);
+        s.set("O1", "O1", r);
+        s.set_sym("I1", "O1", t);
+        Ok(s)
+    }
+}
+
+/// A fiber grating coupler with a Gaussian passband.
+///
+/// Ports: `I1` (fiber) ↔ `O1` (chip). The power transfer is
+/// `-loss − ((λ − center)/(bandwidth1db/2))²` dB, i.e. `loss` dB at the
+/// center wavelength and 1 dB more at ±half the 1 dB bandwidth.
+///
+/// Parameters: `center` (µm), `bandwidth1db` (µm), `loss` (dB).
+#[derive(Debug)]
+pub struct GratingCoupler {
+    info: ModelInfo,
+}
+
+impl Default for GratingCoupler {
+    fn default() -> Self {
+        GratingCoupler {
+            info: ModelInfo {
+                name: "gc",
+                description: "Fiber grating coupler with a Gaussian spectral response",
+                inputs: vec!["I1".into()],
+                outputs: vec!["O1".into()],
+                params: vec![
+                    ParamSpec::new("center", 1.55, "um", "center wavelength"),
+                    ParamSpec::new("bandwidth1db", 0.035, "um", "1 dB bandwidth"),
+                    ParamSpec::new("loss", 3.0, "dB", "insertion loss at center"),
+                ],
+            },
+        }
+    }
+}
+
+impl Model for GratingCoupler {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let center = settings.resolve(&self.info.params[0]);
+        let bandwidth = settings.resolve(&self.info.params[1]);
+        let loss_db = settings.resolve(&self.info.params[2]);
+        check_range("gc", "center", center, 0.5, 3.0)?;
+        check_range("gc", "bandwidth1db", bandwidth, 1e-4, 1.0)?;
+        check_range("gc", "loss", loss_db, 0.0, 100.0)?;
+        let detune = (wavelength_um - center) / (bandwidth / 2.0);
+        let total_db = loss_db + detune * detune;
+        let amp = 10f64.powf(-total_db / 20.0);
+        let mut s = SMatrix::new(self.info.ports());
+        s.set_sym("I1", "O1", Complex::real(amp));
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_reflector_is_unitary() {
+        let m = Reflector::default();
+        for reflectivity in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            let mut settings = Settings::new();
+            settings.insert("reflectivity", reflectivity);
+            let s = m.s_matrix(1.55, &settings).unwrap();
+            assert!(s.is_unitary(1e-12), "R = {reflectivity}");
+            assert!(s.is_reciprocal(1e-12));
+            assert!((s.s("I1", "I1").unwrap().norm_sqr() - reflectivity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_mirror_transmits_nothing() {
+        let m = Reflector::default();
+        let mut settings = Settings::new();
+        settings.insert("reflectivity", 1.0);
+        let s = m.s_matrix(1.55, &settings).unwrap();
+        assert!(s.s("I1", "O1").unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn grating_coupler_peaks_at_center() {
+        let m = GratingCoupler::default();
+        let s_center = m.s_matrix(1.55, &Settings::new()).unwrap();
+        let s_off = m.s_matrix(1.58, &Settings::new()).unwrap();
+        let p_center = s_center.s("I1", "O1").unwrap().norm_sqr();
+        let p_off = s_off.s("I1", "O1").unwrap().norm_sqr();
+        assert!(p_center > p_off);
+        // 3 dB insertion loss at center: |S|² = 0.501.
+        assert!((picbench_math::power_ratio_to_db(p_center) + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grating_coupler_one_db_bandwidth_definition() {
+        let m = GratingCoupler::default();
+        let settings = Settings::new();
+        let at = |wl: f64| {
+            picbench_math::power_ratio_to_db(
+                m.s_matrix(wl, &settings).unwrap().s("I1", "O1").unwrap().norm_sqr(),
+            )
+        };
+        let center = at(1.55);
+        let edge = at(1.55 + 0.035 / 2.0);
+        assert!((center - edge - 1.0).abs() < 1e-9, "{center} vs {edge}");
+    }
+
+    #[test]
+    fn reflector_rejects_bad_reflectivity() {
+        let m = Reflector::default();
+        let mut settings = Settings::new();
+        settings.insert("reflectivity", 1.5);
+        assert!(matches!(
+            m.s_matrix(1.55, &settings),
+            Err(ModelError::InvalidValue { .. })
+        ));
+    }
+}

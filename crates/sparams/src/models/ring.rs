@@ -1,0 +1,277 @@
+//! Microring resonators (all-pass and add-drop).
+
+use super::waveguide::GuideParams;
+use super::guide_param_specs;
+use crate::model::{check_known_params, check_range, Model, ModelError, ModelInfo};
+use crate::{ParamSpec, SMatrix, Settings};
+use picbench_math::Complex;
+use std::f64::consts::PI;
+
+/// Resolved ring geometry shared by both ring models.
+struct RingParams {
+    /// Round-trip amplitude (loss).
+    a: f64,
+    /// Round-trip phase at the evaluation wavelength.
+    phi: f64,
+}
+
+fn ring_params(wavelength_um: f64, radius_um: f64, guide: &GuideParams) -> RingParams {
+    let circumference = 2.0 * PI * radius_um;
+    let p = guide.propagate(wavelength_um, circumference);
+    RingParams {
+        a: p.abs(),
+        phi: 2.0 * PI * super::effective_index(wavelength_um, guide.neff, guide.ng, guide.wl0)
+            * circumference
+            / wavelength_um,
+    }
+}
+
+/// All-pass microring resonator.
+///
+/// Ports: `I1 → O1`. A single bus coupled to a ring; the through response
+/// is `(t − a·e^{iφ})/(1 − t·a·e^{iφ})`, giving periodic notches at the
+/// ring resonances when the ring is lossy.
+///
+/// Parameters: `radius`, `coupling` plus the dispersion block.
+#[derive(Debug)]
+pub struct RingAllPass {
+    info: ModelInfo,
+}
+
+impl Default for RingAllPass {
+    fn default() -> Self {
+        let mut params = vec![
+            ParamSpec::new("radius", 5.0, "um", "ring radius"),
+            ParamSpec::new("coupling", 0.1, "", "bus-to-ring power coupling"),
+        ];
+        params.extend(guide_param_specs());
+        RingAllPass {
+            info: ModelInfo {
+                name: "ringap",
+                description: "All-pass microring resonator on a single bus waveguide",
+                inputs: vec!["I1".into()],
+                outputs: vec!["O1".into()],
+                params,
+            },
+        }
+    }
+}
+
+impl Model for RingAllPass {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let radius = settings.resolve(&self.info.params[0]);
+        let kappa = settings.resolve(&self.info.params[1]);
+        check_range("ringap", "radius", radius, 1e-3, 1e6)?;
+        check_range("ringap", "coupling", kappa, 0.0, 1.0)?;
+        let guide = GuideParams::resolve(settings);
+        let ring = ring_params(wavelength_um, radius, &guide);
+        let t = (1.0 - kappa).sqrt();
+        let phasor = Complex::cis(ring.phi) * ring.a;
+        let through = (Complex::real(t) - phasor) / (Complex::ONE - phasor * t);
+        let mut s = SMatrix::new(self.info.ports());
+        s.set_sym("I1", "O1", through);
+        Ok(s)
+    }
+}
+
+/// Add-drop microring resonator.
+///
+/// Ports: `I1` (in), `I2` (add), `O1` (through), `O2` (drop). On
+/// resonance, power entering `I1` transfers to the drop port `O2`; the WDM
+/// multiplexer/demultiplexer golden designs chain these with staggered
+/// radii.
+///
+/// Parameters: `radius`, `coupling1` (input bus), `coupling2` (drop bus)
+/// plus the dispersion block.
+#[derive(Debug)]
+pub struct RingAddDrop {
+    info: ModelInfo,
+}
+
+impl Default for RingAddDrop {
+    fn default() -> Self {
+        let mut params = vec![
+            ParamSpec::new("radius", 5.0, "um", "ring radius"),
+            ParamSpec::new("coupling1", 0.1, "", "input-bus power coupling"),
+            ParamSpec::new("coupling2", 0.1, "", "drop-bus power coupling"),
+        ];
+        params.extend(guide_param_specs());
+        RingAddDrop {
+            info: ModelInfo {
+                name: "ringad",
+                description: "Add-drop microring resonator coupled to two bus waveguides",
+                inputs: vec!["I1".into(), "I2".into()],
+                outputs: vec!["O1".into(), "O2".into()],
+                params,
+            },
+        }
+    }
+}
+
+impl Model for RingAddDrop {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let radius = settings.resolve(&self.info.params[0]);
+        let k1 = settings.resolve(&self.info.params[1]);
+        let k2 = settings.resolve(&self.info.params[2]);
+        check_range("ringad", "radius", radius, 1e-3, 1e6)?;
+        check_range("ringad", "coupling1", k1, 0.0, 1.0)?;
+        check_range("ringad", "coupling2", k2, 0.0, 1.0)?;
+        let guide = GuideParams::resolve(settings);
+        let ring = ring_params(wavelength_um, radius, &guide);
+        let t1 = (1.0 - k1).sqrt();
+        let t2 = (1.0 - k2).sqrt();
+        let full = Complex::cis(ring.phi) * ring.a;
+        let half = Complex::cis(ring.phi / 2.0) * ring.a.sqrt();
+        let denom = Complex::ONE - full * (t1 * t2);
+        let through1 = (Complex::real(t1) - full * t2) / denom;
+        let through2 = (Complex::real(t2) - full * t1) / denom;
+        let drop = -(half * (k1 * k2).sqrt()) / denom;
+
+        let mut s = SMatrix::new(self.info.ports());
+        s.set_sym("I1", "O1", through1);
+        s.set_sym("I2", "O2", through2);
+        s.set_sym("I1", "O2", drop);
+        s.set_sym("I2", "O1", drop);
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossless() -> Settings {
+        let mut s = Settings::new();
+        s.insert("loss", 0.0);
+        s
+    }
+
+    /// Scans 1510–1590 nm and returns (min, max) of |S(from→to)|².
+    fn scan(model: &dyn Model, settings: &Settings, from: &str, to: &str) -> (f64, f64) {
+        let mut min_p = f64::INFINITY;
+        let mut max_p = f64::NEG_INFINITY;
+        let mut wl = 1.51;
+        while wl <= 1.59 {
+            let p = model
+                .s_matrix(wl, settings)
+                .unwrap()
+                .s(from, to)
+                .unwrap()
+                .norm_sqr();
+            min_p = min_p.min(p);
+            max_p = max_p.max(p);
+            wl += 0.0001;
+        }
+        (min_p, max_p)
+    }
+
+    #[test]
+    fn allpass_lossless_is_all_pass() {
+        let ring = RingAllPass::default();
+        let (min_p, max_p) = scan(&ring, &lossless(), "I1", "O1");
+        assert!(min_p > 1.0 - 1e-9, "lossless all-pass must keep |S|=1");
+        assert!(max_p < 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn allpass_lossy_shows_notches() {
+        let ring = RingAllPass::default();
+        let mut settings = Settings::new();
+        settings.insert("loss", 50.0); // strong loss to make deep notches
+        let (min_p, max_p) = scan(&ring, &settings, "I1", "O1");
+        assert!(max_p > 0.8, "off resonance mostly transmits");
+        assert!(min_p < 0.3, "on resonance the notch dips");
+    }
+
+    #[test]
+    fn adddrop_resonance_routes_to_drop() {
+        let ring = RingAddDrop::default();
+        let settings = lossless();
+        let (_, drop_max) = scan(&ring, &settings, "I1", "O2");
+        let (thru_min, _) = scan(&ring, &settings, "I1", "O1");
+        assert!(drop_max > 0.99, "symmetric lossless ring fully drops on resonance");
+        assert!(thru_min < 0.01, "through port extinguishes on resonance");
+    }
+
+    #[test]
+    fn adddrop_conserves_energy_lossless() {
+        let ring = RingAddDrop::default();
+        let settings = lossless();
+        let mut wl = 1.51;
+        while wl <= 1.59 {
+            let s = ring.s_matrix(wl, &settings).unwrap();
+            let total = s.s("I1", "O1").unwrap().norm_sqr() + s.s("I1", "O2").unwrap().norm_sqr();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "energy must be conserved at wl={wl}"
+            );
+            wl += 0.001;
+        }
+    }
+
+    #[test]
+    fn adddrop_is_reciprocal() {
+        let ring = RingAddDrop::default();
+        let s = ring.s_matrix(1.5512, &Settings::new()).unwrap();
+        assert!(s.is_reciprocal(1e-12));
+        assert!(s.is_passive(1e-9));
+    }
+
+    #[test]
+    fn radius_shifts_resonance() {
+        // Two different radii must not share all resonance wavelengths:
+        // compare drop responses at a probe wavelength near a resonance of
+        // the first ring.
+        let ring = RingAddDrop::default();
+        let mut s1 = lossless();
+        s1.insert("radius", 5.0);
+        let mut s2 = lossless();
+        s2.insert("radius", 5.08);
+        // find the strongest drop wavelength for ring 1
+        let mut best_wl = 1.51;
+        let mut best_p = 0.0;
+        let mut wl = 1.51;
+        while wl <= 1.59 {
+            let p = ring
+                .s_matrix(wl, &s1)
+                .unwrap()
+                .s("I1", "O2")
+                .unwrap()
+                .norm_sqr();
+            if p > best_p {
+                best_p = p;
+                best_wl = wl;
+            }
+            wl += 0.0001;
+        }
+        let p_other = ring
+            .s_matrix(best_wl, &s2)
+            .unwrap()
+            .s("I1", "O2")
+            .unwrap()
+            .norm_sqr();
+        assert!(best_p > 0.99);
+        assert!(p_other < 0.9, "detuned ring should not fully drop at the same wl");
+    }
+
+    #[test]
+    fn invalid_coupling_rejected() {
+        let ring = RingAllPass::default();
+        let mut settings = Settings::new();
+        settings.insert("coupling", 1.5);
+        assert!(matches!(
+            ring.s_matrix(1.55, &settings),
+            Err(ModelError::InvalidValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,199 @@
+//! Elementary optical switches (1×2 and 2×2).
+
+use super::from_transfer;
+use crate::model::{check_known_params, check_range, Model, ModelError, ModelInfo};
+use crate::{ParamSpec, SMatrix, Settings};
+use picbench_math::{CMatrix, Complex};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// 2×2 electro-optic switch element (balanced MZI with a drive phase).
+///
+/// Ports: `I1, I2 → O1, O2`. `state = 0` is the **bar** state
+/// (`I1→O1`, `I2→O2`), `state = 1` the **cross** state (`I1→O2`,
+/// `I2→O1`). Intermediate values model partial switching. The transfer is
+/// the physical balanced-MZI response `H·diag(e^{iφ},1)·H` with
+/// `φ = π·(1 − state)`, so the phases carried by the routed light are
+/// exactly those of a real switch cell.
+///
+/// Parameters: `state` ∈ [0, 1], `loss` (dB).
+#[derive(Debug)]
+pub struct Switch2x2 {
+    info: ModelInfo,
+}
+
+impl Default for Switch2x2 {
+    fn default() -> Self {
+        Switch2x2 {
+            info: ModelInfo {
+                name: "switch2x2",
+                description: "2x2 MZI switch element; state 0 = bar, state 1 = cross",
+                inputs: vec!["I1".into(), "I2".into()],
+                outputs: vec!["O1".into(), "O2".into()],
+                params: vec![
+                    ParamSpec::new("state", 0.0, "", "switch state: 0 bar, 1 cross"),
+                    ParamSpec::new("loss", 0.0, "dB", "insertion loss"),
+                ],
+            },
+        }
+    }
+}
+
+impl Model for Switch2x2 {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, _wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let state = settings.resolve(&self.info.params[0]);
+        let loss_db = settings.resolve(&self.info.params[1]);
+        check_range("switch2x2", "state", state, 0.0, 1.0)?;
+        check_range("switch2x2", "loss", loss_db, 0.0, 100.0)?;
+        let amp = 10f64.powf(-loss_db / 20.0);
+        // Balanced MZI: M(φ) = ½[[e^{iφ}−1, i(e^{iφ}+1)], [i(e^{iφ}+1), −(e^{iφ}−1)]].
+        let phi = PI * (1.0 - state);
+        let e = Complex::cis(phi);
+        let d = (e - Complex::ONE) * 0.5;
+        let c = Complex::i() * (e + Complex::ONE) * 0.5;
+        let t = CMatrix::from_rows(&[vec![d * amp, c * amp], vec![c * amp, -d * amp]]);
+        Ok(from_transfer(&["I1", "I2"], &["O1", "O2"], &t))
+    }
+}
+
+/// 1×2 routing switch.
+///
+/// Ports: `I1 → O1, O2`. `state = 0` routes the input to `O1`, `state = 1`
+/// to `O2`; intermediate values split. Spanke fabrics build their
+/// splitting trees from these (and, reversed, their combining trees).
+///
+/// Parameters: `state` ∈ [0, 1], `loss` (dB).
+#[derive(Debug)]
+pub struct Switch1x2 {
+    info: ModelInfo,
+}
+
+impl Default for Switch1x2 {
+    fn default() -> Self {
+        Switch1x2 {
+            info: ModelInfo {
+                name: "switch1x2",
+                description: "1x2 routing switch; state 0 routes to O1, state 1 to O2",
+                inputs: vec!["I1".into()],
+                outputs: vec!["O1".into(), "O2".into()],
+                params: vec![
+                    ParamSpec::new("state", 0.0, "", "routing state: 0 to O1, 1 to O2"),
+                    ParamSpec::new("loss", 0.0, "dB", "insertion loss"),
+                ],
+            },
+        }
+    }
+}
+
+impl Model for Switch1x2 {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, _wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let state = settings.resolve(&self.info.params[0]);
+        let loss_db = settings.resolve(&self.info.params[1]);
+        check_range("switch1x2", "state", state, 0.0, 1.0)?;
+        check_range("switch1x2", "loss", loss_db, 0.0, 100.0)?;
+        let amp = 10f64.powf(-loss_db / 20.0);
+        let angle = state * FRAC_PI_2;
+        let t = CMatrix::from_rows(&[
+            vec![Complex::real(amp * angle.cos())],
+            vec![Complex::new(0.0, amp * angle.sin())],
+        ]);
+        Ok(from_transfer(&["I1"], &["O1", "O2"], &t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s_of(model: &dyn Model, state: f64) -> SMatrix {
+        let mut settings = Settings::new();
+        settings.insert("state", state);
+        model.s_matrix(1.55, &settings).unwrap()
+    }
+
+    #[test]
+    fn bar_state_routes_straight() {
+        let sw = Switch2x2::default();
+        let s = s_of(&sw, 0.0);
+        assert!((s.s("I1", "O1").unwrap().norm_sqr() - 1.0).abs() < 1e-12);
+        assert!(s.s("I1", "O2").unwrap().abs() < 1e-12);
+        assert!((s.s("I2", "O2").unwrap().norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_state_routes_across() {
+        let sw = Switch2x2::default();
+        let s = s_of(&sw, 1.0);
+        assert!((s.s("I1", "O2").unwrap().norm_sqr() - 1.0).abs() < 1e-12);
+        assert!(s.s("I1", "O1").unwrap().abs() < 1e-12);
+        assert!((s.s("I2", "O1").unwrap().norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_state_splits_evenly() {
+        let sw = Switch2x2::default();
+        let s = s_of(&sw, 0.5);
+        assert!((s.s("I1", "O1").unwrap().norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((s.s("I1", "O2").unwrap().norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch2x2_is_unitary_everywhere() {
+        let sw = Switch2x2::default();
+        for state in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let s = s_of(&sw, state);
+            assert!(s.is_unitary(1e-12), "state {state}");
+            assert!(s.is_reciprocal(1e-12), "state {state}");
+        }
+    }
+
+    #[test]
+    fn switch1x2_routes_by_state() {
+        let sw = Switch1x2::default();
+        let s0 = s_of(&sw, 0.0);
+        assert!((s0.s("I1", "O1").unwrap().norm_sqr() - 1.0).abs() < 1e-12);
+        assert!(s0.s("I1", "O2").unwrap().abs() < 1e-12);
+        let s1 = s_of(&sw, 1.0);
+        assert!((s1.s("I1", "O2").unwrap().norm_sqr() - 1.0).abs() < 1e-12);
+        assert!(s1.s("I1", "O1").unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch1x2_conserves_power() {
+        let sw = Switch1x2::default();
+        for state in [0.0, 0.3, 0.5, 0.8, 1.0] {
+            let s = s_of(&sw, state);
+            let total = s.s("I1", "O1").unwrap().norm_sqr() + s.s("I1", "O2").unwrap().norm_sqr();
+            assert!((total - 1.0).abs() < 1e-12, "state {state}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_state_rejected() {
+        let sw2 = Switch2x2::default();
+        let sw1 = Switch1x2::default();
+        let mut settings = Settings::new();
+        settings.insert("state", 1.5);
+        assert!(sw2.s_matrix(1.55, &settings).is_err());
+        assert!(sw1.s_matrix(1.55, &settings).is_err());
+    }
+
+    #[test]
+    fn loss_attenuates_routed_power() {
+        let sw = Switch2x2::default();
+        let mut settings = Settings::new();
+        settings.insert("state", 1.0);
+        settings.insert("loss", 3.0103);
+        let s = sw.s_matrix(1.55, &settings).unwrap();
+        assert!((s.s("I1", "O2").unwrap().norm_sqr() - 0.5).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,211 @@
+//! Straight waveguide and phase shifter.
+
+use super::{guide_param_specs, propagation};
+use crate::model::{check_known_params, Model, ModelError, ModelInfo};
+use crate::{ParamSpec, SMatrix, Settings};
+use picbench_math::Complex;
+
+/// Resolved guided-propagation parameters shared by several models.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GuideParams {
+    pub neff: f64,
+    pub ng: f64,
+    pub loss: f64,
+    pub wl0: f64,
+}
+
+impl GuideParams {
+    pub(crate) fn resolve(settings: &Settings) -> Self {
+        let specs = guide_param_specs();
+        GuideParams {
+            neff: settings.resolve(&specs[0]),
+            ng: settings.resolve(&specs[1]),
+            loss: settings.resolve(&specs[2]),
+            wl0: settings.resolve(&specs[3]),
+        }
+    }
+
+    pub(crate) fn propagate(&self, wavelength_um: f64, length_um: f64) -> Complex {
+        propagation(
+            wavelength_um,
+            length_um,
+            self.neff,
+            self.ng,
+            self.wl0,
+            self.loss,
+        )
+    }
+}
+
+/// A straight single-mode waveguide section.
+///
+/// Ports: `I1 → O1`. Parameters: `length` plus the shared dispersion block.
+///
+/// # Examples
+///
+/// ```
+/// use picbench_sparams::{models::Waveguide, Model, Settings};
+///
+/// let wg = Waveguide::default();
+/// let mut settings = Settings::new();
+/// settings.insert("length", 100.0);
+/// settings.insert("loss", 0.0);
+/// let s = wg.s_matrix(1.55, &settings)?;
+/// assert!((s.s("I1", "O1").unwrap().abs() - 1.0).abs() < 1e-12);
+/// # Ok::<(), picbench_sparams::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct Waveguide {
+    info: ModelInfo,
+}
+
+impl Default for Waveguide {
+    fn default() -> Self {
+        let mut params = vec![ParamSpec::new("length", 10.0, "um", "physical length")];
+        params.extend(guide_param_specs());
+        Waveguide {
+            info: ModelInfo {
+                name: "waveguide",
+                description: "Straight waveguide section with dispersion and propagation loss",
+                inputs: vec!["I1".into()],
+                outputs: vec!["O1".into()],
+                params,
+            },
+        }
+    }
+}
+
+impl Model for Waveguide {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let length = settings.resolve(&self.info.params[0]);
+        let guide = GuideParams::resolve(settings);
+        let mut s = SMatrix::new(self.info.ports());
+        s.set_sym("I1", "O1", guide.propagate(wavelength_um, length));
+        Ok(s)
+    }
+}
+
+/// A thermo/electro-optic phase shifter: a waveguide section with an extra
+/// programmable phase.
+///
+/// Ports: `I1 → O1`. Parameters: `length`, `phase` plus the dispersion
+/// block. The paper's MZI-with-phase-shifter problem (`MZI ps`) places one
+/// of these on the top arm.
+#[derive(Debug)]
+pub struct PhaseShifter {
+    info: ModelInfo,
+}
+
+impl Default for PhaseShifter {
+    fn default() -> Self {
+        let mut params = vec![
+            ParamSpec::new("length", 10.0, "um", "physical length"),
+            ParamSpec::new("phase", 0.0, "rad", "additional programmable phase"),
+        ];
+        params.extend(guide_param_specs());
+        PhaseShifter {
+            info: ModelInfo {
+                name: "phaseshifter",
+                description: "Waveguide phase shifter with programmable additional phase",
+                inputs: vec!["I1".into()],
+                outputs: vec!["O1".into()],
+                params,
+            },
+        }
+    }
+}
+
+impl Model for PhaseShifter {
+    fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    fn s_matrix(&self, wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError> {
+        check_known_params(&self.info, settings)?;
+        let length = settings.resolve(&self.info.params[0]);
+        let phase = settings.resolve(&self.info.params[1]);
+        let guide = GuideParams::resolve(settings);
+        let mut s = SMatrix::new(self.info.ports());
+        let t = guide.propagate(wavelength_um, length) * Complex::cis(phase);
+        s.set_sym("I1", "O1", t);
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveguide_is_reciprocal_and_passive() {
+        let wg = Waveguide::default();
+        let s = wg.s_matrix(1.55, &Settings::new()).unwrap();
+        assert!(s.is_reciprocal(1e-12));
+        assert!(s.is_passive(1e-12));
+        assert_eq!(s.s("I1", "I1"), Some(Complex::ZERO));
+    }
+
+    #[test]
+    fn waveguide_phase_scales_with_length() {
+        let wg = Waveguide::default();
+        let mut s1 = Settings::new();
+        s1.insert("length", 1.0);
+        s1.insert("loss", 0.0);
+        let mut s2 = Settings::new();
+        s2.insert("length", 2.0);
+        s2.insert("loss", 0.0);
+        let t1 = wg.s_matrix(1.55, &s1).unwrap().s("I1", "O1").unwrap();
+        let t2 = wg.s_matrix(1.55, &s2).unwrap().s("I1", "O1").unwrap();
+        // Doubling the length squares the unit-loss transfer.
+        assert!((t1 * t1 - t2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn waveguide_rejects_unknown_setting() {
+        let wg = Waveguide::default();
+        let mut s = Settings::new();
+        s.insert("bananas", 1.0);
+        assert!(matches!(
+            wg.s_matrix(1.55, &s),
+            Err(ModelError::UnknownParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn phase_shifter_adds_exact_phase() {
+        let ps = PhaseShifter::default();
+        let base = ps
+            .s_matrix(1.55, &Settings::new())
+            .unwrap()
+            .s("I1", "O1")
+            .unwrap();
+        let mut with_phase = Settings::new();
+        with_phase.insert("phase", std::f64::consts::FRAC_PI_2);
+        let shifted = ps
+            .s_matrix(1.55, &with_phase)
+            .unwrap()
+            .s("I1", "O1")
+            .unwrap();
+        let ratio = shifted / base;
+        assert!((ratio.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((ratio.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pi_phase_flips_sign() {
+        let ps = PhaseShifter::default();
+        let mut s = Settings::new();
+        s.insert("phase", std::f64::consts::PI);
+        s.insert("loss", 0.0);
+        let mut s0 = Settings::new();
+        s0.insert("loss", 0.0);
+        let t_pi = ps.s_matrix(1.55, &s).unwrap().s("I1", "O1").unwrap();
+        let t_0 = ps.s_matrix(1.55, &s0).unwrap().s("I1", "O1").unwrap();
+        assert!((t_pi + t_0).abs() < 1e-12);
+    }
+}

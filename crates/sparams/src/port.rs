@@ -1,0 +1,119 @@
+//! Port naming conventions.
+//!
+//! PICBench netlists follow the paper's convention: input ports are named
+//! `I1`, `I2`, …, output ports `O1`, `O2`, …. This module centralises
+//! parsing and classification of those names.
+
+use std::fmt;
+
+/// The nominal signal direction of a port, inferred from its name.
+///
+/// Direction is a *documentation* concept: S-parameter models are
+/// bidirectional, and the benchmark's golden designs routinely drive
+/// combiner MMIs through their `O` ports. The benchmark only uses the
+/// direction to check external port counts against a problem's
+/// specification (the "Wrong ports number" failure type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDirection {
+    /// Name starts with `I`.
+    Input,
+    /// Name starts with `O`.
+    Output,
+    /// Any other prefix.
+    Unknown,
+}
+
+impl fmt::Display for PortDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortDirection::Input => write!(f, "input"),
+            PortDirection::Output => write!(f, "output"),
+            PortDirection::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Classifies a port name by its leading letter.
+///
+/// ```
+/// use picbench_sparams::{port_direction, PortDirection};
+/// assert_eq!(port_direction("I2"), PortDirection::Input);
+/// assert_eq!(port_direction("O1"), PortDirection::Output);
+/// assert_eq!(port_direction("north"), PortDirection::Unknown);
+/// ```
+pub fn port_direction(name: &str) -> PortDirection {
+    match name.chars().next() {
+        Some('I') => PortDirection::Input,
+        Some('O') => PortDirection::Output,
+        _ => PortDirection::Unknown,
+    }
+}
+
+/// Generates the conventional port name for an input index (1-based).
+///
+/// ```
+/// use picbench_sparams::input_port;
+/// assert_eq!(input_port(3), "I3");
+/// ```
+pub fn input_port(index: usize) -> String {
+    format!("I{index}")
+}
+
+/// Generates the conventional port name for an output index (1-based).
+///
+/// ```
+/// use picbench_sparams::output_port;
+/// assert_eq!(output_port(1), "O1");
+/// ```
+pub fn output_port(index: usize) -> String {
+    format!("O{index}")
+}
+
+/// Builds the standard port list for a device with `n_in` inputs and
+/// `n_out` outputs: `I1..In, O1..Om`.
+///
+/// ```
+/// use picbench_sparams::standard_ports;
+/// assert_eq!(standard_ports(2, 2), vec!["I1", "I2", "O1", "O2"]);
+/// ```
+pub fn standard_ports(n_in: usize, n_out: usize) -> Vec<String> {
+    let mut ports = Vec::with_capacity(n_in + n_out);
+    for i in 1..=n_in {
+        ports.push(input_port(i));
+    }
+    for o in 1..=n_out {
+        ports.push(output_port(o));
+    }
+    ports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_classification() {
+        assert_eq!(port_direction("I1"), PortDirection::Input);
+        assert_eq!(port_direction("I17"), PortDirection::Input);
+        assert_eq!(port_direction("O4"), PortDirection::Output);
+        assert_eq!(port_direction(""), PortDirection::Unknown);
+        assert_eq!(port_direction("x1"), PortDirection::Unknown);
+    }
+
+    #[test]
+    fn standard_ports_layout() {
+        assert_eq!(standard_ports(1, 2), vec!["I1", "O1", "O2"]);
+        assert_eq!(standard_ports(0, 1), vec!["O1"]);
+        let p = standard_ports(8, 8);
+        assert_eq!(p.len(), 16);
+        assert_eq!(p[0], "I1");
+        assert_eq!(p[15], "O8");
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(PortDirection::Input.to_string(), "input");
+        assert_eq!(PortDirection::Output.to_string(), "output");
+        assert_eq!(PortDirection::Unknown.to_string(), "unknown");
+    }
+}

@@ -1,0 +1,190 @@
+//! Component settings and parameter metadata.
+//!
+//! Netlist instances carry a `settings` object overriding model defaults.
+//! Models publish their parameters as [`ParamSpec`]s; that metadata is also
+//! what the prompt kit renders into the "API document" section of the
+//! system prompt (Fig. 3 of the paper).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Declarative description of one model parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name as it appears in netlists, e.g. `delta_length`.
+    pub name: &'static str,
+    /// Default value applied when the netlist omits the parameter.
+    pub default: f64,
+    /// Human-readable unit, e.g. `um`, `rad`, `dB/cm` (empty if unitless).
+    pub unit: &'static str,
+    /// One-line description used in the generated API document.
+    pub description: &'static str,
+}
+
+impl ParamSpec {
+    /// Creates a parameter spec.
+    pub const fn new(
+        name: &'static str,
+        default: f64,
+        unit: &'static str,
+        description: &'static str,
+    ) -> Self {
+        ParamSpec {
+            name,
+            default,
+            unit,
+            description,
+        }
+    }
+}
+
+impl fmt::Display for ParamSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.unit.is_empty() {
+            write!(f, "{} (default {}): {}", self.name, self.default, self.description)
+        } else {
+            write!(
+                f,
+                "{} (default {} {}): {}",
+                self.name, self.default, self.unit, self.description
+            )
+        }
+    }
+}
+
+/// A set of parameter values supplied by a netlist instance.
+///
+/// # Examples
+///
+/// ```
+/// use picbench_sparams::Settings;
+///
+/// let mut s = Settings::new();
+/// s.insert("delta_length", 10.0);
+/// assert_eq!(s.get_or("delta_length", 0.0), 10.0);
+/// assert_eq!(s.get_or("phase", 1.5), 1.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Settings {
+    values: BTreeMap<String, f64>,
+}
+
+impl Settings {
+    /// Creates an empty settings map.
+    pub fn new() -> Self {
+        Settings::default()
+    }
+
+    /// Inserts or replaces a value, returning the previous one if any.
+    pub fn insert(&mut self, name: impl Into<String>, value: f64) -> Option<f64> {
+        self.values.insert(name.into(), value)
+    }
+
+    /// Looks up a value.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Looks up a value, falling back to `default`.
+    pub fn get_or(&self, name: &str, default: f64) -> f64 {
+        self.get(name).unwrap_or(default)
+    }
+
+    /// Resolves a parameter against its spec (netlist value or default).
+    pub fn resolve(&self, spec: &ParamSpec) -> f64 {
+        self.get_or(spec.name, spec.default)
+    }
+
+    /// Number of explicitly provided values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values were provided.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Names of provided parameters that are not in `specs` — used to flag
+    /// hallucinated parameters in generated netlists.
+    pub fn unknown_params<'a>(&'a self, specs: &[ParamSpec]) -> Vec<&'a str> {
+        self.values
+            .keys()
+            .filter(|k| !specs.iter().any(|s| s.name == k.as_str()))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+impl FromIterator<(String, f64)> for Settings {
+    fn from_iter<I: IntoIterator<Item = (String, f64)>>(iter: I) -> Self {
+        Settings {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, f64)> for Settings {
+    fn extend<I: IntoIterator<Item = (String, f64)>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LENGTH: ParamSpec = ParamSpec::new("length", 10.0, "um", "waveguide length");
+    const PHASE: ParamSpec = ParamSpec::new("phase", 0.0, "rad", "extra phase");
+
+    #[test]
+    fn insert_and_get() {
+        let mut s = Settings::new();
+        assert!(s.is_empty());
+        assert_eq!(s.insert("length", 20.0), None);
+        assert_eq!(s.insert("length", 30.0), Some(20.0));
+        assert_eq!(s.get("length"), Some(30.0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn resolve_uses_default_when_absent() {
+        let s = Settings::new();
+        assert_eq!(s.resolve(&LENGTH), 10.0);
+        let s: Settings = [("length".to_string(), 42.0)].into_iter().collect();
+        assert_eq!(s.resolve(&LENGTH), 42.0);
+    }
+
+    #[test]
+    fn unknown_params_detected() {
+        let mut s = Settings::new();
+        s.insert("length", 1.0);
+        s.insert("bogus", 2.0);
+        let unknown = s.unknown_params(&[LENGTH, PHASE]);
+        assert_eq!(unknown, vec!["bogus"]);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut s = Settings::new();
+        s.insert("z", 1.0);
+        s.insert("a", 2.0);
+        let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn param_spec_display() {
+        assert_eq!(
+            LENGTH.to_string(),
+            "length (default 10 um): waveguide length"
+        );
+        let unitless = ParamSpec::new("ratio", 0.5, "", "power ratio");
+        assert_eq!(unitless.to_string(), "ratio (default 0.5): power ratio");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based physics checks: every built-in model must stay
+//! reciprocal and passive for any valid parameters anywhere in the band,
+//! and lossless configurations must conserve energy.
+
+use picbench_sparams::{builtin_models, Settings};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_models_reciprocal_and_passive_at_defaults(wl in 1.51f64..1.59) {
+        for model in builtin_models() {
+            let s = model.s_matrix(wl, &Settings::new()).unwrap();
+            prop_assert!(s.is_reciprocal(1e-9), "{} not reciprocal", model.info().name);
+            prop_assert!(s.is_passive(1e-9), "{} not passive", model.info().name);
+        }
+    }
+
+    #[test]
+    fn waveguide_passive_for_any_length_and_loss(
+        wl in 1.51f64..1.59,
+        length in 0.0f64..5000.0,
+        loss in 0.0f64..50.0,
+    ) {
+        let models = builtin_models();
+        let wg = models.iter().find(|m| m.info().name == "waveguide").unwrap();
+        let mut settings = Settings::new();
+        settings.insert("length", length);
+        settings.insert("loss", loss);
+        let s = wg.s_matrix(wl, &settings).unwrap();
+        let t = s.s("I1", "O1").unwrap();
+        prop_assert!(t.abs() <= 1.0 + 1e-12);
+        prop_assert!(s.is_reciprocal(1e-12));
+    }
+
+    #[test]
+    fn coupler_is_unitary_for_any_coupling(
+        wl in 1.51f64..1.59,
+        kappa in 0.0f64..=1.0,
+    ) {
+        let models = builtin_models();
+        let c = models.iter().find(|m| m.info().name == "coupler").unwrap();
+        let mut settings = Settings::new();
+        settings.insert("coupling", kappa);
+        let s = c.s_matrix(wl, &settings).unwrap();
+        prop_assert!(s.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn mzi2x2_is_unitary_for_any_angles(
+        theta in -10.0f64..10.0,
+        phi in -10.0f64..10.0,
+    ) {
+        let models = builtin_models();
+        let m = models.iter().find(|m| m.info().name == "mzi2x2").unwrap();
+        let mut settings = Settings::new();
+        settings.insert("theta", theta);
+        settings.insert("phi", phi);
+        let s = m.s_matrix(1.55, &settings).unwrap();
+        prop_assert!(s.is_unitary(1e-10));
+        prop_assert!(s.is_reciprocal(1e-10));
+    }
+
+    #[test]
+    fn lossless_ring_conserves_energy(
+        wl in 1.51f64..1.59,
+        radius in 1.0f64..20.0,
+        k1 in 0.01f64..0.99,
+        k2 in 0.01f64..0.99,
+    ) {
+        let models = builtin_models();
+        let ring = models.iter().find(|m| m.info().name == "ringad").unwrap();
+        let mut settings = Settings::new();
+        settings.insert("radius", radius);
+        settings.insert("coupling1", k1);
+        settings.insert("coupling2", k2);
+        settings.insert("loss", 0.0);
+        let s = ring.s_matrix(wl, &settings).unwrap();
+        let total = s.s("I1", "O1").unwrap().norm_sqr() + s.s("I1", "O2").unwrap().norm_sqr();
+        prop_assert!((total - 1.0).abs() < 1e-9, "energy {total} at wl={wl}");
+    }
+
+    #[test]
+    fn switch_states_partition_power(
+        state in 0.0f64..=1.0,
+        wl in 1.51f64..1.59,
+    ) {
+        let models = builtin_models();
+        for name in ["switch1x2", "switch2x2"] {
+            let sw = models.iter().find(|m| m.info().name == name).unwrap();
+            let mut settings = Settings::new();
+            settings.insert("state", state);
+            let s = sw.s_matrix(wl, &settings).unwrap();
+            let total = s.s("I1", "O1").unwrap().norm_sqr() + s.s("I1", "O2").unwrap().norm_sqr();
+            prop_assert!((total - 1.0).abs() < 1e-10, "{name} leaks at state {state}");
+        }
+    }
+
+    #[test]
+    fn mzi_fringe_power_bounded(
+        wl in 1.51f64..1.59,
+        delta in 0.0f64..200.0,
+    ) {
+        let models = builtin_models();
+        let mzi = models.iter().find(|m| m.info().name == "mzi").unwrap();
+        let mut settings = Settings::new();
+        settings.insert("delta_length", delta);
+        settings.insert("loss", 0.0);
+        let s = mzi.s_matrix(wl, &settings).unwrap();
+        let p = s.s("I1", "O1").unwrap().norm_sqr();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+    }
+}

@@ -1,0 +1,27 @@
+//! # picbench
+//!
+//! Umbrella crate for **PICBench-rs**, a Rust reproduction of
+//! *PICBench: Benchmarking LLMs for Photonic Integrated Circuits Design*
+//! (DATE 2025). It re-exports the individual subsystem crates:
+//!
+//! * [`math`] — complex linear algebra and unitary-to-mesh decompositions
+//! * [`sparams`] — photonic component S-parameter models
+//! * [`netlist`] — JSON netlist schema, parser and Table-II validator
+//! * [`sim`] — the frequency-domain circuit simulator (SAX equivalent)
+//! * [`problems`] — the 24 benchmark design problems with golden designs
+//! * [`prompt`] — system/feedback prompt construction
+//! * [`synthllm`] — calibrated synthetic language models
+//! * [`core`] — the evaluation framework (syntax/functional checks, error
+//!   classification, feedback loop, Pass@k, campaigns)
+//!
+//! See the repository README for a walkthrough and `DESIGN.md` for the
+//! paper-to-code mapping.
+
+pub use picbench_core as core;
+pub use picbench_math as math;
+pub use picbench_netlist as netlist;
+pub use picbench_problems as problems;
+pub use picbench_prompt as prompt;
+pub use picbench_sim as sim;
+pub use picbench_sparams as sparams;
+pub use picbench_synthllm as synthllm;
