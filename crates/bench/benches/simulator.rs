@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use picbench_math::{decomp, MeshScheme};
 use picbench_problems::meshes::mesh_netlist;
-use picbench_sim::{evaluate, sweep, Backend, Circuit, ModelRegistry, WavelengthGrid};
+use picbench_sim::{
+    evaluate, sweep, sweep_naive, sweep_serial, Backend, Circuit, ModelRegistry, SweepPlan,
+    WavelengthGrid,
+};
 
 fn backend_comparison(c: &mut Criterion) {
     let registry = ModelRegistry::with_builtins();
@@ -56,6 +59,45 @@ fn full_band_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole ablation: naive per-point rebuild vs the plan/execute
+/// pipeline on the 64-point × 16-port reference mesh (see `sweep_bench`
+/// for the committed `BENCH_pipeline.json` numbers).
+fn plan_vs_naive_sweep(c: &mut Criterion) {
+    let registry = ModelRegistry::with_builtins();
+    let target = decomp::dft_matrix(8);
+    let mesh = decomp::clements_decompose(&target).unwrap();
+    let netlist = mesh_netlist(&mesh);
+    let circuit = Circuit::elaborate(&netlist, &registry, None).unwrap();
+    let grid = WavelengthGrid::new(1.51, 1.59, 64);
+    let mut group = c.benchmark_group("sweep-pipeline");
+    group.sample_size(10);
+    for backend in [Backend::Dense, Backend::PortElimination] {
+        group.bench_with_input(
+            BenchmarkId::new("naive", backend.to_string()),
+            &grid,
+            |b, grid| {
+                b.iter(|| sweep_naive(&circuit, grid, backend).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("plan", backend.to_string()),
+            &grid,
+            |b, grid| {
+                b.iter(|| sweep_serial(&circuit, grid, backend).unwrap());
+            },
+        );
+        // Plan construction alone, to show it amortizes after one point.
+        group.bench_with_input(
+            BenchmarkId::new("plan-build", backend.to_string()),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| SweepPlan::new(circuit, backend).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
 fn decomposition(c: &mut Criterion) {
     let mut group = c.benchmark_group("decompose");
     for n in [4usize, 8, 16] {
@@ -78,6 +120,7 @@ criterion_group!(
     backend_comparison,
     mesh_scaling,
     full_band_sweep,
+    plan_vs_naive_sweep,
     decomposition
 );
 criterion_main!(benches);

@@ -11,8 +11,8 @@
 //! `--release` — the campaign tables simulate thousands of circuits.
 
 use picbench_bench::{
-    error_histograms, fig1, fig2, fig3, fig4, restriction_ablation_table, table1, table2,
-    table3, table4, ReproScale,
+    error_histograms, fig1, fig2, fig3, fig4, restriction_ablation_table, table1, table2, table3,
+    table4, ReproScale,
 };
 
 fn print_usage() {
@@ -36,13 +36,10 @@ fn main() {
         match args[i].as_str() {
             "--samples" => {
                 i += 1;
-                scale.samples = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--samples needs a positive integer");
-                        std::process::exit(2);
-                    });
+                scale.samples = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--samples needs a positive integer");
+                    std::process::exit(2);
+                });
             }
             "--seed" => {
                 i += 1;

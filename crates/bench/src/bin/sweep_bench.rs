@@ -1,0 +1,162 @@
+//! `sweep_bench` — before/after numbers for the plan/execute sweep
+//! pipeline, written to `BENCH_pipeline.json`.
+//!
+//! Workload: the Clements 8×8 mesh golden (16 external ports, 36
+//! instances, 128 global ports) swept over 64 wavelength points — the
+//! reference "64-point × 16-port mesh" configuration. Both composition
+//! backends are measured twice per repetition:
+//!
+//! * **naive** — [`sweep_naive`]: the original per-point rebuild
+//!   (re-partition, re-permute, re-allocate, re-factor at every point);
+//! * **plan** — [`sweep_serial`]: the [`SweepPlan`]/`SolveWorkspace`
+//!   pipeline (structure frozen once, allocation-free point solves,
+//!   memoized dispersionless models).
+//!
+//! The median over `--reps` repetitions (default 5) is reported, the two
+//! paths are cross-checked to 1e-9 on power responses, and the parallel
+//! executor is verified element-wise identical to the serial one.
+//!
+//! Usage: `cargo run --release -p picbench-bench --bin sweep_bench
+//! [-- --reps N --out PATH]`
+//!
+//! [`SweepPlan`]: picbench_sim::SweepPlan
+
+use picbench_math::decomp;
+use picbench_problems::meshes::mesh_netlist;
+use picbench_sim::{
+    sweep_naive, sweep_parallel, sweep_serial, Backend, Circuit, ModelRegistry, SweepPlan,
+    WavelengthGrid,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const GRID_POINTS: usize = 64;
+const MESH_SIZE: usize = 8; // 8 inputs + 8 outputs = 16 external ports
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps = 5usize;
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let usage = "usage: sweep_bench [--reps N --out PATH]";
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--reps needs a positive integer; {usage}");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path; {usage}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other}; {usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let registry = ModelRegistry::with_builtins();
+    let target = decomp::dft_matrix(MESH_SIZE);
+    let mesh = decomp::clements_decompose(&target).expect("DFT is unitary");
+    let netlist = mesh_netlist(&mesh);
+    let circuit = Circuit::elaborate(&netlist, &registry, None).expect("golden mesh elaborates");
+    let grid = WavelengthGrid::new(1.51, 1.59, GRID_POINTS);
+
+    let memoized = SweepPlan::new(&circuit, Backend::Dense)
+        .expect("plan builds")
+        .memoized_instance_count();
+    println!(
+        "workload: clements-{MESH_SIZE}x{MESH_SIZE} mesh, {} instances ({} memoized), \
+         {} global ports, {} external ports, {GRID_POINTS} grid points, {reps} reps",
+        circuit.instance_count(),
+        memoized,
+        circuit.total_ports,
+        circuit.externals.len(),
+    );
+
+    let mut results = String::new();
+    for (index, backend) in [Backend::Dense, Backend::PortElimination]
+        .iter()
+        .enumerate()
+    {
+        let mut naive_ms = Vec::with_capacity(reps);
+        let mut plan_ms = Vec::with_capacity(reps);
+        let mut max_diff = 0.0f64;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let naive = sweep_naive(&circuit, &grid, *backend).expect("naive sweep");
+            naive_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            let t = Instant::now();
+            let planned = sweep_serial(&circuit, &grid, *backend).expect("planned sweep");
+            plan_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            let cmp = naive.compare(&planned);
+            assert!(
+                cmp.is_equivalent(1e-9),
+                "{backend}: plan disagrees with naive: {cmp}"
+            );
+            max_diff = max_diff.max(cmp.max_power_diff);
+        }
+        let naive = median_ms(naive_ms);
+        let plan = median_ms(plan_ms);
+        let speedup = naive / plan;
+        println!(
+            "{backend}: naive {naive:.2} ms -> plan {plan:.2} ms ({speedup:.2}x, \
+             max |dS|^2 vs naive {max_diff:.2e})"
+        );
+        if index > 0 {
+            results.push_str(",\n");
+        }
+        let _ = write!(
+            results,
+            "    {{\n      \"backend\": \"{backend}\",\n      \"naive_ms\": {naive:.3},\n      \
+             \"plan_ms\": {plan:.3},\n      \"speedup\": {speedup:.2},\n      \
+             \"max_abs_power_diff_vs_naive\": {max_diff:.3e}\n    }}"
+        );
+    }
+
+    // Determinism: the parallel executor must reproduce the serial sweep
+    // bit for bit (on a single-CPU host this still exercises the code
+    // path via an explicit worker count).
+    let serial = sweep_serial(&circuit, &grid, Backend::Dense).expect("serial sweep");
+    let parallel = sweep_parallel(&circuit, &grid, Backend::Dense, 4).expect("parallel sweep");
+    let identical = serial == parallel;
+    assert!(identical, "parallel sweep deviates from serial sweep");
+    println!("parallel (4 workers) element-wise identical to serial: {identical}");
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"benchmark\": \"wavelength-sweep plan/execute pipeline\",\n  \
+         \"workload\": {{\n    \"mesh\": \"clements-{MESH_SIZE}x{MESH_SIZE}\",\n    \
+         \"instances\": {},\n    \"memoized_instances\": {memoized},\n    \
+         \"global_ports\": {},\n    \"external_ports\": {},\n    \
+         \"grid_points\": {GRID_POINTS}\n  }},\n  \"repetitions\": {reps},\n  \
+         \"metric\": \"median wall-clock per full sweep, milliseconds\",\n  \
+         \"host_cpus\": {cpus},\n  \"results\": [\n{results}\n  ],\n  \
+         \"parallel_identical_to_serial\": {identical},\n  \
+         \"generated_by\": \"cargo run --release -p picbench-bench --bin sweep_bench\"\n}}\n",
+        circuit.instance_count(),
+        circuit.total_ports,
+        circuit.externals.len(),
+    );
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    println!("wrote {out_path}");
+}

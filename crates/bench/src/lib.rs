@@ -321,8 +321,16 @@ pub fn restriction_ablation_table(scale: ReproScale) -> String {
             scale.seed,
         );
         let baseline = rows[0].syntax_pass1;
-        let _ = writeln!(out, "\nModel: {} (full set: {:.2}% syntax Pass@1)", profile.name, baseline);
-        let _ = writeln!(out, "{:<45} {:>8} {:>8}", "removed restriction", "Pass@1", "delta");
+        let _ = writeln!(
+            out,
+            "\nModel: {} (full set: {:.2}% syntax Pass@1)",
+            profile.name, baseline
+        );
+        let _ = writeln!(
+            out,
+            "{:<45} {:>8} {:>8}",
+            "removed restriction", "Pass@1", "delta"
+        );
         for row in rows.iter().skip(1) {
             let label = row.removed.map(|f| f.label()).unwrap_or("(none)");
             let _ = writeln!(

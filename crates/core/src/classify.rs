@@ -15,7 +15,10 @@ use picbench_sim::SimError;
 pub fn classify_extract_error(err: &ExtractError) -> ValidationIssue {
     ValidationIssue::new(
         FailureType::OtherSyntax,
-        format!("No JSON netlist could be located in the response ({}).", err.reason),
+        format!(
+            "No JSON netlist could be located in the response ({}).",
+            err.reason
+        ),
     )
 }
 
@@ -68,7 +71,10 @@ pub fn classify_schema_error(err: &SchemaError) -> ValidationIssue {
 /// Classifies a simulation-time failure (model parameter rejection,
 /// singular systems, numerical blow-ups).
 pub fn classify_sim_error(err: &SimError) -> ValidationIssue {
-    ValidationIssue::new(FailureType::OtherSyntax, format!("Simulation error: {err}."))
+    ValidationIssue::new(
+        FailureType::OtherSyntax,
+        format!("Simulation error: {err}."),
+    )
 }
 
 #[cfg(test)]

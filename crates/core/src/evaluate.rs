@@ -7,14 +7,22 @@
 //!    response comes out, syntax passes.
 //! 2. **Functionality**: compare the generated design's frequency
 //!    response against the golden design's over the full sweep.
+//!
+//! Every simulation here goes through [`simulate_netlist`] →
+//! [`picbench_sim::sweep`], i.e. the plan/execute pipeline: the sweep
+//! structure is computed once per candidate circuit, the per-point solves
+//! reuse workspaces allocation-free, and grids of
+//! [`picbench_sim::PARALLEL_THRESHOLD`] or more points (the default
+//! [`WavelengthGrid::paper_fast`] qualifies) run on parallel workers —
+//! which is what keeps large evaluation campaigns cheap.
 
 use crate::classify;
 use picbench_netlist::extract::extract_payload;
 use picbench_netlist::{json, Netlist, ValidationIssue};
 use picbench_problems::Problem;
 use picbench_sim::{
-    simulate_netlist, Backend, FrequencyResponse, ModelRegistry, ResponseComparison,
-    SimulateError, WavelengthGrid,
+    simulate_netlist, Backend, FrequencyResponse, ModelRegistry, ResponseComparison, SimulateError,
+    WavelengthGrid,
 };
 use std::collections::HashMap;
 
@@ -131,10 +139,7 @@ impl Evaluator {
 
     /// Parses a raw response into a netlist, collecting every classified
     /// issue along the way.
-    pub fn parse_response(
-        &self,
-        response_text: &str,
-    ) -> (Option<Netlist>, Vec<ValidationIssue>) {
+    pub fn parse_response(&self, response_text: &str) -> (Option<Netlist>, Vec<ValidationIssue>) {
         let mut issues = Vec::new();
         let payload = match extract_payload(response_text) {
             Ok(p) => p,
@@ -291,8 +296,7 @@ mod tests {
     fn all_24_goldens_pass_their_own_evaluation() {
         let mut ev = Evaluator::default();
         for problem in picbench_problems::suite() {
-            let report =
-                ev.evaluate_response(&problem, &wrap(&problem.golden.to_json_string()));
+            let report = ev.evaluate_response(&problem, &wrap(&problem.golden.to_json_string()));
             assert!(
                 report.functional_pass(),
                 "golden of {} failed: {:?}",

@@ -15,7 +15,7 @@ use picbench_prompt::{
 use picbench_synthllm::LanguageModel;
 
 /// Configuration of one feedback-loop run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LoopConfig {
     /// Maximum number of feedback iterations after the initial query
     /// (the paper evaluates 0, 1 and 3).
@@ -23,15 +23,6 @@ pub struct LoopConfig {
     /// Whether the Table II restrictions are included in the system
     /// prompt.
     pub restrictions: bool,
-}
-
-impl Default for LoopConfig {
-    fn default() -> Self {
-        LoopConfig {
-            max_feedback_iters: 0,
-            restrictions: false,
-        }
-    }
 }
 
 /// One generation + evaluation round inside a sample.

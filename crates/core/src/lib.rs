@@ -39,14 +39,10 @@ mod report;
 mod stats;
 mod trace;
 
-pub use campaign::{
-    run_campaign, CampaignConfig, CampaignReport, CellScore, ConditionTallies,
-};
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CellScore, ConditionTallies};
 pub use evaluate::{EvalReport, Evaluator, DEFAULT_FUNCTIONAL_TOLERANCE};
 pub use feedback_loop::{run_sample, AttemptRecord, LoopConfig, SampleResult};
 pub use passk::{aggregate_pass_at_k, pass_at_k, ProblemTally};
 pub use report::{render_csv, render_table};
-pub use stats::{
-    collect_error_histogram, restriction_ablation, AblationRow, ErrorHistogram,
-};
+pub use stats::{collect_error_histogram, restriction_ablation, AblationRow, ErrorHistogram};
 pub use trace::render_trace_markdown;

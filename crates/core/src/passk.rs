@@ -63,10 +63,7 @@ pub fn aggregate_pass_at_k(tallies: &[ProblemTally], k: usize) -> (f64, f64) {
         func_sum += pass_at_k(t.n, t.functional_passes, k);
     }
     let count = tallies.len() as f64;
-    (
-        100.0 * syntax_sum / count,
-        100.0 * func_sum / count,
-    )
+    (100.0 * syntax_sum / count, 100.0 * func_sum / count)
 }
 
 #[cfg(test)]

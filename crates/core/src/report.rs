@@ -75,11 +75,7 @@ pub fn render_table(report: &CampaignReport, title: &str) -> String {
             for &ef in &efs {
                 match report.cell(model, ef, k) {
                     Some(cell) => {
-                        let _ = write!(
-                            out,
-                            "|{:>7.2} {:>7.2} ",
-                            cell.syntax, cell.functional
-                        );
+                        let _ = write!(out, "|{:>7.2} {:>7.2} ", cell.syntax, cell.functional);
                     }
                     None => {
                         let _ = write!(out, "|{:>7} {:>7} ", "-", "-");

@@ -236,13 +236,7 @@ mod tests {
     fn ablation_produces_one_row_per_restriction_plus_baseline() {
         let mut evaluator = Evaluator::default();
         let problems = small_problems();
-        let rows = restriction_ablation(
-            &ModelProfile::gpt4o(),
-            &problems,
-            &mut evaluator,
-            6,
-            5,
-        );
+        let rows = restriction_ablation(&ModelProfile::gpt4o(), &problems, &mut evaluator, 6, 5);
         // 1 baseline + 9 restrictions (OtherSyntax has no text).
         assert_eq!(rows.len(), 10);
         assert!(rows[0].removed.is_none());

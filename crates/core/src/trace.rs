@@ -22,7 +22,11 @@ pub fn render_trace_markdown(result: &SampleResult) -> String {
         result.sample_index,
         result.attempts.len(),
         if result.syntax_pass() { "PASS" } else { "FAIL" },
-        if result.functional_pass() { "PASS" } else { "FAIL" },
+        if result.functional_pass() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
     );
 
     let _ = writeln!(out, "## Attempts\n");
@@ -81,7 +85,13 @@ mod tests {
         let problem = picbench_problems::find("mzi-ps").unwrap();
         let mut evaluator = Evaluator::default();
         let mut oracle = PerfectLlm::new();
-        let result = run_sample(&mut oracle, &problem, &mut evaluator, LoopConfig::default(), 0);
+        let result = run_sample(
+            &mut oracle,
+            &problem,
+            &mut evaluator,
+            LoopConfig::default(),
+            0,
+        );
         let md = render_trace_markdown(&result);
         assert!(md.contains("# Trace: Oracle on `mzi-ps`"));
         assert!(md.contains("syntax **PASS**"));

@@ -115,7 +115,7 @@ mod tests {
     fn builds_complete_netlist() {
         let n = NetlistBuilder::new()
             .instance("a", "waveguide")
-            .instance_with("b", "phaseshifter", &[("phase", 3.14)])
+            .instance_with("b", "phaseshifter", &[("phase", 2.5)])
             .connect("a,O1", "b,I1")
             .port("I1", "a,I1")
             .port("O1", "b,O1")
@@ -128,7 +128,7 @@ mod tests {
         assert_eq!(n.models.len(), 2);
         assert_eq!(
             n.instances.get("b").unwrap().settings.get("phase"),
-            Some(&3.14)
+            Some(&2.5)
         );
     }
 

@@ -45,7 +45,11 @@ pub struct ExtractError {
 
 impl fmt::Display for ExtractError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "could not locate a JSON netlist in the response: {}", self.reason)
+        write!(
+            f,
+            "could not locate a JSON netlist in the response: {}",
+            self.reason
+        )
     }
 }
 
@@ -195,8 +199,9 @@ mod tests {
 
     #[test]
     fn surrounding_prose_is_captured() {
-        let p = extract_payload("<result>Here is the netlist: {\"a\": 1} Hope this helps!</result>")
-            .unwrap();
+        let p =
+            extract_payload("<result>Here is the netlist: {\"a\": 1} Hope this helps!</result>")
+                .unwrap();
         assert_eq!(p.json, "{\"a\": 1}");
         let extra = p.extra_content.unwrap();
         assert!(extra.contains("Here is the netlist:"));
@@ -214,8 +219,8 @@ mod tests {
 
     #[test]
     fn braces_inside_strings_do_not_confuse_the_scanner() {
-        let p = extract_payload(r#"<result>{"note": "a } inside", "b": {"c": 1}}</result>"#)
-            .unwrap();
+        let p =
+            extract_payload(r#"<result>{"note": "a } inside", "b": {"c": 1}}</result>"#).unwrap();
         assert_eq!(p.json, r#"{"note": "a } inside", "b": {"c": 1}}"#);
     }
 

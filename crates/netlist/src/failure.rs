@@ -104,9 +104,7 @@ impl FailureType {
                  the defined instances and models. Do not generate invalid or \
                  undefined mappings."
             }
-            FailureType::InvalidComponentName => {
-                "Underscores are prohibited in component names."
-            }
+            FailureType::InvalidComponentName => "Underscores are prohibited in component names.",
             FailureType::OtherSyntax => "",
         }
     }

@@ -123,9 +123,7 @@ impl fmt::Display for JsonError {
             JsonErrorKind::UnexpectedEnd => "unexpected end of input".to_string(),
             JsonErrorKind::InvalidNumber => "invalid number literal".to_string(),
             JsonErrorKind::InvalidEscape => "invalid string escape".to_string(),
-            JsonErrorKind::TrailingContent => {
-                "unexpected content after the JSON value".to_string()
-            }
+            JsonErrorKind::TrailingContent => "unexpected content after the JSON value".to_string(),
             JsonErrorKind::Expected(tok) => format!("expected {tok}"),
             JsonErrorKind::CommentFound => "comments are not allowed in JSON".to_string(),
         };
@@ -163,7 +161,11 @@ impl<'a> Parser<'a> {
                 col += 1;
             }
         }
-        JsonError { kind, line, column: col }
+        JsonError {
+            kind,
+            line,
+            column: col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -297,9 +299,9 @@ impl<'a> Parser<'a> {
                             let d = self
                                 .bump()
                                 .ok_or_else(|| self.error(JsonErrorKind::UnexpectedEnd))?;
-                            let digit = (d as char)
-                                .to_digit(16)
-                                .ok_or_else(|| self.error_at(JsonErrorKind::InvalidEscape, self.pos - 1))?;
+                            let digit = (d as char).to_digit(16).ok_or_else(|| {
+                                self.error_at(JsonErrorKind::InvalidEscape, self.pos - 1)
+                            })?;
                             code = code * 16 + digit;
                         }
                         let ch = char::from_u32(code)
@@ -311,7 +313,9 @@ impl<'a> Parser<'a> {
                     }
                 },
                 Some(b) if b < 0x20 => {
-                    return Err(self.error_at(JsonErrorKind::UnexpectedChar(b as char), self.pos - 1))
+                    return Err(
+                        self.error_at(JsonErrorKind::UnexpectedChar(b as char), self.pos - 1)
+                    )
                 }
                 Some(b) => {
                     // Collect the full UTF-8 sequence.

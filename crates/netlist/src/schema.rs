@@ -80,7 +80,9 @@ impl FromStr for PortRef {
         let instance = parts.next().unwrap_or("").trim();
         let port = parts.next().unwrap_or("").trim();
         if instance.is_empty() || port.is_empty() || port.contains(',') {
-            return Err(ParsePortRefError { text: s.to_string() });
+            return Err(ParsePortRefError {
+                text: s.to_string(),
+            });
         }
         Ok(PortRef::new(instance, port))
     }
@@ -236,9 +238,9 @@ impl Netlist {
             .ok_or(SchemaError::MissingSection {
                 section: "connections",
             })?;
-        let ports_v = netlist_v.get("ports").ok_or(SchemaError::MissingSection {
-            section: "ports",
-        })?;
+        let ports_v = netlist_v
+            .get("ports")
+            .ok_or(SchemaError::MissingSection { section: "ports" })?;
         let models_v = v
             .get("models")
             .ok_or(SchemaError::MissingSection { section: "models" })?;
@@ -267,19 +269,17 @@ impl Netlist {
                         })?;
                     let mut instance = Instance::new(component);
                     if let Some(settings_v) = spec.get("settings") {
-                        let entries =
-                            settings_v.as_object().ok_or(SchemaError::WrongType {
-                                path: format!("netlist.instances.{name}.settings"),
-                                expected: "object",
-                                found: settings_v.type_name(),
-                            })?;
+                        let entries = settings_v.as_object().ok_or(SchemaError::WrongType {
+                            path: format!("netlist.instances.{name}.settings"),
+                            expected: "object",
+                            found: settings_v.type_name(),
+                        })?;
                         for (param, value) in entries {
-                            let num =
-                                value.as_f64().ok_or(SchemaError::NonNumericSetting {
-                                    instance: name.clone(),
-                                    param: param.clone(),
-                                    found: value.type_name(),
-                                })?;
+                            let num = value.as_f64().ok_or(SchemaError::NonNumericSetting {
+                                instance: name.clone(),
+                                param: param.clone(),
+                                found: value.type_name(),
+                            })?;
                             instance.settings.insert(param.clone(), num);
                         }
                     }
@@ -348,10 +348,12 @@ impl Netlist {
             found: models_v.type_name(),
         })?;
         for (component, ref_v) in model_entries {
-            let model_ref = ref_v.as_str().ok_or_else(|| SchemaError::ModelRefNotString {
-                component: component.clone(),
-                found: ref_v.type_name(),
-            })?;
+            let model_ref = ref_v
+                .as_str()
+                .ok_or_else(|| SchemaError::ModelRefNotString {
+                    component: component.clone(),
+                    found: ref_v.type_name(),
+                })?;
             models.insert(component.clone(), model_ref.to_string());
         }
 
@@ -388,7 +390,10 @@ impl Netlist {
                         .collect(),
                 );
                 Value::Object(vec![
-                    ("component".to_string(), Value::String(inst.component.clone())),
+                    (
+                        "component".to_string(),
+                        Value::String(inst.component.clone()),
+                    ),
                     ("settings".to_string(), settings),
                 ])
             };
@@ -410,9 +415,7 @@ impl Netlist {
         let model_entries = self
             .models
             .iter()
-            .map(|(component, model_ref)| {
-                (component.to_string(), Value::String(model_ref.clone()))
-            })
+            .map(|(component, model_ref)| (component.to_string(), Value::String(model_ref.clone())))
             .collect();
 
         Value::Object(vec![
@@ -513,7 +516,11 @@ mod tests {
         assert_eq!(n.ports.len(), 2);
         assert_eq!(n.models.len(), 3);
         assert_eq!(
-            n.instances.get("waveBottom").unwrap().settings.get("length"),
+            n.instances
+                .get("waveBottom")
+                .unwrap()
+                .settings
+                .get("length"),
             Some(&20.0)
         );
         assert_eq!(n.models.get("mmi").map(String::as_str), Some("mmi1x2"));

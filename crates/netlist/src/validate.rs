@@ -134,7 +134,11 @@ fn check_component_names(netlist: &Netlist, issues: &mut Vec<ValidationIssue>) {
     }
 }
 
-fn check_models(netlist: &Netlist, catalog: &dyn ComponentCatalog, issues: &mut Vec<ValidationIssue>) {
+fn check_models(
+    netlist: &Netlist,
+    catalog: &dyn ComponentCatalog,
+    issues: &mut Vec<ValidationIssue>,
+) {
     // Every component used by an instance needs a model binding (or must
     // itself be a known model ref).
     for (name, inst) in netlist.instances.iter() {
@@ -231,7 +235,9 @@ fn check_duplicate_connections(netlist: &Netlist, issues: &mut Vec<ValidationIss
     for (port, count) in duplicated {
         issues.push(ValidationIssue::new(
             FailureType::DuplicatePortConnection,
-            format!("Port {port} is connected {count} times; each port can only be connected once."),
+            format!(
+                "Port {port} is connected {count} times; each port can only be connected once."
+            ),
         ));
     }
 }
@@ -241,10 +247,7 @@ fn check_bound_io(netlist: &Netlist, issues: &mut Vec<ValidationIssue>) {
     // (check_duplicate_connections already counts it once for the ports
     // section; here we produce the specific Table II category.)
     for (external, pr) in netlist.ports.iter() {
-        let bound_internally = netlist
-            .connections
-            .iter()
-            .any(|c| c.a == *pr || c.b == *pr);
+        let bound_internally = netlist.connections.iter().any(|c| c.a == *pr || c.b == *pr);
         if bound_internally {
             issues.push(ValidationIssue::new(
                 FailureType::BoundIoPorts,
@@ -309,7 +312,10 @@ mod tests {
 
     impl ComponentCatalog for TestCatalog {
         fn has_model(&self, model_ref: &str) -> bool {
-            matches!(model_ref, "mmi1x2" | "waveguide" | "phaseshifter" | "mmi2x2")
+            matches!(
+                model_ref,
+                "mmi1x2" | "waveguide" | "phaseshifter" | "mmi2x2"
+            )
         }
 
         fn ports_of(&self, model_ref: &str) -> Option<Vec<String>> {
@@ -437,7 +443,9 @@ mod tests {
             b: crate::PortRef::new("mmi1", "I1"),
         });
         let issues = validate(&n, &TestCatalog, Some(&SPEC));
-        assert!(issues.iter().any(|i| i.failure == FailureType::BoundIoPorts));
+        assert!(issues
+            .iter()
+            .any(|i| i.failure == FailureType::BoundIoPorts));
         // It is *also* a duplicate connection (phaseShifter,O1 used twice),
         // which mirrors how real tool errors overlap.
         assert!(issues
@@ -479,8 +487,7 @@ mod tests {
         let issues = validate(&n, &TestCatalog, Some(&SPEC));
         assert!(issues
             .iter()
-            .any(|i| i.failure == FailureType::DanglingPortConnection
-                && i.message.contains("O9")));
+            .any(|i| i.failure == FailureType::DanglingPortConnection && i.message.contains("O9")));
     }
 
     #[test]

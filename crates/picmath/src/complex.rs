@@ -141,7 +141,7 @@ impl Complex {
         let mut acc = Complex::ONE;
         while n > 0 {
             if n & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
             base = base * base;
             n >>= 1;
@@ -222,6 +222,7 @@ impl Mul for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w^-1 by definition
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

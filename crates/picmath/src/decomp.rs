@@ -57,10 +57,7 @@ impl GivensFactor {
     pub fn block(&self) -> [[Complex; 2]; 2] {
         let (s, c) = self.theta.sin_cos();
         let ph = Complex::cis(self.phi);
-        [
-            [ph * c, Complex::real(-s)],
-            [ph * s, Complex::real(c)],
-        ]
+        [[ph * c, Complex::real(-s)], [ph * s, Complex::real(c)]]
     }
 
     /// The N×N embedding of [`GivensFactor::block`] at `self.mode`.
@@ -410,14 +407,14 @@ pub fn random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMatrix {
         for i in 0..n {
             for j in 0..i {
                 let proj: Complex = (0..n).map(|k| cols[j][k].conj() * cols[i][k]).sum();
-                for k in 0..n {
-                    let sub = proj * cols[j][k];
-                    cols[i][k] -= sub;
+                let (settled, rest) = cols.split_at_mut(i);
+                for (x, &basis) in rest[0].iter_mut().zip(&settled[j]) {
+                    *x -= proj * basis;
                 }
             }
             let norm: f64 = cols[i].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
-            for k in 0..n {
-                cols[i][k] = cols[i][k] / norm;
+            for z in cols[i].iter_mut() {
+                *z = *z / norm;
             }
         }
     }

@@ -108,13 +108,88 @@ impl CMatrix {
         &self.data
     }
 
+    /// Mutable borrow of the underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
     /// Returns the entry at `(row, col)`, or `None` when out of bounds.
+    #[inline]
     pub fn get(&self, row: usize, col: usize) -> Option<Complex> {
         if row < self.rows && col < self.cols {
             Some(self.data[row * self.cols + col])
         } else {
             None
         }
+    }
+
+    /// The entry at `(row, col)` without a release-mode bounds check.
+    ///
+    /// Hot solver loops iterate over index sets that are valid by
+    /// construction (they come from the matrix's own dimensions), so the
+    /// per-access `assert!` of the `Index` operator is pure overhead there.
+    /// Debug builds still verify every access.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> Complex {
+        debug_assert!(
+            row < self.rows && col < self.cols,
+            "matrix index ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        // SAFETY: `row < self.rows && col < self.cols` holds for every call
+        // site by construction and is checked above in debug builds, so the
+        // flat index is within `data` (len == rows * cols).
+        unsafe { *self.data.get_unchecked(row * self.cols + col) }
+    }
+
+    /// Mutable counterpart of [`CMatrix::at`].
+    #[inline]
+    pub fn at_mut(&mut self, row: usize, col: usize) -> &mut Complex {
+        debug_assert!(
+            row < self.rows && col < self.cols,
+            "matrix index ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        // SAFETY: see `at`.
+        unsafe { self.data.get_unchecked_mut(row * self.cols + col) }
+    }
+
+    /// Row `r` as a borrowed slice (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[Complex] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Changes the dimensions in place, reusing the existing storage.
+    ///
+    /// After the call every entry is **unspecified** (a mix of stale and
+    /// zero values); callers must overwrite the matrix before reading it.
+    /// No allocation happens once the backing buffer has grown to its
+    /// high-water mark — this is the workhorse of the sweep workspaces.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, Complex::ZERO);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Sets every entry to zero, keeping the dimensions.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(Complex::ZERO);
+    }
+
+    /// Makes `self` an entry-wise copy of `other`, reshaping as needed and
+    /// reusing the existing storage.
+    pub fn copy_from(&mut self, other: &CMatrix) {
+        self.reshape(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Extracts row `r` as a vector.
@@ -142,6 +217,17 @@ impl CMatrix {
         CMatrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
     }
 
+    /// Writes the transpose of `self` into `out` (reshaped, no allocation
+    /// at steady state).
+    pub fn transpose_into(&self, out: &mut CMatrix) {
+        out.reshape(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                *out.at_mut(c, r) = self.at(r, c);
+            }
+        }
+    }
+
     /// Conjugate transpose (Hermitian adjoint).
     pub fn dagger(&self) -> CMatrix {
         CMatrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
@@ -156,22 +242,21 @@ impl CMatrix {
         }
     }
 
+    /// Multiplies every entry by a complex scalar in place.
+    pub fn scale_in_place(&mut self, k: Complex) {
+        for z in &mut self.data {
+            *z *= k;
+        }
+    }
+
     /// Matrix–vector product.
     ///
     /// # Panics
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
-        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
-        let mut out = vec![Complex::ZERO; self.rows];
-        for r in 0..self.rows {
-            let mut acc = Complex::ZERO;
-            let base = r * self.cols;
-            for c in 0..self.cols {
-                acc += self.data[base + c] * v[c];
-            }
-            out[r] = acc;
-        }
+        let mut out = Vec::new();
+        self.mul_vec_into(v, &mut out);
         out
     }
 
@@ -180,6 +265,66 @@ impl CMatrix {
         CMatrix::from_fn(row_idx.len(), col_idx.len(), |r, c| {
             self[(row_idx[r], col_idx[c])]
         })
+    }
+
+    /// Gathers the sub-matrix selecting `row_idx × col_idx` into `out`
+    /// (reshaped, no allocation at steady state).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any index is out of bounds.
+    pub fn submatrix_into(&self, row_idx: &[usize], col_idx: &[usize], out: &mut CMatrix) {
+        out.reshape(row_idx.len(), col_idx.len());
+        for (r, &src_r) in row_idx.iter().enumerate() {
+            for (c, &src_c) in col_idx.iter().enumerate() {
+                *out.at_mut(r, c) = self.at(src_r, src_c);
+            }
+        }
+    }
+
+    /// Matrix product `self · rhs` written into `out` (reshaped, no
+    /// allocation at steady state). `out` must not alias either operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul_into(&self, rhs: &CMatrix, out: &mut CMatrix) {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in mul_into");
+        out.reshape(self.rows, rhs.cols);
+        out.fill_zero();
+        let n_cols = rhs.cols;
+        for r in 0..self.rows {
+            let out_row = &mut out.as_mut_slice()[r * n_cols..(r + 1) * n_cols];
+            for k in 0..self.cols {
+                let a = self.at(r, k);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                let rhs_row = rhs.row_slice(k);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Matrix–vector product written into `out` (resized, no allocation at
+    /// steady state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec_into(&self, v: &[Complex], out: &mut Vec<Complex>) {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec_into");
+        out.clear();
+        out.resize(self.rows, Complex::ZERO);
+        for (row, slot) in self.data.chunks_exact(self.cols.max(1)).zip(out.iter_mut()) {
+            let mut acc = Complex::ZERO;
+            for (&a, &b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            *slot = acc;
+        }
     }
 
     /// Frobenius norm `√Σ|a_ij|²`.
@@ -325,10 +470,7 @@ impl Sub for &CMatrix {
 impl Mul for &CMatrix {
     type Output = CMatrix;
     fn mul(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "dimension mismatch in matrix multiply"
-        );
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix multiply");
         let mut out = CMatrix::zeros(self.rows, rhs.cols);
         for r in 0..self.rows {
             for k in 0..self.cols {
@@ -384,7 +526,10 @@ mod tests {
 
     #[test]
     fn from_rows_and_index() {
-        let m = CMatrix::from_rows(&[vec![c(1.0, 0.0), c(2.0, 0.0)], vec![c(3.0, 0.0), c(4.0, 0.0)]]);
+        let m = CMatrix::from_rows(&[
+            vec![c(1.0, 0.0), c(2.0, 0.0)],
+            vec![c(3.0, 0.0), c(4.0, 0.0)],
+        ]);
         assert_eq!(m[(0, 1)], c(2.0, 0.0));
         assert_eq!(m[(1, 0)], c(3.0, 0.0));
         assert_eq!(m.get(5, 5), None);
@@ -393,8 +538,14 @@ mod tests {
 
     #[test]
     fn multiply_matches_hand_computation() {
-        let a = CMatrix::from_rows(&[vec![c(1.0, 0.0), c(0.0, 1.0)], vec![c(2.0, 0.0), c(0.0, 0.0)]]);
-        let b = CMatrix::from_rows(&[vec![c(0.0, 1.0), c(1.0, 0.0)], vec![c(1.0, 0.0), c(0.0, -1.0)]]);
+        let a = CMatrix::from_rows(&[
+            vec![c(1.0, 0.0), c(0.0, 1.0)],
+            vec![c(2.0, 0.0), c(0.0, 0.0)],
+        ]);
+        let b = CMatrix::from_rows(&[
+            vec![c(0.0, 1.0), c(1.0, 0.0)],
+            vec![c(1.0, 0.0), c(0.0, -1.0)],
+        ]);
         let p = &a * &b;
         // (1)(i) + (i)(1) = 2i ; (1)(1) + (i)(-i) = 2
         assert!(p[(0, 0)].approx_eq(c(0.0, 2.0), 1e-12));
@@ -450,10 +601,7 @@ mod tests {
     #[test]
     fn apply_left_2x2_rotates_rows() {
         let mut a = CMatrix::identity(3);
-        let g = [
-            [Complex::ZERO, Complex::ONE],
-            [Complex::ONE, Complex::ZERO],
-        ];
+        let g = [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]];
         a.apply_left_2x2(1, g);
         // Rows 1 and 2 swapped.
         assert_eq!(a[(1, 2)], Complex::ONE);
@@ -498,5 +646,71 @@ mod tests {
         let a = CMatrix::zeros(2, 3);
         let b = CMatrix::zeros(2, 3);
         let _ = &a * &b;
+    }
+
+    #[test]
+    fn at_matches_index() {
+        let a = CMatrix::from_fn(3, 4, |r, cc| c(r as f64, cc as f64));
+        for r in 0..3 {
+            for cc in 0..4 {
+                assert_eq!(a.at(r, cc), a[(r, cc)]);
+            }
+        }
+        assert_eq!(a.row_slice(1), &a.as_slice()[4..8]);
+    }
+
+    #[test]
+    fn reshape_and_copy_from_reuse_storage() {
+        let mut buf = CMatrix::zeros(5, 5);
+        let src = CMatrix::from_fn(3, 2, |r, cc| c((r + cc) as f64, 0.0));
+        buf.copy_from(&src);
+        assert_eq!(buf, src);
+        buf.reshape(2, 2);
+        assert_eq!(buf.rows(), 2);
+        assert_eq!(buf.cols(), 2);
+        buf.fill_zero();
+        assert!(buf.as_slice().iter().all(|&z| z == Complex::ZERO));
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let a = CMatrix::from_fn(3, 5, |r, cc| c(r as f64, cc as f64 - 1.0));
+        let mut out = CMatrix::zeros(0, 0);
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+    }
+
+    #[test]
+    fn scale_in_place_matches_scale() {
+        let a = CMatrix::from_fn(2, 3, |r, cc| c(r as f64 + 1.0, cc as f64));
+        let mut b = a.clone();
+        b.scale_in_place(c(0.5, -1.0));
+        assert!(b.max_abs_diff(&a.scale(c(0.5, -1.0))) < 1e-15);
+    }
+
+    #[test]
+    fn mul_into_matches_operator() {
+        let a = CMatrix::from_fn(3, 4, |r, cc| c(r as f64, cc as f64));
+        let b = CMatrix::from_fn(4, 2, |r, cc| c(cc as f64 - r as f64, 1.0));
+        let mut out = CMatrix::zeros(7, 7);
+        a.mul_into(&b, &mut out);
+        assert!(out.max_abs_diff(&(&a * &b)) < 1e-13);
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let a = CMatrix::from_fn(3, 2, |r, cc| c((r + cc) as f64, 1.0));
+        let v = vec![c(1.0, 0.0), c(0.0, 1.0)];
+        let mut out = Vec::new();
+        a.mul_vec_into(&v, &mut out);
+        assert_eq!(out, a.mul_vec(&v));
+    }
+
+    #[test]
+    fn submatrix_into_matches_submatrix() {
+        let a = CMatrix::from_fn(4, 4, |r, cc| c((r * 4 + cc) as f64, 0.0));
+        let mut out = CMatrix::zeros(0, 0);
+        a.submatrix_into(&[1, 3], &[0, 2], &mut out);
+        assert_eq!(out, a.submatrix(&[1, 3], &[0, 2]));
     }
 }

@@ -34,9 +34,21 @@ fn add_iq_stage(b: &mut NetlistBuilder, prefix: &str, bias_i: f64, bias_q: f64) 
     let ps = format!("{prefix}ps");
     let comb = format!("{prefix}comb");
     b.instance(&split, "mmi");
-    b.instance_with(&mzmi, "mzm", &[("phase_top", bias_i), ("phase_bottom", -bias_i)]);
-    b.instance_with(&mzmq, "mzm", &[("phase_top", bias_q), ("phase_bottom", -bias_q)]);
-    b.instance_with(&ps, "phaseshifter", &[("length", 0.0), ("phase", FRAC_PI_2)]);
+    b.instance_with(
+        &mzmi,
+        "mzm",
+        &[("phase_top", bias_i), ("phase_bottom", -bias_i)],
+    );
+    b.instance_with(
+        &mzmq,
+        "mzm",
+        &[("phase_top", bias_q), ("phase_bottom", -bias_q)],
+    );
+    b.instance_with(
+        &ps,
+        "phaseshifter",
+        &[("length", 0.0), ("phase", FRAC_PI_2)],
+    );
     b.instance(&comb, "mmi");
     b.connect(&format!("{split},O1"), &format!("{mzmi},I1"));
     b.connect(&format!("{split},O2"), &format!("{mzmq},I1"));
@@ -71,7 +83,11 @@ pub fn qam8_modulator_golden() -> Netlist {
     // Asymmetric split: 2/3 of the power to the QPSK stage.
     b.instance_with("insplit", "splitter", &[("ratio", 2.0 / 3.0)]);
     add_iq_stage(&mut b, "iq", PI / 4.0, PI / 4.0);
-    b.instance_with("mzmamp", "mzm", &[("phase_top", PI / 4.0), ("phase_bottom", -PI / 4.0)]);
+    b.instance_with(
+        "mzmamp",
+        "mzm",
+        &[("phase_top", PI / 4.0), ("phase_bottom", -PI / 4.0)],
+    );
     b.instance_with("att", "attenuator", &[("attenuation", 6.0206)]);
     b.instance("outcomb", "mmi");
     b.connect("insplit,O1", "iqsplit,I1");
@@ -200,7 +216,11 @@ pub fn optical_hybrid_golden() -> Netlist {
     let mut b = NetlistBuilder::new();
     b.instance("splitsig", "mmi");
     b.instance("splitlo", "mmi");
-    b.instance_with("ps90", "phaseshifter", &[("length", 0.0), ("phase", FRAC_PI_2)]);
+    b.instance_with(
+        "ps90",
+        "phaseshifter",
+        &[("length", 0.0), ("phase", FRAC_PI_2)],
+    );
     b.instance("mixa", "mmi22");
     b.instance("mixb", "mmi22");
     b.connect("splitsig,O1", "mixa,I1");
@@ -296,7 +316,10 @@ mod tests {
                     .iter()
                     .enumerate()
                     .min_by(|a, b| {
-                        (a.1 - target).abs().partial_cmp(&(b.1 - target).abs()).unwrap()
+                        (a.1 - target)
+                            .abs()
+                            .partial_cmp(&(b.1 - target).abs())
+                            .unwrap()
                     })
                     .unwrap()
                     .0;

@@ -456,7 +456,8 @@ mod tests {
         assert_eq!(ids.len(), 24);
         for id in ids {
             assert!(
-                id.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                id.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
                 "bad id {id}"
             );
         }

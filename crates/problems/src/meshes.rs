@@ -19,11 +19,7 @@ pub fn mesh_netlist(mesh: &MeshDecomposition) -> Netlist {
 
     for (k, f) in mesh.factors.iter().enumerate() {
         let name = format!("mzi{}", k + 1);
-        b.instance_with(
-            &name,
-            "mzi2x2",
-            &[("theta", f.theta), ("phi", f.phi)],
-        );
+        b.instance_with(&name, "mzi2x2", &[("theta", f.theta), ("phi", f.phi)]);
         bus.feed(&mut b, f.mode, &format!("{name},I1"));
         bus.feed(&mut b, f.mode + 1, &format!("{name},I2"));
         bus.drive(f.mode, &format!("{name},O1"));
@@ -32,7 +28,11 @@ pub fn mesh_netlist(mesh: &MeshDecomposition) -> Netlist {
 
     for (w, phase) in mesh.output_phases.iter().enumerate() {
         let name = format!("ophase{}", w + 1);
-        b.instance_with(&name, "phaseshifter", &[("length", 0.0), ("phase", phase.arg())]);
+        b.instance_with(
+            &name,
+            "phaseshifter",
+            &[("length", 0.0), ("phase", phase.arg())],
+        );
         bus.through(&mut b, w, &format!("{name},I1"), &format!("{name},O1"));
     }
 
@@ -71,8 +71,16 @@ pub fn umatrix_golden() -> Netlist {
     // non-default so functional checks are sharp.
     let mut b = NetlistBuilder::new();
     b.instance_with("ublock", "mzi2x2", &[("theta", 0.93), ("phi", 0.37)]);
-    b.instance_with("ophase1", "phaseshifter", &[("length", 0.0), ("phase", 0.25)]);
-    b.instance_with("ophase2", "phaseshifter", &[("length", 0.0), ("phase", -0.60)]);
+    b.instance_with(
+        "ophase1",
+        "phaseshifter",
+        &[("length", 0.0), ("phase", 0.25)],
+    );
+    b.instance_with(
+        "ophase2",
+        "phaseshifter",
+        &[("length", 0.0), ("phase", -0.60)],
+    );
     b.connect("ublock,O1", "ophase1,I1");
     b.connect("ublock,O2", "ophase2,I1");
     b.port("I1", "ublock,I1");
@@ -103,7 +111,11 @@ pub fn nls_golden() -> Netlist {
     b.instance_with("bsa", "coupler", &[("coupling", r13)]);
     b.instance_with("bsb", "coupler", &[("coupling", r2)]);
     b.instance_with("bsc", "coupler", &[("coupling", r13)]);
-    b.instance_with("psflip", "phaseshifter", &[("length", 0.0), ("phase", std::f64::consts::PI)]);
+    b.instance_with(
+        "psflip",
+        "phaseshifter",
+        &[("length", 0.0), ("phase", std::f64::consts::PI)],
+    );
 
     // Mode layout: wire 0 = signal, wires 1-2 = ancillas.
     // Stage 1: bsa mixes ancilla wires 1,2.

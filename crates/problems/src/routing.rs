@@ -157,12 +157,12 @@ fn benes_states(node: &BenesNode, perm: &[usize]) -> Vec<(String, f64)> {
 
                     let output = perm[input];
                     let out_cross = output % 2 == 1; // odd output via top ⇒ cross
-                    debug_assert!(out_state[output / 2].map_or(true, |s| s == out_cross));
+                    debug_assert!(out_state[output / 2].is_none_or(|s| s == out_cross));
                     out_state[output / 2] = Some(out_cross);
 
                     // Sibling output arrives via the BOTTOM from input j.
                     let j = inv[output ^ 1];
-                    let j_cross = j % 2 == 0; // even input via bottom ⇒ cross
+                    let j_cross = j.is_multiple_of(2); // even input via bottom ⇒ cross
                     match in_state[j / 2] {
                         Some(existing) => {
                             debug_assert_eq!(existing, j_cross, "looping conflict");
@@ -178,11 +178,10 @@ fn benes_states(node: &BenesNode, perm: &[usize]) -> Vec<(String, f64)> {
             // Derive the sub-permutations.
             let mut top_perm = vec![0usize; half];
             let mut bottom_perm = vec![0usize; half];
-            for input in 0..n {
+            for (input, &output) in perm.iter().enumerate().take(n) {
                 let sw = input / 2;
                 let cross = in_state[sw].expect("all input switches decided");
                 let via_top = (input % 2 == 0) != cross;
-                let output = perm[input];
                 if via_top {
                     top_perm[sw] = output / 2;
                 } else {
@@ -192,10 +191,7 @@ fn benes_states(node: &BenesNode, perm: &[usize]) -> Vec<(String, f64)> {
 
             let mut states = Vec::new();
             for (k, name) in input_col.iter().enumerate() {
-                states.push((
-                    name.clone(),
-                    if in_state[k].unwrap() { 1.0 } else { 0.0 },
-                ));
+                states.push((name.clone(), if in_state[k].unwrap() { 1.0 } else { 0.0 }));
             }
             for (k, name) in output_col.iter().enumerate() {
                 let s = out_state[k].expect("all output switches decided");

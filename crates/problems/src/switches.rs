@@ -450,18 +450,18 @@ pub(crate) mod tests {
         let n = perm.len();
         let p = routing_matrix(netlist, n);
         for i in 0..n {
-            for o in 0..n {
+            for (o, row) in p.iter().enumerate().take(n) {
                 if perm[i] == o {
                     assert!(
-                        p[o][i] >= min,
+                        row[i] >= min,
                         "input {i} → output {o} expected ≥ {min}, got {}",
-                        p[o][i]
+                        row[i]
                     );
                 } else {
                     assert!(
-                        p[o][i] <= max_leak,
+                        row[i] <= max_leak,
                         "input {i} → output {o} expected ≤ {max_leak}, got {}",
-                        p[o][i]
+                        row[i]
                     );
                 }
             }

@@ -30,11 +30,9 @@ mod system;
 
 pub use conversation::{Conversation, Role, Turn};
 pub use feedback::{
-    evaluation_info, functional_feedback, syntax_feedback, CORRECTION_REQUEST,
-    FUNCTIONAL_FEEDBACK,
+    evaluation_info, functional_feedback, syntax_feedback, CORRECTION_REQUEST, FUNCTIONAL_FEEDBACK,
 };
 pub use system::{
     api_document, api_entry, render_system_prompt, render_system_prompt_with_restrictions,
-    restrictions_block, restrictions_block_for, SystemPromptConfig, GENERAL_NOTES,
-    NETLIST_FORMAT,
+    restrictions_block, restrictions_block_for, SystemPromptConfig, GENERAL_NOTES, NETLIST_FORMAT,
 };

@@ -174,8 +174,7 @@ mod tests {
 
     #[test]
     fn prompt_contains_all_three_sections() {
-        let prompt =
-            render_system_prompt(infos().iter(), SystemPromptConfig::default());
+        let prompt = render_system_prompt(infos().iter(), SystemPromptConfig::default());
         assert!(prompt.contains("<<<JSON format>>>"));
         assert!(prompt.contains("<<<API document>>>"));
         assert!(prompt.contains("Note that:"));

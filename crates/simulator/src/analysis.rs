@@ -35,7 +35,11 @@ pub struct SpectralPeak {
 /// assert_eq!(peaks.len(), 2);
 /// assert_eq!(peaks[0].wavelength_um, 2.0);
 /// ```
-pub fn find_peaks(wavelengths: &[f64], values_db: &[f64], min_prominence_db: f64) -> Vec<SpectralPeak> {
+pub fn find_peaks(
+    wavelengths: &[f64],
+    values_db: &[f64],
+    min_prominence_db: f64,
+) -> Vec<SpectralPeak> {
     assert_eq!(
         wavelengths.len(),
         values_db.len(),
@@ -124,11 +128,7 @@ pub fn theoretical_fsr_um(wavelength_um: f64, group_index: f64, delta_length_um:
 /// Full width of the region around `peak` that stays within 3 dB of its
 /// value, in µm (linear interpolation at the crossings). Returns `None`
 /// when a 3 dB crossing is missing on either side.
-pub fn bandwidth_3db(
-    wavelengths: &[f64],
-    values_db: &[f64],
-    peak: &SpectralPeak,
-) -> Option<f64> {
+pub fn bandwidth_3db(wavelengths: &[f64], values_db: &[f64], peak: &SpectralPeak) -> Option<f64> {
     let threshold = peak.value_db - 3.0;
     let crossing = |i0: usize, i1: usize| -> f64 {
         // Linear interpolation between samples i0 (above) and i1 (below).
@@ -144,8 +144,8 @@ pub fn bandwidth_3db(
         }
     }
     let mut right = None;
-    for i in peak.index + 1..values_db.len() {
-        if values_db[i] < threshold {
+    for (i, &value) in values_db.iter().enumerate().skip(peak.index + 1) {
+        if value < threshold {
             right = Some(crossing(i - 1, i));
             break;
         }
@@ -201,7 +201,11 @@ mod tests {
         let delta = 30.0;
         let (wl, db) = mzi_spectrum(delta);
         let peaks = find_peaks(&wl, &db, 10.0);
-        assert!(peaks.len() >= 3, "expected several fringes, got {}", peaks.len());
+        assert!(
+            peaks.len() >= 3,
+            "expected several fringes, got {}",
+            peaks.len()
+        );
         let measured = free_spectral_range_um(&peaks).unwrap();
         let expected = theoretical_fsr_um(1.55, 4.2, delta);
         let rel_err = (measured - expected).abs() / expected;
@@ -222,8 +226,10 @@ mod tests {
         for pair in peaks.windows(2) {
             let inside = notches
                 .iter()
-                .filter(|n| n.wavelength_um > pair[0].wavelength_um
-                    && n.wavelength_um < pair[1].wavelength_um)
+                .filter(|n| {
+                    n.wavelength_um > pair[0].wavelength_um
+                        && n.wavelength_um < pair[1].wavelength_um
+                })
                 .count();
             assert_eq!(inside, 1);
         }
@@ -246,8 +252,14 @@ mod tests {
     #[test]
     fn loss_and_extinction_of_lossless_mzi() {
         let (_, db) = mzi_spectrum(30.0);
-        assert!(insertion_loss_db(&db) < 0.01, "lossless fringe peaks at 0 dB");
-        assert!(extinction_ratio_db(&db) > 30.0, "deep interferometric nulls");
+        assert!(
+            insertion_loss_db(&db) < 0.01,
+            "lossless fringe peaks at 0 dB"
+        );
+        assert!(
+            extinction_ratio_db(&db) > 30.0,
+            "deep interferometric nulls"
+        );
     }
 
     #[test]

@@ -166,16 +166,15 @@ fn evaluate_dense(circuit: &Circuit, wavelength_um: f64) -> Result<SMatrix, SimE
     }
 
     // P·M permutes rows: (P·M)[r] = M[swap(r)].
-    let permute_rows = |m: &CMatrix| -> CMatrix {
-        CMatrix::from_fn(m.rows(), m.cols(), |r, c| m[(swap[r], c)])
-    };
+    let permute_rows =
+        |m: &CMatrix| -> CMatrix { CMatrix::from_fn(m.rows(), m.cols(), |r, c| m[(swap[r], c)]) };
     let p_s_ii = permute_rows(&s_ii);
     let p_s_ie = permute_rows(&s_ie);
 
     let n_int = int_idx.len();
     let system = &CMatrix::identity(n_int) - &p_s_ii;
-    let lu = LuDecomposition::factor(&system)
-        .map_err(|_| SimError::SingularSystem { wavelength_um })?;
+    let lu =
+        LuDecomposition::factor(&system).map_err(|_| SimError::SingularSystem { wavelength_um })?;
     let x = lu.solve_matrix(&p_s_ie);
     let s_ext = &s_ee + &(&s_ei * &x);
     Ok(SMatrix::from_matrix(circuit.external_names(), s_ext))
@@ -235,11 +234,7 @@ fn evaluate_elimination(circuit: &Circuit, wavelength_um: f64) -> Result<SMatrix
     }
 
     // Select external rows/cols from the reduced matrix.
-    let ext_rows: Vec<usize> = circuit
-        .externals
-        .iter()
-        .map(|(_, g)| index[*g])
-        .collect();
+    let ext_rows: Vec<usize> = circuit.externals.iter().map(|(_, g)| index[*g]).collect();
     debug_assert!(ext_rows.iter().all(|&r| r != GONE));
     let s_ext = m.submatrix(&ext_rows, &ext_rows);
     Ok(SMatrix::from_matrix(circuit.external_names(), s_ext))

@@ -127,9 +127,8 @@ mod tests {
     #[test]
     fn composite_wraps_subcircuit() {
         let registry = ModelRegistry::with_builtins();
-        let comp =
-            CompositeModel::from_netlist("mymzi", "packaged MZI", &mzi_netlist(), &registry)
-                .unwrap();
+        let comp = CompositeModel::from_netlist("mymzi", "packaged MZI", &mzi_netlist(), &registry)
+            .unwrap();
         assert_eq!(comp.info().name, "mymzi");
         assert_eq!(comp.info().inputs, vec!["I1"]);
         assert_eq!(comp.info().outputs, vec!["O1"]);
@@ -141,9 +140,8 @@ mod tests {
     #[test]
     fn composite_registers_and_elaborates_hierarchically() {
         let mut registry = ModelRegistry::with_builtins();
-        let comp =
-            CompositeModel::from_netlist("mymzi", "packaged MZI", &mzi_netlist(), &registry)
-                .unwrap();
+        let comp = CompositeModel::from_netlist("mymzi", "packaged MZI", &mzi_netlist(), &registry)
+            .unwrap();
         registry.register(Arc::new(comp));
 
         // Use the packaged MZI inside a larger circuit.
@@ -171,9 +169,8 @@ mod tests {
     #[test]
     fn composite_rejects_parameters() {
         let registry = ModelRegistry::with_builtins();
-        let comp =
-            CompositeModel::from_netlist("mymzi", "packaged MZI", &mzi_netlist(), &registry)
-                .unwrap();
+        let comp = CompositeModel::from_netlist("mymzi", "packaged MZI", &mzi_netlist(), &registry)
+            .unwrap();
         let mut settings = Settings::new();
         settings.insert("delta_length", 3.0);
         assert!(matches!(
@@ -190,8 +187,6 @@ mod tests {
         netlist
             .models
             .insert("waveguide".to_string(), "hyperguide".to_string());
-        assert!(
-            CompositeModel::from_netlist("broken", "broken", &netlist, &registry).is_err()
-        );
+        assert!(CompositeModel::from_netlist("broken", "broken", &netlist, &registry).is_err());
     }
 }

@@ -58,7 +58,11 @@ pub struct ElaborateError {
 
 impl fmt::Display for ElaborateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "netlist failed validation with {} issue(s):", self.issues.len())?;
+        writeln!(
+            f,
+            "netlist failed validation with {} issue(s):",
+            self.issues.len()
+        )?;
         for issue in &self.issues {
             writeln!(f, "  - {issue}")?;
         }

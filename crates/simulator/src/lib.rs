@@ -10,6 +10,16 @@
 //! [`Backend`]s, yielding a [`FrequencyResponse`] that the benchmark
 //! compares against golden designs.
 //!
+//! Sweeps follow a **plan/execute** split: a [`SweepPlan`] freezes every
+//! wavelength-independent piece of the composition once per circuit
+//! (port partitions, permutations, elimination schedules, memoized
+//! dispersionless component S-matrices), and per-point solves run
+//! allocation-free on reusable [`SolveWorkspace`]s — serially for short
+//! grids, on scoped worker threads for grids of [`PARALLEL_THRESHOLD`]
+//! points or more, with element-wise identical results either way. The
+//! original rebuild-per-point path survives as [`sweep_naive`], the
+//! benchmark baseline and cross-check.
+//!
 //! ## Example
 //!
 //! ```
@@ -40,14 +50,19 @@ pub mod analysis;
 mod backend;
 mod composite;
 mod elaborate;
+mod plan;
 mod registry;
 mod response;
 
 pub use backend::{evaluate, Backend, SimError};
 pub use composite::CompositeModel;
 pub use elaborate::{Circuit, ElabInstance, ElaborateError};
+pub use plan::{SolveWorkspace, SweepPlan};
 pub use registry::ModelRegistry;
-pub use response::{sweep, FrequencyResponse, ResponseComparison, WavelengthGrid};
+pub use response::{
+    sweep, sweep_naive, sweep_parallel, sweep_serial, FrequencyResponse, ResponseComparison,
+    WavelengthGrid, PARALLEL_THRESHOLD,
+};
 
 // Re-exported so downstream crates can name the netlist types this crate
 // consumes without an extra dependency edge.

@@ -1,0 +1,503 @@
+//! The plan/execute split of the wavelength-sweep hot path.
+//!
+//! A wavelength sweep evaluates the same circuit at many wavelengths. The
+//! naive path ([`crate::evaluate`]) rebuilds everything from scratch at
+//! every point: it re-derives the external/internal port partition, the
+//! connection permutation and the elimination order, allocates a dozen
+//! intermediate matrices, and re-evaluates every component model — even
+//! the dispersionless ones whose S-matrix cannot change.
+//!
+//! This module freezes all wavelength-*independent* work into a
+//! [`SweepPlan`] built once per circuit:
+//!
+//! * the external port index list and name list,
+//! * for [`Backend::Dense`]: the internal port list and the *pre-permuted*
+//!   gather indices that fuse `P·S_ii` and `P·S_ie` into direct reads of
+//!   the assembled global matrix,
+//! * for [`Backend::PortElimination`]: the per-connection pivot positions
+//!   and surviving-row (`keep`) index lists of Filipsson's reduction,
+//! * a per-instance S-matrix memo ([`SMatrixMemo`]) holding the blocks of
+//!   wavelength-independent models, evaluated exactly once.
+//!
+//! The per-point state lives in a [`SolveWorkspace`]: the assembled global
+//! matrix, the dense system and right-hand side, LU storage and the
+//! elimination ping-pong buffers. All of it is reused between points, so
+//! the steady-state scattering solve performs **zero heap allocations**
+//! (dispersive component models still build their own small S-matrices;
+//! every wavelength-independent model is served from the memo). Each
+//! worker thread of the parallel sweep owns one workspace.
+//!
+//! Two plan-based sweeps (serial or parallel) are bit-identical. Against
+//! the naive path, the Dense backend follows the same operation order
+//! exactly; the elimination backend regroups the Filipsson numerator into
+//! two fused coefficient terms, so plan and naive agree to machine
+//! precision (~1e-15) rather than bit for bit — cross-checks must compare
+//! with a tolerance, as the property tests do.
+
+use crate::backend::{Backend, SimError};
+use crate::elaborate::Circuit;
+use picbench_math::{CMatrix, Complex, LuDecomposition};
+use picbench_sparams::SMatrixMemo;
+
+/// One precomputed step of the port-elimination reduction: the current
+/// row/column positions of the connected port pair and the indices of the
+/// surviving rows.
+#[derive(Debug, Clone)]
+struct ElimStep {
+    p: usize,
+    q: usize,
+    keep: Vec<usize>,
+}
+
+/// Everything about a sweep that does not depend on wavelength, computed
+/// once per circuit. See the [module docs](self) for the full story.
+#[derive(Debug)]
+pub struct SweepPlan<'c> {
+    circuit: &'c Circuit,
+    backend: Backend,
+    /// External port global indices, in netlist order.
+    ext_idx: Vec<usize>,
+    /// Internal (connected) port global indices — Dense backend.
+    int_idx: Vec<usize>,
+    /// `int_idx[swap[r]]`: row gather indices with the connection
+    /// permutation already applied, so `P·S_ii` and `P·S_ie` are direct
+    /// reads of the global matrix — Dense backend.
+    perm_int_idx: Vec<usize>,
+    /// Reduction schedule — PortElimination backend.
+    elim_steps: Vec<ElimStep>,
+    /// Final positions of the external ports after the reduction —
+    /// PortElimination backend.
+    elim_ext_rows: Vec<usize>,
+    /// Per-instance memo; holds the block of every wavelength-independent
+    /// model after construction.
+    memos: Vec<SMatrixMemo>,
+}
+
+/// Reference wavelength used to capture wavelength-independent S-matrices.
+/// Any value works by definition; the C-band centre keeps diagnostics
+/// unsurprising.
+const MEMO_WAVELENGTH_UM: f64 = 1.55;
+
+impl<'c> SweepPlan<'c> {
+    /// Builds the plan for sweeping `circuit` with `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Model`] when a wavelength-independent model
+    /// rejects its settings (dispersive models are evaluated per point and
+    /// report their errors from [`SweepPlan::evaluate_into`] instead).
+    pub fn new(circuit: &'c Circuit, backend: Backend) -> Result<Self, SimError> {
+        let n0 = circuit.total_ports;
+        let ext_idx: Vec<usize> = circuit.externals.iter().map(|(_, i)| *i).collect();
+
+        // Dense: internal partition and pre-permuted gather rows.
+        let mut int_idx: Vec<usize> = Vec::with_capacity(circuit.connections.len() * 2);
+        for &(a, b) in &circuit.connections {
+            int_idx.push(a);
+            int_idx.push(b);
+        }
+        // Connected pairs sit at adjacent positions (2k, 2k+1), so the
+        // permutation swaps each even position with the following odd one.
+        let mut perm_int_idx = vec![0usize; int_idx.len()];
+        for k in 0..circuit.connections.len() {
+            perm_int_idx[2 * k] = int_idx[2 * k + 1];
+            perm_int_idx[2 * k + 1] = int_idx[2 * k];
+        }
+
+        // PortElimination: replay the index bookkeeping of the reduction
+        // once, recording pivot positions and keep lists.
+        const GONE: usize = usize::MAX;
+        let mut index: Vec<usize> = (0..n0).collect();
+        let mut n = n0;
+        let mut elim_steps = Vec::with_capacity(circuit.connections.len());
+        let mut new_pos = vec![GONE; n0];
+        for &(ga, gb) in &circuit.connections {
+            let p = index[ga];
+            let q = index[gb];
+            debug_assert!(p != GONE && q != GONE, "port connected twice");
+            let keep: Vec<usize> = (0..n).filter(|&k| k != p && k != q).collect();
+            for (ri, &old) in keep.iter().enumerate() {
+                new_pos[old] = ri;
+            }
+            for gi in index.iter_mut() {
+                if *gi != GONE {
+                    *gi = new_pos[*gi];
+                }
+            }
+            new_pos[..n].fill(GONE);
+            n -= 2;
+            elim_steps.push(ElimStep { p, q, keep });
+        }
+        let elim_ext_rows: Vec<usize> = circuit.externals.iter().map(|(_, g)| index[*g]).collect();
+        debug_assert!(elim_ext_rows.iter().all(|&r| r != GONE));
+
+        // Memoize every wavelength-independent instance once.
+        let mut memos = Vec::with_capacity(circuit.instances.len());
+        for inst in &circuit.instances {
+            let mut memo = SMatrixMemo::new();
+            if inst.model.is_wavelength_independent(&inst.settings) {
+                memo.get_or_eval(inst.model.as_ref(), MEMO_WAVELENGTH_UM, &inst.settings)
+                    .map_err(|source| SimError::Model {
+                        instance: inst.name.clone(),
+                        source,
+                    })?;
+            }
+            memos.push(memo);
+        }
+
+        Ok(SweepPlan {
+            circuit,
+            backend,
+            ext_idx,
+            int_idx,
+            perm_int_idx,
+            elim_steps,
+            elim_ext_rows,
+            memos,
+        })
+    }
+
+    /// The circuit this plan was built for.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// The composition backend this plan executes.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Number of external ports.
+    pub fn external_count(&self) -> usize {
+        self.ext_idx.len()
+    }
+
+    /// How many instances are served from the wavelength-independent memo
+    /// (diagnostics; the rest are re-evaluated at every point).
+    pub fn memoized_instance_count(&self) -> usize {
+        self.memos.iter().filter(|m| m.is_cached()).count()
+    }
+
+    /// Allocates a workspace sized for this plan, with all memoized blocks
+    /// already written into the global matrix.
+    pub fn workspace(&self) -> SolveWorkspace {
+        let n0 = self.circuit.total_ports;
+        let n_int = self.int_idx.len();
+        let n_ext = self.ext_idx.len();
+        let mut ws = SolveWorkspace {
+            global: CMatrix::zeros(n0, n0),
+            system: CMatrix::zeros(n_int, n_int),
+            rhs: CMatrix::zeros(n_int, n_ext),
+            x: CMatrix::zeros(n_int, n_ext),
+            lu: LuDecomposition::empty(),
+            elim_a: CMatrix::zeros(n0, n0),
+            elim_b: CMatrix::zeros(n0, n0),
+        };
+        for (inst, memo) in self.circuit.instances.iter().zip(&self.memos) {
+            if let Some(block) = memo.cached() {
+                write_block(&mut ws.global, inst.port_offset, block.matrix());
+            }
+        }
+        ws
+    }
+
+    /// Evaluates the external S-matrix at one wavelength into `out`
+    /// (reshaped to `n_ext × n_ext`), reusing `ws` for every intermediate.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`crate::evaluate`]: [`SimError::Model`] when a dispersive
+    /// model fails, [`SimError::SingularSystem`] on an undamped resonant
+    /// loop, [`SimError::NonFiniteResult`] on a non-finite response.
+    pub fn evaluate_into(
+        &self,
+        ws: &mut SolveWorkspace,
+        wavelength_um: f64,
+        out: &mut CMatrix,
+    ) -> Result<(), SimError> {
+        // Refresh the dispersive blocks; memoized blocks were written at
+        // workspace construction and never change.
+        for (inst, memo) in self.circuit.instances.iter().zip(&self.memos) {
+            if memo.is_cached() {
+                continue;
+            }
+            let s = inst
+                .model
+                .s_matrix(wavelength_um, &inst.settings)
+                .map_err(|source| SimError::Model {
+                    instance: inst.name.clone(),
+                    source,
+                })?;
+            write_block(&mut ws.global, inst.port_offset, s.matrix());
+        }
+
+        match self.backend {
+            Backend::Dense => self.evaluate_dense(ws, wavelength_um, out)?,
+            Backend::PortElimination => self.evaluate_elimination(ws, wavelength_um, out)?,
+        }
+        if !out.is_finite() {
+            return Err(SimError::NonFiniteResult { wavelength_um });
+        }
+        Ok(())
+    }
+
+    /// Dense global scattering solve
+    /// `S_ext = S_ee + S_ei (I − P·S_ii)⁻¹ P·S_ie`, with the permutation
+    /// folded into gather indices and all products running on workspace
+    /// buffers.
+    fn evaluate_dense(
+        &self,
+        ws: &mut SolveWorkspace,
+        wavelength_um: f64,
+        out: &mut CMatrix,
+    ) -> Result<(), SimError> {
+        let n_int = self.int_idx.len();
+        let n_ext = self.ext_idx.len();
+        out.reshape(n_ext, n_ext);
+
+        if n_int == 0 {
+            for r in 0..n_ext {
+                for c in 0..n_ext {
+                    *out.at_mut(r, c) = ws.global.at(self.ext_idx[r], self.ext_idx[c]);
+                }
+            }
+            return Ok(());
+        }
+
+        // system = I − P·S_ii and rhs = P·S_ie, gathered straight from the
+        // global matrix through the pre-permuted row indices.
+        ws.system.reshape(n_int, n_int);
+        ws.rhs.reshape(n_int, n_ext);
+        for r in 0..n_int {
+            let src_r = self.perm_int_idx[r];
+            for c in 0..n_int {
+                let v = ws.global.at(src_r, self.int_idx[c]);
+                *ws.system.at_mut(r, c) = if r == c { Complex::ONE - v } else { -v };
+            }
+            for c in 0..n_ext {
+                *ws.rhs.at_mut(r, c) = ws.global.at(src_r, self.ext_idx[c]);
+            }
+        }
+
+        ws.lu
+            .factor_into(&ws.system)
+            .map_err(|_| SimError::SingularSystem { wavelength_um })?;
+        ws.lu.solve_matrix_into(&ws.rhs, &mut ws.x);
+
+        // S_ext = S_ee + S_ei · X, with S_ee and S_ei read directly from
+        // the global matrix.
+        for r in 0..n_ext {
+            let g_r = self.ext_idx[r];
+            for c in 0..n_ext {
+                let mut acc = Complex::ZERO;
+                for (k, &g_k) in self.int_idx.iter().enumerate() {
+                    acc += ws.global.at(g_r, g_k) * ws.x.at(k, c);
+                }
+                *out.at_mut(r, c) = ws.global.at(g_r, self.ext_idx[c]) + acc;
+            }
+        }
+        Ok(())
+    }
+
+    /// Filipsson pairwise reduction over the precomputed schedule, ping-
+    /// ponging between the two workspace buffers.
+    fn evaluate_elimination(
+        &self,
+        ws: &mut SolveWorkspace,
+        wavelength_um: f64,
+        out: &mut CMatrix,
+    ) -> Result<(), SimError> {
+        ws.elim_a.copy_from(&ws.global);
+        let (mut cur, mut next) = (&mut ws.elim_a, &mut ws.elim_b);
+
+        for step in &self.elim_steps {
+            let (p, q) = (step.p, step.q);
+            let s_pq = cur.at(p, q);
+            let s_qp = cur.at(q, p);
+            let s_pp = cur.at(p, p);
+            let s_qq = cur.at(q, q);
+            let one_m_pq = Complex::ONE - s_pq;
+            let one_m_qp = Complex::ONE - s_qp;
+            let denom = one_m_pq * one_m_qp - s_pp * s_qq;
+            if denom.abs() < 1e-300 {
+                return Err(SimError::SingularSystem { wavelength_um });
+            }
+            let inv_d = denom.recip();
+
+            let m = step.keep.len();
+            next.reshape(m, m);
+            let src: &CMatrix = cur;
+            let row_p = src.row_slice(p);
+            let row_q = src.row_slice(q);
+            for (ri, &i) in step.keep.iter().enumerate() {
+                let s_ip = src.at(i, p);
+                let s_iq = src.at(i, q);
+                // Group the terms by their shared row-q / row-p factors so
+                // the inner loop does two fused multiplies per source row.
+                let coeff_q = one_m_pq * s_ip + s_pp * s_iq;
+                let coeff_p = s_qq * s_ip + one_m_qp * s_iq;
+                let row_i = src.row_slice(i);
+                let next_row = &mut next.as_mut_slice()[ri * m..(ri + 1) * m];
+                for (cj, &j) in step.keep.iter().enumerate() {
+                    let numer = row_q[j] * coeff_q + row_p[j] * coeff_p;
+                    next_row[cj] = row_i[j] + numer * inv_d;
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+
+        let n_ext = self.elim_ext_rows.len();
+        out.reshape(n_ext, n_ext);
+        for (r, &src_r) in self.elim_ext_rows.iter().enumerate() {
+            for (c, &src_c) in self.elim_ext_rows.iter().enumerate() {
+                *out.at_mut(r, c) = cur.at(src_r, src_c);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Copies a model block onto the diagonal of the global matrix.
+fn write_block(global: &mut CMatrix, offset: usize, block: &CMatrix) {
+    let n = block.rows();
+    for r in 0..n {
+        for c in 0..n {
+            *global.at_mut(offset + r, offset + c) = block.at(r, c);
+        }
+    }
+}
+
+/// Reusable per-worker storage for the per-point solve. Create via
+/// [`SweepPlan::workspace`]; all buffers are sized once and reused, so the
+/// steady-state point loop never touches the allocator.
+#[derive(Debug)]
+pub struct SolveWorkspace {
+    /// Assembled block-diagonal global S-matrix.
+    global: CMatrix,
+    /// `I − P·S_ii` (Dense).
+    system: CMatrix,
+    /// `P·S_ie` (Dense).
+    rhs: CMatrix,
+    /// `(I − P·S_ii)⁻¹ P·S_ie` (Dense).
+    x: CMatrix,
+    /// LU factors + pivot permutation, re-factored in place per point.
+    lu: LuDecomposition,
+    /// Elimination ping-pong buffer A.
+    elim_a: CMatrix,
+    /// Elimination ping-pong buffer B.
+    elim_b: CMatrix,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::evaluate;
+    use crate::registry::ModelRegistry;
+    use picbench_netlist::{Netlist, NetlistBuilder};
+
+    fn elaborate(netlist: &Netlist) -> Circuit {
+        let registry = ModelRegistry::with_builtins();
+        Circuit::elaborate(netlist, &registry, None).unwrap()
+    }
+
+    fn mzi_from_parts() -> Netlist {
+        NetlistBuilder::new()
+            .instance("split", "mmi1x2")
+            .instance("combine", "mmi1x2")
+            .instance_with("top", "waveguide", &[("length", 10.0)])
+            .instance_with("bottom", "waveguide", &[("length", 25.0)])
+            .connect("split,O1", "top,I1")
+            .connect("split,O2", "bottom,I1")
+            .connect("top,O1", "combine,O1")
+            .connect("bottom,O1", "combine,O2")
+            .port("I1", "split,I1")
+            .port("O1", "combine,I1")
+            .model("mmi1x2", "mmi1x2")
+            .model("waveguide", "waveguide")
+            .build()
+    }
+
+    #[test]
+    fn plan_matches_naive_evaluate_on_both_backends() {
+        let circuit = elaborate(&mzi_from_parts());
+        for backend in [Backend::Dense, Backend::PortElimination] {
+            let plan = SweepPlan::new(&circuit, backend).unwrap();
+            let mut ws = plan.workspace();
+            let mut out = CMatrix::zeros(0, 0);
+            let mut wl = 1.51;
+            while wl <= 1.59 {
+                plan.evaluate_into(&mut ws, wl, &mut out).unwrap();
+                let naive = evaluate(&circuit, wl, backend).unwrap();
+                assert!(
+                    out.max_abs_diff(naive.matrix()) < 1e-12,
+                    "{backend} disagrees at {wl}: {:.3e}",
+                    out.max_abs_diff(naive.matrix())
+                );
+                wl += 0.01;
+            }
+        }
+    }
+
+    #[test]
+    fn plan_memoizes_dispersionless_instances() {
+        let circuit = elaborate(&mzi_from_parts());
+        let plan = SweepPlan::new(&circuit, Backend::Dense).unwrap();
+        // The two MMIs are wavelength-independent; the two waveguides are
+        // not.
+        assert_eq!(plan.memoized_instance_count(), 2);
+    }
+
+    #[test]
+    fn workspace_reuse_is_stable() {
+        // Evaluating the same wavelength twice through one workspace must
+        // be bit-identical — stale state may not leak between points.
+        let circuit = elaborate(&mzi_from_parts());
+        for backend in [Backend::Dense, Backend::PortElimination] {
+            let plan = SweepPlan::new(&circuit, backend).unwrap();
+            let mut ws = plan.workspace();
+            let mut first = CMatrix::zeros(0, 0);
+            let mut again = CMatrix::zeros(0, 0);
+            plan.evaluate_into(&mut ws, 1.55, &mut first).unwrap();
+            plan.evaluate_into(&mut ws, 1.532, &mut again).unwrap();
+            plan.evaluate_into(&mut ws, 1.55, &mut again).unwrap();
+            assert_eq!(first, again, "{backend}");
+        }
+    }
+
+    #[test]
+    fn no_connections_circuit_short_circuits() {
+        let netlist = NetlistBuilder::new()
+            .instance_with("wg", "waveguide", &[("length", 5.0)])
+            .port("I1", "wg,I1")
+            .port("O1", "wg,O1")
+            .model("waveguide", "waveguide")
+            .build();
+        let circuit = elaborate(&netlist);
+        for backend in [Backend::Dense, Backend::PortElimination] {
+            let plan = SweepPlan::new(&circuit, backend).unwrap();
+            let mut ws = plan.workspace();
+            let mut out = CMatrix::zeros(0, 0);
+            plan.evaluate_into(&mut ws, 1.55, &mut out).unwrap();
+            let naive = evaluate(&circuit, 1.55, backend).unwrap();
+            assert!(out.max_abs_diff(naive.matrix()) < 1e-14);
+        }
+    }
+
+    #[test]
+    fn model_errors_carry_instance_names() {
+        let netlist = NetlistBuilder::new()
+            .instance_with("badcoupler", "coupler", &[("coupling", 2.0)])
+            .port("I1", "badcoupler,I1")
+            .port("O1", "badcoupler,O1")
+            .model("coupler", "coupler")
+            .build();
+        let circuit = elaborate(&netlist);
+        // The coupler is wavelength-independent, so the invalid setting
+        // surfaces at plan construction.
+        let err = SweepPlan::new(&circuit, Backend::Dense).unwrap_err();
+        match &err {
+            SimError::Model { instance, .. } => assert_eq!(instance, "badcoupler"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

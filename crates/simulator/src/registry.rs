@@ -112,7 +112,14 @@ mod tests {
     #[test]
     fn builtins_are_registered() {
         let reg = ModelRegistry::with_builtins();
-        for name in ["waveguide", "phaseshifter", "mmi1x2", "mmi2x2", "coupler", "mzi"] {
+        for name in [
+            "waveguide",
+            "phaseshifter",
+            "mmi1x2",
+            "mmi2x2",
+            "coupler",
+            "mzi",
+        ] {
             assert!(reg.has_model(name), "missing {name}");
         }
         assert!(!reg.has_model("flux_capacitor"));

@@ -1,8 +1,17 @@
 //! Wavelength sweeps and frequency responses.
+//!
+//! [`sweep`] is the production entry point: it builds a [`SweepPlan`] once
+//! per circuit, then executes the per-point solves on reusable
+//! [`SolveWorkspace`]s — serially for short grids, on scoped worker
+//! threads (one workspace each, deterministic output ordering) for grids
+//! of [`PARALLEL_THRESHOLD`] points or more. [`sweep_naive`] keeps the
+//! original rebuild-everything-per-point path alive as the benchmark
+//! baseline and cross-check reference.
 
 use crate::backend::{evaluate, Backend, SimError};
 use crate::elaborate::Circuit;
-use picbench_math::Complex;
+use crate::plan::{SolveWorkspace, SweepPlan};
+use picbench_math::{CMatrix, Complex};
 use picbench_sparams::SMatrix;
 use std::fmt;
 
@@ -191,12 +200,75 @@ impl fmt::Display for ResponseComparison {
     }
 }
 
+/// Grids with at least this many points sweep on parallel workers by
+/// default (when more than one CPU is available).
+pub const PARALLEL_THRESHOLD: usize = 16;
+
 /// Sweeps a circuit over a wavelength grid.
+///
+/// Plan-based: wavelength-independent structure is computed once, every
+/// per-point solve runs allocation-free on a reused workspace, and grids
+/// of [`PARALLEL_THRESHOLD`] or more points are distributed over scoped
+/// worker threads. Serial and parallel execution produce element-wise
+/// identical results.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] of the lowest-indexed failing grid point.
+pub fn sweep(
+    circuit: &Circuit,
+    grid: &WavelengthGrid,
+    backend: Backend,
+) -> Result<FrequencyResponse, SimError> {
+    let threads = if grid.points >= PARALLEL_THRESHOLD {
+        available_threads()
+    } else {
+        1
+    };
+    sweep_with_threads(circuit, grid, backend, threads)
+}
+
+/// Plan-based sweep forced onto a single thread.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] of the lowest-indexed failing grid point.
+pub fn sweep_serial(
+    circuit: &Circuit,
+    grid: &WavelengthGrid,
+    backend: Backend,
+) -> Result<FrequencyResponse, SimError> {
+    sweep_with_threads(circuit, grid, backend, 1)
+}
+
+/// Plan-based sweep on an explicit number of worker threads (`0` means
+/// one per available CPU).
+///
+/// # Errors
+///
+/// Returns the [`SimError`] of the lowest-indexed failing grid point.
+pub fn sweep_parallel(
+    circuit: &Circuit,
+    grid: &WavelengthGrid,
+    backend: Backend,
+    threads: usize,
+) -> Result<FrequencyResponse, SimError> {
+    let threads = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    };
+    sweep_with_threads(circuit, grid, backend, threads)
+}
+
+/// The original sweep: rebuild the whole composition at every grid point
+/// via [`evaluate`]. Kept as the benchmark baseline and as an independent
+/// cross-check of the plan-based path.
 ///
 /// # Errors
 ///
 /// Returns the first [`SimError`] encountered at any grid point.
-pub fn sweep(
+pub fn sweep_naive(
     circuit: &Circuit,
     grid: &WavelengthGrid,
     backend: Backend,
@@ -211,6 +283,87 @@ pub fn sweep(
         ports: circuit.external_names(),
         samples,
     })
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn sweep_with_threads(
+    circuit: &Circuit,
+    grid: &WavelengthGrid,
+    backend: Backend,
+    threads: usize,
+) -> Result<FrequencyResponse, SimError> {
+    let plan = SweepPlan::new(circuit, backend)?;
+    let wavelengths = grid.wavelengths();
+    let ports = circuit.external_names();
+    let n_ext = ports.len();
+
+    // Preallocate every output sample up front; workers only copy solved
+    // matrices into their slots, keeping the point loop allocation-free
+    // and the output ordering deterministic by construction.
+    let mut samples: Vec<SMatrix> = (0..wavelengths.len())
+        .map(|_| SMatrix::from_matrix(ports.clone(), CMatrix::zeros(n_ext, n_ext)))
+        .collect();
+
+    let workers = threads.max(1).min(wavelengths.len().max(1));
+    if workers <= 1 {
+        let mut ws = plan.workspace();
+        for (i, sample) in samples.iter_mut().enumerate() {
+            run_point(&plan, &mut ws, wavelengths[i], sample)?;
+        }
+    } else {
+        // Contiguous chunks: point cost is uniform across the band, so a
+        // static split balances well and needs no synchronisation.
+        let chunk_len = wavelengths.len().div_ceil(workers);
+        let mut first_error: Option<(usize, SimError)> = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (chunk_index, chunk) in samples.chunks_mut(chunk_len).enumerate() {
+                let plan = &plan;
+                let wavelengths = &wavelengths;
+                handles.push(scope.spawn(move || -> Result<(), (usize, SimError)> {
+                    let mut ws = plan.workspace();
+                    let base = chunk_index * chunk_len;
+                    for (offset, sample) in chunk.iter_mut().enumerate() {
+                        run_point(plan, &mut ws, wavelengths[base + offset], sample)
+                            .map_err(|e| (base + offset, e))?;
+                    }
+                    Ok(())
+                }));
+            }
+            for handle in handles {
+                if let Err((index, error)) = handle.join().expect("sweep worker panicked") {
+                    // Deterministic error reporting: keep the failure of
+                    // the lowest-indexed grid point.
+                    if first_error.as_ref().is_none_or(|(i, _)| index < *i) {
+                        first_error = Some((index, error));
+                    }
+                }
+            }
+        });
+        if let Some((_, error)) = first_error {
+            return Err(error);
+        }
+    }
+
+    Ok(FrequencyResponse {
+        wavelengths,
+        ports,
+        samples,
+    })
+}
+
+fn run_point(
+    plan: &SweepPlan<'_>,
+    ws: &mut SolveWorkspace,
+    wavelength_um: f64,
+    sample: &mut SMatrix,
+) -> Result<(), SimError> {
+    plan.evaluate_into(ws, wavelength_um, sample.matrix_mut())
 }
 
 #[cfg(test)]
@@ -295,6 +448,63 @@ mod tests {
         let cmp = r1.compare(&r2);
         assert!(!cmp.ports_match);
         assert!(!cmp.is_equivalent(1e9));
+    }
+
+    #[test]
+    fn parallel_sweep_is_element_wise_identical_to_serial() {
+        let c = mzi_circuit(10.0);
+        let g = WavelengthGrid::paper_default();
+        for backend in [Backend::PortElimination, Backend::Dense] {
+            let serial = sweep_serial(&c, &g, backend).unwrap();
+            for threads in [2, 3, 8] {
+                let parallel = sweep_parallel(&c, &g, backend, threads).unwrap();
+                // Bit-identical, not merely close: every point runs the
+                // exact same plan arithmetic regardless of the worker.
+                assert_eq!(serial, parallel, "{backend} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn default_sweep_matches_naive_sweep() {
+        let c = mzi_circuit(10.0);
+        let g = WavelengthGrid::paper_default();
+        for backend in [Backend::PortElimination, Backend::Dense] {
+            let planned = sweep(&c, &g, backend).unwrap();
+            let naive = sweep_naive(&c, &g, backend).unwrap();
+            let cmp = planned.compare(&naive);
+            assert!(cmp.is_equivalent(1e-12), "{backend}: {cmp}");
+        }
+    }
+
+    #[test]
+    fn parallel_error_reporting_is_deterministic() {
+        // An undamped resonant loop: a lossless ring exactly on resonance
+        // is singular for the dense solve at some grid points. The sweep
+        // must report the lowest-indexed failure no matter how many
+        // workers raced.
+        let netlist = NetlistBuilder::new()
+            .instance_with("dc", "coupler", &[("coupling", 0.0)])
+            .instance_with("loop", "waveguide", &[("length", 100.0), ("loss", 0.0)])
+            .connect("dc,O2", "loop,I1")
+            .connect("loop,O1", "dc,I2")
+            .port("I1", "dc,I1")
+            .port("O1", "dc,O1")
+            .model("coupler", "coupler")
+            .model("waveguide", "waveguide")
+            .build();
+        let c = Circuit::elaborate(&netlist, &ModelRegistry::with_builtins(), None).unwrap();
+        let g = WavelengthGrid::paper_default();
+        let serial = sweep_serial(&c, &g, Backend::Dense);
+        let Err(serial_err) = serial else {
+            // The coupling-0 loop may happen to dodge exact resonance on
+            // this grid; nothing to compare then.
+            return;
+        };
+        for threads in [2, 5] {
+            let parallel_err = sweep_parallel(&c, &g, Backend::Dense, threads).unwrap_err();
+            assert_eq!(serial_err, parallel_err, "{threads} threads");
+        }
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Property-based equivalence checks for the sweep pipeline: over random
+//! circuits and grids, the plan/execute path must match the naive
+//! per-point rebuild to machine precision, and the parallel executor must
+//! be element-wise identical to the serial one.
+
+use picbench_netlist::{Netlist, NetlistBuilder};
+use picbench_sim::{
+    sweep, sweep_naive, sweep_parallel, sweep_serial, Backend, Circuit, ModelRegistry,
+    WavelengthGrid,
+};
+use proptest::prelude::*;
+
+/// A randomized two-arm interferometer chain: `stages` MZIs built from
+/// discrete parts (splitter, two arms of random length, combiner) wired in
+/// series, exercising both dispersive (waveguide) and memoized (MMI)
+/// models plus a non-trivial internal-port partition.
+fn chain_netlist(arm_lengths: &[(f64, f64)]) -> Netlist {
+    let mut b = NetlistBuilder::new();
+    for (k, (top, bottom)) in arm_lengths.iter().enumerate() {
+        b.instance(&format!("split{k}"), "mmi1x2")
+            .instance(&format!("combine{k}"), "mmi1x2")
+            .instance_with(&format!("top{k}"), "waveguide", &[("length", *top)])
+            .instance_with(&format!("bottom{k}"), "waveguide", &[("length", *bottom)])
+            .connect(&format!("split{k},O1"), &format!("top{k},I1"))
+            .connect(&format!("split{k},O2"), &format!("bottom{k},I1"))
+            .connect(&format!("top{k},O1"), &format!("combine{k},O1"))
+            .connect(&format!("bottom{k},O1"), &format!("combine{k},O2"));
+        if k > 0 {
+            b.connect(&format!("combine{},I1", k - 1), &format!("split{k},I1"));
+        }
+    }
+    let last = arm_lengths.len() - 1;
+    b.port("I1", "split0,I1")
+        .port("O1", &format!("combine{last},I1"))
+        .model("mmi1x2", "mmi1x2")
+        .model("waveguide", "waveguide")
+        .build()
+}
+
+fn elaborate(netlist: &Netlist) -> Circuit {
+    Circuit::elaborate(netlist, &ModelRegistry::with_builtins(), None).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn planned_sweep_matches_naive_sweep(
+        arms in proptest::collection::vec((1.0f64..80.0, 1.0f64..80.0), 1..4),
+        points in 1usize..48,
+    ) {
+        let circuit = elaborate(&chain_netlist(&arms));
+        let grid = WavelengthGrid::new(1.51, 1.59, points);
+        for backend in [Backend::Dense, Backend::PortElimination] {
+            let naive = sweep_naive(&circuit, &grid, backend).unwrap();
+            let planned = sweep_serial(&circuit, &grid, backend).unwrap();
+            let cmp = naive.compare(&planned);
+            prop_assert!(cmp.is_equivalent(1e-12), "{}: {}", backend, cmp);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_identical_to_serial(
+        arms in proptest::collection::vec((1.0f64..80.0, 1.0f64..80.0), 1..3),
+        points in 1usize..40,
+        threads in 2usize..6,
+    ) {
+        let circuit = elaborate(&chain_netlist(&arms));
+        let grid = WavelengthGrid::new(1.51, 1.59, points);
+        for backend in [Backend::Dense, Backend::PortElimination] {
+            let serial = sweep_serial(&circuit, &grid, backend).unwrap();
+            let parallel = sweep_parallel(&circuit, &grid, backend, threads).unwrap();
+            // Element-wise identical, not merely within tolerance.
+            prop_assert_eq!(&serial, &parallel);
+            // The public default must agree with both.
+            let default = sweep(&circuit, &grid, backend).unwrap();
+            prop_assert_eq!(&serial, &default);
+        }
+    }
+}

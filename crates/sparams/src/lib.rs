@@ -28,12 +28,14 @@
 
 #![warn(missing_docs)]
 
+mod memo;
 mod model;
 pub mod models;
 mod port;
 mod settings;
 mod smatrix;
 
+pub use memo::{MemoResult, SMatrixMemo};
 pub use model::{check_known_params, check_range, Model, ModelError, ModelInfo};
 pub use port::{input_port, output_port, port_direction, standard_ports, PortDirection};
 pub use settings::{ParamSpec, Settings};
@@ -134,6 +136,32 @@ mod tests {
                 model.info().name
             );
         }
+    }
+
+    #[test]
+    fn wavelength_independence_claims_are_truthful() {
+        // A model that declares itself dispersionless must produce the
+        // same matrix across the band — otherwise the sweep memo would
+        // silently corrupt results.
+        let mut claimed = 0;
+        for model in builtin_models() {
+            let settings = Settings::new();
+            if !model.is_wavelength_independent(&settings) {
+                continue;
+            }
+            claimed += 1;
+            let reference = model.s_matrix(1.51, &settings).unwrap();
+            for wl in [1.53, 1.55, 1.59] {
+                let other = model.s_matrix(wl, &settings).unwrap();
+                assert_eq!(
+                    reference.matrix(),
+                    other.matrix(),
+                    "{} claims wavelength independence but disperses",
+                    model.info().name
+                );
+            }
+        }
+        assert!(claimed >= 8, "expected most ideal models to claim the hint");
     }
 
     #[test]

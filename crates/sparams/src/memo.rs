@@ -1,0 +1,135 @@
+//! Per-instance S-matrix memoization for wavelength sweeps.
+
+use crate::{Model, ModelError, SMatrix, Settings};
+
+/// Caches the S-matrix of one `(model, settings)` pair across a
+/// wavelength sweep.
+///
+/// When the model declares itself wavelength-independent for the given
+/// settings ([`Model::is_wavelength_independent`]), the matrix is computed
+/// on the first call and returned by reference forever after — the sweep
+/// hot path then performs zero model evaluations and zero allocations for
+/// that instance. Dispersive models bypass the cache.
+///
+/// # Examples
+///
+/// ```
+/// use picbench_sparams::{models::Coupler, Model, Settings, SMatrixMemo};
+///
+/// let coupler = Coupler::default();
+/// let settings = Settings::new();
+/// let mut memo = SMatrixMemo::new();
+/// let first = memo.get_or_eval(&coupler, 1.51, &settings)?.cloned();
+/// let second = memo.get_or_eval(&coupler, 1.59, &settings)?.cloned();
+/// // The ideal coupler is dispersionless: one evaluation served both.
+/// assert_eq!(first, second);
+/// assert!(memo.is_cached());
+/// # Ok::<(), picbench_sparams::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SMatrixMemo {
+    cached: Option<SMatrix>,
+}
+
+/// The result of a memo lookup: either a reference into the cache or a
+/// freshly evaluated matrix the caller now owns.
+#[derive(Debug)]
+pub enum MemoResult<'a> {
+    /// The model is wavelength-independent; the matrix lives in the memo.
+    Cached(&'a SMatrix),
+    /// The model is dispersive; the matrix was evaluated for this call.
+    Fresh(SMatrix),
+}
+
+impl MemoResult<'_> {
+    /// The matrix, by reference.
+    pub fn get(&self) -> &SMatrix {
+        match self {
+            MemoResult::Cached(s) => s,
+            MemoResult::Fresh(s) => s,
+        }
+    }
+
+    /// The matrix, cloned out of the cache when necessary.
+    pub fn cloned(self) -> SMatrix {
+        match self {
+            MemoResult::Cached(s) => s.clone(),
+            MemoResult::Fresh(s) => s,
+        }
+    }
+}
+
+impl SMatrixMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        SMatrixMemo::default()
+    }
+
+    /// Whether a wavelength-independent matrix has been captured.
+    pub fn is_cached(&self) -> bool {
+        self.cached.is_some()
+    }
+
+    /// The captured matrix, if any.
+    pub fn cached(&self) -> Option<&SMatrix> {
+        self.cached.as_ref()
+    }
+
+    /// The model's S-matrix at `wavelength_um`, served from the cache when
+    /// the model is wavelength-independent under `settings`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ModelError`] from the underlying evaluation.
+    pub fn get_or_eval(
+        &mut self,
+        model: &dyn Model,
+        wavelength_um: f64,
+        settings: &Settings,
+    ) -> Result<MemoResult<'_>, ModelError> {
+        if model.is_wavelength_independent(settings) {
+            if self.cached.is_none() {
+                self.cached = Some(model.s_matrix(wavelength_um, settings)?);
+            }
+            Ok(MemoResult::Cached(
+                self.cached.as_ref().expect("just filled"),
+            ))
+        } else {
+            Ok(MemoResult::Fresh(model.s_matrix(wavelength_um, settings)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Coupler, Waveguide};
+
+    #[test]
+    fn dispersive_models_bypass_the_cache() {
+        let wg = Waveguide::default();
+        let settings = Settings::new();
+        let mut memo = SMatrixMemo::new();
+        let a = memo.get_or_eval(&wg, 1.51, &settings).unwrap().cloned();
+        let b = memo.get_or_eval(&wg, 1.59, &settings).unwrap().cloned();
+        assert!(!memo.is_cached());
+        assert!(a.max_abs_diff(&b) > 1e-6, "waveguide must disperse");
+    }
+
+    #[test]
+    fn independent_models_evaluate_once() {
+        let coupler = Coupler::default();
+        let settings = Settings::new();
+        let mut memo = SMatrixMemo::new();
+        let a = memo
+            .get_or_eval(&coupler, 1.51, &settings)
+            .unwrap()
+            .cloned();
+        assert!(memo.is_cached());
+        let b = memo
+            .get_or_eval(&coupler, 1.59, &settings)
+            .unwrap()
+            .cloned();
+        assert_eq!(a, b);
+    }
+}

@@ -123,6 +123,21 @@ pub trait Model: Send + Sync {
     /// Returns [`ModelError`] for unknown parameters, out-of-range values or
     /// unsupported wavelengths.
     fn s_matrix(&self, wavelength_um: f64, settings: &Settings) -> Result<SMatrix, ModelError>;
+
+    /// Whether the S-matrix is independent of wavelength under `settings`.
+    ///
+    /// Dispersionless models (ideal couplers, MMIs, switches, …) return
+    /// `true` so sweep engines can evaluate them **once** per sweep instead
+    /// of once per wavelength point (see [`SMatrixMemo`]). The hint may
+    /// depend on the settings — a zero-length phase shifter is
+    /// wavelength-independent even though the model in general is not.
+    ///
+    /// The default is `false`, which is always correct (merely slower).
+    ///
+    /// [`SMatrixMemo`]: crate::SMatrixMemo
+    fn is_wavelength_independent(&self, _settings: &Settings) -> bool {
+        false
+    }
 }
 
 /// Shared validation: rejects settings whose names are not declared

@@ -28,7 +28,12 @@ impl Default for Coupler {
                 inputs: vec!["I1".into(), "I2".into()],
                 outputs: vec!["O1".into(), "O2".into()],
                 params: vec![
-                    ParamSpec::new("coupling", 0.5, "", "power coupling ratio to the cross port"),
+                    ParamSpec::new(
+                        "coupling",
+                        0.5,
+                        "",
+                        "power coupling ratio to the cross port",
+                    ),
                     ParamSpec::new("loss", 0.0, "dB", "excess insertion loss"),
                 ],
             },
@@ -52,6 +57,10 @@ impl Model for Coupler {
         let cross = Complex::new(0.0, amp * kappa.sqrt());
         let t = CMatrix::from_rows(&[vec![bar, cross], vec![cross, bar]]);
         Ok(from_transfer(&["I1", "I2"], &["O1", "O2"], &t))
+    }
+
+    fn is_wavelength_independent(&self, _settings: &Settings) -> bool {
+        true // ideal dispersionless model: the matrix never depends on wavelength
     }
 }
 

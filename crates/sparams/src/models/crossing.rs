@@ -54,6 +54,10 @@ impl Model for Crossing {
         s.set_sym("I2", "O1", xt);
         Ok(s)
     }
+
+    fn is_wavelength_independent(&self, _settings: &Settings) -> bool {
+        true // ideal dispersionless model: the matrix never depends on wavelength
+    }
 }
 
 #[cfg(test)]

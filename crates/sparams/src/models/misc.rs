@@ -52,6 +52,10 @@ impl Model for Splitter {
         ]);
         Ok(from_transfer(&["I1"], &["O1", "O2"], &t))
     }
+
+    fn is_wavelength_independent(&self, _settings: &Settings) -> bool {
+        true // ideal dispersionless model: the matrix never depends on wavelength
+    }
 }
 
 /// Fixed optical attenuator.
@@ -93,6 +97,10 @@ impl Model for Attenuator {
         let mut s = SMatrix::new(self.info.ports());
         s.set_sym("I1", "O1", Complex::real(10f64.powf(-att_db / 20.0)));
         Ok(s)
+    }
+
+    fn is_wavelength_independent(&self, _settings: &Settings) -> bool {
+        true // ideal dispersionless model: the matrix never depends on wavelength
     }
 }
 

@@ -49,6 +49,10 @@ impl Model for Mmi1x2 {
         s.set_sym("I1", "O2", Complex::real(t));
         Ok(s)
     }
+
+    fn is_wavelength_independent(&self, _settings: &Settings) -> bool {
+        true // ideal dispersionless model: the matrix never depends on wavelength
+    }
 }
 
 /// 2×2 multimode interference coupler (quadrature hybrid).
@@ -91,6 +95,10 @@ impl Model for Mmi2x2 {
         let cross = Complex::new(0.0, amp);
         let t = CMatrix::from_rows(&[vec![bar, cross], vec![cross, bar]]);
         Ok(from_transfer(&["I1", "I2"], &["O1", "O2"], &t))
+    }
+
+    fn is_wavelength_independent(&self, _settings: &Settings) -> bool {
+        true // ideal dispersionless model: the matrix never depends on wavelength
     }
 }
 

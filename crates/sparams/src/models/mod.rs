@@ -103,7 +103,11 @@ pub fn propagation(
 pub fn from_transfer(ins: &[&str], outs: &[&str], t: &CMatrix) -> SMatrix {
     assert_eq!(t.rows(), outs.len(), "transfer rows must match outputs");
     assert_eq!(t.cols(), ins.len(), "transfer cols must match inputs");
-    let ports: Vec<String> = ins.iter().chain(outs.iter()).map(|p| p.to_string()).collect();
+    let ports: Vec<String> = ins
+        .iter()
+        .chain(outs.iter())
+        .map(|p| p.to_string())
+        .collect();
     let mut s = SMatrix::new(ports);
     for (o, out) in outs.iter().enumerate() {
         for (i, inp) in ins.iter().enumerate() {

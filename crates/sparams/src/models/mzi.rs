@@ -2,8 +2,8 @@
 //! block, and the Mach-Zehnder modulator.
 
 use super::from_transfer;
-use super::waveguide::GuideParams;
 use super::guide_param_specs;
+use super::waveguide::GuideParams;
 use crate::model::{check_known_params, Model, ModelError, ModelInfo};
 use crate::{ParamSpec, SMatrix, Settings};
 use picbench_math::{CMatrix, Complex};
@@ -113,6 +113,10 @@ impl Model for Mzi2x2 {
         ]);
         Ok(from_transfer(&["I1", "I2"], &["O1", "O2"], &t))
     }
+
+    fn is_wavelength_independent(&self, _settings: &Settings) -> bool {
+        true // ideal dispersionless model: the matrix never depends on wavelength
+    }
 }
 
 /// Built-in Mach-Zehnder modulator.
@@ -205,7 +209,11 @@ mod tests {
         let mzi = Mzi::default();
         let mut settings = lossless();
         settings.insert("delta_length", 0.0);
-        let t = mzi.s_matrix(1.55, &settings).unwrap().s("I1", "O1").unwrap();
+        let t = mzi
+            .s_matrix(1.55, &settings)
+            .unwrap()
+            .s("I1", "O1")
+            .unwrap();
         assert!((t.abs() - 1.0).abs() < 1e-12);
     }
 
@@ -232,7 +240,7 @@ mod tests {
     #[test]
     fn mzi2x2_is_unitary_for_any_angles() {
         let block = Mzi2x2::default();
-        for (theta, phi) in [(0.0, 0.0), (0.5, 1.0), (1.2, -2.0), (1.5707, 3.14)] {
+        for (theta, phi) in [(0.0, 0.0), (0.5, 1.0), (1.2, -2.0), (1.6, 3.2)] {
             let mut settings = Settings::new();
             settings.insert("theta", theta);
             settings.insert("phi", phi);
@@ -248,7 +256,11 @@ mod tests {
         let mut settings = lossless();
         settings.insert("phase_top", std::f64::consts::FRAC_PI_2);
         settings.insert("phase_bottom", -std::f64::consts::FRAC_PI_2);
-        let t = mzm.s_matrix(1.55, &settings).unwrap().s("I1", "O1").unwrap();
+        let t = mzm
+            .s_matrix(1.55, &settings)
+            .unwrap()
+            .s("I1", "O1")
+            .unwrap();
         assert!(t.abs() < 1e-12, "push-pull at ±π/2 should extinguish");
     }
 
@@ -268,7 +280,11 @@ mod tests {
         let mzm = Mzm::default();
         let mut settings = lossless();
         settings.insert("phase_top", std::f64::consts::FRAC_PI_2);
-        let t = mzm.s_matrix(1.55, &settings).unwrap().s("I1", "O1").unwrap();
+        let t = mzm
+            .s_matrix(1.55, &settings)
+            .unwrap()
+            .s("I1", "O1")
+            .unwrap();
         // |cos(Δφ/2)| with Δφ = π/2 → 1/√2.
         assert!((t.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
     }

@@ -57,6 +57,10 @@ impl Model for Reflector {
         s.set_sym("I1", "O1", t);
         Ok(s)
     }
+
+    fn is_wavelength_independent(&self, _settings: &Settings) -> bool {
+        true // ideal dispersionless model: the matrix never depends on wavelength
+    }
 }
 
 /// A fiber grating coupler with a Gaussian passband.
@@ -155,7 +159,11 @@ mod tests {
         let settings = Settings::new();
         let at = |wl: f64| {
             picbench_math::power_ratio_to_db(
-                m.s_matrix(wl, &settings).unwrap().s("I1", "O1").unwrap().norm_sqr(),
+                m.s_matrix(wl, &settings)
+                    .unwrap()
+                    .s("I1", "O1")
+                    .unwrap()
+                    .norm_sqr(),
             )
         };
         let center = at(1.55);

@@ -1,7 +1,7 @@
 //! Microring resonators (all-pass and add-drop).
 
-use super::waveguide::GuideParams;
 use super::guide_param_specs;
+use super::waveguide::GuideParams;
 use crate::model::{check_known_params, check_range, Model, ModelError, ModelInfo};
 use crate::{ParamSpec, SMatrix, Settings};
 use picbench_math::Complex;
@@ -20,7 +20,9 @@ fn ring_params(wavelength_um: f64, radius_um: f64, guide: &GuideParams) -> RingP
     let p = guide.propagate(wavelength_um, circumference);
     RingParams {
         a: p.abs(),
-        phi: 2.0 * PI * super::effective_index(wavelength_um, guide.neff, guide.ng, guide.wl0)
+        phi: 2.0
+            * PI
+            * super::effective_index(wavelength_um, guide.neff, guide.ng, guide.wl0)
             * circumference
             / wavelength_um,
     }
@@ -199,7 +201,10 @@ mod tests {
         let settings = lossless();
         let (_, drop_max) = scan(&ring, &settings, "I1", "O2");
         let (thru_min, _) = scan(&ring, &settings, "I1", "O1");
-        assert!(drop_max > 0.99, "symmetric lossless ring fully drops on resonance");
+        assert!(
+            drop_max > 0.99,
+            "symmetric lossless ring fully drops on resonance"
+        );
         assert!(thru_min < 0.01, "through port extinguishes on resonance");
     }
 
@@ -261,7 +266,10 @@ mod tests {
             .unwrap()
             .norm_sqr();
         assert!(best_p > 0.99);
-        assert!(p_other < 0.9, "detuned ring should not fully drop at the same wl");
+        assert!(
+            p_other < 0.9,
+            "detuned ring should not fully drop at the same wl"
+        );
     }
 
     #[test]

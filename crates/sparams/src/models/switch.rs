@@ -58,6 +58,10 @@ impl Model for Switch2x2 {
         let t = CMatrix::from_rows(&[vec![d * amp, c * amp], vec![c * amp, -d * amp]]);
         Ok(from_transfer(&["I1", "I2"], &["O1", "O2"], &t))
     }
+
+    fn is_wavelength_independent(&self, _settings: &Settings) -> bool {
+        true // ideal dispersionless model: the matrix never depends on wavelength
+    }
 }
 
 /// 1×2 routing switch.
@@ -107,6 +111,10 @@ impl Model for Switch1x2 {
             vec![Complex::new(0.0, amp * angle.sin())],
         ]);
         Ok(from_transfer(&["I1"], &["O1", "O2"], &t))
+    }
+
+    fn is_wavelength_independent(&self, _settings: &Settings) -> bool {
+        true // ideal dispersionless model: the matrix never depends on wavelength
     }
 }
 

@@ -135,6 +135,13 @@ impl Model for PhaseShifter {
         s.set_sym("I1", "O1", t);
         Ok(s)
     }
+
+    fn is_wavelength_independent(&self, settings: &Settings) -> bool {
+        // With zero physical length only the programmable phase remains,
+        // and that does not disperse. Mesh goldens use exactly this
+        // configuration for their output phase screens.
+        settings.resolve(&self.info.params[0]) == 0.0
+    }
 }
 
 #[cfg(test)]

@@ -41,7 +41,11 @@ impl ParamSpec {
 impl fmt::Display for ParamSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.unit.is_empty() {
-            write!(f, "{} (default {}): {}", self.name, self.default, self.description)
+            write!(
+                f,
+                "{} (default {}): {}",
+                self.name, self.default, self.description
+            )
         } else {
             write!(
                 f,

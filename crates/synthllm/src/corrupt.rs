@@ -106,13 +106,9 @@ impl Corruption {
         match self {
             Corruption::UndefinedModel { .. } => Some(FailureType::UndefinedModel),
             Corruption::BoundIo { .. } => Some(FailureType::BoundIoPorts),
-            Corruption::SwapModelsEntry { .. } => {
-                Some(FailureType::InstancesModelsConfusion)
-            }
+            Corruption::SwapModelsEntry { .. } => Some(FailureType::InstancesModelsConfusion),
             Corruption::ExtraText { .. } => Some(FailureType::ExtraJsonContent),
-            Corruption::DuplicateConnection { .. } => {
-                Some(FailureType::DuplicatePortConnection)
-            }
+            Corruption::DuplicateConnection { .. } => Some(FailureType::DuplicatePortConnection),
             Corruption::DanglingPort { .. } => Some(FailureType::DanglingPortConnection),
             Corruption::RemoveExternalPort { .. } => Some(FailureType::WrongPortCount),
             Corruption::WrongPort { .. } => Some(FailureType::WrongPort),
@@ -189,8 +185,7 @@ impl Corruption {
                             conn.b.instance = renamed.clone();
                         }
                     }
-                    let externals: Vec<String> =
-                        netlist.ports.keys().map(str::to_string).collect();
+                    let externals: Vec<String> = netlist.ports.keys().map(str::to_string).collect();
                     for ext in externals {
                         if let Some(pr) = netlist.ports.get_mut(&ext) {
                             if pr.instance == *original {
@@ -390,7 +385,7 @@ pub fn sample_syntax_corruption<R: Rng + ?Sized>(
                 let (_, pr) = golden.ports.get_index(0)?;
                 pr.clone()
             };
-            let name = format!("O{}", golden.ports.len() + rng.gen_range(1..4));
+            let name = format!("O{}", golden.ports.len() + rng.gen_range(1..4usize));
             Some(Corruption::DanglingPort { name, target })
         }
         FailureType::WrongPortCount => {
@@ -451,11 +446,7 @@ pub fn sample_functional_corruption<R: Rng + ?Sized>(
         });
     }
     // Next: swap two same-direction external ports.
-    let outputs: Vec<&str> = golden
-        .ports
-        .keys()
-        .filter(|p| p.starts_with('O'))
-        .collect();
+    let outputs: Vec<&str> = golden.ports.keys().filter(|p| p.starts_with('O')).collect();
     if outputs.len() >= 2 {
         let a = outputs[rng.gen_range(0..outputs.len())].to_string();
         let mut b = outputs[rng.gen_range(0..outputs.len())].to_string();
@@ -547,8 +538,7 @@ mod tests {
         assert!(n
             .connections
             .iter()
-            .any(|conn| conn.a.instance == "phase_shifter"
-                || conn.b.instance == "phase_shifter"));
+            .any(|conn| conn.a.instance == "phase_shifter" || conn.b.instance == "phase_shifter"));
     }
 
     #[test]
@@ -580,7 +570,10 @@ mod tests {
         let c = Corruption::BreakJson { mode: 0 };
         assert_eq!(c.apply_text("{\"a\": 1}"), "{\"a\": 1");
         let c = Corruption::BreakJson { mode: 1 };
-        assert_eq!(c.apply_text("{\"a\": 1, \"b\": 2}"), "{\"a\": 1,, \"b\": 2}");
+        assert_eq!(
+            c.apply_text("{\"a\": 1, \"b\": 2}"),
+            "{\"a\": 1,, \"b\": 2}"
+        );
         // No comma to double: falls back to truncation.
         assert_eq!(c.apply_text("{}"), "{");
     }

@@ -127,17 +127,17 @@ mod tests {
                 model.info().name
             );
         }
-        assert_eq!(BUILTIN_PORTS.len(), picbench_sparams::builtin_models().len());
+        assert_eq!(
+            BUILTIN_PORTS.len(),
+            picbench_sparams::builtin_models().len()
+        );
     }
 
     #[test]
     fn resolves_instance_ports_via_models_section() {
         let n = sample();
         assert_eq!(instance_model_ref(&n, "mmi1"), Some("mmi1x2"));
-        assert_eq!(
-            instance_ports(&n, "mmi1").unwrap(),
-            &["I1", "O1", "O2"]
-        );
+        assert_eq!(instance_ports(&n, "mmi1").unwrap(), &["I1", "O1", "O2"]);
         assert_eq!(instance_ports(&n, "nope"), None);
     }
 
@@ -153,7 +153,9 @@ mod tests {
     fn bogus_port_is_never_real() {
         let n = sample();
         let bogus = bogus_port(&n, "mmi1").unwrap();
-        assert!(!instance_ports(&n, "mmi1").unwrap().contains(&bogus.as_str()));
+        assert!(!instance_ports(&n, "mmi1")
+            .unwrap()
+            .contains(&bogus.as_str()));
         // The classic Fig. 4 mistake: I2 on a 1x2 MMI.
         assert_eq!(bogus, "I2");
     }

@@ -67,12 +67,7 @@ impl ModelProfile {
 
     /// Probability of injecting a mistake of the given category into one
     /// generation.
-    pub fn category_rate(
-        &self,
-        category: FailureType,
-        difficulty: f64,
-        restricted: bool,
-    ) -> f64 {
+    pub fn category_rate(&self, category: FailureType, difficulty: f64, restricted: bool) -> f64 {
         let idx = FailureType::ALL
             .iter()
             .position(|f| *f == category)

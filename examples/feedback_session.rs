@@ -72,7 +72,11 @@ fn main() {
             "\nHealed after {} feedback round(s). Final verdict: syntax {}, functionality {}.",
             feedback_turns,
             if result.syntax_pass() { "PASS" } else { "FAIL" },
-            if result.functional_pass() { "PASS" } else { "FAIL" },
+            if result.functional_pass() {
+                "PASS"
+            } else {
+                "FAIL"
+            },
         );
         return;
     }

@@ -40,9 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // 3. Plot the fringe as ASCII art.
-    let db = response
-        .transmission_db("I1", "O1")
-        .expect("ports exist");
+    let db = response.transmission_db("I1", "O1").expect("ports exist");
     println!("MZI transmission I1 -> O1 (1510-1590 nm):\n");
     for (wl, t) in response.wavelengths().iter().zip(&db) {
         let bars = ((t + 40.0).max(0.0) * 1.5) as usize;

@@ -35,8 +35,7 @@ fn every_syntax_corruption_is_caught_and_classified() {
     for problem in &problems {
         let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ problem.id.len() as u64);
         for category in FailureType::ALL {
-            let Some(corruption) =
-                sample_syntax_corruption(&problem.golden, category, &mut rng)
+            let Some(corruption) = sample_syntax_corruption(&problem.golden, category, &mut rng)
             else {
                 // Not stageable on this design (e.g. no swappable models
                 // entry) — legitimate.
@@ -51,8 +50,7 @@ fn every_syntax_corruption_is_caught_and_classified() {
                 "{}: {category:?} corruption went undetected",
                 problem.id
             );
-            let classified: Vec<FailureType> =
-                report.issues().iter().map(|i| i.failure).collect();
+            let classified: Vec<FailureType> = report.issues().iter().map(|i| i.failure).collect();
             assert!(
                 classified.contains(&category),
                 "{}: {category:?} corruption misclassified as {classified:?}",
@@ -76,8 +74,7 @@ fn every_functional_corruption_fails_functionality_but_not_syntax() {
         let mut rng = StdRng::seed_from_u64(0xBEEF ^ problem.id.len() as u64);
         let mut detected = 0usize;
         for _attempt in 0..8 {
-            let Some(corruption) = sample_functional_corruption(&problem.golden, &mut rng)
-            else {
+            let Some(corruption) = sample_functional_corruption(&problem.golden, &mut rng) else {
                 panic!("{}: no functional corruption available", problem.id);
             };
             assert!(corruption.is_functional());

@@ -2,9 +2,7 @@
 //! backends, the oracle model through the full framework, and campaign
 //! determinism.
 
-use picbench::core::{
-    pass_at_k, run_campaign, run_sample, CampaignConfig, Evaluator, LoopConfig,
-};
+use picbench::core::{pass_at_k, run_campaign, run_sample, CampaignConfig, Evaluator, LoopConfig};
 use picbench::sim::{evaluate, Backend, Circuit, ModelRegistry, WavelengthGrid};
 use picbench::synthllm::{ModelProfile, PerfectLlm};
 

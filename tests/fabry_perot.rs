@@ -18,7 +18,11 @@ fn cavity_netlist(reflectivity: f64, length_um: f64) -> picbench::netlist::Netli
     NetlistBuilder::new()
         .instance_with("mirrorIn", "reflector", &[("reflectivity", reflectivity)])
         .instance_with("mirrorOut", "reflector", &[("reflectivity", reflectivity)])
-        .instance_with("cavity", "waveguide", &[("length", length_um), ("loss", 0.0)])
+        .instance_with(
+            "cavity",
+            "waveguide",
+            &[("length", length_um), ("loss", 0.0)],
+        )
         .connect("mirrorIn,O1", "cavity,I1")
         .connect("cavity,O1", "mirrorOut,I1")
         .port("I1", "mirrorIn,I1")

@@ -1,0 +1,65 @@
+//! Collection strategies.
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Length specifications accepted by [`vec`]: a `usize` (exact length) or
+/// a half-open `Range<usize>`.
+pub trait SizeRange {
+    /// The half-open range of permitted lengths.
+    fn bounds(self) -> Range<usize>;
+}
+
+impl SizeRange for usize {
+    fn bounds(self) -> Range<usize> {
+        self..self + 1
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(self) -> Range<usize> {
+        self
+    }
+}
+
+/// Strategy for `Vec`s with a length drawn from `len` and elements drawn
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, len: impl SizeRange) -> VecStrategy<S> {
+    let len = len.bounds();
+    assert!(
+        len.start < len.end,
+        "empty length range for collection::vec"
+    );
+    VecStrategy { element, len }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end - self.len.start;
+        let n = self.len.start + rng.below(span);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_range() {
+        let strat = vec(0u32..5, 2..7);
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

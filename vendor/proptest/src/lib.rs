@@ -1,0 +1,297 @@
+//! Offline shim for the subset of the `proptest` API used by PICBench-rs.
+//!
+//! Provides random-input property testing without shrinking: the
+//! [`proptest!`] macro, [`Strategy`] combinators (`prop_map`,
+//! `prop_recursive`, tuples, ranges, regex-class string literals,
+//! [`collection::vec`], [`prop_oneof!`], [`Just`], [`any`]) and the
+//! `prop_assert*` / [`prop_assume!`] assertion family. Inputs are drawn from
+//! a deterministic per-test generator, so failures are reproducible; on
+//! failure the offending case index and message are reported via `panic!`.
+
+#![warn(missing_docs)]
+
+use std::rc::Rc;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+
+/// Everything a test file normally imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by [`prop_assume!`]; it does not count as a
+    /// failure.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (assumption not met).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for the given test seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The next raw 64-bit word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index below `n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Stable 64-bit FNV-1a hash used to derive per-test seeds from names.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs a property body over `config.cases` generated cases.
+///
+/// Used by the [`proptest!`] macro expansion; not normally called directly.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when any case returns
+/// [`TestCaseError::Fail`].
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng, u32) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::new(seed_for(test_name));
+    let mut rejected = 0u32;
+    for i in 0..config.cases {
+        match case(&mut rng, i) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property '{test_name}' failed at case {i}: {msg}")
+            }
+        }
+    }
+    // Mirror proptest's global rejection cap loosely: if everything was
+    // rejected the property never ran and that is itself a bug.
+    assert!(
+        rejected < config.cases || config.cases == 0,
+        "property '{test_name}': all {rejected} cases were rejected by prop_assume!"
+    );
+}
+
+/// Boxes heterogeneous strategies and picks one uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Declares a block of property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(stringify!($name), &config, |rng, _case| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                $body
+                #[allow(unreachable_code)]
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Shared boxed-strategy handle (cloneable), used by recursion and unions.
+pub type SharedStrategy<T> = Rc<dyn Strategy<Value = T>>;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1usize..10, y in -2.0f64..=2.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-2.0..=2.0).contains(&y));
+        }
+
+        #[test]
+        fn map_and_vec_compose(v in collection::vec((0u64..5).prop_map(|n| n * 2), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|n| n % 2 == 0 && *n < 10));
+        }
+
+        #[test]
+        fn regex_class_strings(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()), "bad length: {s:?}");
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::seed_for("abc"), crate::seed_for("abc"));
+        assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
+    }
+}

@@ -1,0 +1,416 @@
+//! Strategies: deterministic-random value generators.
+
+use crate::{SharedStrategy, TestRng};
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of random values of one type.
+///
+/// Unlike upstream proptest there is no shrinking; a strategy is just a
+/// deterministic function of the test RNG state.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a depth-limited
+    /// strategy for the same type and wraps it in the recursive cases.
+    ///
+    /// `_desired_size` and `_expected_branch_size` are accepted for API
+    /// compatibility but unused (no shrinking, sizes come from the
+    /// component strategies).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let expanded = recurse(current).boxed();
+            current = Union::new(vec![leaf.clone(), expanded]).boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy behind a cheaply cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    inner: SharedStrategy<T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives — the engine of
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// The canonical strategy for an [`Arbitrary`] type (shim of
+/// `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, u8, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// One parsed element of a character-class regex: a set of allowed chars
+/// plus a repetition count range.
+#[derive(Debug, Clone)]
+struct ClassItem {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the character-class subset of regex syntax used by the test
+/// suites: sequences of `[...]` classes (with ranges and `\`-escapes) or
+/// literal characters, each optionally followed by `{n}` / `{m,n}`.
+fn parse_class_regex(pattern: &str) -> Vec<ClassItem> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let mut set = Vec::new();
+        match chars[i] {
+            '[' => {
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        assert!(i < chars.len(), "dangling escape in {pattern:?}");
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    // `a-z` range (a `-` needs a left operand and a right
+                    // operand that is not the closing bracket).
+                    if i + 2 < chars.len()
+                        && chars[i + 1] == '-'
+                        && chars[i + 2] != ']'
+                        && chars[i] != '\\'
+                    {
+                        let hi = chars[i + 2];
+                        assert!(c <= hi, "inverted range {c}-{hi} in {pattern:?}");
+                        for code in (c as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(code) {
+                                set.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // skip ']'
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in {pattern:?}");
+                set.push(chars[i]);
+                i += 1;
+            }
+            c => {
+                set.push(c);
+                i += 1;
+            }
+        }
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+        items.push(ClassItem {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    items
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let items = parse_class_regex(self);
+        let mut out = String::new();
+        for item in &items {
+            let count = if item.max > item.min {
+                item.min + rng.below(item.max - item.min + 1)
+            } else {
+                item.min
+            };
+            for _ in 0..count {
+                out.push(item.chars[rng.below(item.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_regex_parses_escapes_and_ranges() {
+        let items = parse_class_regex("[a-cX\\-]{2,3}");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].chars, vec!['a', 'b', 'c', 'X', '-']);
+        assert_eq!((items[0].min, items[0].max), (2, 3));
+    }
+
+    #[test]
+    fn multi_item_pattern() {
+        let items = parse_class_regex("[IO][1-4]");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].chars, vec!['I', 'O']);
+        assert_eq!(items[1].chars, vec!['1', '2', '3', '4']);
+    }
+
+    #[test]
+    fn generated_strings_match_pattern() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,5}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 6, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .boxed()
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = TestRng::new(7);
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut rng)) <= 4);
+        }
+    }
+}
