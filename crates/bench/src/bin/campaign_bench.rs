@@ -1,0 +1,296 @@
+//! `campaign_bench` — end-to-end campaign throughput, written to
+//! `BENCH_campaign.json`.
+//!
+//! Two engine configurations run the identical synthetic campaign
+//! (`problems × models × feedback settings × samples`):
+//!
+//! * **baseline** — the PR-1 engine: one work unit per problem
+//!   ([`CampaignGrain::PerProblem`]), no evaluation cache, legacy sweep
+//!   semantics (every grid point solved, per-sweep internal
+//!   parallelism);
+//! * **cached** — the content-addressed engine: fine-grained
+//!   `(problem × model × feedback)` work units
+//!   ([`CampaignGrain::PerCell`]), a shared sharded [`EvalCache`] seeded
+//!   with the golden responses, serial sweeps (the campaign parallelizes
+//!   across cells instead).
+//!
+//! Both must produce **bit-identical** [`CampaignReport`]s — the bench
+//! asserts it, and additionally re-runs the cached engine at several
+//! thread counts to assert scheduling independence. The median wall
+//! clock over `--reps` repetitions is reported along with cell/sample
+//! throughput and the cache hit rate.
+//!
+//! Usage: `cargo run --release -p picbench-bench --bin campaign_bench --
+//! [--problems N] [--samples N] [--points N] [--reps N] [--threads N]
+//! [--min-speedup X] [--out PATH]`
+//!
+//! `--min-speedup X` exits non-zero when the cached engine is not at
+//! least `X`× faster than the baseline — CI runs a small workload with
+//! `--min-speedup 1.0` as a tripwire against silently disabling the
+//! cache.
+
+use picbench_core::{run_campaign, CampaignConfig, CampaignGrain, CampaignReport};
+use picbench_sim::WavelengthGrid;
+use picbench_synthllm::ModelProfile;
+use std::time::Instant;
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Args {
+    problems: usize,
+    samples: usize,
+    points: usize,
+    reps: usize,
+    threads: usize,
+    min_speedup: Option<f64>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let usage = "usage: campaign_bench [--problems N] [--samples N] [--points N] [--reps N] \
+                 [--threads N] [--min-speedup X] [--out PATH]";
+    let mut args = Args {
+        problems: usize::MAX,
+        samples: 5,
+        points: WavelengthGrid::paper_fast().points,
+        reps: 3,
+        threads: 0,
+        min_speedup: None,
+        out: "BENCH_campaign.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let numeric = |flag: &str, value: Option<&String>| -> usize {
+        value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} needs a non-negative integer; {usage}");
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--problems" => {
+                i += 1;
+                args.problems = numeric("--problems", argv.get(i)).max(1);
+            }
+            "--samples" => {
+                i += 1;
+                args.samples = numeric("--samples", argv.get(i)).max(1);
+            }
+            "--points" => {
+                i += 1;
+                args.points = numeric("--points", argv.get(i)).max(1);
+            }
+            "--reps" => {
+                i += 1;
+                args.reps = numeric("--reps", argv.get(i)).max(1);
+            }
+            "--threads" => {
+                i += 1;
+                args.threads = numeric("--threads", argv.get(i));
+            }
+            "--min-speedup" => {
+                i += 1;
+                args.min_speedup =
+                    Some(argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--min-speedup needs a number; {usage}");
+                        std::process::exit(2);
+                    }));
+            }
+            "--out" => {
+                i += 1;
+                args.out = argv.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path; {usage}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other}; {usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let profiles = ModelProfile::all_paper_models();
+    let mut problems = picbench_problems::suite();
+    problems.truncate(args.problems);
+    let grid = WavelengthGrid::new(1.51, 1.59, args.points);
+
+    let base_config = CampaignConfig {
+        samples_per_problem: args.samples,
+        k_values: vec![1, args.samples],
+        feedback_iters: vec![0, 1, 3],
+        restrictions: false,
+        seed: 20_250_205,
+        grid,
+        threads: args.threads,
+        ..CampaignConfig::default()
+    };
+    let baseline_config = CampaignConfig {
+        grain: CampaignGrain::PerProblem,
+        cache: false,
+        legacy_sweeps: true,
+        ..base_config.clone()
+    };
+    let cached_config = CampaignConfig {
+        grain: CampaignGrain::PerCell,
+        cache: true,
+        legacy_sweeps: false,
+        ..base_config.clone()
+    };
+
+    let cells = problems.len() * profiles.len() * base_config.feedback_iters.len();
+    let samples_total = cells * args.samples;
+    let worker_cap = if args.threads > 0 {
+        args.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    println!(
+        "workload: {} problems x {} models x {} feedback settings x {} samples \
+         ({cells} cells, {samples_total} samples), {}-point grid, {} reps, {} worker(s)",
+        problems.len(),
+        profiles.len(),
+        base_config.feedback_iters.len(),
+        args.samples,
+        args.points,
+        args.reps,
+        worker_cap.min(cells),
+    );
+
+    let mut baseline_ms = Vec::with_capacity(args.reps);
+    let mut cached_ms = Vec::with_capacity(args.reps);
+    let mut baseline_report: Option<CampaignReport> = None;
+    let mut cached_report: Option<CampaignReport> = None;
+    for rep in 0..args.reps {
+        let t = Instant::now();
+        let report = run_campaign(&profiles, &problems, &baseline_config);
+        baseline_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        if let Some(reference) = &baseline_report {
+            assert!(reference.same_results(&report), "baseline not reproducible");
+        }
+        baseline_report = Some(report);
+
+        let t = Instant::now();
+        let report = run_campaign(&profiles, &problems, &cached_config);
+        cached_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        if let Some(reference) = &cached_report {
+            assert!(
+                reference.same_results(&report),
+                "cached run not reproducible"
+            );
+        }
+        cached_report = Some(report);
+        eprintln!(
+            "rep {}/{}: baseline {:.0} ms, cached {:.0} ms",
+            rep + 1,
+            args.reps,
+            baseline_ms[rep],
+            cached_ms[rep],
+        );
+    }
+    let baseline_report = baseline_report.expect("at least one rep");
+    let cached_report = cached_report.expect("at least one rep");
+
+    // Determinism: cached+fine-grained must reproduce the baseline bit
+    // for bit, at every thread count.
+    assert!(
+        baseline_report.same_results(&cached_report),
+        "cache/grain changed campaign results"
+    );
+    let mut identical_across_threads = true;
+    for threads in [1usize, 2, 4] {
+        let report = run_campaign(
+            &profiles,
+            &problems,
+            &CampaignConfig {
+                threads,
+                ..cached_config.clone()
+            },
+        );
+        identical_across_threads &= report.same_results(&cached_report);
+    }
+    assert!(identical_across_threads, "thread count changed results");
+    println!("report bit-identical to uncached baseline and across thread counts: true");
+
+    let baseline = median_ms(baseline_ms);
+    let cached = median_ms(cached_ms);
+    let speedup = baseline / cached;
+    let stats = cached_report.cache_stats.expect("cached run has stats");
+    let hit_rate = stats.hit_rate();
+    println!(
+        "baseline (PR-1 engine: per-problem, uncached, legacy sweeps): {baseline:.0} ms \
+         ({:.2} cells/s)",
+        cells as f64 / (baseline / 1e3)
+    );
+    println!(
+        "cached (per-cell, content-addressed): {cached:.0} ms ({:.2} cells/s)",
+        cells as f64 / (cached / 1e3)
+    );
+    println!(
+        "speedup: {speedup:.2}x; cache: {} lookups, {:.1}% served without a sweep \
+         ({} response hits, {} report hits, {} sim hits, {} misses)",
+        stats.lookups(),
+        100.0 * hit_rate,
+        stats.response_hits,
+        stats.report_hits,
+        stats.sim_hits,
+        stats.misses,
+    );
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"benchmark\": \"content-addressed campaign engine\",\n  \
+         \"workload\": {{\n    \"problems\": {},\n    \"models\": {},\n    \
+         \"feedback_settings\": {},\n    \"samples_per_problem\": {},\n    \
+         \"cells\": {cells},\n    \"samples\": {samples_total},\n    \
+         \"grid_points\": {}\n  }},\n  \"repetitions\": {},\n  \
+         \"metric\": \"median wall-clock per full campaign, milliseconds\",\n  \
+         \"host_cpus\": {cpus},\n  \"threads_used\": {},\n  \
+         \"baseline_definition\": \"PR-1 engine: per-problem work queue, no evaluation \
+         cache, legacy sweep semantics (every grid point solved)\",\n  \"results\": {{\n    \
+         \"baseline_pr1_engine_ms\": {baseline:.1},\n    \
+         \"cached_per_cell_ms\": {cached:.1},\n    \"speedup\": {speedup:.2},\n    \
+         \"baseline_cells_per_sec\": {:.2},\n    \"cached_cells_per_sec\": {:.2}\n  }},\n  \
+         \"cache\": {{\n    \"lookups\": {},\n    \"response_hits\": {},\n    \
+         \"report_hits\": {},\n    \"sim_hits\": {},\n    \"misses\": {},\n    \
+         \"hit_rate\": {hit_rate:.4}\n  }},\n  \
+         \"report_identical_to_uncached_and_across_threads\": true,\n  \
+         \"generated_by\": \"cargo run --release -p picbench-bench --bin campaign_bench\"\n}}\n",
+        problems.len(),
+        profiles.len(),
+        base_config.feedback_iters.len(),
+        args.samples,
+        args.points,
+        args.reps,
+        worker_cap.min(cells),
+        cells as f64 / (baseline / 1e3),
+        cells as f64 / (cached / 1e3),
+        stats.lookups(),
+        stats.response_hits,
+        stats.report_hits,
+        stats.sim_hits,
+        stats.misses,
+    );
+    std::fs::write(&args.out, json).expect("write benchmark report");
+    println!("wrote {}", args.out);
+
+    if let Some(min) = args.min_speedup {
+        if speedup < min {
+            eprintln!("FAIL: speedup {speedup:.2}x below required {min:.2}x");
+            std::process::exit(1);
+        }
+        println!("speedup gate passed: {speedup:.2}x >= {min:.2}x");
+    }
+}

@@ -3,12 +3,15 @@
 //! Usage:
 //!
 //! ```text
-//! repro table1|table2|table3|table4|fig1|fig2|fig3|fig4|all [--samples N] [--seed S]
+//! repro table1|table2|table3|table4|fig1|fig2|fig3|fig4|all \
+//!     [--samples N] [--seed S] [--threads N]
 //! ```
 //!
 //! The Monte-Carlo tables (III/IV) honour `--samples` (default 5, as in
-//! the paper) and `--seed`; everything else is deterministic. Build with
-//! `--release` — the campaign tables simulate thousands of circuits.
+//! the paper), `--seed` and `--threads` (campaign workers; the tables are
+//! bit-identical for every worker count); everything else is
+//! deterministic. Build with `--release` — the campaign tables simulate
+//! thousands of circuits.
 
 use picbench_bench::{
     error_histograms, fig1, fig2, fig3, fig4, restriction_ablation_table, table1, table2, table3,
@@ -17,9 +20,10 @@ use picbench_bench::{
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <artifact> [--samples N] [--seed S]\n\
+        "usage: repro <artifact> [--samples N] [--seed S] [--threads N]\n\
          artifacts: table1 table2 table3 table4 fig1 fig2 fig3 fig4 all\n\
-         extensions: errors (failure-category histogram), ablation (leave-one-out restrictions)"
+         extensions: errors (failure-category histogram), ablation (leave-one-out restrictions)\n\
+         --threads 0 (default) uses one worker per core; tables are bit-identical either way"
     );
 }
 
@@ -45,6 +49,13 @@ fn main() {
                 i += 1;
                 scale.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--threads" => {
+                i += 1;
+                scale.threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a non-negative integer");
                     std::process::exit(2);
                 });
             }

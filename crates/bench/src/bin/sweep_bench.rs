@@ -8,20 +8,26 @@
 //!
 //! * **naive** — [`sweep_naive`]: the original per-point rebuild
 //!   (re-partition, re-permute, re-allocate, re-factor at every point);
-//! * **plan** — [`sweep_serial`]: the [`SweepPlan`]/`SolveWorkspace`
-//!   pipeline (structure frozen once, allocation-free point solves,
-//!   memoized dispersionless models).
+//! * **plan** — the [`SweepPlan`]/`SolveWorkspace` pipeline driven point
+//!   by point (structure frozen once, allocation-free in-place solves,
+//!   memoized dispersionless models). The point loop is driven directly
+//!   so the *per-point solve* is what gets timed: the production
+//!   [`sweep`] entry point additionally recognizes this fully
+//!   dispersionless mesh as wavelength-independent and folds the whole
+//!   sweep into a single solve — wall-clock `points×` faster, but a
+//!   degenerate measurement of the solver.
 //!
 //! The median over `--reps` repetitions (default 5) is reported, the two
-//! paths are cross-checked to 1e-9 on power responses, and the parallel
-//! executor is verified element-wise identical to the serial one.
+//! paths are cross-checked to 1e-9, and the parallel executor is
+//! verified element-wise identical to the serial one on `--threads`
+//! workers (recorded in the JSON alongside the host CPU count).
 //!
 //! Usage: `cargo run --release -p picbench-bench --bin sweep_bench
-//! [-- --reps N --out PATH]`
+//! [-- --reps N --threads N --out PATH]`
 //!
-//! [`SweepPlan`]: picbench_sim::SweepPlan
+//! [`sweep`]: picbench_sim::sweep
 
-use picbench_math::decomp;
+use picbench_math::{decomp, CMatrix};
 use picbench_problems::meshes::mesh_netlist;
 use picbench_sim::{
     sweep_naive, sweep_parallel, sweep_serial, Backend, Circuit, ModelRegistry, SweepPlan,
@@ -41,8 +47,9 @@ fn median_ms(mut samples: Vec<f64>) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut reps = 5usize;
+    let mut threads = 4usize;
     let mut out_path = "BENCH_pipeline.json".to_string();
-    let usage = "usage: sweep_bench [--reps N --out PATH]";
+    let usage = "usage: sweep_bench [--reps N --threads N --out PATH]";
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -54,6 +61,17 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| {
                         eprintln!("--reps needs a positive integer; {usage}");
+                        std::process::exit(2);
+                    });
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer; {usage}");
                         std::process::exit(2);
                     });
             }
@@ -78,6 +96,7 @@ fn main() {
     let netlist = mesh_netlist(&mesh);
     let circuit = Circuit::elaborate(&netlist, &registry, None).expect("golden mesh elaborates");
     let grid = WavelengthGrid::new(1.51, 1.59, GRID_POINTS);
+    let wavelengths = grid.wavelengths();
 
     let memoized = SweepPlan::new(&circuit, Backend::Dense)
         .expect("plan builds")
@@ -103,22 +122,41 @@ fn main() {
             let t = Instant::now();
             let naive = sweep_naive(&circuit, &grid, *backend).expect("naive sweep");
             naive_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+            // Drive the per-point solve directly (plan construction
+            // included, as in the naive path) so the timing measures the
+            // solver rather than the wavelength-independence fold. The
+            // cross-check against naive runs after the clock stops.
+            let n_ext = circuit.externals.len();
+            let mut outs: Vec<CMatrix> = (0..wavelengths.len())
+                .map(|_| CMatrix::zeros(n_ext, n_ext))
+                .collect();
             let t = Instant::now();
-            let planned = sweep_serial(&circuit, &grid, *backend).expect("planned sweep");
+            let plan = SweepPlan::new(&circuit, *backend).expect("plan builds");
+            let mut ws = plan.workspace();
+            for (i, &wl) in wavelengths.iter().enumerate() {
+                plan.evaluate_into(&mut ws, wl, &mut outs[i])
+                    .expect("planned point solve");
+            }
             plan_ms.push(t.elapsed().as_secs_f64() * 1e3);
-            let cmp = naive.compare(&planned);
+
+            let mut rep_diff = 0.0f64;
+            for (i, out) in outs.iter().enumerate() {
+                let reference = naive.sample(i).expect("sample exists").matrix();
+                rep_diff = rep_diff.max(out.max_abs_diff(reference));
+            }
             assert!(
-                cmp.is_equivalent(1e-9),
-                "{backend}: plan disagrees with naive: {cmp}"
+                rep_diff < 1e-9,
+                "{backend}: plan disagrees with naive by {rep_diff:.3e}"
             );
-            max_diff = max_diff.max(cmp.max_power_diff);
+            max_diff = max_diff.max(rep_diff);
         }
         let naive = median_ms(naive_ms);
         let plan = median_ms(plan_ms);
         let speedup = naive / plan;
         println!(
             "{backend}: naive {naive:.2} ms -> plan {plan:.2} ms ({speedup:.2}x, \
-             max |dS|^2 vs naive {max_diff:.2e})"
+             max |dS| vs naive {max_diff:.2e})"
         );
         if index > 0 {
             results.push_str(",\n");
@@ -127,7 +165,7 @@ fn main() {
             results,
             "    {{\n      \"backend\": \"{backend}\",\n      \"naive_ms\": {naive:.3},\n      \
              \"plan_ms\": {plan:.3},\n      \"speedup\": {speedup:.2},\n      \
-             \"max_abs_power_diff_vs_naive\": {max_diff:.3e}\n    }}"
+             \"max_abs_diff_vs_naive\": {max_diff:.3e}\n    }}"
         );
     }
 
@@ -135,10 +173,11 @@ fn main() {
     // bit for bit (on a single-CPU host this still exercises the code
     // path via an explicit worker count).
     let serial = sweep_serial(&circuit, &grid, Backend::Dense).expect("serial sweep");
-    let parallel = sweep_parallel(&circuit, &grid, Backend::Dense, 4).expect("parallel sweep");
+    let parallel =
+        sweep_parallel(&circuit, &grid, Backend::Dense, threads).expect("parallel sweep");
     let identical = serial == parallel;
     assert!(identical, "parallel sweep deviates from serial sweep");
-    println!("parallel (4 workers) element-wise identical to serial: {identical}");
+    println!("parallel ({threads} workers) element-wise identical to serial: {identical}");
 
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -149,8 +188,9 @@ fn main() {
          \"instances\": {},\n    \"memoized_instances\": {memoized},\n    \
          \"global_ports\": {},\n    \"external_ports\": {},\n    \
          \"grid_points\": {GRID_POINTS}\n  }},\n  \"repetitions\": {reps},\n  \
-         \"metric\": \"median wall-clock per full sweep, milliseconds\",\n  \
-         \"host_cpus\": {cpus},\n  \"results\": [\n{results}\n  ],\n  \
+         \"metric\": \"median wall-clock per full sweep, milliseconds (per-point solve; \
+         the production sweep() folds this fully dispersionless mesh to a single point)\",\n  \
+         \"host_cpus\": {cpus},\n  \"threads_used\": {threads},\n  \"results\": [\n{results}\n  ],\n  \
          \"parallel_identical_to_serial\": {identical},\n  \
          \"generated_by\": \"cargo run --release -p picbench-bench --bin sweep_bench\"\n}}\n",
         circuit.instance_count(),

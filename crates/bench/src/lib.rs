@@ -35,6 +35,9 @@ pub struct ReproScale {
     pub samples: usize,
     /// Campaign seed.
     pub seed: u64,
+    /// Campaign worker threads (0 = one per available core). The report
+    /// is bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for ReproScale {
@@ -42,6 +45,7 @@ impl Default for ReproScale {
         ReproScale {
             samples: 5,
             seed: 20_250_205,
+            threads: 0,
         }
     }
 }
@@ -115,7 +119,8 @@ fn campaign(restrictions: bool, scale: ReproScale) -> CampaignReport {
         restrictions,
         seed: scale.seed,
         grid: WavelengthGrid::paper_fast(),
-        threads: 0,
+        threads: scale.threads,
+        ..CampaignConfig::default()
     };
     run_campaign(&profiles, &problems, &config)
 }

@@ -1,19 +1,53 @@
 //! Campaign runner: the full evaluation matrix of Tables III and IV.
 //!
 //! A campaign runs `models × feedback settings × problems × samples`
-//! through the feedback loop and aggregates Pass@k. Problems are
-//! distributed over worker threads (each worker owns its own evaluator
-//! with its own golden-response cache); everything is seeded, so a
-//! campaign is exactly reproducible.
+//! through the feedback loop and aggregates Pass@k. The engine is built
+//! for throughput and determinism:
+//!
+//! * every problem's **golden response** is simulated once up front and
+//!   shared immutably across all workers;
+//! * work is distributed at the granularity of
+//!   `(problem × model × feedback)` **cells** claimed from an atomic
+//!   queue ([`CampaignGrain::PerCell`], the default) — a straggler
+//!   problem no longer idles the rest of the machine, and the worker
+//!   count is no longer capped by the problem count;
+//! * all workers share one sharded, content-addressed [`EvalCache`], so
+//!   structurally identical candidates (identical first attempts across
+//!   feedback settings, retries converging to the golden, clean samples
+//!   from different models) are simulated once;
+//! * each worker owns its evaluator (schedule cache + solve workspace)
+//!   and sweeps serially — the campaign parallelizes *across* cells, not
+//!   within sweeps.
+//!
+//! Because the synthetic models reseed per `(model, problem, sample)` and
+//! cached replay is bit-identical to cold evaluation, the resulting
+//! [`CampaignReport`] is **bit-identical** for any thread count, either
+//! grain, and with the cache on or off. Aggregation iterates cells in a
+//! fixed problem-major order, never in hash-map order.
 
-use crate::evaluate::Evaluator;
+use crate::evaluate::{EvalCache, EvalCacheStats, Evaluator};
 use crate::feedback_loop::{run_sample, LoopConfig};
 use crate::passk::{aggregate_pass_at_k, ProblemTally};
 use picbench_problems::Problem;
-use picbench_sim::{Backend, WavelengthGrid};
+use picbench_sim::{Backend, FrequencyResponse, WavelengthGrid};
 use picbench_synthllm::{ModelProfile, SyntheticLlm};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Work-distribution granularity of [`run_campaign`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CampaignGrain {
+    /// One work unit per `(problem × model × feedback)` cell; workers
+    /// sweep serially. The default, and the fastest on loaded hosts.
+    #[default]
+    PerCell,
+    /// One work unit per problem (each worker runs all models × feedback
+    /// settings for its problem, sweeping with the simulator's default
+    /// parallelism) — the pre-cache engine, kept as the benchmark
+    /// baseline. Caps useful workers at the problem count.
+    PerProblem,
+}
 
 /// Campaign-wide configuration.
 #[derive(Debug, Clone)]
@@ -30,8 +64,17 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Wavelength grid for simulation/comparison.
     pub grid: WavelengthGrid,
-    /// Worker threads (0 = one per available core, capped by problems).
+    /// Worker threads (0 = one per available core, capped by work units).
     pub threads: usize,
+    /// Work-distribution granularity.
+    pub grain: CampaignGrain,
+    /// Whether workers share a content-addressed evaluation cache.
+    pub cache: bool,
+    /// Reproduce the PR-1 sweep semantics inside workers: no
+    /// constant-response fold, per-sweep internal parallelism. Results
+    /// are bit-identical either way; this exists so benchmarks can time
+    /// the historical baseline engine in the current tree.
+    pub legacy_sweeps: bool,
 }
 
 impl Default for CampaignConfig {
@@ -44,6 +87,9 @@ impl Default for CampaignConfig {
             seed: 20_250_205, // the paper's arXiv date
             grid: WavelengthGrid::paper_fast(),
             threads: 0,
+            grain: CampaignGrain::PerCell,
+            cache: true,
+            legacy_sweeps: false,
         }
     }
 }
@@ -85,6 +131,8 @@ pub struct CampaignReport {
     pub cells: Vec<CellScore>,
     /// Raw per-problem tallies for every condition.
     pub conditions: Vec<ConditionTallies>,
+    /// Hit/miss counters of the shared evaluation cache (when enabled).
+    pub cache_stats: Option<EvalCacheStats>,
 }
 
 impl CampaignReport {
@@ -94,34 +142,82 @@ impl CampaignReport {
             .iter()
             .find(|c| c.model == model && c.feedback_iters == feedback_iters && c.k == k)
     }
+
+    /// Whether two reports carry identical scores and tallies (the
+    /// determinism criterion — cache counters are excluded, as they
+    /// legitimately vary with scheduling).
+    pub fn same_results(&self, other: &CampaignReport) -> bool {
+        self.restrictions == other.restrictions
+            && self.samples_per_problem == other.samples_per_problem
+            && self.cells == other.cells
+            && self.conditions.len() == other.conditions.len()
+            && self.conditions.iter().zip(&other.conditions).all(|(a, b)| {
+                a.model == b.model && a.feedback_iters == b.feedback_iters && a.tallies == b.tallies
+            })
+    }
 }
 
-struct WorkItem {
-    problem: Problem,
+/// One `(problem × model × feedback)` evaluation cell.
+#[derive(Clone, Copy)]
+struct Cell {
+    problem: usize,
+    profile: usize,
+    ef_idx: usize,
 }
 
 /// Runs a campaign over the given model profiles and problems.
 ///
 /// # Panics
 ///
-/// Panics if `problems` or `config.k_values` is empty, or if a golden
-/// design fails to simulate (a bug, not an input condition).
+/// Panics if `problems`, `profiles` or `config.k_values` is empty, or if
+/// a golden design fails to simulate (a bug, not an input condition).
 pub fn run_campaign(
     profiles: &[ModelProfile],
     problems: &[Problem],
     config: &CampaignConfig,
 ) -> CampaignReport {
     assert!(!problems.is_empty(), "campaign needs problems");
+    assert!(!profiles.is_empty(), "campaign needs model profiles");
     assert!(!config.k_values.is_empty(), "campaign needs k values");
 
-    let queue: Mutex<Vec<WorkItem>> = Mutex::new(
-        problems
-            .iter()
-            .map(|p| WorkItem { problem: p.clone() })
+    // Golden responses: simulated once, shared immutably by every worker,
+    // and seeded into the evaluation cache so golden-identical candidates
+    // are instant hits.
+    let cache = config.cache.then(|| Arc::new(EvalCache::new()));
+    let goldens: Arc<HashMap<String, Arc<FrequencyResponse>>> = {
+        let mut evaluator = Evaluator::new(config.grid, Backend::default());
+        if let Some(cache) = &cache {
+            evaluator = evaluator.with_cache(Arc::clone(cache));
+        }
+        Arc::new(
+            problems
+                .iter()
+                .map(|p| (p.id.to_string(), evaluator.prime_golden(p)))
+                .collect(),
+        )
+    };
+
+    // Cells in problem-major order; `PerProblem` groups each problem's
+    // contiguous run of cells into one work unit.
+    let per_problem = profiles.len() * config.feedback_iters.len();
+    let mut cells = Vec::with_capacity(problems.len() * per_problem);
+    for problem in 0..problems.len() {
+        for profile in 0..profiles.len() {
+            for ef_idx in 0..config.feedback_iters.len() {
+                cells.push(Cell {
+                    problem,
+                    profile,
+                    ef_idx,
+                });
+            }
+        }
+    }
+    let units: Vec<std::ops::Range<usize>> = match config.grain {
+        CampaignGrain::PerCell => (0..cells.len()).map(|i| i..i + 1).collect(),
+        CampaignGrain::PerProblem => (0..problems.len())
+            .map(|p| p * per_problem..(p + 1) * per_problem)
             .collect(),
-    );
-    // condition index = model_idx * feedback_settings + ef_idx
-    let results: Mutex<Vec<(String, usize, String, ProblemTally)>> = Mutex::new(Vec::new());
+    };
 
     let worker_count = if config.threads > 0 {
         config.threads
@@ -130,92 +226,108 @@ pub fn run_campaign(
             .map(|n| n.get())
             .unwrap_or(4)
     }
-    .min(problems.len())
+    .min(units.len())
     .max(1);
+    let sweep_threads = if config.legacy_sweeps {
+        0
+    } else {
+        match config.grain {
+            CampaignGrain::PerCell => 1,
+            CampaignGrain::PerProblem => 0,
+        }
+    };
+
+    let next_unit = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, ProblemTally)>> = Mutex::new(Vec::with_capacity(cells.len()));
 
     std::thread::scope(|scope| {
         for _ in 0..worker_count {
             scope.spawn(|| {
-                let mut evaluator = Evaluator::new(config.grid, Backend::default());
-                loop {
-                    let item = {
-                        let mut q = queue.lock().expect("queue poisoned");
-                        match q.pop() {
-                            Some(item) => item,
-                            None => break,
-                        }
-                    };
-                    let problem = &item.problem;
-                    let mut local = Vec::new();
-                    for profile in profiles {
-                        let mut llm = SyntheticLlm::new(profile.clone(), config.seed);
-                        for &ef in &config.feedback_iters {
-                            let loop_config = LoopConfig {
-                                max_feedback_iters: ef,
-                                restrictions: config.restrictions,
-                            };
-                            let mut tally = ProblemTally {
-                                n: config.samples_per_problem,
-                                syntax_passes: 0,
-                                functional_passes: 0,
-                            };
-                            for sample in 0..config.samples_per_problem as u64 {
-                                let result = run_sample(
-                                    &mut llm,
-                                    problem,
-                                    &mut evaluator,
-                                    loop_config,
-                                    sample,
-                                );
-                                if result.syntax_pass() {
-                                    tally.syntax_passes += 1;
-                                }
-                                if result.functional_pass() {
-                                    tally.functional_passes += 1;
-                                }
-                            }
-                            local.push((
-                                profile.name.to_string(),
-                                ef,
-                                problem.id.to_string(),
-                                tally,
-                            ));
-                        }
-                    }
-                    results.lock().expect("results poisoned").extend(local);
+                let mut evaluator = Evaluator::new(config.grid, Backend::default())
+                    .with_shared_goldens(Arc::clone(&goldens))
+                    .with_sweep_threads(sweep_threads)
+                    .with_constant_fold(!config.legacy_sweeps);
+                if let Some(cache) = &cache {
+                    evaluator = evaluator.with_cache(Arc::clone(cache));
                 }
+                let mut local: Vec<(usize, ProblemTally)> = Vec::new();
+                loop {
+                    let unit = next_unit.fetch_add(1, Ordering::Relaxed);
+                    if unit >= units.len() {
+                        break;
+                    }
+                    for cell_index in units[unit].clone() {
+                        let cell = cells[cell_index];
+                        let problem = &problems[cell.problem];
+                        let mut llm =
+                            SyntheticLlm::new(profiles[cell.profile].clone(), config.seed);
+                        let loop_config = LoopConfig {
+                            max_feedback_iters: config.feedback_iters[cell.ef_idx],
+                            restrictions: config.restrictions,
+                        };
+                        let mut tally = ProblemTally {
+                            n: config.samples_per_problem,
+                            syntax_passes: 0,
+                            functional_passes: 0,
+                        };
+                        for sample in 0..config.samples_per_problem as u64 {
+                            let result =
+                                run_sample(&mut llm, problem, &mut evaluator, loop_config, sample);
+                            if result.syntax_pass() {
+                                tally.syntax_passes += 1;
+                            }
+                            if result.functional_pass() {
+                                tally.functional_passes += 1;
+                            }
+                        }
+                        local.push((cell_index, tally));
+                    }
+                }
+                results.lock().expect("results poisoned").extend(local);
             });
         }
     });
 
     let raw = results.into_inner().expect("results poisoned");
+    let mut by_cell: Vec<Option<ProblemTally>> = vec![None; cells.len()];
+    for (index, tally) in raw {
+        by_cell[index] = Some(tally);
+    }
+    let cell_index = |problem: usize, profile: usize, ef_idx: usize| {
+        (problem * profiles.len() + profile) * config.feedback_iters.len() + ef_idx
+    };
+
+    // Aggregation iterates problems in input order — deterministic and
+    // independent of scheduling, hashing and thread count.
     let mut conditions: Vec<ConditionTallies> = Vec::new();
-    for profile in profiles {
-        for &ef in &config.feedback_iters {
-            let tallies: HashMap<String, ProblemTally> = raw
-                .iter()
-                .filter(|(m, e, _, _)| m == profile.name && *e == ef)
-                .map(|(_, _, pid, tally)| (pid.clone(), *tally))
+    let mut scores = Vec::new();
+    for (profile_idx, profile) in profiles.iter().enumerate() {
+        for (ef_idx, &ef) in config.feedback_iters.iter().enumerate() {
+            let ordered: Vec<(usize, ProblemTally)> = (0..problems.len())
+                .map(|p| {
+                    let tally = by_cell[cell_index(p, profile_idx, ef_idx)]
+                        .expect("every cell was computed");
+                    (p, tally)
+                })
                 .collect();
+            for &k in &config.k_values {
+                let tally_vec: Vec<ProblemTally> = ordered.iter().map(|(_, t)| *t).collect();
+                let (syntax, functional) = aggregate_pass_at_k(&tally_vec, k);
+                scores.push(CellScore {
+                    model: profile.name.to_string(),
+                    feedback_iters: ef,
+                    k,
+                    syntax,
+                    functional,
+                });
+            }
             conditions.push(ConditionTallies {
                 model: profile.name.to_string(),
                 feedback_iters: ef,
-                tallies,
-            });
-        }
-    }
-
-    let mut cells = Vec::new();
-    for condition in &conditions {
-        let tally_vec: Vec<ProblemTally> = condition.tallies.values().copied().collect();
-        for &k in &config.k_values {
-            let (syntax, functional) = aggregate_pass_at_k(&tally_vec, k);
-            cells.push(CellScore {
-                model: condition.model.clone(),
-                feedback_iters: condition.feedback_iters,
-                k,
-                syntax,
-                functional,
+                tallies: ordered
+                    .into_iter()
+                    .map(|(p, tally)| (problems[p].id.to_string(), tally))
+                    .collect(),
             });
         }
     }
@@ -223,8 +335,9 @@ pub fn run_campaign(
     CampaignReport {
         restrictions: config.restrictions,
         samples_per_problem: config.samples_per_problem,
-        cells,
+        cells: scores,
         conditions,
+        cache_stats: cache.map(|c| c.stats()),
     }
 }
 
@@ -248,6 +361,7 @@ mod tests {
             seed: 99,
             grid: WavelengthGrid::paper_fast(),
             threads: 2,
+            ..CampaignConfig::default()
         }
     }
 
@@ -267,9 +381,77 @@ mod tests {
         let profiles = vec![ModelProfile::claude35_sonnet()];
         let a = run_campaign(&profiles, &small_problems(), &small_config());
         let b = run_campaign(&profiles, &small_problems(), &small_config());
+        assert!(a.same_results(&b));
         for (ca, cb) in a.cells.iter().zip(&b.cells) {
             assert_eq!(ca, cb);
         }
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_thread_counts() {
+        let profiles = vec![ModelProfile::gpt4o()];
+        let reference = run_campaign(
+            &profiles,
+            &small_problems(),
+            &CampaignConfig {
+                threads: 1,
+                ..small_config()
+            },
+        );
+        for threads in [2, 3, 8] {
+            let parallel = run_campaign(
+                &profiles,
+                &small_problems(),
+                &CampaignConfig {
+                    threads,
+                    ..small_config()
+                },
+            );
+            assert!(
+                reference.same_results(&parallel),
+                "thread count {threads} changed the report"
+            );
+        }
+    }
+
+    #[test]
+    fn report_is_identical_across_grains_and_cache_settings() {
+        let profiles = vec![ModelProfile::gpt4(), ModelProfile::claude35_sonnet()];
+        let problems = small_problems();
+        let reference = run_campaign(&profiles, &problems, &small_config());
+        assert!(reference.cache_stats.is_some());
+        for (grain, cache) in [
+            (CampaignGrain::PerCell, false),
+            (CampaignGrain::PerProblem, true),
+            (CampaignGrain::PerProblem, false),
+        ] {
+            let other = run_campaign(
+                &profiles,
+                &problems,
+                &CampaignConfig {
+                    grain,
+                    cache,
+                    ..small_config()
+                },
+            );
+            assert!(
+                reference.same_results(&other),
+                "grain {grain:?} / cache {cache} changed the report"
+            );
+            assert_eq!(other.cache_stats.is_some(), cache);
+        }
+    }
+
+    #[test]
+    fn cache_absorbs_repeated_structures() {
+        let profiles = vec![ModelProfile::gpt4()];
+        let report = run_campaign(&profiles, &small_problems(), &small_config());
+        let stats = report.cache_stats.expect("cache on by default");
+        assert!(stats.lookups() > 0);
+        assert!(
+            stats.hit_rate() > 0.2,
+            "identical first attempts across feedback settings must hit: {stats:?}"
+        );
     }
 
     #[test]

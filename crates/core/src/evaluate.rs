@@ -1,4 +1,5 @@
-//! Syntax and functionality evaluation (§III-C).
+//! Syntax and functionality evaluation (§III-C), with content-addressed
+//! caching.
 //!
 //! A raw chat response is judged in two stages, as in the paper:
 //!
@@ -8,23 +9,51 @@
 //! 2. **Functionality**: compare the generated design's frequency
 //!    response against the golden design's over the full sweep.
 //!
-//! Every simulation here goes through [`simulate_netlist`] →
-//! [`picbench_sim::sweep`], i.e. the plan/execute pipeline: the sweep
-//! structure is computed once per candidate circuit, the per-point solves
-//! reuse workspaces allocation-free, and grids of
-//! [`picbench_sim::PARALLEL_THRESHOLD`] or more points (the default
-//! [`WavelengthGrid::paper_fast`] qualifies) run on parallel workers —
-//! which is what keeps large evaluation campaigns cheap.
+//! Campaigns evaluate enormous numbers of *structurally identical*
+//! candidates: feedback retries converge toward the golden design, the
+//! same sample seed produces the same first attempt across feedback
+//! settings, and distinct model profiles emit identical clean designs.
+//! The evaluator therefore works **content-addressed**:
+//!
+//! * every structurally valid candidate is [canonicalized]
+//!   (`Netlist::canonicalize`) before simulation, so all members of a
+//!   [`Netlist::content_hash`] class produce the *same frequency response
+//!   bit for bit* — which is what makes cached replay indistinguishable
+//!   from cold evaluation;
+//! * an optional shared [`EvalCache`] memoizes at three levels: the
+//!   sweep outcome per `(netlist hash, grid, backend, port spec)`
+//!   (level 1), the finished [`EvalReport`] additionally keyed by
+//!   problem and tolerance (level 2), and — because a verdict is a pure
+//!   function of the response text given those settings — whole verdicts
+//!   per response-text digest (level 0), which skips even extraction and
+//!   JSON parsing on replays;
+//! * a [`ScheduleCache`] reuses the topology-level [`SweepSchedule`]s
+//!   across candidates, and one [`SolveWorkspace`] serves every serial
+//!   sweep, so even cache *misses* skip re-planning and re-allocation
+//!   when only settings changed;
+//! * golden responses can be precomputed once and shared immutably
+//!   across worker evaluators ([`Evaluator::with_shared_goldens`]).
+//!
+//! Structurally *invalid* candidates are deliberately left uncached: they
+//! never reach a sweep (the expensive part), and their classified issue
+//! lists are reported exactly as validation of the as-written document
+//! produces them.
+//!
+//! [canonicalized]: picbench_netlist::Netlist::canonicalize
+//! [`SweepSchedule`]: picbench_sim::SweepSchedule
 
 use crate::classify;
 use picbench_netlist::extract::extract_payload;
-use picbench_netlist::{json, Netlist, ValidationIssue};
+use picbench_netlist::{json, Fnv64, Netlist, ValidationIssue};
 use picbench_problems::Problem;
 use picbench_sim::{
-    simulate_netlist, Backend, FrequencyResponse, ModelRegistry, ResponseComparison, SimulateError,
+    sweep_planned, sweep_with_plan, Backend, Circuit, FrequencyResponse, ModelRegistry,
+    ResponseComparison, ScheduleCache, SimError, SimulateError, SolveWorkspace, SweepPlan,
     WavelengthGrid,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Default tolerance on the maximum per-pair |ΔS|² for functional
 /// equivalence.
@@ -70,15 +99,203 @@ impl EvalReport {
     }
 }
 
-/// The evaluation engine: registry + sweep settings + golden-response
-/// cache.
+/// Identifies one simulation: canonical netlist digest, wavelength grid
+/// (bit pattern), backend, and the problem's external port-count spec
+/// (which participates in validation).
+type SimKey = (u64, (u64, u64, usize), Backend, (usize, usize));
+
+/// A [`SimKey`] further scoped by problem-id digest and functional
+/// tolerance — the key of a finished [`EvalReport`]. (Digests rather
+/// than owned `String`s keep cache lookups allocation-free.)
+type ReportKey = (SimKey, u64, u64);
+
+/// Identifies one raw-response evaluation: response-text digest, grid,
+/// backend, problem-id digest, tolerance. A verdict is a pure function
+/// of these (given the fixed built-in registry), so whole reports can be
+/// replayed from it.
+type ResponseKey = (u64, (u64, u64, usize), Backend, u64, u64);
+
+/// The memoized outcome of simulating one structurally valid netlist.
+#[derive(Debug, Clone)]
+enum SimOutcome {
+    /// The sweep succeeded.
+    Response(Arc<FrequencyResponse>),
+    /// The sweep failed (e.g. a singular system or a model rejecting its
+    /// settings at some wavelength).
+    Failed(SimError),
+}
+
+const SHARD_COUNT: usize = 16;
+
+/// Counter snapshot of an [`EvalCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalCacheStats {
+    /// Whole verdicts replayed straight from the response text.
+    pub response_hits: u64,
+    /// Verdicts replayed from the canonical netlist digest.
+    pub report_hits: u64,
+    /// Verdicts re-derived from a memoized sweep.
+    pub sim_hits: u64,
+    /// Evaluations that had to run the full simulation.
+    pub misses: u64,
+}
+
+impl EvalCacheStats {
+    /// Cache hits plus executed simulations. (Structurally invalid
+    /// first-sight responses run no sweep and are counted on neither
+    /// side; their repeats surface as `response_hits`.)
+    pub fn lookups(&self) -> u64 {
+        self.response_hits + self.report_hits + self.sim_hits + self.misses
+    }
+
+    /// Fraction of [`EvalCacheStats::lookups`] served without running a
+    /// simulation.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            1.0 - self.misses as f64 / lookups as f64
+        }
+    }
+}
+
+/// A sharded, thread-safe, content-addressed evaluation cache.
+///
+/// Level 1 memoizes sweep outcomes by [`SimKey`]; level 2 memoizes
+/// complete [`EvalReport`]s by [`ReportKey`]. Shards are plain mutexed
+/// hash maps — entries are only ever inserted (idempotently: every writer
+/// computes the identical value for a key, a consequence of canonical
+/// simulation), so contention is limited to short lock windows on one of
+/// [`SHARD_COUNT`] stripes.
+#[derive(Debug)]
+pub struct EvalCache {
+    sim_shards: Vec<Mutex<HashMap<SimKey, SimOutcome>>>,
+    report_shards: Vec<Mutex<HashMap<ReportKey, EvalReport>>>,
+    response_shards: Vec<Mutex<HashMap<ResponseKey, EvalReport>>>,
+    response_hits: AtomicU64,
+    report_hits: AtomicU64,
+    sim_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::new()
+    }
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        EvalCache {
+            sim_shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            report_shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            response_shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            response_hits: AtomicU64::new(0),
+            report_hits: AtomicU64::new(0),
+            sim_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(hash: u64) -> usize {
+        (hash as usize) & (SHARD_COUNT - 1)
+    }
+
+    fn get_report(&self, key: &ReportKey) -> Option<EvalReport> {
+        let shard = self.report_shards[Self::shard(key.0 .0)]
+            .lock()
+            .expect("report shard poisoned");
+        shard.get(key).cloned()
+    }
+
+    fn put_report(&self, key: ReportKey, report: EvalReport) {
+        let mut shard = self.report_shards[Self::shard(key.0 .0)]
+            .lock()
+            .expect("report shard poisoned");
+        shard.entry(key).or_insert(report);
+    }
+
+    fn get_response(&self, key: &ResponseKey) -> Option<EvalReport> {
+        let shard = self.response_shards[Self::shard(key.0)]
+            .lock()
+            .expect("response shard poisoned");
+        shard.get(key).cloned()
+    }
+
+    fn put_response(&self, key: ResponseKey, report: EvalReport) {
+        let mut shard = self.response_shards[Self::shard(key.0)]
+            .lock()
+            .expect("response shard poisoned");
+        shard.entry(key).or_insert(report);
+    }
+
+    fn get_sim(&self, key: &SimKey) -> Option<SimOutcome> {
+        let shard = self.sim_shards[Self::shard(key.0)]
+            .lock()
+            .expect("sim shard poisoned");
+        shard.get(key).cloned()
+    }
+
+    fn put_sim(&self, key: SimKey, outcome: SimOutcome) {
+        let mut shard = self.sim_shards[Self::shard(key.0)]
+            .lock()
+            .expect("sim shard poisoned");
+        shard.entry(key).or_insert(outcome);
+    }
+
+    /// Number of memoized sweep outcomes.
+    pub fn simulation_count(&self) -> usize {
+        self.sim_shards
+            .iter()
+            .map(|s| s.lock().expect("sim shard poisoned").len())
+            .sum()
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> EvalCacheStats {
+        EvalCacheStats {
+            response_hits: self.response_hits.load(Ordering::Relaxed),
+            report_hits: self.report_hits.load(Ordering::Relaxed),
+            sim_hits: self.sim_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The evaluation engine: registry + sweep settings + caches.
 #[derive(Debug)]
 pub struct Evaluator {
     registry: ModelRegistry,
     grid: WavelengthGrid,
     backend: Backend,
     tolerance: f64,
-    golden_cache: HashMap<String, FrequencyResponse>,
+    /// Worker threads per sweep: `0` applies the simulator's default
+    /// policy (parallel for large grids), `1` runs serially on the
+    /// reusable workspace. Campaign workers use `1` — the campaign
+    /// parallelizes *across* evaluations instead.
+    sweep_threads: usize,
+    /// Shared evaluation cache (optional; campaigns share one).
+    cache: Option<Arc<EvalCache>>,
+    /// Immutable precomputed golden table shared across workers.
+    shared_goldens: Option<Arc<HashMap<String, Arc<FrequencyResponse>>>>,
+    /// Locally computed golden responses (fallback / standalone use).
+    golden_cache: HashMap<String, Arc<FrequencyResponse>>,
+    /// Topology-level sweep schedules, reused across candidates.
+    schedules: ScheduleCache,
+    /// The serial-sweep workspace, reused across candidates.
+    workspace: SolveWorkspace,
+    /// Rendered system prompts, memoized per restrictions flag.
+    system_prompts: [Option<Arc<String>>; 2],
+    /// Whether sweeps may fold wavelength-independent circuits.
+    constant_fold: bool,
 }
 
 impl Default for Evaluator {
@@ -95,13 +312,53 @@ impl Evaluator {
             grid,
             backend,
             tolerance: DEFAULT_FUNCTIONAL_TOLERANCE,
+            sweep_threads: 0,
+            cache: None,
+            shared_goldens: None,
             golden_cache: HashMap::new(),
+            schedules: ScheduleCache::new(),
+            workspace: SolveWorkspace::new(),
+            system_prompts: [None, None],
+            constant_fold: true,
         }
     }
 
     /// Overrides the functional tolerance (max |ΔS|² across the sweep).
     pub fn with_tolerance(mut self, tolerance: f64) -> Self {
         self.tolerance = tolerance;
+        self
+    }
+
+    /// Attaches a shared evaluation cache.
+    pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches an immutable, precomputed golden-response table (keyed by
+    /// problem id). Problems absent from the table fall back to local
+    /// computation.
+    pub fn with_shared_goldens(
+        mut self,
+        goldens: Arc<HashMap<String, Arc<FrequencyResponse>>>,
+    ) -> Self {
+        self.shared_goldens = Some(goldens);
+        self
+    }
+
+    /// Sets the per-sweep worker count (`0` = simulator default policy,
+    /// `1` = serial on the reusable workspace).
+    pub fn with_sweep_threads(mut self, threads: usize) -> Self {
+        self.sweep_threads = threads;
+        self
+    }
+
+    /// Enables or disables the constant-response sweep fold for fully
+    /// wavelength-independent circuits (enabled by default; results are
+    /// bit-identical either way — disabling exists to reproduce pre-fold
+    /// baseline timings).
+    pub fn with_constant_fold(mut self, enabled: bool) -> Self {
+        self.constant_fold = enabled;
         self
     }
 
@@ -115,6 +372,50 @@ impl Evaluator {
         &self.grid
     }
 
+    /// The attached cache's counters, if a cache is attached.
+    pub fn cache_stats(&self) -> Option<EvalCacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    fn grid_key(&self) -> (u64, u64, usize) {
+        (
+            self.grid.start_um.to_bits(),
+            self.grid.stop_um.to_bits(),
+            self.grid.points,
+        )
+    }
+
+    fn sim_key(&self, problem: &Problem, hash: u64) -> SimKey {
+        (
+            hash,
+            self.grid_key(),
+            self.backend,
+            (problem.spec.inputs, problem.spec.outputs),
+        )
+    }
+
+    /// Simulates the canonical form of a structurally valid netlist
+    /// through the schedule-cached plan pipeline.
+    fn simulate_canonical(
+        &mut self,
+        canonical: &Netlist,
+        problem: &Problem,
+    ) -> Result<FrequencyResponse, SimulateError> {
+        let circuit = Circuit::elaborate(canonical, &self.registry, Some(&problem.spec))?;
+        let schedule = self.schedules.get_or_build(&circuit);
+        let plan = SweepPlan::with_schedule(&circuit, self.backend, schedule)
+            .map_err(SimulateError::Sim)?
+            .with_constant_fold(self.constant_fold);
+        let grid = self.grid;
+        let response = if self.sweep_threads == 1 {
+            sweep_planned(&plan, &grid, &mut self.workspace)
+        } else {
+            sweep_with_plan(&plan, &grid, self.sweep_threads)
+        }
+        .map_err(SimulateError::Sim)?;
+        Ok(response)
+    }
+
     /// Simulates (and caches) a problem's golden design.
     ///
     /// # Panics
@@ -123,18 +424,65 @@ impl Evaluator {
     /// designs are verified by the test suite, so this indicates a bug,
     /// not an input error.
     pub fn golden_response(&mut self, problem: &Problem) -> &FrequencyResponse {
-        if !self.golden_cache.contains_key(problem.id) {
-            let response = simulate_netlist(
-                &problem.golden,
-                &self.registry,
-                Some(&problem.spec),
-                &self.grid,
-                self.backend,
-            )
-            .unwrap_or_else(|e| panic!("golden design {} failed: {e}", problem.id));
-            self.golden_cache.insert(problem.id.to_string(), response);
+        self.golden_response_arc(problem);
+        if let Some(shared) = &self.shared_goldens {
+            if let Some(response) = shared.get(problem.id) {
+                return response;
+            }
         }
         &self.golden_cache[problem.id]
+    }
+
+    /// Computes (or fetches) the golden response **and** seeds the
+    /// attached cache with it under the golden netlist's own content
+    /// hash — so candidates that reproduce the golden design verbatim
+    /// (clean samples, successful repairs) are instant cache hits. The
+    /// seeded entry is bit-identical to what a cold candidate evaluation
+    /// would compute, because goldens run through the same canonical
+    /// pipeline.
+    pub fn prime_golden(&mut self, problem: &Problem) -> Arc<FrequencyResponse> {
+        let golden = self.golden_response_arc(problem);
+        if let Some(cache) = &self.cache {
+            let key = self.sim_key(problem, problem.golden.content_hash());
+            cache.put_sim(key, SimOutcome::Response(Arc::clone(&golden)));
+        }
+        golden
+    }
+
+    /// The rendered system prompt for this evaluator's registry, memoized
+    /// per restrictions flag (rendering walks the whole API document —
+    /// far too much work to redo for every sample).
+    pub fn system_prompt(&mut self, restrictions: bool) -> Arc<String> {
+        let slot = &mut self.system_prompts[usize::from(restrictions)];
+        if slot.is_none() {
+            let infos: Vec<_> = self.registry.iter().map(|m| m.info().clone()).collect();
+            let prompt = picbench_prompt::render_system_prompt(
+                infos.iter(),
+                picbench_prompt::SystemPromptConfig {
+                    include_restrictions: restrictions,
+                },
+            );
+            *slot = Some(Arc::new(prompt));
+        }
+        Arc::clone(slot.as_ref().expect("just filled"))
+    }
+
+    /// [`Evaluator::golden_response`], returning the shareable handle.
+    pub fn golden_response_arc(&mut self, problem: &Problem) -> Arc<FrequencyResponse> {
+        if let Some(shared) = &self.shared_goldens {
+            if let Some(response) = shared.get(problem.id) {
+                return Arc::clone(response);
+            }
+        }
+        if !self.golden_cache.contains_key(problem.id) {
+            let canonical = problem.golden.canonicalize();
+            let response = self
+                .simulate_canonical(&canonical, problem)
+                .unwrap_or_else(|e| panic!("golden design {} failed: {e}", problem.id));
+            self.golden_cache
+                .insert(problem.id.to_string(), Arc::new(response));
+        }
+        Arc::clone(&self.golden_cache[problem.id])
     }
 
     /// Parses a raw response into a netlist, collecting every classified
@@ -167,39 +515,152 @@ impl Evaluator {
         }
     }
 
+    /// Builds the verdict for a memoized (or fresh) simulation outcome.
+    fn report_from_outcome(&mut self, problem: &Problem, outcome: &SimOutcome) -> EvalReport {
+        match outcome {
+            SimOutcome::Failed(e) => EvalReport::syntax_fail(vec![classify::classify_sim_error(e)]),
+            SimOutcome::Response(response) => {
+                let tolerance = self.tolerance;
+                let golden = self.golden_response_arc(problem);
+                let comparison = response.compare(&golden);
+                EvalReport {
+                    syntax: Ok(()),
+                    functional: Some(comparison.is_equivalent(tolerance)),
+                    comparison: Some(comparison),
+                }
+            }
+        }
+    }
+
+    /// Looks up or computes the memoized sweep outcome of a netlist (the
+    /// sim level shared by [`Evaluator::evaluate_netlist`] and
+    /// [`Evaluator::candidate_response`]).
+    ///
+    /// Only valid netlists get a cache entry, so a hit implies the whole
+    /// hash class validates; validation failures are classified from the
+    /// document exactly as written and returned as `Err`.
+    fn sim_outcome(
+        &mut self,
+        problem: &Problem,
+        netlist: &Netlist,
+        hash: u64,
+    ) -> Result<SimOutcome, Vec<ValidationIssue>> {
+        let key = self.cache.as_ref().map(|_| self.sim_key(problem, hash));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(outcome) = cache.get_sim(key) {
+                cache.sim_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(outcome);
+            }
+        }
+        // Validate the document as written, so classified issues describe
+        // exactly what the model produced.
+        if let Err(e) = Circuit::elaborate(netlist, &self.registry, Some(&problem.spec)) {
+            return Err(e.issues);
+        }
+        if let Some(cache) = &self.cache {
+            cache.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let canonical = netlist.canonicalize();
+        let outcome = match self.simulate_canonical(&canonical, problem) {
+            Ok(response) => SimOutcome::Response(Arc::new(response)),
+            // Canonicalization preserves structural validity; reaching
+            // this arm would be a canonicalizer bug, but report it
+            // faithfully rather than panic.
+            Err(SimulateError::Elaborate(e)) => return Err(e.issues),
+            Err(SimulateError::Sim(e)) => SimOutcome::Failed(e),
+        };
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.put_sim(key, outcome.clone());
+        }
+        Ok(outcome)
+    }
+
+    /// Evaluates an already-parsed netlist against a problem.
+    ///
+    /// This is the content-addressed core of [`Evaluator::evaluate_response`]:
+    /// structurally valid netlists are canonicalized, simulated through
+    /// the cached plan pipeline and memoized; invalid ones are classified
+    /// from the document exactly as written.
+    pub fn evaluate_netlist(&mut self, problem: &Problem, netlist: &Netlist) -> EvalReport {
+        let hash = netlist.content_hash();
+        let key = self.cache.as_ref().map(|_| {
+            (
+                self.sim_key(problem, hash),
+                Fnv64::hash_str(problem.id),
+                self.tolerance.to_bits(),
+            )
+        });
+
+        // Level 2: a finished verdict for this exact evaluation.
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(report) = cache.get_report(key) {
+                cache.report_hits.fetch_add(1, Ordering::Relaxed);
+                return report;
+            }
+        }
+
+        // Level 1: a memoized sweep outcome, computed on miss.
+        let outcome = match self.sim_outcome(problem, netlist, hash) {
+            Ok(outcome) => outcome,
+            Err(issues) => return EvalReport::syntax_fail(issues),
+        };
+
+        let report = self.report_from_outcome(problem, &outcome);
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.put_report(key, report.clone());
+        }
+        report
+    }
+
     /// Evaluates one raw response against a problem.
+    ///
+    /// With a cache attached, whole verdicts are replayed from the
+    /// response text itself (level 0) before any extraction or parsing
+    /// happens — a verdict is a pure function of
+    /// `(text, problem, grid, backend, tolerance)`, so replay is
+    /// indistinguishable from recomputation.
     pub fn evaluate_response(&mut self, problem: &Problem, response_text: &str) -> EvalReport {
-        let (netlist, mut issues) = self.parse_response(response_text);
-        let netlist = match netlist {
-            Some(n) if issues.is_empty() => n,
-            _ => return EvalReport::syntax_fail(issues),
-        };
-
-        let generated = match simulate_netlist(
-            &netlist,
-            &self.registry,
-            Some(&problem.spec),
-            &self.grid,
-            self.backend,
-        ) {
-            Ok(response) => response,
-            Err(SimulateError::Elaborate(e)) => {
-                issues.extend(e.issues);
-                return EvalReport::syntax_fail(issues);
+        let key: Option<ResponseKey> = self.cache.as_ref().map(|_| {
+            (
+                Fnv64::hash_str(response_text),
+                self.grid_key(),
+                self.backend,
+                Fnv64::hash_str(problem.id),
+                self.tolerance.to_bits(),
+            )
+        });
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(report) = cache.get_response(key) {
+                cache.response_hits.fetch_add(1, Ordering::Relaxed);
+                return report;
             }
-            Err(SimulateError::Sim(e)) => {
-                issues.push(classify::classify_sim_error(&e));
-                return EvalReport::syntax_fail(issues);
-            }
+        }
+        let (netlist, issues) = self.parse_response(response_text);
+        let report = match netlist {
+            Some(n) if issues.is_empty() => self.evaluate_netlist(problem, &n),
+            _ => EvalReport::syntax_fail(issues),
         };
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.put_response(key, report.clone());
+        }
+        report
+    }
 
-        let tolerance = self.tolerance;
-        let golden = self.golden_response(problem);
-        let comparison = generated.compare(golden);
-        EvalReport {
-            syntax: Ok(()),
-            functional: Some(comparison.is_equivalent(tolerance)),
-            comparison: Some(comparison),
+    /// The frequency response of a structurally valid candidate netlist,
+    /// through the same canonical, cached pipeline the verdicts use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the classified issues when the netlist fails validation or
+    /// simulation.
+    pub fn candidate_response(
+        &mut self,
+        problem: &Problem,
+        netlist: &Netlist,
+    ) -> Result<Arc<FrequencyResponse>, Vec<ValidationIssue>> {
+        match self.sim_outcome(problem, netlist, netlist.content_hash())? {
+            SimOutcome::Response(r) => Ok(r),
+            SimOutcome::Failed(e) => Err(vec![classify::classify_sim_error(&e)]),
         }
     }
 }
@@ -304,5 +765,57 @@ mod tests {
                 report.issues()
             );
         }
+    }
+
+    #[test]
+    fn cached_evaluation_matches_cold_evaluation() {
+        let problem = mzi_ps();
+        let cache = Arc::new(EvalCache::new());
+        let mut cached = Evaluator::default().with_cache(Arc::clone(&cache));
+        let mut cold = Evaluator::default();
+
+        // A permuted-but-identical document must hit the cache and yield
+        // the same verdict and comparison bits as the cold path.
+        let golden_text = wrap(&problem.golden.to_json_string());
+        let permuted_text = wrap(&problem.golden.canonicalize().to_json_string());
+        let first = cached.evaluate_response(&problem, &golden_text);
+        let second = cached.evaluate_response(&problem, &permuted_text);
+        let reference = cold.evaluate_response(&problem, &golden_text);
+        for report in [&first, &second, &reference] {
+            assert!(report.functional_pass());
+        }
+        assert_eq!(first.comparison, second.comparison);
+        assert_eq!(first.comparison, reference.comparison);
+
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.report_hits + stats.sim_hits, 1, "{stats:?}");
+        assert_eq!(cache.simulation_count(), 1);
+    }
+
+    #[test]
+    fn shared_goldens_are_used_verbatim() {
+        let problem = mzi_ps();
+        let mut source = Evaluator::default();
+        let golden = source.golden_response_arc(&problem);
+        let table: HashMap<String, Arc<FrequencyResponse>> =
+            [(problem.id.to_string(), Arc::clone(&golden))].into();
+        let mut ev = Evaluator::default().with_shared_goldens(Arc::new(table));
+        // Same pointer, no recomputation.
+        assert!(Arc::ptr_eq(&golden, &ev.golden_response_arc(&problem)));
+        let report = ev.evaluate_response(&problem, &wrap(&problem.golden.to_json_string()));
+        assert!(report.functional_pass());
+    }
+
+    #[test]
+    fn candidate_response_reports_invalid_netlists() {
+        let problem = mzi_ps();
+        let mut broken = problem.golden.clone();
+        broken.connections[1].b = picbench_netlist::PortRef::new("mmi2", "I2");
+        let mut ev = Evaluator::default().with_cache(Arc::new(EvalCache::new()));
+        let issues = ev.candidate_response(&problem, &broken).unwrap_err();
+        assert_eq!(issues[0].failure, FailureType::WrongPort);
+        let ok = ev.candidate_response(&problem, &problem.golden).unwrap();
+        assert_eq!(ok.wavelengths().len(), ev.grid().points);
     }
 }

@@ -8,10 +8,7 @@
 
 use crate::evaluate::{EvalReport, Evaluator};
 use picbench_problems::Problem;
-use picbench_prompt::{
-    functional_feedback, render_system_prompt, syntax_feedback, Conversation, Role,
-    SystemPromptConfig,
-};
+use picbench_prompt::{functional_feedback, syntax_feedback, Conversation, Role};
 use picbench_synthllm::LanguageModel;
 
 /// Configuration of one feedback-loop run.
@@ -81,18 +78,8 @@ pub fn run_sample(
     config: LoopConfig,
     sample_index: u64,
 ) -> SampleResult {
-    let infos: Vec<_> = evaluator
-        .registry()
-        .iter()
-        .map(|m| m.info().clone())
-        .collect();
-    let system = render_system_prompt(
-        infos.iter(),
-        SystemPromptConfig {
-            include_restrictions: config.restrictions,
-        },
-    );
-    let mut conversation = Conversation::with_system(system);
+    let system = evaluator.system_prompt(config.restrictions);
+    let mut conversation = Conversation::with_system((*system).clone());
     conversation.push(Role::User, problem.description.clone());
 
     llm.begin_sample(problem, sample_index);

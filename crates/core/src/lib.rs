@@ -39,8 +39,12 @@ mod report;
 mod stats;
 mod trace;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CellScore, ConditionTallies};
-pub use evaluate::{EvalReport, Evaluator, DEFAULT_FUNCTIONAL_TOLERANCE};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignGrain, CampaignReport, CellScore, ConditionTallies,
+};
+pub use evaluate::{
+    EvalCache, EvalCacheStats, EvalReport, Evaluator, DEFAULT_FUNCTIONAL_TOLERANCE,
+};
 pub use feedback_loop::{run_sample, AttemptRecord, LoopConfig, SampleResult};
 pub use passk::{aggregate_pass_at_k, pass_at_k, ProblemTally};
 pub use report::{render_csv, render_table};

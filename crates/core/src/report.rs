@@ -132,6 +132,7 @@ mod tests {
                 },
             ],
             conditions: Vec::new(),
+            cache_stats: None,
         }
     }
 

@@ -16,7 +16,11 @@
 //! * [`validate`] — the structural rule checks that produce classified
 //!   [`ValidationIssue`]s;
 //! * [`NetlistBuilder`] — fluent programmatic construction for golden
-//!   designs and tests.
+//!   designs and tests;
+//! * [`Netlist::canonicalize`] / [`Netlist::content_hash`] — the canonical
+//!   form and its 64-bit content digest, the key of the evaluation cache
+//!   (structurally identical designs hash equal regardless of JSON key
+//!   order, instance ordering or connection direction).
 //!
 //! ## Example
 //!
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod canon;
 pub mod extract;
 mod failure;
 pub mod json;
@@ -45,6 +50,7 @@ mod schema;
 mod validate;
 
 pub use builder::NetlistBuilder;
+pub use canon::Fnv64;
 pub use failure::{FailureType, ValidationIssue};
 pub use ordmap::OrderedMap;
 pub use schema::{

@@ -74,6 +74,67 @@ fn netlist_strategy() -> impl Strategy<Value = Netlist> {
         })
 }
 
+/// Rebuilds a netlist with every section's entry order driven by `perm`
+/// (a stream of pseudo-random ranks) and with connection endpoints
+/// flipped where `flips` says so — structurally identical, differently
+/// serialized.
+fn permute_netlist(n: &Netlist, perm: u64) -> Netlist {
+    // Splitmix-style rank stream: deterministic per (perm, index).
+    let rank = |i: usize| -> u64 {
+        let mut z = perm ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^ (z >> 31)
+    };
+    let reorder = |keys: Vec<String>| -> Vec<String> {
+        let mut ranked: Vec<(u64, String)> = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (rank(i), k))
+            .collect();
+        ranked.sort();
+        ranked.into_iter().map(|(_, k)| k).collect()
+    };
+
+    let mut out = Netlist::default();
+    for name in reorder(n.instances.keys().map(str::to_string).collect()) {
+        let inst = n.instances.get(&name).unwrap();
+        let mut copy = Instance::new(inst.component.clone());
+        for key in reorder(inst.settings.keys().map(str::to_string).collect()) {
+            copy.settings
+                .insert(key.clone(), *inst.settings.get(&key).unwrap());
+        }
+        out.instances.insert(name, copy);
+    }
+    let mut ranked_conns: Vec<(u64, Connection)> = n
+        .connections
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let flipped = rank(i + 1000) % 2 == 0;
+            let conn = if flipped {
+                Connection {
+                    a: c.b.clone(),
+                    b: c.a.clone(),
+                }
+            } else {
+                c.clone()
+            };
+            (rank(i), conn)
+        })
+        .collect();
+    ranked_conns.sort_by_key(|x| x.0);
+    out.connections = ranked_conns.into_iter().map(|(_, c)| c).collect();
+    for name in reorder(n.ports.keys().map(str::to_string).collect()) {
+        out.ports
+            .insert(name.clone(), n.ports.get(&name).unwrap().clone());
+    }
+    for component in reorder(n.models.keys().map(str::to_string).collect()) {
+        out.models
+            .insert(component.clone(), n.models.get(&component).unwrap().clone());
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -112,5 +173,46 @@ proptest! {
         let pr = PortRef::new(inst, port);
         let back: PortRef = pr.to_string().parse().expect("round-trip");
         prop_assert_eq!(back, pr);
+    }
+
+    #[test]
+    fn content_hash_invariant_under_permutation(n in netlist_strategy(), perm in any::<u64>()) {
+        // Reordering sections, settings and connections (including endpoint
+        // flips) must not change the canonical hash or the canonical form.
+        let permuted = permute_netlist(&n, perm);
+        prop_assert_eq!(permuted.content_hash(), n.content_hash());
+        prop_assert_eq!(permuted.canonicalize(), n.canonicalize());
+        // And serializing through JSON (which permutes nothing further but
+        // exercises the parser) keeps the digest stable.
+        let reparsed = Netlist::from_json_str(&permuted.to_json_string()).unwrap();
+        prop_assert_eq!(reparsed.content_hash(), n.content_hash());
+    }
+
+    #[test]
+    fn content_hash_distinct_under_setting_change(
+        n in netlist_strategy(),
+        delta in prop_oneof![Just(1e-9f64), Just(0.5), Just(1000.0)],
+    ) {
+        // Changing any one settings value must change the digest.
+        let victim = n
+            .instances
+            .iter()
+            .find(|(_, inst)| !inst.settings.is_empty())
+            .map(|(name, inst)| {
+                let key = inst.settings.keys().next().unwrap().to_string();
+                (name.to_string(), key)
+            });
+        prop_assume!(victim.is_some());
+        let (inst_name, key) = victim.unwrap();
+        let mut tweaked = n.clone();
+        let slot = tweaked
+            .instances
+            .get_mut(&inst_name)
+            .unwrap()
+            .settings
+            .get_mut(&key)
+            .unwrap();
+        *slot += delta;
+        prop_assert_ne!(tweaked.content_hash(), n.content_hash());
     }
 }

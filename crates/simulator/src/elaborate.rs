@@ -172,6 +172,31 @@ impl Circuit {
         self.externals.iter().map(|(n, _)| n.clone()).collect()
     }
 
+    /// 64-bit FNV-1a digest of the circuit's *topology*: the total port
+    /// count, the ordered connection index pairs and the external port
+    /// indices.
+    ///
+    /// Two circuits with equal topology hashes have identical sweep
+    /// structure — port partitions, permutations and elimination
+    /// schedules — regardless of their component settings, so a
+    /// [`crate::SweepSchedule`] built for one is valid for the other.
+    /// Instance names and external port *names* are deliberately
+    /// excluded: they label the result but do not shape the solve.
+    pub fn topology_hash(&self) -> u64 {
+        let mut h = picbench_netlist::Fnv64::new();
+        h.write_u64(self.total_ports as u64);
+        h.write_u64(self.connections.len() as u64);
+        for &(a, b) in &self.connections {
+            h.write_u64(a as u64);
+            h.write_u64(b as u64);
+        }
+        h.write_u64(self.externals.len() as u64);
+        for (_, idx) in &self.externals {
+            h.write_u64(*idx as u64);
+        }
+        h.finish()
+    }
+
     /// Total number of component instances.
     pub fn instance_count(&self) -> usize {
         self.instances.len()

@@ -57,11 +57,11 @@ mod response;
 pub use backend::{evaluate, Backend, SimError};
 pub use composite::CompositeModel;
 pub use elaborate::{Circuit, ElabInstance, ElaborateError};
-pub use plan::{SolveWorkspace, SweepPlan};
+pub use plan::{ScheduleCache, SolveWorkspace, SweepPlan, SweepSchedule};
 pub use registry::ModelRegistry;
 pub use response::{
-    sweep, sweep_naive, sweep_parallel, sweep_serial, FrequencyResponse, ResponseComparison,
-    WavelengthGrid, PARALLEL_THRESHOLD,
+    sweep, sweep_naive, sweep_parallel, sweep_planned, sweep_serial, sweep_with_plan,
+    FrequencyResponse, ResponseComparison, WavelengthGrid, PARALLEL_THRESHOLD,
 };
 
 // Re-exported so downstream crates can name the netlist types this crate

@@ -7,25 +7,35 @@
 //! intermediate matrices, and re-evaluates every component model — even
 //! the dispersionless ones whose S-matrix cannot change.
 //!
-//! This module freezes all wavelength-*independent* work into a
-//! [`SweepPlan`] built once per circuit:
+//! The wavelength-independent work is split into two layers:
 //!
-//! * the external port index list and name list,
-//! * for [`Backend::Dense`]: the internal port list and the *pre-permuted*
-//!   gather indices that fuse `P·S_ii` and `P·S_ie` into direct reads of
-//!   the assembled global matrix,
-//! * for [`Backend::PortElimination`]: the per-connection pivot positions
-//!   and surviving-row (`keep`) index lists of Filipsson's reduction,
-//! * a per-instance S-matrix memo ([`SMatrixMemo`]) holding the blocks of
-//!   wavelength-independent models, evaluated exactly once.
+//! * a [`SweepSchedule`] — everything determined by the circuit's
+//!   **topology** alone (port partitions, pre-permuted gather indices,
+//!   the per-connection pivot/keep schedule of Filipsson's reduction).
+//!   Schedules are immutable, `Send + Sync`, shareable via `Arc`, and a
+//!   [`ScheduleCache`] memoizes them by [`Circuit::topology_hash`] so
+//!   that candidate circuits which differ only in *settings* (the common
+//!   case in evaluation campaigns) skip re-planning entirely;
+//! * a [`SweepPlan`] — the schedule plus the per-instance **settings**
+//!   state: an [`SMatrixMemo`] per instance holding the block of every
+//!   wavelength-independent model, evaluated exactly once.
 //!
 //! The per-point state lives in a [`SolveWorkspace`]: the assembled global
-//! matrix, the dense system and right-hand side, LU storage and the
-//! elimination ping-pong buffers. All of it is reused between points, so
-//! the steady-state scattering solve performs **zero heap allocations**
-//! (dispersive component models still build their own small S-matrices;
-//! every wavelength-independent model is served from the memo). Each
-//! worker thread of the parallel sweep owns one workspace.
+//! matrix, the dense system and right-hand side, LU storage, the
+//! elimination buffer and two scratch rows. All of it is reused between
+//! points, so the steady-state scattering solve performs **zero heap
+//! allocations** on either backend (dispersive component models still
+//! build their own small S-matrices; every wavelength-independent model is
+//! served from the memo) — property-verified by the counting-allocator
+//! test in `tests/alloc.rs`. Each worker thread of the parallel sweep owns
+//! one workspace.
+//!
+//! The elimination backend reduces **in place** on a single buffer: each
+//! Filipsson step captures the pivot rows into scratch, hoists the two
+//! row coefficients (pre-multiplied by the inverse denominator) out of
+//! the inner loop, and compacts the surviving rows toward the origin as
+//! it updates them — no ping-pong copy, two complex multiplies per
+//! surviving entry.
 //!
 //! Two plan-based sweeps (serial or parallel) are bit-identical. Against
 //! the naive path, the Dense backend follows the same operation order
@@ -38,23 +48,27 @@ use crate::backend::{Backend, SimError};
 use crate::elaborate::Circuit;
 use picbench_math::{CMatrix, Complex, LuDecomposition};
 use picbench_sparams::SMatrixMemo;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One precomputed step of the port-elimination reduction: the current
-/// row/column positions of the connected port pair and the indices of the
-/// surviving rows.
-#[derive(Debug, Clone)]
+/// row/column positions of the connected port pair. (The surviving rows
+/// are always the ascending complement of `{p, q}` in `0..n`, so they
+/// are enumerated on the fly rather than stored.)
+#[derive(Debug, Clone, Copy)]
 struct ElimStep {
     p: usize,
     q: usize,
-    keep: Vec<usize>,
 }
 
-/// Everything about a sweep that does not depend on wavelength, computed
-/// once per circuit. See the [module docs](self) for the full story.
+/// Everything about a sweep that is determined by circuit *topology*
+/// alone — no settings, no wavelengths. Immutable and shareable across
+/// threads; build once per topology via [`SweepSchedule::for_circuit`] or
+/// reuse through a [`ScheduleCache`].
 #[derive(Debug)]
-pub struct SweepPlan<'c> {
-    circuit: &'c Circuit,
-    backend: Backend,
+pub struct SweepSchedule {
+    /// Total global ports of the topology this schedule was built for.
+    total_ports: usize,
     /// External port global indices, in netlist order.
     ext_idx: Vec<usize>,
     /// Internal (connected) port global indices — Dense backend.
@@ -68,25 +82,15 @@ pub struct SweepPlan<'c> {
     /// Final positions of the external ports after the reduction —
     /// PortElimination backend.
     elim_ext_rows: Vec<usize>,
-    /// Per-instance memo; holds the block of every wavelength-independent
-    /// model after construction.
-    memos: Vec<SMatrixMemo>,
 }
 
-/// Reference wavelength used to capture wavelength-independent S-matrices.
-/// Any value works by definition; the C-band centre keeps diagnostics
-/// unsurprising.
-const MEMO_WAVELENGTH_UM: f64 = 1.55;
-
-impl<'c> SweepPlan<'c> {
-    /// Builds the plan for sweeping `circuit` with `backend`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::Model`] when a wavelength-independent model
-    /// rejects its settings (dispersive models are evaluated per point and
-    /// report their errors from [`SweepPlan::evaluate_into`] instead).
-    pub fn new(circuit: &'c Circuit, backend: Backend) -> Result<Self, SimError> {
+impl SweepSchedule {
+    /// Computes the sweep structure of a circuit's topology: the
+    /// external/internal partition and pre-permuted gather rows (Dense)
+    /// and the pivot/keep schedule of the pairwise reduction
+    /// (PortElimination). Both backends' schedules are built — the work
+    /// is index bookkeeping, negligible next to a single sweep point.
+    pub fn for_circuit(circuit: &Circuit) -> Self {
         let n0 = circuit.total_ports;
         let ext_idx: Vec<usize> = circuit.externals.iter().map(|(_, i)| *i).collect();
 
@@ -126,11 +130,131 @@ impl<'c> SweepPlan<'c> {
             }
             new_pos[..n].fill(GONE);
             n -= 2;
-            elim_steps.push(ElimStep { p, q, keep });
+            elim_steps.push(ElimStep { p, q });
         }
         let elim_ext_rows: Vec<usize> = circuit.externals.iter().map(|(_, g)| index[*g]).collect();
         debug_assert!(elim_ext_rows.iter().all(|&r| r != GONE));
 
+        SweepSchedule {
+            total_ports: n0,
+            ext_idx,
+            int_idx,
+            perm_int_idx,
+            elim_steps,
+            elim_ext_rows,
+        }
+    }
+
+    /// Number of external ports.
+    pub fn external_count(&self) -> usize {
+        self.ext_idx.len()
+    }
+
+    /// Total global ports of the topology.
+    pub fn total_ports(&self) -> usize {
+        self.total_ports
+    }
+}
+
+/// Memoizes [`SweepSchedule`]s by [`Circuit::topology_hash`].
+///
+/// Candidate circuits produced by feedback retries and repeated samples
+/// overwhelmingly share topologies (they differ in settings, if at all);
+/// holding one of these per evaluator means a cache miss on the
+/// *response* level still skips all re-planning. Entries are `Arc`s, so
+/// plans built from a cached schedule stay valid if the cache is dropped.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    map: HashMap<u64, Arc<SweepSchedule>>,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// The schedule for `circuit`'s topology, built on first sight.
+    pub fn get_or_build(&mut self, circuit: &Circuit) -> Arc<SweepSchedule> {
+        Arc::clone(
+            self.map
+                .entry(circuit.topology_hash())
+                .or_insert_with(|| Arc::new(SweepSchedule::for_circuit(circuit))),
+        )
+    }
+
+    /// Number of distinct topologies seen.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A schedule bound to one concrete circuit: topology structure plus the
+/// per-instance wavelength-independent S-matrix memos. See the
+/// [module docs](self) for the full story.
+#[derive(Debug)]
+pub struct SweepPlan<'c> {
+    circuit: &'c Circuit,
+    backend: Backend,
+    schedule: Arc<SweepSchedule>,
+    /// Per-instance memo; holds the block of every wavelength-independent
+    /// model after construction.
+    memos: Vec<SMatrixMemo>,
+    /// Whether sweeps may fold a fully wavelength-independent circuit to
+    /// a single solved point (on by default; benchmarks disable it to
+    /// time the per-point solver).
+    allow_constant_fold: bool,
+}
+
+/// Reference wavelength used to capture wavelength-independent S-matrices.
+/// Any value works by definition; the C-band centre keeps diagnostics
+/// unsurprising.
+const MEMO_WAVELENGTH_UM: f64 = 1.55;
+
+impl<'c> SweepPlan<'c> {
+    /// Builds the plan for sweeping `circuit` with `backend`, computing a
+    /// fresh schedule. Prefer [`SweepPlan::with_schedule`] plus a
+    /// [`ScheduleCache`] when evaluating many circuits of few topologies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Model`] when a wavelength-independent model
+    /// rejects its settings (dispersive models are evaluated per point and
+    /// report their errors from [`SweepPlan::evaluate_into`] instead).
+    pub fn new(circuit: &'c Circuit, backend: Backend) -> Result<Self, SimError> {
+        SweepPlan::with_schedule(
+            circuit,
+            backend,
+            Arc::new(SweepSchedule::for_circuit(circuit)),
+        )
+    }
+
+    /// Builds the plan for `circuit` on a prebuilt (typically cached)
+    /// schedule of the same topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule's port count disagrees with the circuit —
+    /// a schedule reused across topologies is a caller bug.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Model`] when a wavelength-independent model
+    /// rejects its settings.
+    pub fn with_schedule(
+        circuit: &'c Circuit,
+        backend: Backend,
+        schedule: Arc<SweepSchedule>,
+    ) -> Result<Self, SimError> {
+        assert_eq!(
+            schedule.total_ports, circuit.total_ports,
+            "schedule was built for a different topology"
+        );
         // Memoize every wavelength-independent instance once.
         let mut memos = Vec::with_capacity(circuit.instances.len());
         for inst in &circuit.instances {
@@ -148,13 +272,20 @@ impl<'c> SweepPlan<'c> {
         Ok(SweepPlan {
             circuit,
             backend,
-            ext_idx,
-            int_idx,
-            perm_int_idx,
-            elim_steps,
-            elim_ext_rows,
+            schedule,
             memos,
+            allow_constant_fold: true,
         })
+    }
+
+    /// Enables or disables the constant-response fold for fully
+    /// wavelength-independent circuits (enabled by default). Disabling it
+    /// forces sweeps to solve every grid point — the pre-fold (PR-1)
+    /// behavior, useful for benchmarking the per-point solver; results
+    /// are bit-identical either way.
+    pub fn with_constant_fold(mut self, enabled: bool) -> Self {
+        self.allow_constant_fold = enabled;
+        self
     }
 
     /// The circuit this plan was built for.
@@ -167,9 +298,14 @@ impl<'c> SweepPlan<'c> {
         self.backend
     }
 
+    /// The underlying topology schedule.
+    pub fn schedule(&self) -> &Arc<SweepSchedule> {
+        &self.schedule
+    }
+
     /// Number of external ports.
     pub fn external_count(&self) -> usize {
-        self.ext_idx.len()
+        self.schedule.ext_idx.len()
     }
 
     /// How many instances are served from the wavelength-independent memo
@@ -178,27 +314,53 @@ impl<'c> SweepPlan<'c> {
         self.memos.iter().filter(|m| m.is_cached()).count()
     }
 
+    /// Whether *every* instance is served from the memo. The composed
+    /// response of such a circuit is the same at every wavelength, so
+    /// sweeps evaluate a single point and replicate it — bit-identical to
+    /// solving each grid point, at 1/points the cost. (Interconnect
+    /// meshes — phase shifters, couplers, crossings — are the heavyweight
+    /// beneficiaries.)
+    pub fn is_wavelength_independent(&self) -> bool {
+        self.memos.iter().all(|m| m.is_cached())
+    }
+
+    /// Whether sweeps over this plan may apply the constant-response
+    /// fold: the fold is enabled and every instance is memoized.
+    pub fn folds_to_constant(&self) -> bool {
+        self.allow_constant_fold && self.is_wavelength_independent()
+    }
+
     /// Allocates a workspace sized for this plan, with all memoized blocks
     /// already written into the global matrix.
     pub fn workspace(&self) -> SolveWorkspace {
-        let n0 = self.circuit.total_ports;
-        let n_int = self.int_idx.len();
-        let n_ext = self.ext_idx.len();
-        let mut ws = SolveWorkspace {
-            global: CMatrix::zeros(n0, n0),
-            system: CMatrix::zeros(n_int, n_int),
-            rhs: CMatrix::zeros(n_int, n_ext),
-            x: CMatrix::zeros(n_int, n_ext),
-            lu: LuDecomposition::empty(),
-            elim_a: CMatrix::zeros(n0, n0),
-            elim_b: CMatrix::zeros(n0, n0),
-        };
+        let mut ws = SolveWorkspace::new();
+        self.reset_workspace(&mut ws);
+        ws
+    }
+
+    /// Re-targets an existing workspace at this plan, reusing its buffers:
+    /// sizes every matrix for this circuit, zeroes the global matrix and
+    /// rewrites the memoized blocks. After the call the workspace is
+    /// indistinguishable from a fresh [`SweepPlan::workspace`] — which is
+    /// what lets an evaluator keep one workspace across many circuits
+    /// without re-allocating at every candidate.
+    pub fn reset_workspace(&self, ws: &mut SolveWorkspace) {
+        let n0 = self.schedule.total_ports;
+        let n_int = self.schedule.int_idx.len();
+        let n_ext = self.schedule.ext_idx.len();
+        ws.global.reshape(n0, n0);
+        ws.global.fill_zero();
+        ws.system.reshape(n_int, n_int);
+        ws.rhs.reshape(n_int, n_ext);
+        ws.x.reshape(n_int, n_ext);
+        ws.elim.reshape(n0, n0);
+        ws.elim_row_p.resize(n0, Complex::ZERO);
+        ws.elim_row_q.resize(n0, Complex::ZERO);
         for (inst, memo) in self.circuit.instances.iter().zip(&self.memos) {
             if let Some(block) = memo.cached() {
                 write_block(&mut ws.global, inst.port_offset, block.matrix());
             }
         }
-        ws
     }
 
     /// Evaluates the external S-matrix at one wavelength into `out`
@@ -251,14 +413,15 @@ impl<'c> SweepPlan<'c> {
         wavelength_um: f64,
         out: &mut CMatrix,
     ) -> Result<(), SimError> {
-        let n_int = self.int_idx.len();
-        let n_ext = self.ext_idx.len();
+        let sched = &*self.schedule;
+        let n_int = sched.int_idx.len();
+        let n_ext = sched.ext_idx.len();
         out.reshape(n_ext, n_ext);
 
         if n_int == 0 {
             for r in 0..n_ext {
                 for c in 0..n_ext {
-                    *out.at_mut(r, c) = ws.global.at(self.ext_idx[r], self.ext_idx[c]);
+                    *out.at_mut(r, c) = ws.global.at(sched.ext_idx[r], sched.ext_idx[c]);
                 }
             }
             return Ok(());
@@ -269,13 +432,13 @@ impl<'c> SweepPlan<'c> {
         ws.system.reshape(n_int, n_int);
         ws.rhs.reshape(n_int, n_ext);
         for r in 0..n_int {
-            let src_r = self.perm_int_idx[r];
+            let src_r = sched.perm_int_idx[r];
             for c in 0..n_int {
-                let v = ws.global.at(src_r, self.int_idx[c]);
+                let v = ws.global.at(src_r, sched.int_idx[c]);
                 *ws.system.at_mut(r, c) = if r == c { Complex::ONE - v } else { -v };
             }
             for c in 0..n_ext {
-                *ws.rhs.at_mut(r, c) = ws.global.at(src_r, self.ext_idx[c]);
+                *ws.rhs.at_mut(r, c) = ws.global.at(src_r, sched.ext_idx[c]);
             }
         }
 
@@ -287,35 +450,47 @@ impl<'c> SweepPlan<'c> {
         // S_ext = S_ee + S_ei · X, with S_ee and S_ei read directly from
         // the global matrix.
         for r in 0..n_ext {
-            let g_r = self.ext_idx[r];
+            let g_r = sched.ext_idx[r];
             for c in 0..n_ext {
                 let mut acc = Complex::ZERO;
-                for (k, &g_k) in self.int_idx.iter().enumerate() {
+                for (k, &g_k) in sched.int_idx.iter().enumerate() {
                     acc += ws.global.at(g_r, g_k) * ws.x.at(k, c);
                 }
-                *out.at_mut(r, c) = ws.global.at(g_r, self.ext_idx[c]) + acc;
+                *out.at_mut(r, c) = ws.global.at(g_r, sched.ext_idx[c]) + acc;
             }
         }
         Ok(())
     }
 
-    /// Filipsson pairwise reduction over the precomputed schedule, ping-
-    /// ponging between the two workspace buffers.
+    /// Filipsson pairwise reduction over the precomputed schedule,
+    /// compacting **in place** on the single workspace buffer.
+    ///
+    /// Each step captures the two pivot rows (gathered onto the surviving
+    /// columns) into scratch, then rewrites every surviving row at its
+    /// compacted position. Writes land at `(ri·m + cj)` with
+    /// `ri ≤ keep[ri]`, `cj ≤ keep[cj]` and `m < n`, so every write is
+    /// strictly below all still-unread source entries — the update never
+    /// clobbers data it has yet to read.
     fn evaluate_elimination(
         &self,
         ws: &mut SolveWorkspace,
         wavelength_um: f64,
         out: &mut CMatrix,
     ) -> Result<(), SimError> {
-        ws.elim_a.copy_from(&ws.global);
-        let (mut cur, mut next) = (&mut ws.elim_a, &mut ws.elim_b);
+        let sched = &*self.schedule;
+        ws.elim.copy_from(&ws.global);
+        let buf = ws.elim.as_mut_slice();
+        let mut n = sched.total_ports;
 
-        for step in &self.elim_steps {
+        for step in &sched.elim_steps {
             let (p, q) = (step.p, step.q);
-            let s_pq = cur.at(p, q);
-            let s_qp = cur.at(q, p);
-            let s_pp = cur.at(p, p);
-            let s_qq = cur.at(q, q);
+            let m = n - 2;
+            debug_assert!(p < n && q < n && p != q);
+
+            let s_pq = buf[p * n + q];
+            let s_qp = buf[q * n + p];
+            let s_pp = buf[p * n + p];
+            let s_qq = buf[q * n + q];
             let one_m_pq = Complex::ONE - s_pq;
             let one_m_qp = Complex::ONE - s_qp;
             let denom = one_m_pq * one_m_qp - s_pp * s_qq;
@@ -324,33 +499,66 @@ impl<'c> SweepPlan<'c> {
             }
             let inv_d = denom.recip();
 
-            let m = step.keep.len();
-            next.reshape(m, m);
-            let src: &CMatrix = cur;
-            let row_p = src.row_slice(p);
-            let row_q = src.row_slice(q);
-            for (ri, &i) in step.keep.iter().enumerate() {
-                let s_ip = src.at(i, p);
-                let s_iq = src.at(i, q);
-                // Group the terms by their shared row-q / row-p factors so
-                // the inner loop does two fused multiplies per source row.
-                let coeff_q = one_m_pq * s_ip + s_pp * s_iq;
-                let coeff_p = s_qq * s_ip + one_m_qp * s_iq;
-                let row_i = src.row_slice(i);
-                let next_row = &mut next.as_mut_slice()[ri * m..(ri + 1) * m];
-                for (cj, &j) in step.keep.iter().enumerate() {
-                    let numer = row_q[j] * coeff_q + row_p[j] * coeff_p;
-                    next_row[cj] = row_i[j] + numer * inv_d;
+            // The surviving columns are `0..n` minus the two pivots: three
+            // contiguous segments. Working segment-wise (rather than
+            // through the keep list) turns every gather into a sequential
+            // run the compiler can vectorize.
+            let (lo, hi) = (p.min(q), p.max(q));
+
+            // Capture the pivot rows gathered onto the surviving columns —
+            // the compaction below overwrites them.
+            let row_p = &mut ws.elim_row_p[..m];
+            let row_q = &mut ws.elim_row_q[..m];
+            row_p[..lo].copy_from_slice(&buf[p * n..p * n + lo]);
+            row_q[..lo].copy_from_slice(&buf[q * n..q * n + lo]);
+            row_p[lo..hi - 1].copy_from_slice(&buf[p * n + lo + 1..p * n + hi]);
+            row_q[lo..hi - 1].copy_from_slice(&buf[q * n + lo + 1..q * n + hi]);
+            row_p[hi - 1..].copy_from_slice(&buf[p * n + hi + 1..p * n + n]);
+            row_q[hi - 1..].copy_from_slice(&buf[q * n + hi + 1..q * n + n]);
+
+            let mut ri = 0usize;
+            for i in 0..n {
+                if i == lo || i == hi {
+                    continue;
                 }
+                let s_ip = buf[i * n + p];
+                let s_iq = buf[i * n + q];
+                // Hoist the shared row factors (and the division) out of
+                // the inner loop: two fused multiplies per entry.
+                let coeff_q = (one_m_pq * s_ip + s_pp * s_iq) * inv_d;
+                let coeff_p = (s_qq * s_ip + one_m_qp * s_iq) * inv_d;
+                let src = i * n;
+                let dst = ri * m;
+                let mut cj = 0usize;
+                let mut update = |j_start: usize, j_end: usize, cj: &mut usize| {
+                    for j in j_start..j_end {
+                        debug_assert!(dst + *cj <= src + j && src + j < buf.len());
+                        // SAFETY: `src + j < n·n ≤ buf.len()` and
+                        // `dst + cj < m·m < buf.len()`; the write index
+                        // never exceeds the read index (in-place ordering
+                        // proven in the method docs), checked above in
+                        // debug builds.
+                        unsafe {
+                            *buf.get_unchecked_mut(dst + *cj) = *buf.get_unchecked(src + j)
+                                + *row_q.get_unchecked(*cj) * coeff_q
+                                + *row_p.get_unchecked(*cj) * coeff_p;
+                        }
+                        *cj += 1;
+                    }
+                };
+                update(0, lo, &mut cj);
+                update(lo + 1, hi, &mut cj);
+                update(hi + 1, n, &mut cj);
+                ri += 1;
             }
-            std::mem::swap(&mut cur, &mut next);
+            n = m;
         }
 
-        let n_ext = self.elim_ext_rows.len();
+        let n_ext = sched.elim_ext_rows.len();
         out.reshape(n_ext, n_ext);
-        for (r, &src_r) in self.elim_ext_rows.iter().enumerate() {
-            for (c, &src_c) in self.elim_ext_rows.iter().enumerate() {
-                *out.at_mut(r, c) = cur.at(src_r, src_c);
+        for (r, &src_r) in sched.elim_ext_rows.iter().enumerate() {
+            for (c, &src_c) in sched.elim_ext_rows.iter().enumerate() {
+                *out.at_mut(r, c) = buf[src_r * n + src_c];
             }
         }
         Ok(())
@@ -368,8 +576,9 @@ fn write_block(global: &mut CMatrix, offset: usize, block: &CMatrix) {
 }
 
 /// Reusable per-worker storage for the per-point solve. Create via
-/// [`SweepPlan::workspace`]; all buffers are sized once and reused, so the
-/// steady-state point loop never touches the allocator.
+/// [`SweepPlan::workspace`] (or re-target an existing one with
+/// [`SweepPlan::reset_workspace`]); all buffers are sized once and reused,
+/// so the steady-state point loop never touches the allocator.
 #[derive(Debug)]
 pub struct SolveWorkspace {
     /// Assembled block-diagonal global S-matrix.
@@ -382,10 +591,36 @@ pub struct SolveWorkspace {
     x: CMatrix,
     /// LU factors + pivot permutation, re-factored in place per point.
     lu: LuDecomposition,
-    /// Elimination ping-pong buffer A.
-    elim_a: CMatrix,
-    /// Elimination ping-pong buffer B.
-    elim_b: CMatrix,
+    /// In-place elimination buffer.
+    elim: CMatrix,
+    /// Scratch: pivot row `p` gathered onto the surviving columns.
+    elim_row_p: Vec<Complex>,
+    /// Scratch: pivot row `q` gathered onto the surviving columns.
+    elim_row_q: Vec<Complex>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace. Any plan can adopt it via
+    /// [`SweepPlan::reset_workspace`]; its buffers then grow to the
+    /// largest circuit seen and are reused thereafter.
+    pub fn new() -> Self {
+        SolveWorkspace {
+            global: CMatrix::zeros(0, 0),
+            system: CMatrix::zeros(0, 0),
+            rhs: CMatrix::zeros(0, 0),
+            x: CMatrix::zeros(0, 0),
+            lu: LuDecomposition::empty(),
+            elim: CMatrix::zeros(0, 0),
+            elim_row_p: Vec::new(),
+            elim_row_q: Vec::new(),
+        }
+    }
+}
+
+impl Default for SolveWorkspace {
+    fn default() -> Self {
+        SolveWorkspace::new()
+    }
 }
 
 #[cfg(test)]
@@ -461,6 +696,75 @@ mod tests {
             plan.evaluate_into(&mut ws, 1.532, &mut again).unwrap();
             plan.evaluate_into(&mut ws, 1.55, &mut again).unwrap();
             assert_eq!(first, again, "{backend}");
+        }
+    }
+
+    #[test]
+    fn reset_workspace_matches_fresh_workspace() {
+        // A workspace left dirty by a *different* (larger) circuit must be
+        // fully re-targeted: same bits as a fresh workspace.
+        let big = elaborate(&mzi_from_parts());
+        let small_netlist = NetlistBuilder::new()
+            .instance_with("wg", "waveguide", &[("length", 5.0)])
+            .port("I1", "wg,I1")
+            .port("O1", "wg,O1")
+            .model("waveguide", "waveguide")
+            .build();
+        let small = elaborate(&small_netlist);
+        for backend in [Backend::Dense, Backend::PortElimination] {
+            let big_plan = SweepPlan::new(&big, backend).unwrap();
+            let small_plan = SweepPlan::new(&small, backend).unwrap();
+            let mut ws = big_plan.workspace();
+            let mut scratch = CMatrix::zeros(0, 0);
+            big_plan.evaluate_into(&mut ws, 1.55, &mut scratch).unwrap();
+            // Re-target the dirty workspace at the small circuit.
+            small_plan.reset_workspace(&mut ws);
+            let mut reused = CMatrix::zeros(0, 0);
+            small_plan
+                .evaluate_into(&mut ws, 1.55, &mut reused)
+                .unwrap();
+            let mut fresh_ws = small_plan.workspace();
+            let mut fresh = CMatrix::zeros(0, 0);
+            small_plan
+                .evaluate_into(&mut fresh_ws, 1.55, &mut fresh)
+                .unwrap();
+            assert_eq!(reused, fresh, "{backend}");
+        }
+    }
+
+    #[test]
+    fn schedule_cache_shares_topologies() {
+        let a = elaborate(&mzi_from_parts());
+        // Same topology, different settings.
+        let mut tweaked = mzi_from_parts();
+        tweaked
+            .instances
+            .get_mut("top")
+            .unwrap()
+            .settings
+            .insert("length".to_string(), 40.0);
+        let b = elaborate(&tweaked);
+        let mut cache = ScheduleCache::new();
+        let sa = cache.get_or_build(&a);
+        let sb = cache.get_or_build(&b);
+        assert!(Arc::ptr_eq(&sa, &sb), "same topology must share a schedule");
+        assert_eq!(cache.len(), 1);
+
+        // A cached-schedule plan computes the same bits as a fresh plan.
+        for backend in [Backend::Dense, Backend::PortElimination] {
+            let cached_plan = SweepPlan::with_schedule(&b, backend, Arc::clone(&sb)).unwrap();
+            let fresh_plan = SweepPlan::new(&b, backend).unwrap();
+            let mut ws_c = cached_plan.workspace();
+            let mut ws_f = fresh_plan.workspace();
+            let mut out_c = CMatrix::zeros(0, 0);
+            let mut out_f = CMatrix::zeros(0, 0);
+            cached_plan
+                .evaluate_into(&mut ws_c, 1.547, &mut out_c)
+                .unwrap();
+            fresh_plan
+                .evaluate_into(&mut ws_f, 1.547, &mut out_f)
+                .unwrap();
+            assert_eq!(out_c, out_f, "{backend}");
         }
     }
 

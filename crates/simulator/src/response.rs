@@ -298,6 +298,34 @@ fn sweep_with_threads(
     threads: usize,
 ) -> Result<FrequencyResponse, SimError> {
     let plan = SweepPlan::new(circuit, backend)?;
+    sweep_with_plan(&plan, grid, threads)
+}
+
+/// Sweeps over a grid on a prebuilt [`SweepPlan`] — the entry point for
+/// callers that reuse plans/schedules across many sweeps (the evaluation
+/// cache's miss path). `threads == 0` applies the default policy
+/// (parallel for grids of [`PARALLEL_THRESHOLD`] points or more); any
+/// other value forces that worker count. All thread counts produce
+/// element-wise identical results.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] of the lowest-indexed failing grid point.
+pub fn sweep_with_plan(
+    plan: &SweepPlan<'_>,
+    grid: &WavelengthGrid,
+    threads: usize,
+) -> Result<FrequencyResponse, SimError> {
+    let threads = if threads == 0 {
+        if grid.points >= PARALLEL_THRESHOLD {
+            available_threads()
+        } else {
+            1
+        }
+    } else {
+        threads
+    };
+    let circuit = plan.circuit();
     let wavelengths = grid.wavelengths();
     let ports = circuit.external_names();
     let n_ext = ports.len();
@@ -309,11 +337,24 @@ fn sweep_with_threads(
         .map(|_| SMatrix::from_matrix(ports.clone(), CMatrix::zeros(n_ext, n_ext)))
         .collect();
 
+    // A fully memoized circuit answers identically at every wavelength:
+    // solve one point and replicate it (bit-identical to the full loop).
+    if plan.folds_to_constant() && wavelengths.len() > 1 {
+        let mut ws = plan.workspace();
+        run_point(plan, &mut ws, wavelengths[0], &mut samples[0])?;
+        replicate_first_sample(&mut samples);
+        return Ok(FrequencyResponse {
+            wavelengths,
+            ports,
+            samples,
+        });
+    }
+
     let workers = threads.max(1).min(wavelengths.len().max(1));
     if workers <= 1 {
         let mut ws = plan.workspace();
         for (i, sample) in samples.iter_mut().enumerate() {
-            run_point(&plan, &mut ws, wavelengths[i], sample)?;
+            run_point(plan, &mut ws, wavelengths[i], sample)?;
         }
     } else {
         // Contiguous chunks: point cost is uniform across the band, so a
@@ -323,7 +364,7 @@ fn sweep_with_threads(
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for (chunk_index, chunk) in samples.chunks_mut(chunk_len).enumerate() {
-                let plan = &plan;
+                let plan: &SweepPlan<'_> = plan;
                 let wavelengths = &wavelengths;
                 handles.push(scope.spawn(move || -> Result<(), (usize, SimError)> {
                     let mut ws = plan.workspace();
@@ -355,6 +396,54 @@ fn sweep_with_threads(
         ports,
         samples,
     })
+}
+
+/// Serial sweep on a prebuilt plan **and** a caller-owned workspace.
+///
+/// The workspace is re-targeted at the plan first
+/// ([`SweepPlan::reset_workspace`]), so one workspace can serve an
+/// arbitrary sequence of circuits without reallocating once its buffers
+/// reach their high-water mark — this is the evaluation pipeline's inner
+/// loop. Bit-identical to [`sweep_serial`] and to every parallel worker
+/// count.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] of the lowest-indexed failing grid point.
+pub fn sweep_planned(
+    plan: &SweepPlan<'_>,
+    grid: &WavelengthGrid,
+    ws: &mut SolveWorkspace,
+) -> Result<FrequencyResponse, SimError> {
+    plan.reset_workspace(ws);
+    let wavelengths = grid.wavelengths();
+    let ports = plan.circuit().external_names();
+    let n_ext = ports.len();
+    let mut samples: Vec<SMatrix> = (0..wavelengths.len())
+        .map(|_| SMatrix::from_matrix(ports.clone(), CMatrix::zeros(n_ext, n_ext)))
+        .collect();
+    if plan.folds_to_constant() && wavelengths.len() > 1 {
+        run_point(plan, ws, wavelengths[0], &mut samples[0])?;
+        replicate_first_sample(&mut samples);
+    } else {
+        for (i, sample) in samples.iter_mut().enumerate() {
+            run_point(plan, ws, wavelengths[i], sample)?;
+        }
+    }
+    Ok(FrequencyResponse {
+        wavelengths,
+        ports,
+        samples,
+    })
+}
+
+/// Copies the solved first sample into every remaining slot (the
+/// constant-response fold for fully memoized circuits).
+fn replicate_first_sample(samples: &mut [SMatrix]) {
+    let (first, rest) = samples.split_first_mut().expect("at least one sample");
+    for sample in rest {
+        sample.matrix_mut().copy_from(first.matrix());
+    }
 }
 
 fn run_point(

@@ -5,8 +5,8 @@
 
 use picbench_netlist::{Netlist, NetlistBuilder};
 use picbench_sim::{
-    sweep, sweep_naive, sweep_parallel, sweep_serial, Backend, Circuit, ModelRegistry,
-    WavelengthGrid,
+    sweep, sweep_naive, sweep_parallel, sweep_planned, sweep_serial, Backend, Circuit,
+    ModelRegistry, ScheduleCache, SweepPlan, WavelengthGrid,
 };
 use proptest::prelude::*;
 
@@ -75,6 +75,36 @@ proptest! {
             // The public default must agree with both.
             let default = sweep(&circuit, &grid, backend).unwrap();
             prop_assert_eq!(&serial, &default);
+        }
+    }
+
+    #[test]
+    fn workspace_reusing_sweep_identical_to_serial(
+        arms_a in proptest::collection::vec((1.0f64..80.0, 1.0f64..80.0), 1..4),
+        arms_b in proptest::collection::vec((1.0f64..80.0, 1.0f64..80.0), 1..4),
+        points in 1usize..32,
+    ) {
+        // One workspace and one schedule cache serving two different
+        // circuits back to back — the evaluation pipeline's inner loop —
+        // must reproduce the fresh-workspace serial sweep bit for bit.
+        let circuit_a = elaborate(&chain_netlist(&arms_a));
+        let circuit_b = elaborate(&chain_netlist(&arms_b));
+        let grid = WavelengthGrid::new(1.51, 1.59, points);
+        let mut schedules = ScheduleCache::new();
+        for backend in [Backend::Dense, Backend::PortElimination] {
+            let plan_a =
+                SweepPlan::with_schedule(&circuit_a, backend, schedules.get_or_build(&circuit_a))
+                    .unwrap();
+            let mut ws = plan_a.workspace();
+            let reused_a = sweep_planned(&plan_a, &grid, &mut ws).unwrap();
+            // Same-length arm lists share a topology; the cache must not
+            // grow beyond the distinct topologies seen.
+            let plan_b =
+                SweepPlan::with_schedule(&circuit_b, backend, schedules.get_or_build(&circuit_b))
+                    .unwrap();
+            let reused_b = sweep_planned(&plan_b, &grid, &mut ws).unwrap();
+            prop_assert_eq!(&reused_a, &sweep_serial(&circuit_a, &grid, backend).unwrap());
+            prop_assert_eq!(&reused_b, &sweep_serial(&circuit_b, &grid, backend).unwrap());
         }
     }
 }

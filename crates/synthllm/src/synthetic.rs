@@ -15,6 +15,8 @@ use picbench_problems::Problem;
 use picbench_prompt::{Conversation, Role, FUNCTIONAL_FEEDBACK};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Marker used to recognize a syntax-feedback turn (a stable fragment of
 /// the crafted correction request).
@@ -44,7 +46,10 @@ fn mix_seed(parts: &[&str], numbers: &[u64]) -> u64 {
 /// Per-sample generation state.
 #[derive(Debug)]
 struct SampleState {
-    golden: Netlist,
+    golden: Arc<Netlist>,
+    /// The golden design pre-rendered to JSON — the response body of
+    /// every corruption-free attempt, shared across samples.
+    golden_json: Arc<String>,
     /// Effective syntax difficulty: √instances/2 times the persistent
     /// per-(model, problem) knowledge multiplier.
     difficulty: f64,
@@ -73,6 +78,10 @@ pub struct SyntheticLlm {
     profile: ModelProfile,
     global_seed: u64,
     state: Option<SampleState>,
+    /// Per-problem golden design and its rendered JSON, shared across
+    /// samples (begin_sample would otherwise clone and re-serialize the
+    /// golden for every sample — pure overhead in large campaigns).
+    problem_cache: HashMap<String, (Arc<Netlist>, Arc<String>)>,
 }
 
 impl SyntheticLlm {
@@ -82,6 +91,7 @@ impl SyntheticLlm {
             profile,
             global_seed,
             state: None,
+            problem_cache: HashMap::new(),
         }
     }
 
@@ -205,15 +215,22 @@ impl SyntheticLlm {
     fn render_response(&self) -> String {
         let state = self.state.as_ref().expect("begin_sample not called");
         // Belief = golden + structural corruptions (text-level ones are
-        // applied to the rendered JSON afterwards).
-        let mut belief = state.golden.clone();
-        for c in &state.corruptions {
-            c.apply(&mut belief);
-        }
-        let mut json = belief.to_json_string();
-        for c in &state.corruptions {
-            json = c.apply_text(&json);
-        }
+        // applied to the rendered JSON afterwards). Corruption-free
+        // attempts — the common case in converged feedback rounds — use
+        // the pre-rendered golden JSON.
+        let json = if state.corruptions.is_empty() {
+            (*state.golden_json).clone()
+        } else {
+            let mut belief = (*state.golden).clone();
+            for c in &state.corruptions {
+                c.apply(&mut belief);
+            }
+            let mut json = belief.to_json_string();
+            for c in &state.corruptions {
+                json = c.apply_text(&json);
+            }
+            json
+        };
         format!(
             "<analysis>\nStep 1: identify the required building blocks for the {name} design \
              from the API document.\nStep 2: instantiate each component with the specified \
@@ -253,8 +270,18 @@ impl LanguageModel for SyntheticLlm {
         let z_func = 0.7 * z_syntax + (1.0f64 - 0.49).sqrt() * seeded_normal(k_func);
         let syntax_mult = (self.profile.knowledge_sigma * z_syntax).exp();
         let func_mult = (self.profile.functional_knowledge_sigma * z_func).exp();
+        let (golden, golden_json) = self
+            .problem_cache
+            .entry(problem.id.to_string())
+            .or_insert_with(|| {
+                let golden = Arc::new(problem.golden.clone());
+                let json = Arc::new(golden.to_json_string());
+                (golden, json)
+            })
+            .clone();
         self.state = Some(SampleState {
-            golden: problem.golden.clone(),
+            golden,
+            golden_json,
             difficulty: base * syntax_mult,
             functional_difficulty: base * func_mult,
             rng: StdRng::seed_from_u64(seed),

@@ -35,6 +35,7 @@ fn main() {
             seed: 7,
             grid: WavelengthGrid::paper_fast(),
             threads: 0,
+            ..CampaignConfig::default()
         };
         let report = run_campaign(&profiles, &problems, &config);
         let title = if restrictions {

@@ -81,6 +81,7 @@ fn campaigns_are_reproducible_across_thread_counts() {
         seed: 321,
         grid: WavelengthGrid::paper_fast(),
         threads: 1,
+        ..CampaignConfig::default()
     };
     let single = run_campaign(&profiles, &problems, &base);
     let multi = run_campaign(
@@ -124,6 +125,7 @@ fn restrictions_improve_restricted_models() {
             seed: 11,
             grid: WavelengthGrid::paper_fast(),
             threads: 0,
+            ..CampaignConfig::default()
         };
         let report = run_campaign(&profiles, &problems, &config);
         scores[slot] = report.cell("Gemini 1.5 pro", 0, 1).unwrap().syntax;
