@@ -10,7 +10,7 @@
 //!   parallelism);
 //! * **cached** — the content-addressed engine: fine-grained
 //!   `(problem × model × feedback)` work units
-//!   ([`CampaignGrain::PerCell`]), a shared sharded [`EvalCache`] seeded
+//!   ([`CampaignGrain::PerCell`]), a shared sharded [`EvalCache`](picbench_core::EvalCache) seeded
 //!   with the golden responses, serial sweeps (the campaign parallelizes
 //!   across cells instead).
 //!

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! repro table1|table2|table3|table4|fig1|fig2|fig3|fig4|all \
-//!     [--samples N] [--seed S] [--threads N]
+//!     [--samples N] [--seed S] [--threads N] [--problems id,id,...]
+//! repro --list-problems
 //! ```
 //!
 //! The Monte-Carlo tables (III/IV) honour `--samples` (default 5, as in
@@ -14,15 +15,25 @@
 //! thousands of circuits.
 
 use picbench_bench::{
-    error_histograms, fig1, fig2, fig3, fig4, restriction_ablation_table, table1, table2, table3,
-    table4, ReproScale,
+    error_histograms, fig1, fig2, fig3, fig4, list_problems, restriction_ablation_table, table1,
+    table2, table3, table4, ReproScale,
 };
+
+/// Unwraps a Monte-Carlo artifact or exits with its error message.
+fn ok_or_exit(result: Result<String, String>) -> String {
+    result.unwrap_or_else(|message| {
+        eprintln!("{message}");
+        std::process::exit(2);
+    })
+}
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <artifact> [--samples N] [--seed S] [--threads N]\n\
+        "usage: repro <artifact> [--samples N] [--seed S] [--threads N] [--problems id,id,...]\n\
          artifacts: table1 table2 table3 table4 fig1 fig2 fig3 fig4 all\n\
          extensions: errors (failure-category histogram), ablation (leave-one-out restrictions)\n\
+         --list-problems prints the registry inventory and exits\n\
+         --problems restricts the Monte-Carlo artifacts (table3/table4/errors/ablation)\n\
          --threads 0 (default) uses one worker per core; tables are bit-identical either way"
     );
 }
@@ -59,6 +70,28 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--problems" => {
+                i += 1;
+                let ids: Vec<String> = args
+                    .get(i)
+                    .map(|v| {
+                        v.split(',')
+                            .map(str::trim)
+                            .filter(|id| !id.is_empty())
+                            .map(str::to_string)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if ids.is_empty() {
+                    eprintln!("--problems needs a comma-separated list of problem ids");
+                    std::process::exit(2);
+                }
+                scale.problems = Some(ids);
+            }
+            "--list-problems" => {
+                print!("{}", list_problems());
+                return;
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -81,14 +114,14 @@ fn main() {
         let text = match artifact.as_str() {
             "table1" => table1(),
             "table2" => table2(),
-            "table3" => table3(scale),
-            "table4" => table4(scale),
+            "table3" => ok_or_exit(table3(&scale)),
+            "table4" => ok_or_exit(table4(&scale)),
             "fig1" => fig1(),
             "fig2" => fig2(),
             "fig3" => fig3(),
             "fig4" => fig4(),
-            "errors" => error_histograms(scale),
-            "ablation" => restriction_ablation_table(scale),
+            "errors" => ok_or_exit(error_histograms(&scale)),
+            "ablation" => ok_or_exit(restriction_ablation_table(&scale)),
             other => {
                 eprintln!("unknown artifact: {other}");
                 print_usage();

@@ -29,7 +29,7 @@ use picbench_synthllm::{ModelProfile, SyntheticLlm};
 use std::fmt::Write as _;
 
 /// Campaign scale knobs for the table reproductions.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ReproScale {
     /// Samples per problem (paper: 5).
     pub samples: usize,
@@ -38,6 +38,9 @@ pub struct ReproScale {
     /// Campaign worker threads (0 = one per available core). The report
     /// is bit-identical for every thread count.
     pub threads: usize,
+    /// Restrict Monte-Carlo artifacts to these registry problem ids
+    /// (`None` = the full built-in suite, as in the paper).
+    pub problems: Option<Vec<String>>,
 }
 
 impl Default for ReproScale {
@@ -46,8 +49,62 @@ impl Default for ReproScale {
             samples: 5,
             seed: 20_250_205,
             threads: 0,
+            problems: None,
         }
     }
+}
+
+/// Resolves the scale's problem selection against the registry.
+///
+/// # Errors
+///
+/// Returns the first unknown or repeated id, so the CLI can fail with a
+/// usable message instead of silently shrinking (or double-weighting)
+/// the matrix.
+pub fn resolve_problems(scale: &ReproScale) -> Result<Vec<picbench_problems::Problem>, String> {
+    match &scale.problems {
+        None => Ok(picbench_problems::suite()),
+        Some(ids) => {
+            let mut seen = std::collections::HashSet::new();
+            ids.iter()
+                .map(|id| {
+                    if !seen.insert(id.as_str()) {
+                        return Err(format!(
+                            "problem id {id:?} listed more than once in --problems"
+                        ));
+                    }
+                    picbench_problems::find(id)
+                        .ok_or_else(|| format!("unknown problem id {id:?} (see --list-problems)"))
+                })
+                .collect()
+        }
+    }
+}
+
+/// Renders the problem inventory of the global registry — id, display
+/// name, category and golden size — for `repro --list-problems`.
+pub fn list_problems() -> String {
+    let registry = picbench_problems::ProblemRegistry::global();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:<22} {:<22} {:>9}",
+        "Id", "Name", "Category", "Instances"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(74));
+    for p in registry.all() {
+        let _ = writeln!(
+            out,
+            "{:<18} {:<22} {:<22} {:>9}",
+            p.id,
+            p.name,
+            p.category.to_string(),
+            p.golden_instance_count()
+        );
+    }
+    let _ = writeln!(out, "{}", "-".repeat(74));
+    let _ = writeln!(out, "Total: {} problems", registry.len());
+    out
 }
 
 /// Regenerates Table I: the 24-problem inventory with categories, golden
@@ -109,9 +166,9 @@ pub fn table2() -> String {
     out
 }
 
-fn campaign(restrictions: bool, scale: ReproScale) -> CampaignReport {
+fn campaign(restrictions: bool, scale: &ReproScale) -> Result<CampaignReport, String> {
     let profiles = ModelProfile::all_paper_models();
-    let problems = picbench_problems::suite();
+    let problems = resolve_problems(scale)?;
     let config = CampaignConfig {
         samples_per_problem: scale.samples,
         k_values: vec![1, scale.samples],
@@ -122,25 +179,33 @@ fn campaign(restrictions: bool, scale: ReproScale) -> CampaignReport {
         threads: scale.threads,
         ..CampaignConfig::default()
     };
-    run_campaign(&profiles, &problems, &config)
+    Ok(run_campaign(&profiles, &problems, &config))
 }
 
 /// Regenerates Table III: Pass@1/Pass@n syntax and functionality for the
 /// five model profiles at 0/1/3 feedback iterations, restrictions OFF.
-pub fn table3(scale: ReproScale) -> String {
-    render_table(
-        &campaign(false, scale),
+///
+/// # Errors
+///
+/// Returns a message naming the first unknown id in `scale.problems`.
+pub fn table3(scale: &ReproScale) -> Result<String, String> {
+    Ok(render_table(
+        &campaign(false, scale)?,
         "TABLE III: Syntax and Functionality evaluation (without restrictions)",
-    )
+    ))
 }
 
 /// Regenerates Table IV: the same matrix with the Table II restrictions
 /// in the system prompt.
-pub fn table4(scale: ReproScale) -> String {
-    render_table(
-        &campaign(true, scale),
+///
+/// # Errors
+///
+/// Returns a message naming the first unknown id in `scale.problems`.
+pub fn table4(scale: &ReproScale) -> Result<String, String> {
+    Ok(render_table(
+        &campaign(true, scale)?,
         "TABLE IV: Syntax and Functionality evaluation (with restrictions)",
-    )
+    ))
 }
 
 /// Regenerates Fig. 1 as an annotated end-to-end trace of the framework
@@ -244,7 +309,7 @@ pub fn fig4() -> String {
     let _ = writeln!(out, "{}\n", faulty.to_json_string());
     let _ = writeln!(out, "Evaluation: Syntax Error");
     let _ = writeln!(out, "Evaluation information:");
-    let _ = writeln!(out, "{}", syntax_feedback(problem.id, report.issues()));
+    let _ = writeln!(out, "{}", syntax_feedback(&problem.id, report.issues()));
 
     // Iter 1: the corrected response (the golden design).
     let fixed_text = format!("<result>\n{}\n</result>", problem.golden.to_json_string());
@@ -267,8 +332,8 @@ pub fn fig4() -> String {
 /// measurement behind the paper's error-classification loop (§III-D).
 /// Shows which Table II categories each model actually commits, with and
 /// without restrictions.
-pub fn error_histograms(scale: ReproScale) -> String {
-    let problems = picbench_problems::suite();
+pub fn error_histograms(scale: &ReproScale) -> Result<String, String> {
+    let problems = resolve_problems(scale)?;
     let mut evaluator = Evaluator::default();
     let mut out = String::new();
     let _ = writeln!(
@@ -302,14 +367,14 @@ pub fn error_histograms(scale: ReproScale) -> String {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Extension experiment: leave-one-out restriction ablation — how much
 /// syntax Pass@1 drops when each single Table II restriction is removed
 /// from the system prompt.
-pub fn restriction_ablation_table(scale: ReproScale) -> String {
-    let problems = picbench_problems::suite();
+pub fn restriction_ablation_table(scale: &ReproScale) -> Result<String, String> {
+    let problems = resolve_problems(scale)?;
     let mut evaluator = Evaluator::default();
     let mut out = String::new();
     let _ = writeln!(
@@ -347,12 +412,66 @@ pub fn restriction_ablation_table(scale: ReproScale) -> String {
             );
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn list_problems_covers_the_registry() {
+        let listing = list_problems();
+        assert!(listing.contains("mzi-ps"));
+        assert!(listing.contains("spankebenes-8x8"));
+        assert!(listing.contains("Total: "));
+    }
+
+    #[test]
+    fn resolve_problems_filters_and_rejects_unknown_ids() {
+        let all = resolve_problems(&ReproScale::default()).unwrap();
+        assert_eq!(all.len(), 24);
+        let filtered = resolve_problems(&ReproScale {
+            problems: Some(vec!["mzm".to_string(), "mzi-ps".to_string()]),
+            ..ReproScale::default()
+        })
+        .unwrap();
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(filtered[0].id, "mzm");
+        assert_eq!(filtered[1].id, "mzi-ps");
+        let err = resolve_problems(&ReproScale {
+            problems: Some(vec!["warp-core".to_string()]),
+            ..ReproScale::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("warp-core"));
+        // Repeated ids would double-weight Pass@k and silently collapse
+        // in the id-keyed tallies — rejected up front instead.
+        let err = resolve_problems(&ReproScale {
+            problems: Some(vec!["mzm".to_string(), "mzm".to_string()]),
+            ..ReproScale::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn filtered_table3_runs_on_the_selected_problems_only() {
+        let scale = ReproScale {
+            samples: 1,
+            problems: Some(vec!["mzi-ps".to_string()]),
+            ..ReproScale::default()
+        };
+        let table = table3(&scale).unwrap();
+        assert!(table.contains("TABLE III"));
+        assert!(table.contains("GPT-4"));
+        let err = table3(&ReproScale {
+            problems: Some(vec!["warp-core".to_string()]),
+            ..scale
+        })
+        .unwrap_err();
+        assert!(err.contains("warp-core"));
+    }
 
     #[test]
     fn table1_lists_all_24() {

@@ -1,8 +1,13 @@
-//! Campaign runner: the full evaluation matrix of Tables III and IV.
+//! Campaign sessions: the full evaluation matrix of Tables III and IV.
 //!
 //! A campaign runs `models × feedback settings × problems × samples`
-//! through the feedback loop and aggregates Pass@k. The engine is built
-//! for throughput and determinism:
+//! through the feedback loop and aggregates Pass@k. Sessions are built
+//! with [`Campaign::builder`] over any set of
+//! [`ModelProvider`]s — calibrated synthetic profiles, recorded-transcript
+//! replays, failure-injecting decorators, or real API clients — and can
+//! stream typed [`CampaignEvent`]s to a [`CampaignObserver`] and abort
+//! cooperatively through a [`CancelToken`]. The engine is built for
+//! throughput and determinism:
 //!
 //! * every problem's **golden response** is simulated once up front and
 //!   shared immutably across all workers;
@@ -19,19 +24,24 @@
 //!   and sweeps serially — the campaign parallelizes *across* cells, not
 //!   within sweeps.
 //!
-//! Because the synthetic models reseed per `(model, problem, sample)` and
-//! cached replay is bit-identical to cold evaluation, the resulting
+//! Each cell spawns a fresh model instance from its provider
+//! ([`ModelProvider::spawn_seeded`] with the campaign seed); because the
+//! synthetic models reseed per `(model, problem, sample)` and cached
+//! replay is bit-identical to cold evaluation, the resulting
 //! [`CampaignReport`] is **bit-identical** for any thread count, either
-//! grain, and with the cache on or off. Aggregation iterates cells in a
-//! fixed problem-major order, never in hash-map order.
+//! grain, with the cache on or off, and across the builder and legacy
+//! [`run_campaign`] entry points. Aggregation iterates cells in a fixed
+//! problem-major order, never in hash-map order.
 
 use crate::evaluate::{EvalCache, EvalCacheStats, Evaluator};
+use crate::events::{CampaignEvent, CampaignObserver, CancelToken};
 use crate::feedback_loop::{run_sample, LoopConfig};
 use crate::passk::{aggregate_pass_at_k, ProblemTally};
 use picbench_problems::Problem;
 use picbench_sim::{Backend, FrequencyResponse, WavelengthGrid};
-use picbench_synthllm::{ModelProfile, SyntheticLlm};
-use std::collections::HashMap;
+use picbench_synthllm::{ModelProfile, ModelProvider};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -165,7 +175,345 @@ struct Cell {
     ef_idx: usize,
 }
 
+/// Why [`CampaignBuilder::build`] rejected a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignBuildError {
+    /// No problems were added.
+    NoProblems,
+    /// No model providers were added.
+    NoProviders,
+    /// `k_values` is empty.
+    NoKValues,
+    /// `feedback_iters` is empty.
+    NoFeedbackSettings,
+    /// `samples_per_problem` is zero.
+    ZeroSamples,
+    /// Two problems share an id (tallies are keyed by id).
+    DuplicateProblemId(String),
+    /// Two providers share a display name (report rows, events and
+    /// [`CampaignReport::cell`] lookups are keyed by it).
+    DuplicateProviderName(String),
+}
+
+impl fmt::Display for CampaignBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignBuildError::NoProblems => write!(f, "campaign needs problems"),
+            CampaignBuildError::NoProviders => write!(f, "campaign needs model providers"),
+            CampaignBuildError::NoKValues => write!(f, "campaign needs k values"),
+            CampaignBuildError::NoFeedbackSettings => {
+                write!(f, "campaign needs feedback-iteration settings")
+            }
+            CampaignBuildError::ZeroSamples => {
+                write!(f, "campaign needs at least one sample per problem")
+            }
+            CampaignBuildError::DuplicateProblemId(id) => {
+                write!(f, "duplicate problem id {id:?} in campaign")
+            }
+            CampaignBuildError::DuplicateProviderName(name) => {
+                write!(f, "duplicate provider name {name:?} in campaign")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignBuildError {}
+
+/// A validated, ready-to-run campaign session.
+///
+/// Built with [`Campaign::builder`]; holds problems, providers, the
+/// evaluation matrix configuration, and the optional observer/cancel
+/// plumbing. [`Campaign::run`] executes to a [`CampaignReport`];
+/// [`Campaign::execute`] additionally supports cooperative cancellation
+/// via a [`CancelToken`] and returns a [`CampaignOutcome`].
+pub struct Campaign {
+    problems: Vec<Problem>,
+    providers: Vec<Arc<dyn ModelProvider>>,
+    config: CampaignConfig,
+    observer: Option<Arc<dyn CampaignObserver>>,
+    cancel: Option<CancelToken>,
+}
+
+impl fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("problems", &self.problems.len())
+            .field(
+                "providers",
+                &self
+                    .providers
+                    .iter()
+                    .map(|p| p.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .field("config", &self.config)
+            .field("observer", &self.observer.is_some())
+            .field("cancellable", &self.cancel.is_some())
+            .finish()
+    }
+}
+
+/// The result of a cancellable [`Campaign::execute`] run.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The aggregated report — `None` when the run was cancelled before
+    /// every cell completed.
+    pub report: Option<CampaignReport>,
+    /// Whether the run was actually cut short by cancellation. A cancel
+    /// request that lands after the last cell completed still yields the
+    /// full report and `cancelled: false`.
+    pub cancelled: bool,
+    /// Cells that ran to completion.
+    pub cells_completed: usize,
+    /// Total cells in the matrix.
+    pub cells_total: usize,
+}
+
+impl Campaign {
+    /// Starts a new campaign definition.
+    pub fn builder() -> CampaignBuilder {
+        CampaignBuilder::new()
+    }
+
+    /// The campaign's configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs the campaign to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attached [`CancelToken`] fires mid-run (use
+    /// [`Campaign::execute`] for cancellable sessions) or if a golden
+    /// design fails to simulate (a bug, not an input condition).
+    pub fn run(&self) -> CampaignReport {
+        self.execute()
+            .report
+            .expect("campaign was cancelled; use Campaign::execute for cancellable runs")
+    }
+
+    /// Runs the campaign, honouring the attached [`CancelToken`].
+    ///
+    /// Cancellation is checked at cell boundaries: in-flight cells finish
+    /// (emitting their [`CampaignEvent::CellFinished`]), no new cells
+    /// start, and the outcome carries `report: None`.
+    pub fn execute(&self) -> CampaignOutcome {
+        execute_campaign(
+            &self.problems,
+            &self.providers,
+            &self.config,
+            self.observer.as_deref(),
+            self.cancel.as_ref(),
+        )
+    }
+}
+
+/// Typed, validating constructor of [`Campaign`] sessions.
+///
+/// ```
+/// use picbench_core::Campaign;
+/// use picbench_synthllm::ModelProfile;
+///
+/// let campaign = Campaign::builder()
+///     .problem(picbench_problems::find("mzi-ps").unwrap())
+///     .profiles(&[ModelProfile::gpt4()])
+///     .samples_per_problem(2)
+///     .k_values([1])
+///     .feedback_iters([0])
+///     .build()
+///     .unwrap();
+/// let report = campaign.run();
+/// assert_eq!(report.cells.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct CampaignBuilder {
+    problems: Vec<Problem>,
+    providers: Vec<Arc<dyn ModelProvider>>,
+    config: Option<CampaignConfig>,
+    observer: Option<Arc<dyn CampaignObserver>>,
+    cancel: Option<CancelToken>,
+}
+
+impl CampaignBuilder {
+    /// An empty builder with the default [`CampaignConfig`].
+    pub fn new() -> Self {
+        CampaignBuilder::default()
+    }
+
+    fn config_mut(&mut self) -> &mut CampaignConfig {
+        self.config.get_or_insert_with(CampaignConfig::default)
+    }
+
+    /// Adds one problem to the matrix.
+    pub fn problem(mut self, problem: Problem) -> Self {
+        self.problems.push(problem);
+        self
+    }
+
+    /// Adds problems to the matrix (evaluation order is insertion order).
+    pub fn problems(mut self, problems: impl IntoIterator<Item = Problem>) -> Self {
+        self.problems.extend(problems);
+        self
+    }
+
+    /// Adds one model provider.
+    pub fn provider(mut self, provider: Arc<dyn ModelProvider>) -> Self {
+        self.providers.push(provider);
+        self
+    }
+
+    /// Adds model providers.
+    pub fn providers(
+        mut self,
+        providers: impl IntoIterator<Item = Arc<dyn ModelProvider>>,
+    ) -> Self {
+        self.providers.extend(providers);
+        self
+    }
+
+    /// Adds synthetic-model providers from calibrated profiles.
+    pub fn profiles(mut self, profiles: &[ModelProfile]) -> Self {
+        for profile in profiles {
+            self.providers.push(Arc::new(profile.clone()));
+        }
+        self
+    }
+
+    /// Replaces the whole configuration at once (the escape hatch for
+    /// callers that already hold a [`CampaignConfig`]).
+    pub fn config(mut self, config: CampaignConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Samples per problem (the paper's default n = 5).
+    pub fn samples_per_problem(mut self, samples: usize) -> Self {
+        self.config_mut().samples_per_problem = samples;
+        self
+    }
+
+    /// Pass@k values to report.
+    pub fn k_values(mut self, k_values: impl IntoIterator<Item = usize>) -> Self {
+        self.config_mut().k_values = k_values.into_iter().collect();
+        self
+    }
+
+    /// Feedback-iteration settings (the paper uses 0, 1 and 3).
+    pub fn feedback_iters(mut self, iters: impl IntoIterator<Item = usize>) -> Self {
+        self.config_mut().feedback_iters = iters.into_iter().collect();
+        self
+    }
+
+    /// Whether the system prompt carries the Table II restrictions.
+    pub fn restrictions(mut self, restrictions: bool) -> Self {
+        self.config_mut().restrictions = restrictions;
+        self
+    }
+
+    /// Campaign seed (same seed ⇒ identical tables).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config_mut().seed = seed;
+        self
+    }
+
+    /// Wavelength grid for simulation/comparison.
+    pub fn grid(mut self, grid: WavelengthGrid) -> Self {
+        self.config_mut().grid = grid;
+        self
+    }
+
+    /// Worker threads (0 = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config_mut().threads = threads;
+        self
+    }
+
+    /// Work-distribution granularity.
+    pub fn grain(mut self, grain: CampaignGrain) -> Self {
+        self.config_mut().grain = grain;
+        self
+    }
+
+    /// Whether workers share a content-addressed evaluation cache.
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.config_mut().cache = cache;
+        self
+    }
+
+    /// Reproduce the PR-1 sweep semantics inside workers (benchmarking
+    /// baseline; results are bit-identical either way).
+    pub fn legacy_sweeps(mut self, legacy: bool) -> Self {
+        self.config_mut().legacy_sweeps = legacy;
+        self
+    }
+
+    /// Attaches a progress observer fed typed [`CampaignEvent`]s.
+    pub fn observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Validates the definition into a runnable [`Campaign`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CampaignBuildError`] when the matrix is degenerate:
+    /// no problems, no providers, empty `k_values`/`feedback_iters`,
+    /// zero samples, duplicate problem ids, or duplicate provider names.
+    pub fn build(self) -> Result<Campaign, CampaignBuildError> {
+        let config = self.config.unwrap_or_default();
+        if self.problems.is_empty() {
+            return Err(CampaignBuildError::NoProblems);
+        }
+        if self.providers.is_empty() {
+            return Err(CampaignBuildError::NoProviders);
+        }
+        if config.k_values.is_empty() {
+            return Err(CampaignBuildError::NoKValues);
+        }
+        if config.feedback_iters.is_empty() {
+            return Err(CampaignBuildError::NoFeedbackSettings);
+        }
+        if config.samples_per_problem == 0 {
+            return Err(CampaignBuildError::ZeroSamples);
+        }
+        let mut seen = HashSet::new();
+        for problem in &self.problems {
+            if !seen.insert(problem.id.clone()) {
+                return Err(CampaignBuildError::DuplicateProblemId(problem.id.clone()));
+            }
+        }
+        let mut seen_names = HashSet::new();
+        for provider in &self.providers {
+            if !seen_names.insert(provider.name().to_string()) {
+                return Err(CampaignBuildError::DuplicateProviderName(
+                    provider.name().to_string(),
+                ));
+            }
+        }
+        Ok(Campaign {
+            problems: self.problems,
+            providers: self.providers,
+            config,
+            observer: self.observer,
+            cancel: self.cancel,
+        })
+    }
+}
+
 /// Runs a campaign over the given model profiles and problems.
+///
+/// This is the legacy free-function entry point, kept as a thin shim over
+/// [`Campaign::builder`]: each profile becomes an `Arc<dyn ModelProvider>`
+/// spawning seed-faithful [`picbench_synthllm::SyntheticLlm`]s, so the
+/// report is bit-identical to the builder path.
 ///
 /// # Panics
 ///
@@ -179,30 +527,50 @@ pub fn run_campaign(
     assert!(!problems.is_empty(), "campaign needs problems");
     assert!(!profiles.is_empty(), "campaign needs model profiles");
     assert!(!config.k_values.is_empty(), "campaign needs k values");
-
-    // Golden responses: simulated once, shared immutably by every worker,
-    // and seeded into the evaluation cache so golden-identical candidates
-    // are instant hits.
-    let cache = config.cache.then(|| Arc::new(EvalCache::new()));
-    let goldens: Arc<HashMap<String, Arc<FrequencyResponse>>> = {
-        let mut evaluator = Evaluator::new(config.grid, Backend::default());
-        if let Some(cache) = &cache {
-            evaluator = evaluator.with_cache(Arc::clone(cache));
-        }
-        Arc::new(
-            problems
-                .iter()
-                .map(|p| (p.id.to_string(), evaluator.prime_golden(p)))
-                .collect(),
-        )
+    // Constructed directly rather than through build(): the builder's
+    // stricter validation (duplicate ids, empty feedback settings) is new
+    // API surface, and this entry point keeps its historical tolerance.
+    let campaign = Campaign {
+        problems: problems.to_vec(),
+        providers: profiles
+            .iter()
+            .map(|p| Arc::new(p.clone()) as Arc<dyn ModelProvider>)
+            .collect(),
+        config: config.clone(),
+        observer: None,
+        cancel: None,
     };
+    campaign.run()
+}
+
+/// The campaign engine: fans `(problem × model × feedback)` cells out
+/// over worker threads, spawning one model instance per cell from the
+/// cell's provider, and aggregates deterministically.
+fn execute_campaign(
+    problems: &[Problem],
+    providers: &[Arc<dyn ModelProvider>],
+    config: &CampaignConfig,
+    observer: Option<&dyn CampaignObserver>,
+    cancel: Option<&CancelToken>,
+) -> CampaignOutcome {
+    assert!(!problems.is_empty(), "campaign needs problems");
+    assert!(!providers.is_empty(), "campaign needs model providers");
+    assert!(!config.k_values.is_empty(), "campaign needs k values");
+
+    let emit = |event: CampaignEvent| {
+        if let Some(observer) = observer {
+            observer.on_event(&event);
+        }
+    };
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
+    let provider_names: Vec<String> = providers.iter().map(|p| p.name().to_string()).collect();
 
     // Cells in problem-major order; `PerProblem` groups each problem's
     // contiguous run of cells into one work unit.
-    let per_problem = profiles.len() * config.feedback_iters.len();
+    let per_problem = providers.len() * config.feedback_iters.len();
     let mut cells = Vec::with_capacity(problems.len() * per_problem);
     for problem in 0..problems.len() {
-        for profile in 0..profiles.len() {
+        for profile in 0..providers.len() {
             for ef_idx in 0..config.feedback_iters.len() {
                 cells.push(Cell {
                     problem,
@@ -218,6 +586,46 @@ pub fn run_campaign(
             .map(|p| p * per_problem..(p + 1) * per_problem)
             .collect(),
     };
+
+    emit(CampaignEvent::CampaignStarted {
+        problems: problems.len(),
+        providers: providers.len(),
+        cells: cells.len(),
+    });
+
+    // Golden responses: simulated once, shared immutably by every worker,
+    // and seeded into the evaluation cache so golden-identical candidates
+    // are instant hits. This serial priming phase honours the cancel
+    // token per problem, so an early abort responds promptly instead of
+    // sweeping every golden first.
+    let cache = config.cache.then(|| Arc::new(EvalCache::new()));
+    let goldens: Arc<HashMap<String, Arc<FrequencyResponse>>> = {
+        let mut evaluator = Evaluator::new(config.grid, Backend::default());
+        if let Some(cache) = &cache {
+            evaluator = evaluator.with_cache(Arc::clone(cache));
+        }
+        let mut table = HashMap::with_capacity(problems.len());
+        for problem in problems {
+            if cancelled() {
+                break;
+            }
+            table.insert(problem.id.clone(), evaluator.prime_golden(problem));
+        }
+        Arc::new(table)
+    };
+    if cancelled() {
+        emit(CampaignEvent::CampaignFinished {
+            cells_completed: 0,
+            cells_total: cells.len(),
+            cancelled: true,
+        });
+        return CampaignOutcome {
+            report: None,
+            cancelled: true,
+            cells_completed: 0,
+            cells_total: cells.len(),
+        };
+    }
 
     let worker_count = if config.threads > 0 {
         config.threads
@@ -238,6 +646,7 @@ pub fn run_campaign(
     };
 
     let next_unit = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, ProblemTally)>> = Mutex::new(Vec::with_capacity(cells.len()));
 
     std::thread::scope(|scope| {
@@ -251,18 +660,32 @@ pub fn run_campaign(
                     evaluator = evaluator.with_cache(Arc::clone(cache));
                 }
                 let mut local: Vec<(usize, ProblemTally)> = Vec::new();
-                loop {
+                'units: loop {
+                    if cancelled() {
+                        break;
+                    }
                     let unit = next_unit.fetch_add(1, Ordering::Relaxed);
                     if unit >= units.len() {
                         break;
                     }
                     for cell_index in units[unit].clone() {
+                        // Cooperative abort at cell boundaries: a started
+                        // cell always finishes (and emits CellFinished),
+                        // so the event stream stays well-formed.
+                        if cancelled() {
+                            break 'units;
+                        }
                         let cell = cells[cell_index];
                         let problem = &problems[cell.problem];
-                        let mut llm =
-                            SyntheticLlm::new(profiles[cell.profile].clone(), config.seed);
+                        let feedback_iters = config.feedback_iters[cell.ef_idx];
+                        emit(CampaignEvent::CellStarted {
+                            problem_id: problem.id.clone(),
+                            model: provider_names[cell.profile].clone(),
+                            feedback_iters,
+                        });
+                        let mut llm = providers[cell.profile].spawn_seeded(config.seed);
                         let loop_config = LoopConfig {
-                            max_feedback_iters: config.feedback_iters[cell.ef_idx],
+                            max_feedback_iters: feedback_iters,
                             restrictions: config.restrictions,
                         };
                         let mut tally = ProblemTally {
@@ -271,8 +694,13 @@ pub fn run_campaign(
                             functional_passes: 0,
                         };
                         for sample in 0..config.samples_per_problem as u64 {
-                            let result =
-                                run_sample(&mut llm, problem, &mut evaluator, loop_config, sample);
+                            let result = run_sample(
+                                llm.as_mut(),
+                                problem,
+                                &mut evaluator,
+                                loop_config,
+                                sample,
+                            );
                             if result.syntax_pass() {
                                 tally.syntax_passes += 1;
                             }
@@ -280,6 +708,15 @@ pub fn run_campaign(
                                 tally.functional_passes += 1;
                             }
                         }
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        emit(CampaignEvent::CellFinished {
+                            problem_id: problem.id.clone(),
+                            model: provider_names[cell.profile].clone(),
+                            feedback_iters,
+                            tally,
+                            completed: done,
+                            total: cells.len(),
+                        });
                         local.push((cell_index, tally));
                     }
                 }
@@ -288,20 +725,35 @@ pub fn run_campaign(
         }
     });
 
+    let cells_completed = completed.load(Ordering::Relaxed);
+    if cancelled() && cells_completed < cells.len() {
+        emit(CampaignEvent::CampaignFinished {
+            cells_completed,
+            cells_total: cells.len(),
+            cancelled: true,
+        });
+        return CampaignOutcome {
+            report: None,
+            cancelled: true,
+            cells_completed,
+            cells_total: cells.len(),
+        };
+    }
+
     let raw = results.into_inner().expect("results poisoned");
     let mut by_cell: Vec<Option<ProblemTally>> = vec![None; cells.len()];
     for (index, tally) in raw {
         by_cell[index] = Some(tally);
     }
     let cell_index = |problem: usize, profile: usize, ef_idx: usize| {
-        (problem * profiles.len() + profile) * config.feedback_iters.len() + ef_idx
+        (problem * providers.len() + profile) * config.feedback_iters.len() + ef_idx
     };
 
     // Aggregation iterates problems in input order — deterministic and
     // independent of scheduling, hashing and thread count.
     let mut conditions: Vec<ConditionTallies> = Vec::new();
     let mut scores = Vec::new();
-    for (profile_idx, profile) in profiles.iter().enumerate() {
+    for (profile_idx, model_name) in provider_names.iter().enumerate() {
         for (ef_idx, &ef) in config.feedback_iters.iter().enumerate() {
             let ordered: Vec<(usize, ProblemTally)> = (0..problems.len())
                 .map(|p| {
@@ -314,7 +766,7 @@ pub fn run_campaign(
                 let tally_vec: Vec<ProblemTally> = ordered.iter().map(|(_, t)| *t).collect();
                 let (syntax, functional) = aggregate_pass_at_k(&tally_vec, k);
                 scores.push(CellScore {
-                    model: profile.name.to_string(),
+                    model: model_name.clone(),
                     feedback_iters: ef,
                     k,
                     syntax,
@@ -322,22 +774,36 @@ pub fn run_campaign(
                 });
             }
             conditions.push(ConditionTallies {
-                model: profile.name.to_string(),
+                model: model_name.clone(),
                 feedback_iters: ef,
                 tallies: ordered
                     .into_iter()
-                    .map(|(p, tally)| (problems[p].id.to_string(), tally))
+                    .map(|(p, tally)| (problems[p].id.clone(), tally))
                     .collect(),
             });
         }
     }
 
-    CampaignReport {
-        restrictions: config.restrictions,
-        samples_per_problem: config.samples_per_problem,
-        cells: scores,
-        conditions,
-        cache_stats: cache.map(|c| c.stats()),
+    if let Some(cache) = &cache {
+        emit(CampaignEvent::CacheStats(cache.stats()));
+    }
+    emit(CampaignEvent::CampaignFinished {
+        cells_completed,
+        cells_total: cells.len(),
+        cancelled: false,
+    });
+
+    CampaignOutcome {
+        report: Some(CampaignReport {
+            restrictions: config.restrictions,
+            samples_per_problem: config.samples_per_problem,
+            cells: scores,
+            conditions,
+            cache_stats: cache.map(|c| c.stats()),
+        }),
+        cancelled: false,
+        cells_completed,
+        cells_total: cells.len(),
     }
 }
 

@@ -162,12 +162,13 @@ impl EvalCacheStats {
 
 /// A sharded, thread-safe, content-addressed evaluation cache.
 ///
-/// Level 1 memoizes sweep outcomes by [`SimKey`]; level 2 memoizes
-/// complete [`EvalReport`]s by [`ReportKey`]. Shards are plain mutexed
-/// hash maps — entries are only ever inserted (idempotently: every writer
-/// computes the identical value for a key, a consequence of canonical
-/// simulation), so contention is limited to short lock windows on one of
-/// [`SHARD_COUNT`] stripes.
+/// Level 1 memoizes sweep outcomes by simulation key (canonical netlist
+/// digest, grid, backend, port spec); level 2 memoizes complete
+/// [`EvalReport`]s keyed additionally by problem and tolerance. Shards
+/// are plain mutexed hash maps — entries are only ever inserted
+/// (idempotently: every writer computes the identical value for a key, a
+/// consequence of canonical simulation), so contention is limited to
+/// short lock windows on one of 16 stripes.
 #[derive(Debug)]
 pub struct EvalCache {
     sim_shards: Vec<Mutex<HashMap<SimKey, SimOutcome>>>,
@@ -426,11 +427,11 @@ impl Evaluator {
     pub fn golden_response(&mut self, problem: &Problem) -> &FrequencyResponse {
         self.golden_response_arc(problem);
         if let Some(shared) = &self.shared_goldens {
-            if let Some(response) = shared.get(problem.id) {
+            if let Some(response) = shared.get(&problem.id) {
                 return response;
             }
         }
-        &self.golden_cache[problem.id]
+        &self.golden_cache[&problem.id]
     }
 
     /// Computes (or fetches) the golden response **and** seeds the
@@ -470,11 +471,11 @@ impl Evaluator {
     /// [`Evaluator::golden_response`], returning the shareable handle.
     pub fn golden_response_arc(&mut self, problem: &Problem) -> Arc<FrequencyResponse> {
         if let Some(shared) = &self.shared_goldens {
-            if let Some(response) = shared.get(problem.id) {
+            if let Some(response) = shared.get(&problem.id) {
                 return Arc::clone(response);
             }
         }
-        if !self.golden_cache.contains_key(problem.id) {
+        if !self.golden_cache.contains_key(&problem.id) {
             let canonical = problem.golden.canonicalize();
             let response = self
                 .simulate_canonical(&canonical, problem)
@@ -482,7 +483,7 @@ impl Evaluator {
             self.golden_cache
                 .insert(problem.id.to_string(), Arc::new(response));
         }
-        Arc::clone(&self.golden_cache[problem.id])
+        Arc::clone(&self.golden_cache[&problem.id])
     }
 
     /// Parses a raw response into a netlist, collecting every classified
@@ -586,7 +587,7 @@ impl Evaluator {
         let key = self.cache.as_ref().map(|_| {
             (
                 self.sim_key(problem, hash),
-                Fnv64::hash_str(problem.id),
+                Fnv64::hash_str(&problem.id),
                 self.tolerance.to_bits(),
             )
         });
@@ -625,7 +626,7 @@ impl Evaluator {
                 Fnv64::hash_str(response_text),
                 self.grid_key(),
                 self.backend,
-                Fnv64::hash_str(problem.id),
+                Fnv64::hash_str(&problem.id),
                 self.tolerance.to_bits(),
             )
         });

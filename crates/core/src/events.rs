@@ -1,0 +1,161 @@
+//! Campaign observability: typed progress events and cooperative
+//! cancellation.
+//!
+//! A campaign is a long-running batch job; a server or TUI driving one
+//! needs to stream progress and abort cleanly. [`CampaignObserver`] is
+//! the callback seam — workers feed it typed [`CampaignEvent`]s as cells
+//! start and finish — and [`CancelToken`] is the cooperative abort
+//! switch, checked at cell boundaries so every started cell runs to
+//! completion and the event stream stays well-formed:
+//!
+//! ```text
+//! CampaignStarted
+//!   (CellStarted → CellFinished)*   — one pair per completed cell
+//! [CacheStats]                      — on completion, when caching is on
+//! CampaignFinished { cancelled }
+//! ```
+//!
+//! Observer callbacks run on worker threads, inline with evaluation —
+//! keep them cheap (push to a channel, update atomics) and never block.
+
+use crate::evaluate::EvalCacheStats;
+use crate::passk::ProblemTally;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation switch shared between a campaign and its
+/// driver.
+///
+/// Cancellation is checked at `(problem × model × feedback)` cell
+/// boundaries: cells already running finish normally (and emit their
+/// [`CampaignEvent::CellFinished`]), no new cells start afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// One typed progress event of a running campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignEvent {
+    /// The campaign accepted its inputs and is about to start workers.
+    CampaignStarted {
+        /// Number of problems in the matrix.
+        problems: usize,
+        /// Number of model providers in the matrix.
+        providers: usize,
+        /// Total `(problem × model × feedback)` cells to evaluate.
+        cells: usize,
+    },
+    /// A worker claimed a cell and is about to evaluate it.
+    CellStarted {
+        /// Problem id of the cell.
+        problem_id: String,
+        /// Provider display name of the cell.
+        model: String,
+        /// Feedback-iteration setting of the cell.
+        feedback_iters: usize,
+    },
+    /// A cell's samples all finished.
+    CellFinished {
+        /// Problem id of the cell.
+        problem_id: String,
+        /// Provider display name of the cell.
+        model: String,
+        /// Feedback-iteration setting of the cell.
+        feedback_iters: usize,
+        /// The cell's aggregated tally.
+        tally: ProblemTally,
+        /// Cells finished so far (this one included).
+        completed: usize,
+        /// Total cells in the campaign.
+        total: usize,
+    },
+    /// Final counters of the shared evaluation cache (completion only).
+    CacheStats(EvalCacheStats),
+    /// The campaign stopped — normally or via cancellation.
+    CampaignFinished {
+        /// Cells that completed.
+        cells_completed: usize,
+        /// Total cells in the campaign.
+        cells_total: usize,
+        /// Whether the campaign was cut short by cancellation (a cancel
+        /// request arriving after the last cell completed still counts
+        /// as a normal finish).
+        cancelled: bool,
+    },
+}
+
+/// A sink for [`CampaignEvent`]s.
+///
+/// Implemented for any `Fn(&CampaignEvent) + Send + Sync` closure, so a
+/// channel sender or progress bar hooks in with one line:
+///
+/// ```
+/// use picbench_core::{CampaignEvent, CampaignObserver};
+/// use std::sync::mpsc;
+///
+/// let (tx, rx) = mpsc::channel();
+/// let observer = move |event: &CampaignEvent| {
+///     let _ = tx.send(event.clone());
+/// };
+/// observer.on_event(&CampaignEvent::CampaignStarted {
+///     problems: 1,
+///     providers: 1,
+///     cells: 1,
+/// });
+/// assert_eq!(rx.try_iter().count(), 1);
+/// ```
+pub trait CampaignObserver: Send + Sync {
+    /// Receives one event; called from worker threads, must not block.
+    fn on_event(&self, event: &CampaignEvent);
+}
+
+impl<F: Fn(&CampaignEvent) + Send + Sync> CampaignObserver for F {
+    fn on_event(&self, event: &CampaignEvent) {
+        self(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_clones_share_state() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn closures_are_observers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let observer = |_: &CampaignEvent| {
+            count.fetch_add(1, Ordering::Relaxed);
+        };
+        observer.on_event(&CampaignEvent::CacheStats(EvalCacheStats::default()));
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+}

@@ -103,7 +103,7 @@ pub fn run_sample(
         let feedback = if last.report.syntax_pass() {
             functional_feedback()
         } else {
-            syntax_feedback(problem.id, last.report.issues())
+            syntax_feedback(&problem.id, last.report.issues())
         };
         conversation.push(Role::User, feedback);
     }

@@ -11,28 +11,49 @@
 //! * [`run_sample`] — the error-feedback loop (Fig. 1/Fig. 4), §III-E;
 //! * [`pass_at_k`] / [`aggregate_pass_at_k`] — the unbiased Pass@k
 //!   estimator (Eq. 1);
-//! * [`run_campaign`] — the full `models × feedback × problems × samples`
-//!   matrix behind Tables III and IV, multi-threaded and seeded;
+//! * [`Campaign::builder`] — the session API behind Tables III and IV:
+//!   problems × pluggable [`ModelProvider`]s × feedback settings, with
+//!   typed progress events ([`CampaignObserver`]) and cooperative
+//!   cancellation ([`CancelToken`]); [`run_campaign`] remains as a thin
+//!   shim over it;
 //! * [`render_table`] / [`render_csv`] — paper-layout reporting.
 //!
-//! ## Example
+//! ## Example: a streaming campaign session
 //!
 //! ```
-//! use picbench_core::{run_sample, Evaluator, LoopConfig};
-//! use picbench_synthllm::PerfectLlm;
+//! use picbench_core::{Campaign, CampaignEvent};
+//! use picbench_synthllm::ModelProfile;
+//! use std::sync::mpsc;
 //!
-//! let problem = picbench_problems::find("mzi-ps").unwrap();
-//! let mut evaluator = Evaluator::default();
-//! let mut oracle = PerfectLlm::new();
-//! let result = run_sample(&mut oracle, &problem, &mut evaluator, LoopConfig::default(), 0);
-//! assert!(result.functional_pass());
+//! let (events, progress) = mpsc::channel();
+//! let campaign = Campaign::builder()
+//!     .problem(picbench_problems::find("mzi-ps").unwrap())
+//!     .profiles(&[ModelProfile::claude35_sonnet()])
+//!     .samples_per_problem(2)
+//!     .k_values([1])
+//!     .feedback_iters([0, 1])
+//!     .observer(std::sync::Arc::new(move |event: &CampaignEvent| {
+//!         let _ = events.send(event.clone());
+//!     }))
+//!     .build()?;
+//! let report = campaign.run();
+//! assert_eq!(report.cells.len(), 2); // 1 model × 2 feedback settings × 1 k
+//! let finished = progress
+//!     .try_iter()
+//!     .filter(|e| matches!(e, CampaignEvent::CellFinished { .. }))
+//!     .count();
+//! assert_eq!(finished, 2); // one per (problem × model × feedback) cell
+//! # Ok::<(), picbench_core::CampaignBuildError>(())
 //! ```
+//!
+//! [`ModelProvider`]: picbench_synthllm::ModelProvider
 
 #![warn(missing_docs)]
 
 mod campaign;
 pub mod classify;
 mod evaluate;
+mod events;
 mod feedback_loop;
 mod passk;
 mod report;
@@ -40,11 +61,13 @@ mod stats;
 mod trace;
 
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignGrain, CampaignReport, CellScore, ConditionTallies,
+    run_campaign, Campaign, CampaignBuildError, CampaignBuilder, CampaignConfig, CampaignGrain,
+    CampaignOutcome, CampaignReport, CellScore, ConditionTallies,
 };
 pub use evaluate::{
     EvalCache, EvalCacheStats, EvalReport, Evaluator, DEFAULT_FUNCTIONAL_TOLERANCE,
 };
+pub use events::{CampaignEvent, CampaignObserver, CancelToken};
 pub use feedback_loop::{run_sample, AttemptRecord, LoopConfig, SampleResult};
 pub use passk::{aggregate_pass_at_k, pass_at_k, ProblemTally};
 pub use report::{render_csv, render_table};

@@ -113,7 +113,7 @@ fn ordered_connection(c: &Connection) -> (&PortRef, &PortRef) {
 
 impl Netlist {
     /// Returns the canonical form of this netlist (see the
-    /// [module docs](self)).
+    /// module docs of `canon`).
     ///
     /// Canonicalization is idempotent, preserves structural validity and
     /// is physically a no-op: the canonical netlist elaborates to an

@@ -27,13 +27,19 @@
 pub mod fundamental;
 pub mod interconnect;
 pub mod meshes;
+mod registry;
 pub mod routing;
+pub mod serde;
 pub mod switches;
 pub mod wiring;
+
+pub use registry::{ProblemRegistry, RegistryError};
+pub use serde::{problems_from_json, problems_to_json, ProblemDecodeError};
 
 use picbench_math::MeshScheme;
 use picbench_netlist::{Netlist, PortSpec};
 use std::fmt;
+use std::sync::Arc;
 
 /// The four problem categories of Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -70,12 +76,17 @@ impl fmt::Display for Category {
 }
 
 /// One benchmark problem: description, expected ports, golden design.
-#[derive(Debug, Clone)]
+///
+/// Problems are plain data: the built-in Table I suite is constructed in
+/// code, but problems can equally be loaded from JSON
+/// ([`problems_from_json`]) and registered at runtime in the
+/// [`ProblemRegistry`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct Problem {
     /// Stable identifier, e.g. `"mzi-ps"`.
-    pub id: &'static str,
+    pub id: String,
     /// Display name as in Table I, e.g. `"MZI ps"`.
-    pub name: &'static str,
+    pub name: String,
     /// Table I category.
     pub category: Category,
     /// The natural-language design brief handed to the language model.
@@ -115,8 +126,8 @@ fn problem(
     golden: Netlist,
 ) -> Problem {
     Problem {
-        id,
-        name,
+        id: id.to_string(),
+        name: name.to_string(),
         category,
         description,
         spec,
@@ -124,8 +135,12 @@ fn problem(
     }
 }
 
-/// Builds the full 24-problem benchmark suite in Table I order.
-pub fn suite() -> Vec<Problem> {
+/// Constructs the full 24-problem benchmark suite in Table I order.
+///
+/// This is the expensive rebuild-the-world path; [`suite`] and [`find`]
+/// serve clones out of the lazily-initialized [`ProblemRegistry`] instead
+/// of calling this per lookup.
+pub(crate) fn build_builtin_suite() -> Vec<Problem> {
     let mut problems = Vec::with_capacity(24);
 
     // --- Optical computing -------------------------------------------
@@ -427,9 +442,29 @@ pub fn suite() -> Vec<Problem> {
     problems
 }
 
-/// Looks up a problem by id.
+/// The full 24-problem benchmark suite in Table I order.
+///
+/// Served from the lazily-initialized global [`ProblemRegistry`]: the
+/// suite is constructed (and its descriptions rendered) exactly once per
+/// process, then cloned per call. Runtime-registered problems are *not*
+/// included — use [`ProblemRegistry::all`] for the extended set.
+pub fn suite() -> Vec<Problem> {
+    ProblemRegistry::global()
+        .builtins()
+        .iter()
+        .map(|p| (**p).clone())
+        .collect()
+}
+
+/// Looks up a problem by id — O(1) after the registry's first access,
+/// covering both built-in and runtime-registered problems.
 pub fn find(id: &str) -> Option<Problem> {
-    suite().into_iter().find(|p| p.id == id)
+    ProblemRegistry::global().get(id).map(|p| (*p).clone())
+}
+
+/// Looks up a problem by id without cloning it.
+pub fn find_shared(id: &str) -> Option<Arc<Problem>> {
+    ProblemRegistry::global().get(id)
 }
 
 #[cfg(test)]
@@ -450,7 +485,7 @@ mod tests {
     #[test]
     fn ids_are_unique_and_kebab_case() {
         let problems = suite();
-        let mut ids: Vec<&str> = problems.iter().map(|p| p.id).collect();
+        let mut ids: Vec<&str> = problems.iter().map(|p| p.id.as_str()).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 24);

@@ -195,8 +195,8 @@ impl ScheduleCache {
 }
 
 /// A schedule bound to one concrete circuit: topology structure plus the
-/// per-instance wavelength-independent S-matrix memos. See the
-/// [module docs](self) for the full story.
+/// per-instance wavelength-independent S-matrix memos. See the module
+/// docs of `plan` for the full story.
 #[derive(Debug)]
 pub struct SweepPlan<'c> {
     circuit: &'c Circuit,

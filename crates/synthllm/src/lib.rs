@@ -34,11 +34,13 @@
 pub mod corrupt;
 mod knowledge;
 mod profile;
+mod provider;
 mod synthetic;
 
 pub use corrupt::Corruption;
 pub use knowledge::{bogus_port, instance_ports, ports_of, unused_ports, BUILTIN_PORTS};
 pub use profile::ModelProfile;
+pub use provider::{FlakyProvider, ModelProvider, ReplayLlm, PAPER_SEED, RATE_LIMIT_RESPONSE};
 pub use synthetic::{PerfectLlm, SyntheticLlm};
 
 use picbench_problems::Problem;

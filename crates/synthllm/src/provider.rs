@@ -1,0 +1,357 @@
+//! Pluggable model providers — the campaign-facing factory seam.
+//!
+//! A campaign fans work out across threads, and every worker needs its
+//! own [`LanguageModel`] instance (models are stateful: per-sample RNG,
+//! repair state, transcript cursors). [`ModelProvider`] is the
+//! object-safe factory behind that fan-out: anything `Send + Sync` that
+//! can `spawn()` fresh model instances can drive a campaign — the
+//! calibrated synthetic profiles, recorded-transcript replays, failure
+//! injecting decorators, or a real API client.
+//!
+//! Three implementations ship here:
+//!
+//! * [`ModelProfile`] — spawns [`SyntheticLlm`]s; the paper's five
+//!   calibrated models;
+//! * [`ReplayLlm`] — serves recorded transcripts verbatim, giving
+//!   deterministic regression fixtures for runs against real APIs;
+//! * [`FlakyProvider`] — decorates any provider with deterministic
+//!   rate-limit/outage responses for resilience testing.
+
+use crate::synthetic::SyntheticLlm;
+use crate::{LanguageModel, ModelProfile};
+use picbench_problems::Problem;
+use picbench_prompt::Conversation;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The default campaign seed (the paper's arXiv date) used when a
+/// profile is spawned without an explicit seed.
+pub const PAPER_SEED: u64 = 20_250_205;
+
+/// An object-safe factory of per-worker [`LanguageModel`] instances.
+///
+/// Campaigns hold `Arc<dyn ModelProvider>`s and spawn one model per
+/// evaluation cell; implementations must therefore be `Send + Sync`,
+/// while the spawned models only need `Send`.
+pub trait ModelProvider: Send + Sync {
+    /// Display name used in reports (one column per provider).
+    fn name(&self) -> &str;
+
+    /// Creates a fresh model instance with default seeding.
+    fn spawn(&self) -> Box<dyn LanguageModel>;
+
+    /// Creates a fresh model instance for a specific campaign seed.
+    ///
+    /// Stochastic providers should honour the seed so campaigns stay
+    /// bit-identical for a given configuration; deterministic providers
+    /// (replays, API clients) can ignore it — the default forwards to
+    /// [`ModelProvider::spawn`].
+    fn spawn_seeded(&self, seed: u64) -> Box<dyn LanguageModel> {
+        let _ = seed;
+        self.spawn()
+    }
+}
+
+impl ModelProvider for ModelProfile {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn spawn(&self) -> Box<dyn LanguageModel> {
+        self.spawn_seeded(PAPER_SEED)
+    }
+
+    fn spawn_seeded(&self, seed: u64) -> Box<dyn LanguageModel> {
+        Box::new(SyntheticLlm::new(self.clone(), seed))
+    }
+}
+
+/// Response served when a replay has no transcript for the requested
+/// (problem, sample) pair — deliberately unparseable, so the gap shows
+/// up as a classified syntax failure instead of a silent pass.
+const MISSING_TRANSCRIPT: &str =
+    "[replay error: no recorded transcript for this problem/sample pair]";
+
+#[derive(Debug, Default)]
+struct ReplayBook {
+    /// Problem id → sample index → responses in conversation order.
+    /// (Nested rather than tuple-keyed so the per-respond lookup borrows
+    /// the cursor's id instead of cloning it.)
+    transcripts: HashMap<String, HashMap<u64, Vec<String>>>,
+}
+
+/// A language model (and provider) that replays recorded transcripts.
+///
+/// Record the raw responses of a real-API run once, then re-evaluate them
+/// deterministically forever — the regression-fixture path for runs the
+/// synthetic profiles cannot cover. Within a sample, responses are served
+/// in recording order; if the evaluation asks for more turns than were
+/// recorded, the last response is repeated (models that converged stay
+/// converged), and samples with no transcript at all answer with an
+/// unparseable error marker.
+#[derive(Debug)]
+pub struct ReplayLlm {
+    name: String,
+    book: Arc<ReplayBook>,
+    /// Active `(problem id, sample index, next response index)`.
+    cursor: Option<(String, u64, usize)>,
+}
+
+impl ReplayLlm {
+    /// Creates an empty replay under the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ReplayLlm {
+            name: name.into(),
+            book: Arc::new(ReplayBook::default()),
+            cursor: None,
+        }
+    }
+
+    /// Appends one recorded response to a `(problem, sample)` transcript.
+    ///
+    /// Only possible before the replay is shared (spawned from); builder
+    /// style, so fixtures read as data.
+    pub fn with_response(
+        mut self,
+        problem_id: impl Into<String>,
+        sample_index: u64,
+        response: impl Into<String>,
+    ) -> Self {
+        let book = Arc::get_mut(&mut self.book)
+            .expect("with_response must be called before the replay is spawned");
+        book.transcripts
+            .entry(problem_id.into())
+            .or_default()
+            .entry(sample_index)
+            .or_default()
+            .push(response.into());
+        self
+    }
+
+    /// Number of recorded `(problem, sample)` transcripts.
+    pub fn transcript_count(&self) -> usize {
+        self.book.transcripts.values().map(HashMap::len).sum()
+    }
+}
+
+impl LanguageModel for ReplayLlm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin_sample(&mut self, problem: &Problem, sample_index: u64) {
+        self.cursor = Some((problem.id.clone(), sample_index, 0));
+    }
+
+    fn respond(&mut self, _conversation: &Conversation) -> String {
+        let (problem_id, sample, next) = self
+            .cursor
+            .as_mut()
+            .expect("begin_sample must be called before respond");
+        match self
+            .book
+            .transcripts
+            .get(problem_id.as_str())
+            .and_then(|samples| samples.get(sample))
+            .filter(|responses| !responses.is_empty())
+        {
+            Some(responses) => {
+                let index = (*next).min(responses.len() - 1);
+                *next += 1;
+                responses[index].clone()
+            }
+            None => MISSING_TRANSCRIPT.to_string(),
+        }
+    }
+}
+
+impl ModelProvider for ReplayLlm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spawn(&self) -> Box<dyn LanguageModel> {
+        Box::new(ReplayLlm {
+            name: self.name.clone(),
+            book: Arc::clone(&self.book),
+            cursor: None,
+        })
+    }
+}
+
+/// Response injected by [`FlakyProvider`] in place of a real one — shaped
+/// like a transport-layer failure, and unparseable by design.
+pub const RATE_LIMIT_RESPONSE: &str =
+    "HTTP 429 Too Many Requests: rate limit exceeded, retry after 30s";
+
+/// A decorating provider that deterministically injects transport
+/// failures — the resilience-testing harness for campaign plumbing.
+///
+/// Every `failure_period`-th response (counted per spawned model
+/// instance, 1-based) is replaced by [`RATE_LIMIT_RESPONSE`]; all other
+/// calls pass through to the wrapped provider's model. The schedule is
+/// counter-based and therefore fully deterministic: a campaign over a
+/// flaky provider still produces bit-identical reports for every thread
+/// count, while exercising exactly the unparseable-response paths a real
+/// API outage would.
+pub struct FlakyProvider {
+    inner: Arc<dyn ModelProvider>,
+    name: String,
+    failure_period: usize,
+}
+
+impl FlakyProvider {
+    /// Wraps a provider, failing every `failure_period`-th response of
+    /// each spawned instance (`0` disables injection entirely).
+    pub fn new(inner: Arc<dyn ModelProvider>, failure_period: usize) -> Self {
+        let name = format!("{} [flaky]", inner.name());
+        FlakyProvider {
+            inner,
+            name,
+            failure_period,
+        }
+    }
+
+    /// Overrides the display name (defaults to `"<inner> [flaky]"`).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+struct FlakyLlm {
+    name: String,
+    inner: Box<dyn LanguageModel>,
+    failure_period: usize,
+    responses: usize,
+}
+
+impl LanguageModel for FlakyLlm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin_sample(&mut self, problem: &Problem, sample_index: u64) {
+        self.inner.begin_sample(problem, sample_index);
+    }
+
+    fn respond(&mut self, conversation: &Conversation) -> String {
+        self.responses += 1;
+        if self.failure_period > 0 && self.responses.is_multiple_of(self.failure_period) {
+            return RATE_LIMIT_RESPONSE.to_string();
+        }
+        self.inner.respond(conversation)
+    }
+}
+
+impl ModelProvider for FlakyProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spawn(&self) -> Box<dyn LanguageModel> {
+        Box::new(FlakyLlm {
+            name: self.name.clone(),
+            inner: self.inner.spawn(),
+            failure_period: self.failure_period,
+            responses: 0,
+        })
+    }
+
+    fn spawn_seeded(&self, seed: u64) -> Box<dyn LanguageModel> {
+        Box::new(FlakyLlm {
+            name: self.name.clone(),
+            inner: self.inner.spawn_seeded(seed),
+            failure_period: self.failure_period,
+            responses: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picbench_prompt::Role;
+
+    fn mzi_ps() -> Problem {
+        picbench_problems::find("mzi-ps").unwrap()
+    }
+
+    fn conversation(problem: &Problem) -> Conversation {
+        let mut c = Conversation::with_system("You are a PIC designer.");
+        c.push(Role::User, problem.description.clone());
+        c
+    }
+
+    #[test]
+    fn profile_provider_spawns_seed_faithful_synthetics() {
+        let problem = mzi_ps();
+        let conv = conversation(&problem);
+        let provider: Arc<dyn ModelProvider> = Arc::new(ModelProfile::gpt4());
+        assert_eq!(provider.name(), "GPT-4");
+        let mut spawned = provider.spawn_seeded(7);
+        let mut direct = SyntheticLlm::new(ModelProfile::gpt4(), 7);
+        spawned.begin_sample(&problem, 0);
+        direct.begin_sample(&problem, 0);
+        assert_eq!(spawned.respond(&conv), direct.respond(&conv));
+    }
+
+    #[test]
+    fn replay_serves_transcripts_in_order_then_repeats() {
+        let problem = mzi_ps();
+        let conv = conversation(&problem);
+        let replay = ReplayLlm::new("Recorded GPT-4")
+            .with_response(problem.id.clone(), 0, "first")
+            .with_response(problem.id.clone(), 0, "second");
+        let mut llm = replay.spawn();
+        llm.begin_sample(&problem, 0);
+        assert_eq!(llm.respond(&conv), "first");
+        assert_eq!(llm.respond(&conv), "second");
+        assert_eq!(llm.respond(&conv), "second", "last response repeats");
+        // A different sample has no transcript: unparseable marker.
+        llm.begin_sample(&problem, 1);
+        assert!(llm.respond(&conv).contains("no recorded transcript"));
+    }
+
+    #[test]
+    fn replay_spawns_share_the_book_but_not_cursors() {
+        let problem = mzi_ps();
+        let conv = conversation(&problem);
+        let replay = ReplayLlm::new("replay").with_response(problem.id.clone(), 0, "only");
+        let mut a = replay.spawn();
+        let mut b = replay.spawn();
+        a.begin_sample(&problem, 0);
+        b.begin_sample(&problem, 0);
+        assert_eq!(a.respond(&conv), "only");
+        assert_eq!(b.respond(&conv), "only");
+    }
+
+    #[test]
+    fn flaky_provider_fails_on_schedule_and_recovers() {
+        let problem = mzi_ps();
+        let conv = conversation(&problem);
+        let inner = Arc::new(ReplayLlm::new("steady").with_response(problem.id.clone(), 0, "ok"));
+        let flaky = FlakyProvider::new(inner, 2);
+        assert_eq!(flaky.name(), "steady [flaky]");
+        let mut llm = flaky.spawn();
+        llm.begin_sample(&problem, 0);
+        assert_eq!(llm.respond(&conv), "ok");
+        assert_eq!(llm.respond(&conv), RATE_LIMIT_RESPONSE);
+        assert_eq!(llm.respond(&conv), "ok");
+        assert_eq!(llm.respond(&conv), RATE_LIMIT_RESPONSE);
+    }
+
+    #[test]
+    fn flaky_period_zero_never_fails() {
+        let problem = mzi_ps();
+        let conv = conversation(&problem);
+        let inner = Arc::new(ReplayLlm::new("steady").with_response(problem.id.clone(), 0, "ok"));
+        let flaky = FlakyProvider::new(inner, 0).with_name("renamed");
+        assert_eq!(ModelProvider::name(&flaky), "renamed");
+        let mut llm = flaky.spawn();
+        llm.begin_sample(&problem, 0);
+        for _ in 0..5 {
+            assert_eq!(llm.respond(&conv), "ok");
+        }
+    }
+}

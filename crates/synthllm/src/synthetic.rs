@@ -248,7 +248,7 @@ impl LanguageModel for SyntheticLlm {
 
     fn begin_sample(&mut self, problem: &Problem, sample_index: u64) {
         let seed = mix_seed(
-            &[self.profile.name, problem.id],
+            &[self.profile.name, &problem.id],
             &[self.global_seed, sample_index],
         );
         // Persistent knowledge multipliers: seeded by (model, problem)
@@ -257,11 +257,11 @@ impl LanguageModel for SyntheticLlm {
         // Pass@5 close to Pass@1 on hard problems (as in the paper).
         let base = ModelProfile::difficulty(problem.golden.instances.len());
         let k_syntax = mix_seed(
-            &[self.profile.name, problem.id, "syntax-knowledge"],
+            &[self.profile.name, &problem.id, "syntax-knowledge"],
             &[self.global_seed],
         );
         let k_func = mix_seed(
-            &[self.profile.name, problem.id, "functional-knowledge"],
+            &[self.profile.name, &problem.id, "functional-knowledge"],
             &[self.global_seed],
         );
         let z_syntax = seeded_normal(k_syntax);
@@ -456,7 +456,7 @@ mod tests {
                 .iter()
                 .map(|f| picbench_netlist::ValidationIssue::new(*f, "details"))
                 .collect();
-            conv.push(Role::User, syntax_feedback(problem.id, &issues));
+            conv.push(Role::User, syntax_feedback(&problem.id, &issues));
             let _ = llm.respond(&conv);
             total_after += llm
                 .active_corruptions()

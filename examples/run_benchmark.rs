@@ -20,7 +20,7 @@ fn main() {
         .into_iter()
         .filter(|p| {
             matches!(
-                p.id,
+                p.id.as_str(),
                 "mzi-ps" | "mzm" | "umatrix" | "nls" | "clements-4x4" | "os-2x2"
             )
         })

@@ -1,0 +1,108 @@
+//! Streaming campaign session: pluggable providers, live progress
+//! events, and cooperative cancellation.
+//!
+//! Demonstrates the three seams of the session API:
+//!
+//! * **providers** — a calibrated synthetic profile, a flaky decorator
+//!   around it (deterministic rate-limit injection), and a recorded
+//!   replay, all behind `Arc<dyn ModelProvider>`;
+//! * **session builder** — `Campaign::builder()` with typed knobs and
+//!   validation at `build()`;
+//! * **events** — a `CampaignObserver` closure streaming `CellFinished`
+//!   progress lines as workers finish cells, the way a server or TUI
+//!   would.
+//!
+//! Run with: `cargo run --release --example streaming_campaign`
+
+use picbench::core::{Campaign, CampaignEvent};
+use picbench::synthllm::{FlakyProvider, ModelProfile, ModelProvider, ReplayLlm};
+use std::sync::Arc;
+
+fn main() {
+    let problems: Vec<_> = ["mzi-ps", "mzm", "os-2x2", "umatrix"]
+        .iter()
+        .map(|id| picbench::problems::find(id).expect("built-in problem"))
+        .collect();
+
+    // A replay provider answering every sample with the recorded golden
+    // transcript — the fixture path for regression-testing real-API runs.
+    let mut replay = ReplayLlm::new("Recorded run");
+    for problem in &problems {
+        for sample in 0..3 {
+            replay = replay.with_response(
+                problem.id.clone(),
+                sample,
+                format!(
+                    "<analysis>recorded</analysis>\n<result>\n{}\n</result>",
+                    problem.golden.to_json_string()
+                ),
+            );
+        }
+    }
+
+    let sonnet: Arc<dyn ModelProvider> = Arc::new(ModelProfile::claude35_sonnet());
+    let providers: Vec<Arc<dyn ModelProvider>> = vec![
+        Arc::clone(&sonnet),
+        Arc::new(FlakyProvider::new(sonnet, 3)), // every 3rd response 429s
+        Arc::new(replay),
+    ];
+
+    let campaign = Campaign::builder()
+        .problems(problems)
+        .providers(providers)
+        .samples_per_problem(3)
+        .k_values([1, 3])
+        .feedback_iters([0, 1])
+        .observer(Arc::new(|event: &CampaignEvent| match event {
+            CampaignEvent::CampaignStarted {
+                problems,
+                providers,
+                cells,
+            } => {
+                println!("campaign: {problems} problems x {providers} providers = {cells} cells");
+            }
+            CampaignEvent::CellFinished {
+                problem_id,
+                model,
+                feedback_iters,
+                tally,
+                completed,
+                total,
+            } => {
+                println!(
+                    "[{completed:>2}/{total}] {model:<24} {problem_id:<10} EF={feedback_iters} \
+                     syntax {}/{} functional {}/{}",
+                    tally.syntax_passes, tally.n, tally.functional_passes, tally.n
+                );
+            }
+            CampaignEvent::CacheStats(stats) => {
+                println!(
+                    "cache: {:.1}% of {} lookups served without simulating",
+                    100.0 * stats.hit_rate(),
+                    stats.lookups()
+                );
+            }
+            CampaignEvent::CampaignFinished {
+                cells_completed,
+                cells_total,
+                cancelled,
+            } => {
+                let state = if *cancelled { "cancelled" } else { "finished" };
+                println!("campaign {state} after {cells_completed}/{cells_total} cells");
+            }
+            _ => {}
+        }))
+        .build()
+        .expect("valid campaign definition");
+
+    let report = campaign.run();
+    println!();
+    for cell in &report.cells {
+        if cell.k == 1 && cell.feedback_iters == 0 {
+            println!(
+                "{:<24} Pass@1 syntax {:6.2}%  functional {:6.2}%",
+                cell.model, cell.syntax, cell.functional
+            );
+        }
+    }
+}

@@ -71,7 +71,12 @@ fn campaigns_are_reproducible_across_thread_counts() {
     let profiles = vec![ModelProfile::gpt4o()];
     let problems: Vec<_> = picbench::problems::suite()
         .into_iter()
-        .filter(|p| matches!(p.id, "mzi-ps" | "umatrix" | "benes-4x4" | "wdm-mux"))
+        .filter(|p| {
+            matches!(
+                p.id.as_str(),
+                "mzi-ps" | "umatrix" | "benes-4x4" | "wdm-mux"
+            )
+        })
         .collect();
     let base = CampaignConfig {
         samples_per_problem: 4,
@@ -110,7 +115,7 @@ fn restrictions_improve_restricted_models() {
         .into_iter()
         .filter(|p| {
             matches!(
-                p.id,
+                p.id.as_str(),
                 "mzi-ps" | "mzm" | "os-2x2" | "umatrix" | "direct-modulator" | "wdm-demux"
             )
         })

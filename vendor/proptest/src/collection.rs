@@ -3,7 +3,7 @@
 use crate::{Strategy, TestRng};
 use std::ops::Range;
 
-/// Length specifications accepted by [`vec`]: a `usize` (exact length) or
+/// Length specifications accepted by [`vec()`]: a `usize` (exact length) or
 /// a half-open `Range<usize>`.
 pub trait SizeRange {
     /// The half-open range of permitted lengths.
@@ -33,7 +33,7 @@ pub fn vec<S: Strategy>(element: S, len: impl SizeRange) -> VecStrategy<S> {
     VecStrategy { element, len }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     len: Range<usize>,
