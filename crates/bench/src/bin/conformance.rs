@@ -1,0 +1,334 @@
+//! `conformance` — the generative conformance gate.
+//!
+//! Generates `--cases` seeded circuits across the structural families,
+//! sweeps each through every configured differential axis (backends,
+//! constant fold, parallelism, cache, canonicalization, naive sweep) and
+//! the physics oracles (reciprocity, passivity, unitarity for lossless
+//! mixes, wavelength continuity), shrinks any failure to a minimal
+//! counterexample and writes it as a replayable corpus case.
+//!
+//! Exit status is non-zero on any disagreement or oracle violation, so
+//! the binary doubles as the CI tripwire for every future solver or
+//! cache change.
+//!
+//! Usage:
+//!
+//! ```text
+//! conformance [--cases N] [--seed S] [--axes a,b,..] [--families f,g,..]
+//!             [--grid-points P] [--oracle-backends both|port-elimination|dense]
+//!             [--no-shrink] [--failures-dir DIR] [--replay FILE]
+//!             [--emit-corpus DIR] [--out PATH]
+//! ```
+//!
+//! `--replay FILE` re-checks one corpus case (or a directory of them)
+//! instead of generating new circuits — the hand tool for reproducing a
+//! shrunk failure from a checked-in JSON document. `--axes` and
+//! `--oracle-backends` narrow the replay the same way they narrow a
+//! sweep (both default to everything).
+//!
+//! `--emit-corpus DIR` writes `--cases` verified-conformant cases *per
+//! enabled family* into `DIR` — how the checked-in seed corpus under
+//! `tests/corpus/` was produced.
+
+use picbench_conformance::{
+    check_circuit, load_corpus_dir, run_conformance, ConformanceConfig, CorpusCase, DiffAxis,
+    DiffRunner, Family,
+};
+use picbench_sim::{Backend, ModelRegistry, WavelengthGrid};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: conformance [--cases N] [--seed S] [--axes a,b,..] \
+                 [--families f,g,..] [--grid-points P] \
+                 [--oracle-backends both|port-elimination|dense] [--no-shrink] \
+                 [--failures-dir DIR] [--replay FILE] [--emit-corpus DIR] [--out PATH]";
+    let mut config = ConformanceConfig {
+        cases: 64,
+        ..ConformanceConfig::default()
+    };
+    let mut grid_points = 7usize;
+    let mut out_path: Option<String> = None;
+    let mut failures_dir: Option<PathBuf> = None;
+    let mut replay: Option<PathBuf> = None;
+    let mut emit_corpus: Option<PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let fail = |msg: &str| -> ! {
+            eprintln!("{msg}; {usage}");
+            std::process::exit(2);
+        };
+        match args[i].as_str() {
+            "--cases" => {
+                i += 1;
+                config.cases = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("--cases needs a positive integer"));
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--seed needs an integer"));
+            }
+            "--axes" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| fail("--axes needs a list"));
+                config.axes = list
+                    .split(',')
+                    .map(|token| {
+                        token
+                            .trim()
+                            .parse::<DiffAxis>()
+                            .unwrap_or_else(|e| fail(&e))
+                    })
+                    .collect();
+            }
+            "--families" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("--families needs a list"));
+                config.generator.families = list
+                    .split(',')
+                    .map(|token| token.trim().parse::<Family>().unwrap_or_else(|e| fail(&e)))
+                    .collect();
+            }
+            "--grid-points" => {
+                i += 1;
+                grid_points = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 2)
+                    .unwrap_or_else(|| fail("--grid-points needs an integer >= 2"));
+            }
+            "--oracle-backends" => {
+                i += 1;
+                config.oracle_backends = match args.get(i).map(String::as_str) {
+                    Some("both") => Backend::ALL.to_vec(),
+                    Some("port-elimination") => vec![Backend::PortElimination],
+                    Some("dense") => vec![Backend::Dense],
+                    _ => fail("--oracle-backends needs both|port-elimination|dense"),
+                };
+            }
+            "--no-shrink" => config.shrink = false,
+            "--failures-dir" => {
+                i += 1;
+                failures_dir = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| fail("--failures-dir needs a path")),
+                ));
+            }
+            "--replay" => {
+                i += 1;
+                replay = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| fail("--replay needs a path")),
+                ));
+            }
+            "--emit-corpus" => {
+                i += 1;
+                emit_corpus = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| fail("--emit-corpus needs a path")),
+                ));
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| fail("--out needs a path")),
+                );
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    config.grid = WavelengthGrid::new(1.51, 1.59, grid_points);
+
+    if let Some(path) = replay {
+        std::process::exit(replay_cases(&path, &config));
+    }
+    if let Some(dir) = emit_corpus {
+        std::process::exit(emit_corpus_cases(&dir, &config));
+    }
+
+    let start = Instant::now();
+    let report = run_conformance(&config);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!(
+        "conformance: {} cases, seed {}, grid {} pts, axes [{}]",
+        report.cases,
+        config.seed,
+        config.grid.points,
+        join_tokens(report.axes.iter().map(DiffAxis::token)),
+    );
+    for (family, count) in &report.family_counts {
+        if *count > 0 {
+            println!("  {:<20} {count}", family.token());
+        }
+    }
+    println!(
+        "  result: {} failure(s) in {elapsed:.1}s",
+        report.failures.len()
+    );
+
+    for failure in &report.failures {
+        eprintln!(
+            "FAIL case {} ({}): {}",
+            failure.case_index, failure.family, failure.kind
+        );
+        let case = failure.to_corpus_case(config.seed, config.grid);
+        if let Some(dir) = &failures_dir {
+            std::fs::create_dir_all(dir).expect("create failures dir");
+            let path = dir.join(format!("{}.json", case.name));
+            std::fs::write(&path, case.to_json_string()).expect("write failure case");
+            eprintln!("  shrunk counterexample written to {}", path.display());
+        } else {
+            eprintln!("  shrunk counterexample:\n{}", case.to_json_string());
+        }
+    }
+
+    if let Some(path) = out_path {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"cases\": {},", report.cases);
+        let _ = writeln!(json, "  \"seed\": {},", config.seed);
+        let _ = writeln!(json, "  \"grid_points\": {},", config.grid.points);
+        let _ = writeln!(json, "  \"failures\": {},", report.failures.len());
+        let _ = writeln!(
+            json,
+            "  \"axes\": [{}],",
+            join_tokens(report.axes.iter().map(|a| format!("\"{a}\"")))
+        );
+        let _ = writeln!(json, "  \"elapsed_s\": {elapsed:.3}");
+        json.push('}');
+        std::fs::write(&path, json).expect("write report");
+        println!("  report written to {path}");
+    }
+
+    if !report.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// Replays one corpus file, or every `*.json` case in a directory.
+fn replay_cases(path: &Path, config: &ConformanceConfig) -> i32 {
+    let cases: Vec<(PathBuf, CorpusCase)> = if path.is_dir() {
+        load_corpus_dir(path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    } else {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let case = CorpusCase::from_json_str(&text).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(2);
+        });
+        vec![(path.to_path_buf(), case)]
+    };
+
+    let registry = ModelRegistry::with_builtins();
+    let mut failed = 0;
+    for (file, case) in &cases {
+        let runner = DiffRunner::new(case.grid).with_axes(config.axes.iter().copied());
+        let diff = runner.check(&case.netlist).err();
+        let violations: Vec<String> = config
+            .oracle_backends
+            .iter()
+            .flat_map(|&backend| {
+                check_circuit(&case.gen_circuit(), &registry, backend, &config.oracle)
+                    .into_iter()
+                    .map(move |v| format!("{backend}: {v}"))
+            })
+            .collect();
+        if diff.is_none() && violations.is_empty() {
+            println!("ok   {} ({})", case.name, file.display());
+        } else {
+            failed += 1;
+            eprintln!("FAIL {} ({})", case.name, file.display());
+            if let Some(d) = diff {
+                eprintln!("  {d}");
+            }
+            for v in violations {
+                eprintln!("  {v}");
+            }
+        }
+    }
+    println!("replayed {} case(s), {failed} failing", cases.len());
+    i32::from(failed > 0)
+}
+
+/// Emits `config.cases` verified-conformant seed cases per enabled
+/// family into `dir`. Every case is checked through all axes and both
+/// backends' oracles before it is written, so the corpus starts green.
+fn emit_corpus_cases(dir: &Path, config: &ConformanceConfig) -> i32 {
+    use picbench_conformance::{CircuitStrategy, GeneratorConfig};
+
+    std::fs::create_dir_all(dir).expect("create corpus dir");
+    let registry = ModelRegistry::with_builtins();
+    let runner = DiffRunner::new(config.grid);
+    let mut written = 0;
+    for &family in &config.generator.families {
+        // Smaller caps than the fuzzing sweep: corpus files should stay
+        // reviewable by hand.
+        let strategy = CircuitStrategy::new(GeneratorConfig {
+            families: vec![family],
+            max_stages: 2,
+            max_modes: 4,
+            ..GeneratorConfig::default()
+        });
+        for (k, gen) in strategy
+            .sample(config.seed, config.cases)
+            .into_iter()
+            .enumerate()
+        {
+            if runner.check(&gen.netlist).is_err() {
+                eprintln!("refusing to emit a disagreeing case ({family} #{k})");
+                return 1;
+            }
+            for backend in Backend::ALL {
+                let violations = check_circuit(&gen, &registry, backend, &config.oracle);
+                if !violations.is_empty() {
+                    eprintln!("refusing to emit an oracle-violating case ({family} #{k})");
+                    return 1;
+                }
+            }
+            let case = CorpusCase {
+                name: format!("{family}-{k:02}"),
+                seed: config.seed,
+                family: Some(family),
+                lossless: gen.lossless,
+                grid: config.grid,
+                note: format!(
+                    "seed corpus: generated from seed {} (case {k} of family {family}), \
+                     verified conformant on all axes and both backends at emit time",
+                    config.seed
+                ),
+                netlist: gen.netlist,
+            };
+            let path = dir.join(format!("{}.json", case.name));
+            std::fs::write(&path, case.to_json_string()).expect("write corpus case");
+            println!("wrote {}", path.display());
+            written += 1;
+        }
+    }
+    println!("emitted {written} corpus case(s)");
+    0
+}
+
+fn join_tokens<T: AsRef<str>>(tokens: impl Iterator<Item = T>) -> String {
+    tokens
+        .map(|t| t.as_ref().to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}

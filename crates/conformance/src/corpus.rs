@@ -1,0 +1,270 @@
+//! The replayable regression corpus.
+//!
+//! Every counterexample the differential runner finds (and every
+//! hand-seeded representative case) is stored as one JSON document under
+//! `tests/corpus/`, containing the netlist, the sweep grid, the axes it
+//! must agree on, and provenance (generator seed, family). The corpus is
+//! replayed through **all** differential axes and the physics oracles on
+//! every `cargo test`, so a regression that once slipped through can
+//! never return silently.
+//!
+//! Case documents are deliberately plain: reproduce one by feeding the
+//! embedded netlist to `conformance --replay <file>` or by pasting it
+//! into any simulator entry point.
+
+use crate::generator::{Family, GenCircuit};
+use picbench_netlist::{json, Netlist};
+use picbench_sim::WavelengthGrid;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One replayable conformance case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusCase {
+    /// Stable case name (also the file stem by convention).
+    pub name: String,
+    /// Generator seed that produced the original circuit (0 for
+    /// hand-written cases).
+    pub seed: u64,
+    /// Structural family, when the generator produced it.
+    pub family: Option<Family>,
+    /// Whether the unitarity oracle applies.
+    pub lossless: bool,
+    /// The sweep grid to replay on.
+    pub grid: WavelengthGrid,
+    /// Free-text provenance: what this case once caught or represents.
+    pub note: String,
+    /// The circuit under test.
+    pub netlist: Netlist,
+}
+
+impl CorpusCase {
+    /// Wraps the case's circuit in the generator metadata shape the
+    /// oracles consume.
+    pub fn gen_circuit(&self) -> GenCircuit {
+        GenCircuit {
+            netlist: self.netlist.clone(),
+            family: self.family.unwrap_or(Family::MixedInterconnect),
+            lossless: self.lossless,
+        }
+    }
+
+    /// Serializes to the corpus JSON document layout.
+    pub fn to_json_string(&self) -> String {
+        // Seeds beyond 2^53 don't survive a JSON number's f64 mantissa;
+        // store those as decimal strings (the parser accepts both).
+        let seed_value = if self.seed as f64 as u64 == self.seed {
+            json::Value::Number(self.seed as f64)
+        } else {
+            json::Value::String(self.seed.to_string())
+        };
+        let mut fields = vec![
+            ("case".to_string(), json::Value::String(self.name.clone())),
+            ("seed".to_string(), seed_value),
+        ];
+        if let Some(family) = self.family {
+            fields.push((
+                "family".to_string(),
+                json::Value::String(family.token().to_string()),
+            ));
+        }
+        fields.push(("lossless".to_string(), json::Value::Bool(self.lossless)));
+        fields.push((
+            "grid".to_string(),
+            json::Value::Object(vec![
+                (
+                    "start_um".to_string(),
+                    json::Value::Number(self.grid.start_um),
+                ),
+                (
+                    "stop_um".to_string(),
+                    json::Value::Number(self.grid.stop_um),
+                ),
+                (
+                    "points".to_string(),
+                    json::Value::Number(self.grid.points as f64),
+                ),
+            ]),
+        ));
+        fields.push(("note".to_string(), json::Value::String(self.note.clone())));
+        fields.push(("netlist_doc".to_string(), self.netlist.to_value()));
+        json::to_string_pretty(&json::Value::Object(fields))
+    }
+
+    /// Parses a corpus JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError`] on malformed JSON, a missing field, or an
+    /// invalid embedded netlist.
+    pub fn from_json_str(text: &str) -> Result<CorpusCase, CorpusError> {
+        let value = json::parse(text).map_err(|e| CorpusError::Malformed(e.to_string()))?;
+        let str_field = |key: &str| -> Result<String, CorpusError> {
+            value
+                .get(key)
+                .and_then(json::Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| CorpusError::MissingField(key.to_string()))
+        };
+        let name = str_field("case")?;
+        let seed = match value.get("seed") {
+            Some(json::Value::Number(n)) => *n as u64,
+            Some(json::Value::String(s)) => s
+                .parse::<u64>()
+                .map_err(|e| CorpusError::Malformed(format!("seed {s:?}: {e}")))?,
+            _ => return Err(CorpusError::MissingField("seed".to_string())),
+        };
+        let family = match value.get("family").and_then(json::Value::as_str) {
+            Some(token) => Some(token.parse::<Family>().map_err(CorpusError::Malformed)?),
+            None => None,
+        };
+        let lossless = matches!(value.get("lossless"), Some(json::Value::Bool(true)));
+        let grid_v = value
+            .get("grid")
+            .ok_or_else(|| CorpusError::MissingField("grid".to_string()))?;
+        let grid_num = |key: &str| -> Result<f64, CorpusError> {
+            grid_v
+                .get(key)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| CorpusError::MissingField(format!("grid.{key}")))
+        };
+        let grid = WavelengthGrid::new(
+            grid_num("start_um")?,
+            grid_num("stop_um")?,
+            grid_num("points")? as usize,
+        );
+        let note = str_field("note").unwrap_or_default();
+        let netlist_v = value
+            .get("netlist_doc")
+            .ok_or_else(|| CorpusError::MissingField("netlist_doc".to_string()))?;
+        let netlist =
+            Netlist::from_value(netlist_v).map_err(|e| CorpusError::Malformed(e.to_string()))?;
+        Ok(CorpusCase {
+            name,
+            seed,
+            family,
+            lossless,
+            grid,
+            note,
+            netlist,
+        })
+    }
+}
+
+/// Error loading a corpus case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusError {
+    /// The document failed to parse or decode.
+    Malformed(String),
+    /// A required field is absent.
+    MissingField(String),
+    /// The corpus directory could not be read.
+    Io(String),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Malformed(e) => write!(f, "malformed corpus case: {e}"),
+            CorpusError::MissingField(field) => write!(f, "corpus case misses field '{field}'"),
+            CorpusError::Io(e) => write!(f, "corpus directory error: {e}"),
+        }
+    }
+}
+
+impl Error for CorpusError {}
+
+/// Loads every `*.json` case in a directory, sorted by file name for
+/// deterministic replay order.
+///
+/// # Errors
+///
+/// Returns the first I/O or decode error, naming the offending file.
+pub fn load_corpus_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusCase)>, CorpusError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| CorpusError::Io(format!("{dir:?}: {e}")))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut cases = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CorpusError::Io(format!("{path:?}: {e}")))?;
+        let case = CorpusCase::from_json_str(&text)
+            .map_err(|e| CorpusError::Malformed(format!("{path:?}: {e}")))?;
+        cases.push((path, case));
+    }
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CircuitStrategy;
+    use proptest::strategy::Strategy;
+    use proptest::TestRng;
+
+    fn sample_case() -> CorpusCase {
+        let gen = CircuitStrategy::default().generate(&mut TestRng::new(17));
+        CorpusCase {
+            name: "sample".to_string(),
+            seed: 17,
+            family: Some(gen.family),
+            lossless: gen.lossless,
+            grid: WavelengthGrid::new(1.51, 1.59, 5),
+            note: "round-trip fixture".to_string(),
+            netlist: gen.netlist,
+        }
+    }
+
+    #[test]
+    fn corpus_case_round_trips_through_json() {
+        let case = sample_case();
+        let text = case.to_json_string();
+        let back = CorpusCase::from_json_str(&text).unwrap();
+        assert_eq!(back, case);
+        assert_eq!(back.netlist.content_hash(), case.netlist.content_hash());
+    }
+
+    #[test]
+    fn huge_seeds_round_trip_exactly() {
+        let mut case = sample_case();
+        case.seed = u64::MAX - 1; // not representable as f64
+        let back = CorpusCase::from_json_str(&case.to_json_string()).unwrap();
+        assert_eq!(back.seed, case.seed);
+        assert_eq!(back, case);
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let err = CorpusCase::from_json_str("{}").unwrap_err();
+        assert!(matches!(err, CorpusError::MissingField(_)));
+        let err = CorpusCase::from_json_str("not json").unwrap_err();
+        assert!(matches!(err, CorpusError::Malformed(_)));
+    }
+
+    #[test]
+    fn hand_written_minimal_case_parses() {
+        let text = r#"{
+          "case": "hand",
+          "seed": 0,
+          "grid": {"start_um": 1.55, "stop_um": 1.56, "points": 2},
+          "netlist_doc": {
+            "netlist": {
+              "instances": {"wg": "waveguide"},
+              "connections": {},
+              "ports": {"I1": "wg,I1", "O1": "wg,O1"}
+            },
+            "models": {"waveguide": "waveguide"}
+          }
+        }"#;
+        let case = CorpusCase::from_json_str(text).unwrap();
+        assert_eq!(case.name, "hand");
+        assert_eq!(case.family, None);
+        assert!(!case.lossless);
+        assert_eq!(case.grid.points, 2);
+    }
+}

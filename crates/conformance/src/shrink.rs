@@ -1,0 +1,331 @@
+//! Greedy counterexample minimization.
+//!
+//! The vendored proptest shim deliberately has no value-level shrinking,
+//! so the conformance harness shrinks at the *domain* level instead: a
+//! failing netlist is reduced by structural deletions (instances,
+//! connections, external ports) and setting simplifications (drop
+//! overrides back to defaults, snap values to round numbers), keeping a
+//! candidate only when it is still structurally valid **and** still
+//! fails the caller's predicate. The loop runs to a fixpoint, so the
+//! result is 1-minimal with respect to the transformation set: no single
+//! remaining deletion or simplification preserves the failure.
+
+use picbench_netlist::{ComponentCatalog, Netlist, PortRef};
+use picbench_sim::{Circuit, ModelRegistry};
+use std::collections::HashSet;
+
+/// Greedily minimizes `netlist` while `still_fails` keeps returning
+/// `true`.
+///
+/// Candidates that no longer elaborate (against the given registry,
+/// without a port spec) are discarded without consulting the predicate,
+/// so the result is always a structurally valid netlist. External port
+/// names are renumbered into the benchmark's contiguous `I1..`/`O1..`
+/// convention after every accepted deletion, keeping the candidate
+/// compatible with spec-validating pipelines.
+///
+/// The input is returned unchanged if it does not fail the predicate.
+pub fn shrink_netlist<F>(netlist: &Netlist, registry: &ModelRegistry, mut still_fails: F) -> Netlist
+where
+    F: FnMut(&Netlist) -> bool,
+{
+    if !still_fails(netlist) {
+        return netlist.clone();
+    }
+    let mut current = netlist.clone();
+    loop {
+        let mut progressed = false;
+        progressed |= shrink_instances(&mut current, registry, &mut still_fails);
+        progressed |= shrink_connections(&mut current, registry, &mut still_fails);
+        progressed |= shrink_ports(&mut current, registry, &mut still_fails);
+        progressed |= shrink_settings(&mut current, registry, &mut still_fails);
+        progressed |= prune_unused_models(&mut current, registry, &mut still_fails);
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+fn accepts<F: FnMut(&Netlist) -> bool>(
+    candidate: &Netlist,
+    registry: &ModelRegistry,
+    still_fails: &mut F,
+) -> bool {
+    Circuit::elaborate(candidate, registry, None).is_ok() && still_fails(candidate)
+}
+
+fn shrink_instances<F: FnMut(&Netlist) -> bool>(
+    current: &mut Netlist,
+    registry: &ModelRegistry,
+    still_fails: &mut F,
+) -> bool {
+    let mut progressed = false;
+    loop {
+        let names: Vec<String> = current.instances.keys().map(str::to_string).collect();
+        let mut removed_one = false;
+        'names: for name in names {
+            // Plain removal first; if that kills the failure because an
+            // external port vanished with its anchor, retry with the
+            // orphaned ports healed onto free ports of the survivors.
+            for heal in [false, true] {
+                let mut candidate = current.clone();
+                let orphaned: Vec<String> = current
+                    .ports
+                    .iter()
+                    .filter(|(_, pr)| pr.instance == name)
+                    .map(|(port, _)| port.to_string())
+                    .collect();
+                candidate.remove_instance(&name);
+                if heal {
+                    if orphaned.is_empty() {
+                        continue;
+                    }
+                    let mut free = free_ports(&candidate, registry);
+                    for port in orphaned {
+                        let Some(target) = free.pop() else { break };
+                        candidate.ports.insert(port, target);
+                    }
+                }
+                normalize_port_names(&mut candidate);
+                if accepts(&candidate, registry, still_fails) {
+                    *current = candidate;
+                    progressed = true;
+                    removed_one = true;
+                    continue 'names;
+                }
+            }
+        }
+        if !removed_one {
+            return progressed;
+        }
+    }
+}
+
+/// Instance ports unused by any connection endpoint or external port.
+fn free_ports(netlist: &Netlist, registry: &ModelRegistry) -> Vec<PortRef> {
+    let used: HashSet<(&str, &str)> = netlist
+        .all_endpoint_refs()
+        .into_iter()
+        .map(|pr| (pr.instance.as_str(), pr.port.as_str()))
+        .collect();
+    let mut free = Vec::new();
+    for (inst_name, inst) in netlist.instances.iter() {
+        let model_ref = netlist
+            .models
+            .get(&inst.component)
+            .map(String::as_str)
+            .unwrap_or(inst.component.as_str());
+        for port in registry.ports_of(model_ref).unwrap_or_default() {
+            if !used.contains(&(inst_name, port.as_str())) {
+                free.push(PortRef::new(inst_name, port));
+            }
+        }
+    }
+    free
+}
+
+/// Drops model bindings no remaining instance uses.
+fn prune_unused_models<F: FnMut(&Netlist) -> bool>(
+    current: &mut Netlist,
+    registry: &ModelRegistry,
+    still_fails: &mut F,
+) -> bool {
+    let used: HashSet<String> = current
+        .instances
+        .iter()
+        .map(|(_, inst)| inst.component.clone())
+        .collect();
+    let unused: Vec<String> = current
+        .models
+        .keys()
+        .filter(|component| !used.contains(*component))
+        .map(str::to_string)
+        .collect();
+    if unused.is_empty() {
+        return false;
+    }
+    let mut candidate = current.clone();
+    for component in &unused {
+        candidate.models.remove(component);
+    }
+    if accepts(&candidate, registry, still_fails) {
+        *current = candidate;
+        return true;
+    }
+    false
+}
+
+fn shrink_connections<F: FnMut(&Netlist) -> bool>(
+    current: &mut Netlist,
+    registry: &ModelRegistry,
+    still_fails: &mut F,
+) -> bool {
+    let mut progressed = false;
+    let mut index = 0;
+    while index < current.connections.len() {
+        let mut candidate = current.clone();
+        candidate.connections.remove(index);
+        if accepts(&candidate, registry, still_fails) {
+            *current = candidate;
+            progressed = true;
+        } else {
+            index += 1;
+        }
+    }
+    progressed
+}
+
+fn shrink_ports<F: FnMut(&Netlist) -> bool>(
+    current: &mut Netlist,
+    registry: &ModelRegistry,
+    still_fails: &mut F,
+) -> bool {
+    let mut progressed = false;
+    loop {
+        let names: Vec<String> = current.ports.keys().map(str::to_string).collect();
+        let mut removed_one = false;
+        for name in names {
+            let mut candidate = current.clone();
+            candidate.ports.remove(&name);
+            normalize_port_names(&mut candidate);
+            if accepts(&candidate, registry, still_fails) {
+                *current = candidate;
+                progressed = true;
+                removed_one = true;
+                break;
+            }
+        }
+        if !removed_one {
+            return progressed;
+        }
+    }
+}
+
+fn shrink_settings<F: FnMut(&Netlist) -> bool>(
+    current: &mut Netlist,
+    registry: &ModelRegistry,
+    still_fails: &mut F,
+) -> bool {
+    let mut progressed = false;
+    let instances: Vec<String> = current.instances.keys().map(str::to_string).collect();
+    for name in instances {
+        let keys: Vec<String> = current
+            .instances
+            .get(&name)
+            .map(|inst| inst.settings.keys().map(str::to_string).collect())
+            .unwrap_or_default();
+        for key in keys {
+            // First choice: drop the override entirely (model default).
+            let mut dropped = current.clone();
+            dropped
+                .instances
+                .get_mut(&name)
+                .expect("instance exists")
+                .settings
+                .remove(&key);
+            if accepts(&dropped, registry, still_fails) {
+                *current = dropped;
+                progressed = true;
+                continue;
+            }
+            // Second choice: snap the value to a round number.
+            let value = *current
+                .instances
+                .get(&name)
+                .expect("instance exists")
+                .settings
+                .get(&key)
+                .expect("key exists");
+            let snapped = value.round();
+            if snapped != value {
+                let mut rounded = current.clone();
+                rounded
+                    .instances
+                    .get_mut(&name)
+                    .expect("instance exists")
+                    .settings
+                    .insert(key.clone(), snapped);
+                if accepts(&rounded, registry, still_fails) {
+                    *current = rounded;
+                    progressed = true;
+                }
+            }
+        }
+    }
+    progressed
+}
+
+/// Renumbers external ports into contiguous `I1..In` / `O1..Om` (in
+/// current document order), leaving non-conventional names untouched.
+pub fn normalize_port_names(netlist: &mut Netlist) {
+    let mut inputs = 0usize;
+    let mut outputs = 0usize;
+    let mut renamed = picbench_netlist::OrderedMap::new();
+    for (name, target) in netlist.ports.iter() {
+        let new_name = if name.starts_with('I') && name[1..].parse::<usize>().is_ok() {
+            inputs += 1;
+            format!("I{inputs}")
+        } else if name.starts_with('O') && name[1..].parse::<usize>().is_ok() {
+            outputs += 1;
+            format!("O{outputs}")
+        } else {
+            name.to_string()
+        };
+        renamed.insert(new_name, target.clone());
+    }
+    netlist.ports = renamed;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CircuitStrategy, Family};
+    use picbench_netlist::PortRef;
+    use proptest::strategy::Strategy;
+    use proptest::TestRng;
+
+    #[test]
+    fn shrinks_to_the_single_triggering_instance() {
+        let gen =
+            CircuitStrategy::family(Family::MixedInterconnect).generate(&mut TestRng::new(99));
+        let registry = ModelRegistry::with_builtins();
+        // Failure predicate: "contains a waveguide instance" — the
+        // shrinker should strip everything else.
+        let has_waveguide = |n: &Netlist| {
+            n.instances
+                .iter()
+                .any(|(_, inst)| inst.component == "waveguide")
+        };
+        assert!(has_waveguide(&gen.netlist));
+        let shrunk = shrink_netlist(&gen.netlist, &registry, has_waveguide);
+        assert_eq!(shrunk.instances.len(), 1, "{}", shrunk.to_json_string());
+        assert!(shrunk.connections.is_empty());
+        assert!(
+            Circuit::elaborate(&shrunk, &registry, None).is_ok(),
+            "shrunk result must stay valid"
+        );
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let gen = CircuitStrategy::family(Family::MziLattice).generate(&mut TestRng::new(1));
+        let registry = ModelRegistry::with_builtins();
+        let shrunk = shrink_netlist(&gen.netlist, &registry, |_| false);
+        assert_eq!(shrunk, gen.netlist);
+    }
+
+    #[test]
+    fn normalization_renumbers_gaps() {
+        let mut n = Netlist::default();
+        n.instances.insert(
+            "wg".to_string(),
+            picbench_netlist::Instance::new("waveguide"),
+        );
+        n.ports.insert("I3".to_string(), PortRef::new("wg", "I1"));
+        n.ports.insert("O7".to_string(), PortRef::new("wg", "O1"));
+        n.ports.insert("tap".to_string(), PortRef::new("wg", "O1"));
+        normalize_port_names(&mut n);
+        let names: Vec<&str> = n.ports.keys().collect();
+        assert_eq!(names, vec!["I1", "O1", "tap"]);
+    }
+}

@@ -18,6 +18,14 @@
 //!   shim over it;
 //! * [`render_table`] / [`render_csv`] — paper-layout reporting.
 //!
+//! The evaluator's cached, canonical pipeline is continuously verified
+//! by the `picbench-conformance` crate (re-exported as
+//! `picbench::conformance`): generated circuits are swept through
+//! cached-vs-uncached and raw-vs-canonical evaluation — among other
+//! differential axes — and must agree bit for bit. It depends on this
+//! crate, which is why the re-export lives one level up in the umbrella
+//! crate.
+//!
 //! ## Example: a streaming campaign session
 //!
 //! ```

@@ -1,0 +1,210 @@
+//! Session-API edge cases: mid-campaign cancellation must yield a
+//! well-formed partial event stream, and replay-transcript exhaustion
+//! must degrade into clean classified failures instead of panics.
+
+use picbench_core::{Campaign, CampaignConfig, CampaignEvent, CancelToken};
+use picbench_problems::Problem;
+use picbench_synthllm::{ModelProvider, ReplayLlm, MISSING_TRANSCRIPT, NO_ACTIVE_SAMPLE};
+use std::sync::{Arc, Mutex};
+
+fn problems() -> Vec<Problem> {
+    ["mzi-ps", "mzm", "umatrix", "direct-modulator"]
+        .iter()
+        .map(|id| picbench_problems::find(id).unwrap())
+        .collect()
+}
+
+/// Asserts the event-stream grammar:
+/// `CampaignStarted (CellStarted CellFinished)* [CacheStats] CampaignFinished`
+/// with consistent counters — for complete *and* cancelled runs.
+fn assert_well_formed(events: &[CampaignEvent]) -> (usize, bool) {
+    assert!(
+        matches!(events.first(), Some(CampaignEvent::CampaignStarted { .. })),
+        "stream must open with CampaignStarted: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::CampaignStarted { .. }))
+            .count()
+            == 1,
+        "exactly one CampaignStarted"
+    );
+    let mut open_cells = 0usize;
+    let mut finished_cells = 0usize;
+    let mut finished_event: Option<(usize, bool)> = None;
+    for event in events {
+        match event {
+            CampaignEvent::CampaignStarted { .. } => {}
+            CampaignEvent::CellStarted { .. } => {
+                assert!(finished_event.is_none(), "cell started after finish");
+                open_cells += 1;
+            }
+            CampaignEvent::CellFinished {
+                completed, total, ..
+            } => {
+                assert!(open_cells > finished_cells, "finish without start");
+                finished_cells += 1;
+                assert_eq!(*completed, finished_cells, "completed counter monotone");
+                assert!(finished_cells <= *total);
+            }
+            CampaignEvent::CacheStats(_) => {}
+            CampaignEvent::CampaignFinished {
+                cells_completed,
+                cells_total,
+                cancelled,
+            } => {
+                assert!(finished_event.is_none(), "exactly one CampaignFinished");
+                assert_eq!(*cells_completed, finished_cells);
+                assert!(*cells_completed <= *cells_total);
+                finished_event = Some((*cells_completed, *cancelled));
+            }
+        }
+    }
+    assert_eq!(
+        open_cells, finished_cells,
+        "every started cell must emit CellFinished, even under cancellation"
+    );
+    let (completed, cancelled) = finished_event.expect("stream must close with CampaignFinished");
+    (completed, cancelled)
+}
+
+#[test]
+fn cancel_mid_campaign_yields_a_well_formed_partial_stream() {
+    let events: Arc<Mutex<Vec<CampaignEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let token = CancelToken::new();
+    let recorder = Arc::clone(&events);
+    let trigger = token.clone();
+    // Cancel from inside the stream after the second finished cell —
+    // mid-campaign by construction.
+    let observer = Arc::new(move |event: &CampaignEvent| {
+        recorder.lock().unwrap().push(event.clone());
+        if let CampaignEvent::CellFinished { completed, .. } = event {
+            if *completed == 2 {
+                trigger.cancel();
+            }
+        }
+    });
+
+    let outcome = Campaign::builder()
+        .problems(problems())
+        .profiles(&[picbench_synthllm::ModelProfile::gpt4()])
+        .config(CampaignConfig {
+            samples_per_problem: 2,
+            k_values: vec![1],
+            feedback_iters: vec![0, 1],
+            threads: 1, // deterministic cell order makes "after cell 2" exact
+            ..CampaignConfig::default()
+        })
+        .observer(observer)
+        .cancel_token(token.clone())
+        .build()
+        .unwrap()
+        .execute();
+
+    assert!(outcome.cancelled);
+    assert!(outcome.report.is_none(), "partial runs carry no report");
+    assert!(
+        outcome.cells_completed < outcome.cells_total,
+        "cancellation must cut the run short ({}/{})",
+        outcome.cells_completed,
+        outcome.cells_total
+    );
+
+    let events = events.lock().unwrap();
+    let (completed, cancelled) = assert_well_formed(&events);
+    assert!(cancelled, "CampaignFinished must report the cancellation");
+    assert_eq!(completed, outcome.cells_completed);
+    assert_eq!(completed, 2, "no new cells may start after the cancel");
+}
+
+#[test]
+fn cancel_before_execute_completes_zero_cells_cleanly() {
+    let events: Arc<Mutex<Vec<CampaignEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let recorder = Arc::clone(&events);
+    let token = CancelToken::new();
+    token.cancel();
+    let outcome = Campaign::builder()
+        .problems(problems())
+        .profiles(&[picbench_synthllm::ModelProfile::gpt4()])
+        .observer(Arc::new(move |event: &CampaignEvent| {
+            recorder.lock().unwrap().push(event.clone());
+        }))
+        .cancel_token(token)
+        .build()
+        .unwrap()
+        .execute();
+    assert!(outcome.cancelled);
+    assert_eq!(outcome.cells_completed, 0);
+    let events = events.lock().unwrap();
+    let (completed, cancelled) = assert_well_formed(&events);
+    assert_eq!(completed, 0);
+    assert!(cancelled);
+}
+
+#[test]
+fn replay_exhaustion_is_a_clean_error_not_a_panic() {
+    let problem = picbench_problems::find("mzi-ps").unwrap();
+    let mut conversation = picbench_prompt::Conversation::with_system("sys");
+    conversation.push(picbench_prompt::Role::User, problem.description.clone());
+
+    // respond() before begin_sample: a driver bug, answered with a
+    // clean unparseable marker instead of a panic.
+    let mut fresh = ReplayLlm::new("replay").spawn();
+    assert_eq!(fresh.respond(&conversation), NO_ACTIVE_SAMPLE);
+
+    // A sample with no transcript at all: the missing-transcript marker.
+    let replay = ReplayLlm::new("replay").with_response(problem.id.clone(), 0, "only turn");
+    let mut llm = replay.spawn();
+    llm.begin_sample(&problem, 99);
+    assert_eq!(llm.respond(&conversation), MISSING_TRANSCRIPT);
+
+    // Exhaustion within a recorded sample repeats the final response
+    // (converged models stay converged) rather than erroring or dying.
+    llm.begin_sample(&problem, 0);
+    assert_eq!(llm.respond(&conversation), "only turn");
+    assert_eq!(llm.respond(&conversation), "only turn");
+}
+
+#[test]
+fn campaign_over_an_exhausted_replay_finishes_with_classified_failures() {
+    // A replay with a transcript for only one of the campaign's samples:
+    // every other sample serves the unparseable error marker. The
+    // campaign must complete normally — full event stream, a report, and
+    // 0% functional score — with the gaps surfacing as syntax failures.
+    let problem = picbench_problems::find("mzi-ps").unwrap();
+    let golden = format!("<result>\n{}\n</result>", problem.golden.to_json_string());
+    let replay =
+        Arc::new(ReplayLlm::new("patchy replay").with_response(problem.id.clone(), 0, golden))
+            as Arc<dyn ModelProvider>;
+
+    let events: Arc<Mutex<Vec<CampaignEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let recorder = Arc::clone(&events);
+    let report = Campaign::builder()
+        .problem(problem)
+        .provider(replay)
+        .config(CampaignConfig {
+            samples_per_problem: 3,
+            k_values: vec![1, 3],
+            feedback_iters: vec![0],
+            ..CampaignConfig::default()
+        })
+        .observer(Arc::new(move |event: &CampaignEvent| {
+            recorder.lock().unwrap().push(event.clone());
+        }))
+        .build()
+        .unwrap()
+        .run();
+
+    let events = events.lock().unwrap();
+    let (completed, cancelled) = assert_well_formed(&events);
+    assert!(!cancelled);
+    assert_eq!(completed, 1);
+    // Sample 0 replays the golden (passes); samples 1 and 2 hit the
+    // missing-transcript marker (syntax failures). Pass@1 averages to
+    // one passing sample in three.
+    let cell = report.cell("patchy replay", 0, 1).expect("cell exists");
+    assert!(cell.syntax > 0.0 && cell.syntax < 100.0, "{cell:?}");
+    let at3 = report.cell("patchy replay", 0, 3).expect("cell exists");
+    assert_eq!(at3.functional, 100.0, "pass@3 sees the recorded success");
+}

@@ -436,6 +436,41 @@ impl Netlist {
         json::to_string_pretty(&self.to_value())
     }
 
+    /// Removes an instance together with everything that references it:
+    /// its connections, the external ports targeting it, and — when no
+    /// other instance uses the same component — its model binding.
+    /// Returns `false` (leaving the netlist untouched) when no instance
+    /// of that name exists.
+    ///
+    /// Structural validity is preserved: a valid netlist stays valid
+    /// because every dangling reference is dropped along with the
+    /// instance. This is the primitive counterexample shrinkers are
+    /// built from.
+    pub fn remove_instance(&mut self, name: &str) -> bool {
+        let Some(removed) = self.instances.remove(name) else {
+            return false;
+        };
+        self.connections
+            .retain(|c| c.a.instance != name && c.b.instance != name);
+        let orphaned_ports: Vec<String> = self
+            .ports
+            .iter()
+            .filter(|(_, pr)| pr.instance == name)
+            .map(|(port, _)| port.to_string())
+            .collect();
+        for port in orphaned_ports {
+            self.ports.remove(&port);
+        }
+        let component_still_used = self
+            .instances
+            .iter()
+            .any(|(_, inst)| inst.component == removed.component);
+        if !component_still_used {
+            self.models.remove(&removed.component);
+        }
+        true
+    }
+
     /// All connection endpoints plus external port targets — every
     /// instance-port usage in the document.
     pub fn all_endpoint_refs(&self) -> Vec<&PortRef> {
@@ -619,6 +654,20 @@ mod tests {
         let n = Netlist::from_json_str(MZI_PS).unwrap();
         let refs = n.all_endpoint_refs();
         assert_eq!(refs.len(), 4 * 2 + 2);
+    }
+
+    #[test]
+    fn remove_instance_drops_all_references() {
+        let mut n = Netlist::from_json_str(MZI_PS).unwrap();
+        assert!(n.remove_instance("mmi2"));
+        assert!(!n.instances.contains_key("mmi2"));
+        assert!(n.all_endpoint_refs().iter().all(|pr| pr.instance != "mmi2"));
+        // "mmi" is still used by mmi1, so the binding survives; removing
+        // the unique phaseShifter takes its binding with it.
+        assert!(n.models.contains_key("mmi"));
+        assert!(n.remove_instance("phaseShifter"));
+        assert!(!n.models.contains_key("phaseshifter"));
+        assert!(!n.remove_instance("phantom"));
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub enum Backend {
     Dense,
 }
 
+impl Backend {
+    /// Both composition algorithms, in default-first order — the axis the
+    /// conformance harness sweeps when cross-checking backends.
+    pub const ALL: [Backend; 2] = [Backend::PortElimination, Backend::Dense];
+}
+
 impl fmt::Display for Backend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -94,6 +94,13 @@ impl FrequencyResponse {
         self.samples.get(i)
     }
 
+    /// Mutable access to the S-matrix at grid index `i` — the seam
+    /// fault-injection harnesses use to perturb a computed response and
+    /// prove the checks downstream would catch a solver bug.
+    pub fn sample_mut(&mut self, i: usize) -> Option<&mut SMatrix> {
+        self.samples.get_mut(i)
+    }
+
     /// The complex transfer series from `from` to `to` across the sweep,
     /// or `None` if either port is unknown.
     pub fn transmission(&self, from: &str, to: &str) -> Option<Vec<Complex>> {

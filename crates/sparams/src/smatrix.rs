@@ -128,12 +128,52 @@ impl SMatrix {
 
     /// Whether `S = Sᵀ` within `tol` (reciprocity).
     pub fn is_reciprocal(&self, tol: f64) -> bool {
-        self.m.max_abs_diff(&self.m.transpose()) <= tol
+        self.reciprocity_defect() <= tol
+    }
+
+    /// Largest entry-wise |S − Sᵀ| — zero for a perfectly reciprocal
+    /// network. The quantitative form of [`SMatrix::is_reciprocal`],
+    /// used by conformance oracles to report *how far* a matrix is from
+    /// reciprocity.
+    pub fn reciprocity_defect(&self) -> f64 {
+        self.m.max_abs_diff(&self.m.transpose())
     }
 
     /// Whether the matrix is unitary within `tol` (lossless network).
     pub fn is_unitary(&self, tol: f64) -> bool {
         self.m.is_unitary(tol)
+    }
+
+    /// Largest entry-wise |S†S − I| — zero for a perfectly unitary
+    /// (lossless) network. The quantitative form of
+    /// [`SMatrix::is_unitary`].
+    pub fn unitarity_defect(&self) -> f64 {
+        let n = self.dim();
+        let mut worst = 0.0f64;
+        for r in 0..n {
+            for c in 0..n {
+                let mut acc = Complex::ZERO;
+                for k in 0..n {
+                    acc += self.m[(k, r)].conj() * self.m[(k, c)];
+                }
+                if r == c {
+                    acc -= Complex::ONE;
+                }
+                worst = worst.max(acc.abs());
+            }
+        }
+        worst
+    }
+
+    /// Largest column power sum in excess of 1 — zero for a passive
+    /// network. The quantitative form of [`SMatrix::is_passive`].
+    pub fn passivity_defect(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for c in 0..self.dim() {
+            let power: f64 = (0..self.dim()).map(|r| self.m[(r, c)].norm_sqr()).sum();
+            worst = worst.max(power - 1.0);
+        }
+        worst.max(0.0)
     }
 
     /// Whether the network is passive: no column's total output power

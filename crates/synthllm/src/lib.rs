@@ -40,7 +40,10 @@ mod synthetic;
 pub use corrupt::Corruption;
 pub use knowledge::{bogus_port, instance_ports, ports_of, unused_ports, BUILTIN_PORTS};
 pub use profile::ModelProfile;
-pub use provider::{FlakyProvider, ModelProvider, ReplayLlm, PAPER_SEED, RATE_LIMIT_RESPONSE};
+pub use provider::{
+    FlakyProvider, ModelProvider, ReplayLlm, MISSING_TRANSCRIPT, NO_ACTIVE_SAMPLE, PAPER_SEED,
+    RATE_LIMIT_RESPONSE,
+};
 pub use synthetic::{PerfectLlm, SyntheticLlm};
 
 use picbench_problems::Problem;

@@ -69,8 +69,15 @@ impl ModelProvider for ModelProfile {
 /// Response served when a replay has no transcript for the requested
 /// (problem, sample) pair — deliberately unparseable, so the gap shows
 /// up as a classified syntax failure instead of a silent pass.
-const MISSING_TRANSCRIPT: &str =
+pub const MISSING_TRANSCRIPT: &str =
     "[replay error: no recorded transcript for this problem/sample pair]";
+
+/// Response served when [`ReplayLlm::respond`] is called before any
+/// [`LanguageModel::begin_sample`] — a driver bug, reported as a clean
+/// unparseable error (and therefore a classified syntax failure) rather
+/// than a panic that would take down a whole campaign worker.
+pub const NO_ACTIVE_SAMPLE: &str =
+    "[replay error: respond called before begin_sample selected a transcript]";
 
 #[derive(Debug, Default)]
 struct ReplayBook {
@@ -144,10 +151,9 @@ impl LanguageModel for ReplayLlm {
     }
 
     fn respond(&mut self, _conversation: &Conversation) -> String {
-        let (problem_id, sample, next) = self
-            .cursor
-            .as_mut()
-            .expect("begin_sample must be called before respond");
+        let Some((problem_id, sample, next)) = self.cursor.as_mut() else {
+            return NO_ACTIVE_SAMPLE.to_string();
+        };
         match self
             .book
             .transcripts

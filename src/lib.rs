@@ -13,10 +13,14 @@
 //! * [`synthllm`] — calibrated synthetic language models
 //! * [`core`] — the evaluation framework (syntax/functional checks, error
 //!   classification, feedback loop, Pass@k, campaigns)
+//! * [`conformance`] — the verification backbone: seeded circuit
+//!   generation, physics oracles and cross-configuration differential
+//!   fuzzing with counterexample shrinking
 //!
 //! See the repository README for a walkthrough and `DESIGN.md` for the
 //! paper-to-code mapping.
 
+pub use picbench_conformance as conformance;
 pub use picbench_core as core;
 pub use picbench_math as math;
 pub use picbench_netlist as netlist;

@@ -7,6 +7,10 @@
 //! `prop_assert*` / [`prop_assume!`] assertion family. Inputs are drawn from
 //! a deterministic per-test generator, so failures are reproducible; on
 //! failure the offending case index and message are reported via `panic!`.
+//! Default-config blocks honour the upstream `PROPTEST_CASES` environment
+//! variable, so CI can deepen property coverage without code changes.
+//! (Domain-level counterexample shrinking lives in `picbench-conformance`,
+//! which builds on these strategies.)
 
 #![warn(missing_docs)]
 
@@ -33,9 +37,24 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+/// Baseline case count when neither the block nor the environment says
+/// otherwise.
+pub const DEFAULT_CASES: u32 = 64;
+
 impl Default for ProptestConfig {
+    /// Like upstream proptest, the default case count honours the
+    /// `PROPTEST_CASES` environment variable (falling back to
+    /// [`DEFAULT_CASES`]), so CI can deepen every default-config property
+    /// block — e.g. the nightly conformance run — without code changes.
+    /// Blocks that set an explicit `ProptestConfig::with_cases` are
+    /// unaffected.
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_CASES);
+        ProptestConfig { cases }
     }
 }
 
@@ -293,5 +312,21 @@ mod tests {
     fn seeds_are_stable() {
         assert_eq!(crate::seed_for("abc"), crate::seed_for("abc"));
         assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
+    }
+
+    #[test]
+    fn default_cases_honour_the_environment() {
+        // The variable may already be set by a nightly CI run; whatever
+        // the ambient value, the default must parse it (or fall back).
+        let config = crate::ProptestConfig::default();
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+        {
+            Some(n) => assert_eq!(config.cases, n),
+            None => assert_eq!(config.cases, crate::DEFAULT_CASES),
+        }
+        assert_eq!(crate::ProptestConfig::with_cases(7).cases, 7);
     }
 }
