@@ -15,7 +15,7 @@ fn backend_comparison(c: &mut Criterion) {
     for id in ["mzi-ps", "benes-8x8", "clements-8x8"] {
         let problem = picbench_problems::find(id).expect("problem exists");
         let circuit = Circuit::elaborate(&problem.golden, &registry, None).unwrap();
-        for backend in [Backend::PortElimination, Backend::Dense] {
+        for backend in Backend::ALL {
             group.bench_with_input(
                 BenchmarkId::new(backend.to_string(), id),
                 &circuit,
@@ -71,7 +71,7 @@ fn plan_vs_naive_sweep(c: &mut Criterion) {
     let grid = WavelengthGrid::new(1.51, 1.59, 64);
     let mut group = c.benchmark_group("sweep-pipeline");
     group.sample_size(10);
-    for backend in [Backend::Dense, Backend::PortElimination] {
+    for backend in Backend::ALL {
         group.bench_with_input(
             BenchmarkId::new("naive", backend.to_string()),
             &grid,

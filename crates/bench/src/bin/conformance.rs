@@ -15,7 +15,7 @@
 //!
 //! ```text
 //! conformance [--cases N] [--seed S] [--axes a,b,..] [--families f,g,..]
-//!             [--grid-points P] [--oracle-backends both|port-elimination|dense]
+//!             [--grid-points P] [--oracle-backends all|port-elimination|dense|block-sparse]
 //!             [--no-shrink] [--failures-dir DIR] [--replay FILE]
 //!             [--emit-corpus DIR] [--out PATH]
 //! ```
@@ -43,7 +43,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: conformance [--cases N] [--seed S] [--axes a,b,..] \
                  [--families f,g,..] [--grid-points P] \
-                 [--oracle-backends both|port-elimination|dense] [--no-shrink] \
+                 [--oracle-backends all|port-elimination|dense|block-sparse] [--no-shrink] \
                  [--failures-dir DIR] [--replay FILE] [--emit-corpus DIR] [--out PATH]";
     let mut config = ConformanceConfig {
         cases: 64,
@@ -111,10 +111,14 @@ fn main() {
             "--oracle-backends" => {
                 i += 1;
                 config.oracle_backends = match args.get(i).map(String::as_str) {
-                    Some("both") => Backend::ALL.to_vec(),
-                    Some("port-elimination") => vec![Backend::PortElimination],
-                    Some("dense") => vec![Backend::Dense],
-                    _ => fail("--oracle-backends needs both|port-elimination|dense"),
+                    // `both` predates the third backend; kept as an
+                    // alias so existing invocations keep covering
+                    // everything.
+                    Some("all" | "both") => Backend::ALL.to_vec(),
+                    Some(token) => vec![token.parse::<Backend>().unwrap_or_else(|e| {
+                        fail(&format!("--oracle-backends: {e} (or use `all`)"))
+                    })],
+                    None => fail("--oracle-backends needs all|port-elimination|dense|block-sparse"),
                 };
             }
             "--no-shrink" => config.shrink = false,
@@ -311,7 +315,7 @@ fn emit_corpus_cases(dir: &Path, config: &ConformanceConfig) -> i32 {
                 grid: config.grid,
                 note: format!(
                     "seed corpus: generated from seed {} (case {k} of family {family}), \
-                     verified conformant on all axes and both backends at emit time",
+                     verified conformant on all axes and every backend at emit time",
                     config.seed
                 ),
                 netlist: gen.netlist,

@@ -7,7 +7,7 @@
 //!
 //! | axis | compared paths | agreement |
 //! |------|----------------|-----------|
-//! | `backends` | Dense global solve vs port elimination | ≤ `backend_tol` |
+//! | `backends` | every `Backend::ALL` algorithm (dense solve, block-sparse solve) vs port elimination | ≤ `backend_tol` |
 //! | `constant-fold` | fold enabled vs disabled | bit-identical |
 //! | `parallelism` | serial sweep vs 3-worker sweep | bit-identical |
 //! | `cache` | cold, cached-cold and cached-hit evaluator | bit-identical |
@@ -39,7 +39,8 @@ use std::sync::Arc;
 /// One configuration axis of the differential matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiffAxis {
-    /// Dense global solve vs Filipsson port elimination.
+    /// Every composition algorithm (dense global solve, block-sparse
+    /// solve) vs the Filipsson port-elimination reference.
     Backends,
     /// Constant-response fold enabled vs disabled.
     ConstantFold,
@@ -240,16 +241,24 @@ impl DiffRunner {
         circuit: &Circuit,
         reference: &FrequencyResponse,
     ) -> Result<(), Disagreement> {
-        let mut dense =
-            sweep_serial(circuit, &self.grid, Backend::Dense).map_err(|e| Disagreement {
-                axis: DiffAxis::Backends,
-                max_diff: f64::INFINITY,
-                detail: format!("dense backend failed where elimination succeeded: {e}"),
-            })?;
-        if let Some(perturbation) = &self.perturbation {
-            perturbation(netlist, &mut dense);
+        for backend in Backend::ALL {
+            if backend == Backend::PortElimination {
+                continue; // the reference path
+            }
+            let mut response =
+                sweep_serial(circuit, &self.grid, backend).map_err(|e| Disagreement {
+                    axis: DiffAxis::Backends,
+                    max_diff: f64::INFINITY,
+                    detail: format!("{backend} backend failed where elimination succeeded: {e}"),
+                })?;
+            if backend == Backend::Dense {
+                if let Some(perturbation) = &self.perturbation {
+                    perturbation(netlist, &mut response);
+                }
+            }
+            close_enough(DiffAxis::Backends, reference, &response, self.backend_tol)?;
         }
-        close_enough(DiffAxis::Backends, reference, &dense, self.backend_tol)
+        Ok(())
     }
 
     fn check_constant_fold(&self, circuit: &Circuit) -> Result<(), Disagreement> {

@@ -212,21 +212,22 @@ impl LuDecomposition {
         x
     }
 
-    /// Solves `A·X = B` column by column.
+    /// Solves `A·X = B` for a panel of right-hand sides.
+    ///
+    /// The pivot permutation is applied **once per solve** while the
+    /// panel is copied in, and the eliminations then run across all
+    /// columns simultaneously (via [`LuDecomposition::solve_matrix_into`])
+    /// instead of re-traversing the permutation and the factors for every
+    /// column. The per-element operation order is unchanged, so the
+    /// results are identical to the historical column-at-a-time solve —
+    /// asserted by the `solve_matrix_hoists_the_pivot_permutation` test.
     ///
     /// # Panics
     ///
     /// Panics if `b.rows()` does not match the matrix dimension.
     pub fn solve_matrix(&self, b: &CMatrix) -> CMatrix {
-        let n = self.dim();
-        assert_eq!(b.rows(), n, "right-hand side row count mismatch");
-        let mut out = CMatrix::zeros(n, b.cols());
-        for c in 0..b.cols() {
-            let col = self.solve(&b.col(c));
-            for r in 0..n {
-                out[(r, c)] = col[r];
-            }
-        }
+        let mut out = CMatrix::zeros(0, 0);
+        self.solve_matrix_into(b, &mut out);
         out
     }
 
@@ -491,6 +492,28 @@ mod tests {
         let reference = lu.solve(&b);
         for (got, want) in x.iter().zip(&reference) {
             assert!(got.approx_eq(*want, 1e-13));
+        }
+    }
+
+    #[test]
+    fn solve_matrix_hoists_the_pivot_permutation() {
+        // Micro-assertion: the panel solve (permutation applied once per
+        // solve) must reproduce the historical column-at-a-time solve —
+        // which re-traversed the permutation per RHS column — bit for
+        // bit, since the per-element operation order is identical.
+        for n in [1, 3, 6, 9] {
+            let a = test_matrix(n, 60 + n as u64);
+            let b = test_matrix(n, 600 + n as u64);
+            let lu = LuDecomposition::factor(&a).unwrap();
+            let hoisted = lu.solve_matrix(&b);
+            let mut columnwise = CMatrix::zeros(n, b.cols());
+            for c in 0..b.cols() {
+                let col = lu.solve(&b.col(c));
+                for r in 0..n {
+                    columnwise[(r, c)] = col[r];
+                }
+            }
+            assert_eq!(hoisted, columnwise, "n={n}");
         }
     }
 

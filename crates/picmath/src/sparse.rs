@@ -1,0 +1,873 @@
+//! Block-compressed sparse LU for topology-structured scattering systems.
+//!
+//! The dense scattering solve factors the full `n_int × n_int` system
+//! `(I − P·S_ii)` at every wavelength point even though the matrix is
+//! overwhelmingly structural zeros: an instance's ports couple only to
+//! the ports of the instances it is wired to, so the system is
+//! *block-sparse* with the circuit's connectivity graph as its block
+//! pattern. This module is the KLU-style escape hatch from that O(n³)
+//! cost, split the way real circuit simulators split it:
+//!
+//! * [`BlockSymbolic::analyze`] — the **symbolic** phase, run once per
+//!   topology: a fill-reducing elimination order over the block graph
+//!   (greedy minimum degree, weighted by scalar block size, deterministic
+//!   tie-breaks), followed by symbolic Gaussian elimination that computes
+//!   the **static fill-in pattern**. The result is an immutable
+//!   block-CSR description of the factor — stored blocks, value offsets,
+//!   per-step column lists and a pre-resolved Schur-update schedule — so
+//!   the numeric phase never searches for a block at solve time.
+//! * [`BlockSparseLu`] — the **numeric** phase, run once per wavelength
+//!   point on reused buffers: scatter values into the static pattern,
+//!   factor with dense partial pivoting *inside* each diagonal block
+//!   (pivoting never crosses blocks, so the structure is truly static),
+//!   and solve whole panels of right-hand-side columns in one pass.
+//!
+//! One symbolic object serves every wavelength point of a sweep and every
+//! worker thread; each [`BlockSparseLu`] is cheap per-worker state whose
+//! buffers reach a high-water mark after the first factorization and
+//! never allocate again — the same discipline as the dense
+//! `SolveWorkspace` path.
+//!
+//! Scalar unknowns are addressed through [`BlockSymbolic::scalar_row`]
+//! (block id + offset within the block → row in elimination order), so
+//! callers can assemble and read back without ever materializing the
+//! permutation themselves.
+//!
+//! ## Example
+//!
+//! ```
+//! use picbench_math::{sparse::{BlockSymbolic, BlockSparseLu}, Complex};
+//!
+//! // Two 1×1 blocks coupled to each other: [[2, 1], [1, 2]].
+//! let sym = BlockSymbolic::analyze(&[1, 1], &[(0, 1)]);
+//! let mut lu = BlockSparseLu::new();
+//! lu.reset(&sym);
+//! lu.values_mut()[sym.entry_offset(0, 0, 0, 0).unwrap()] = Complex::real(2.0);
+//! lu.values_mut()[sym.entry_offset(0, 1, 0, 0).unwrap()] = Complex::real(1.0);
+//! lu.values_mut()[sym.entry_offset(1, 0, 0, 0).unwrap()] = Complex::real(1.0);
+//! lu.values_mut()[sym.entry_offset(1, 1, 0, 0).unwrap()] = Complex::real(2.0);
+//! lu.factor(&sym)?;
+//! let mut rhs = [Complex::real(3.0), Complex::real(3.0)];
+//! lu.solve_in_place(&sym, &mut rhs, 1);
+//! assert!((rhs[sym.scalar_row(0, 0)] - Complex::ONE).abs() < 1e-12);
+//! assert!((rhs[sym.scalar_row(1, 0)] - Complex::ONE).abs() < 1e-12);
+//! # Ok::<(), picbench_math::SingularMatrixError>(())
+//! ```
+
+use crate::{Complex, SingularMatrixError};
+use std::collections::BTreeSet;
+
+/// One pre-resolved Schur-complement update `C_ij −= L_ik · U_kj`, with
+/// every operand located by value offset at analysis time.
+#[derive(Debug, Clone, Copy)]
+struct SchurUpdate {
+    /// Offset of the `L_ik` block (rows × s_k).
+    l_off: usize,
+    /// Offset of the `U_kj` block (s_k × cols) within the step's row tail.
+    u_off: usize,
+    /// Offset of the target block `C_ij` (rows × cols).
+    t_off: usize,
+    /// Scalar rows of the update (size of block `i`).
+    rows: usize,
+    /// Scalar columns of the update (size of block `j`).
+    cols: usize,
+}
+
+/// The symbolic analysis of a block-sparse system: elimination order,
+/// static fill pattern, value layout and update schedule. Immutable,
+/// `Send + Sync`, built once per topology and shared by every numeric
+/// factorization (one per wavelength point per worker).
+#[derive(Debug)]
+pub struct BlockSymbolic {
+    /// Block sizes in elimination (permuted) order.
+    sizes: Vec<usize>,
+    /// `inv_perm[original block id]` = elimination position.
+    inv_perm: Vec<usize>,
+    /// Scalar row offset of each permuted block.
+    scalar_off: Vec<usize>,
+    /// Total scalar dimension.
+    scalar_dim: usize,
+    /// Block-CSR row pointers over elimination positions.
+    row_ptr: Vec<usize>,
+    /// Stored block columns (elimination positions), ascending per row.
+    col_idx: Vec<usize>,
+    /// Offset of each stored block's values (row-major within the block).
+    val_off: Vec<usize>,
+    /// Index into `col_idx` of each row's diagonal block.
+    diag_idx: Vec<usize>,
+    /// Total scalar length of the value storage.
+    values_len: usize,
+    /// Per step `k`: stored blocks below the diagonal in column `k`, as
+    /// `(row position, value offset)`, ascending by row.
+    below: Vec<Vec<(usize, usize)>>,
+    /// Flattened Schur-update schedule, grouped per step by `upd_ptr`.
+    upd: Vec<SchurUpdate>,
+    /// `upd[upd_ptr[k]..upd_ptr[k + 1]]` are step `k`'s updates.
+    upd_ptr: Vec<usize>,
+    /// Stored blocks present before fill (diagnostics).
+    structural: usize,
+}
+
+impl BlockSymbolic {
+    /// Analyzes a block system: `sizes[b]` is the scalar dimension of
+    /// block `b`, and `edges` lists the coupled block pairs (diagonal
+    /// blocks are always stored; duplicate and self edges are fine).
+    ///
+    /// Runs greedy minimum-degree ordering (degree = total scalar size of
+    /// live neighbors, ties broken by lowest block id, so the order is
+    /// deterministic), then symbolic elimination to fix the fill pattern,
+    /// the block-CSR layout and the per-step update schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a block out of range.
+    pub fn analyze(sizes: &[usize], edges: &[(usize, usize)]) -> Self {
+        let n = sizes.len();
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for &(a, b) in edges {
+            assert!(
+                a < n && b < n,
+                "edge ({a}, {b}) out of range for {n} blocks"
+            );
+            if a != b {
+                adj[a].insert(b);
+                adj[b].insert(a);
+            }
+        }
+
+        // Greedy minimum degree on the (progressively filled) block
+        // graph. O(n²·deg) — negligible next to a single sweep point for
+        // the few hundred blocks a circuit produces.
+        let mut alive = vec![true; n];
+        let mut perm = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut best = usize::MAX;
+            let mut best_deg = usize::MAX;
+            for (v, &live) in alive.iter().enumerate() {
+                if !live {
+                    continue;
+                }
+                let deg: usize = adj[v]
+                    .iter()
+                    .filter(|&&u| alive[u])
+                    .map(|&u| sizes[u])
+                    .sum();
+                if deg < best_deg {
+                    best_deg = deg;
+                    best = v;
+                }
+            }
+            alive[best] = false;
+            let nbrs: Vec<usize> = adj[best].iter().copied().filter(|&u| alive[u]).collect();
+            for (xi, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[xi + 1..] {
+                    adj[a].insert(b);
+                    adj[b].insert(a);
+                }
+            }
+            perm.push(best);
+        }
+
+        let mut inv_perm = vec![0usize; n];
+        for (p, &v) in perm.iter().enumerate() {
+            inv_perm[v] = p;
+        }
+        let psizes: Vec<usize> = perm.iter().map(|&v| sizes[v]).collect();
+        let mut scalar_off = Vec::with_capacity(n);
+        let mut scalar_dim = 0usize;
+        for &s in &psizes {
+            scalar_off.push(scalar_dim);
+            scalar_dim += s;
+        }
+
+        // Bit-matrix pattern in elimination coordinates.
+        let words = n.div_ceil(64).max(1);
+        let mut bits = vec![0u64; n * words];
+        let set =
+            |bits: &mut Vec<u64>, r: usize, c: usize| bits[r * words + c / 64] |= 1 << (c % 64);
+        for r in 0..n {
+            set(&mut bits, r, r);
+        }
+        for &(a, b) in edges {
+            let (pa, pb) = (inv_perm[a], inv_perm[b]);
+            set(&mut bits, pa, pb);
+            set(&mut bits, pb, pa);
+        }
+        let structural: usize = bits.iter().map(|w| w.count_ones() as usize).sum();
+
+        // Symbolic elimination: whenever (i, k) and (k, j) are stored
+        // with i, j > k, block (i, j) fills in.
+        let mut rowk = vec![0u64; words];
+        for k in 0..n {
+            rowk.copy_from_slice(&bits[k * words..(k + 1) * words]);
+            // Mask row k down to columns > k (zero bits 0..=k).
+            for (w, word) in rowk.iter_mut().enumerate() {
+                let lo = w * 64;
+                if lo + 64 <= k + 1 {
+                    *word = 0;
+                } else if lo <= k {
+                    *word &= !((1u64 << (k + 1 - lo)) - 1);
+                }
+            }
+            for i in k + 1..n {
+                if bits[i * words + k / 64] >> (k % 64) & 1 == 1 {
+                    for w in 0..words {
+                        bits[i * words + w] |= rowk[w];
+                    }
+                }
+            }
+        }
+
+        // Block-CSR layout over the final pattern.
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut val_off = Vec::new();
+        let mut diag_idx = Vec::with_capacity(n);
+        let mut values_len = 0usize;
+        row_ptr.push(0);
+        for r in 0..n {
+            for c in 0..n {
+                if bits[r * words + c / 64] >> (c % 64) & 1 == 1 {
+                    if c == r {
+                        diag_idx.push(col_idx.len());
+                    }
+                    col_idx.push(c);
+                    val_off.push(values_len);
+                    values_len += psizes[r] * psizes[c];
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        // Column lists below each diagonal (rows ascend naturally).
+        let mut below: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for r in 0..n {
+            for idx in row_ptr[r]..diag_idx[r] {
+                below[col_idx[idx]].push((r, val_off[idx]));
+            }
+        }
+
+        // Pre-resolve every Schur update's target offset.
+        let locate = |row: usize, col: usize| -> usize {
+            let range = row_ptr[row]..row_ptr[row + 1];
+            let rel = col_idx[range.clone()]
+                .binary_search(&col)
+                .expect("fill closure guarantees the update target is stored");
+            val_off[range.start + rel]
+        };
+        let mut upd = Vec::new();
+        let mut upd_ptr = Vec::with_capacity(n + 1);
+        upd_ptr.push(0);
+        for k in 0..n {
+            for &(i, l_off) in &below[k] {
+                for idx in diag_idx[k] + 1..row_ptr[k + 1] {
+                    let j = col_idx[idx];
+                    upd.push(SchurUpdate {
+                        l_off,
+                        u_off: val_off[idx],
+                        t_off: locate(i, j),
+                        rows: psizes[i],
+                        cols: psizes[j],
+                    });
+                }
+            }
+            upd_ptr.push(upd.len());
+        }
+
+        BlockSymbolic {
+            sizes: psizes,
+            inv_perm,
+            scalar_off,
+            scalar_dim,
+            row_ptr,
+            col_idx,
+            val_off,
+            diag_idx,
+            values_len,
+            below,
+            upd,
+            upd_ptr,
+            structural,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total scalar dimension of the system.
+    pub fn scalar_dim(&self) -> usize {
+        self.scalar_dim
+    }
+
+    /// Scalar length of the value storage (all stored blocks).
+    pub fn values_len(&self) -> usize {
+        self.values_len
+    }
+
+    /// Number of stored blocks, including fill.
+    pub fn stored_block_count(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Number of blocks introduced by fill-in (stored minus structural).
+    pub fn fill_block_count(&self) -> usize {
+        self.col_idx.len() - self.structural
+    }
+
+    /// The scalar row (in elimination order) of entry `local` of block
+    /// `block` — valid for both assembling values and reading solutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `local` exceeds the block size.
+    #[inline]
+    pub fn scalar_row(&self, block: usize, local: usize) -> usize {
+        let p = self.inv_perm[block];
+        debug_assert!(local < self.sizes[p], "local index out of block bounds");
+        self.scalar_off[p] + local
+    }
+
+    /// The value-storage offset of scalar entry `(li, lj)` of block
+    /// `(bi, bj)` (original block ids), or `None` when that block is not
+    /// stored. Structural entries are always stored; `None` can only
+    /// happen for block pairs outside the pattern.
+    pub fn entry_offset(&self, bi: usize, bj: usize, li: usize, lj: usize) -> Option<usize> {
+        let (pi, pj) = (self.inv_perm[bi], self.inv_perm[bj]);
+        let range = self.row_ptr[pi]..self.row_ptr[pi + 1];
+        let rel = self.col_idx[range.clone()].binary_search(&pj).ok()?;
+        Some(self.val_off[range.start + rel] + li * self.sizes[pj] + lj)
+    }
+
+    /// End offset of row `k`'s contiguous value storage.
+    fn row_values_end(&self, k: usize) -> usize {
+        self.val_off
+            .get(self.row_ptr[k + 1])
+            .copied()
+            .unwrap_or(self.values_len)
+    }
+}
+
+/// Numeric state of a block-sparse LU: the value storage of the factor,
+/// the within-block pivot permutations and a scratch row. Reusable — one
+/// per worker, re-[`BlockSparseLu::factor`]ed at every wavelength point
+/// against a shared [`BlockSymbolic`]; every buffer stops allocating once
+/// it reaches its high-water mark.
+#[derive(Debug)]
+pub struct BlockSparseLu {
+    values: Vec<Complex>,
+    pivots: Vec<usize>,
+    scratch: Vec<Complex>,
+}
+
+impl Default for BlockSparseLu {
+    fn default() -> Self {
+        BlockSparseLu::new()
+    }
+}
+
+impl BlockSparseLu {
+    /// An empty numeric workspace; size it with [`BlockSparseLu::reset`]
+    /// or [`BlockSparseLu::load`] before assembling.
+    pub fn new() -> Self {
+        BlockSparseLu {
+            values: Vec::new(),
+            pivots: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Zeroes the value storage and sizes it for `sym`. Fill blocks start
+    /// (and must remain, until factoring) all-zero.
+    pub fn reset(&mut self, sym: &BlockSymbolic) {
+        self.values.clear();
+        self.values.resize(sym.values_len(), Complex::ZERO);
+    }
+
+    /// Replaces the value storage with a copy of `baseline` (an image
+    /// produced by a previous assembly — the wavelength-independent part
+    /// of a sweep's system). No allocation once capacity has grown.
+    pub fn load(&mut self, baseline: &[Complex]) {
+        self.values.clear();
+        self.values.extend_from_slice(baseline);
+    }
+
+    /// Mutable access to the value storage for scattering assembly
+    /// entries at offsets from [`BlockSymbolic::entry_offset`].
+    pub fn values_mut(&mut self) -> &mut [Complex] {
+        &mut self.values
+    }
+
+    /// Read access to the value storage (a baseline image to
+    /// [`BlockSparseLu::load`] later, or diagnostics).
+    pub fn values(&self) -> &[Complex] {
+        &self.values
+    }
+
+    /// Factors the assembled system in place: `Q^T·A·Q = L·U` with `Q`
+    /// the symbolic block order and dense partial pivoting confined to
+    /// each diagonal block. After a successful return the storage holds
+    /// the factors and [`BlockSparseLu::solve_in_place`] may be called
+    /// any number of times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] (with the scalar column in
+    /// elimination order) when a diagonal pivot block is numerically
+    /// singular. The storage is then unspecified; re-assemble before the
+    /// next factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the storage was not sized for `sym` (via
+    /// [`BlockSparseLu::reset`] or [`BlockSparseLu::load`]).
+    pub fn factor(&mut self, sym: &BlockSymbolic) -> Result<(), SingularMatrixError> {
+        assert_eq!(
+            self.values.len(),
+            sym.values_len(),
+            "value storage does not match the symbolic analysis"
+        );
+        self.pivots.clear();
+        self.pivots.resize(sym.scalar_dim(), 0);
+        let n = sym.block_count();
+        for k in 0..n {
+            let sk = sym.sizes[k];
+            let d_off = sym.val_off[sym.diag_idx[k]];
+            let so = sym.scalar_off[k];
+            // Factor the diagonal block with dense partial pivoting.
+            {
+                let d = &mut self.values[d_off..d_off + sk * sk];
+                lu_block(d, sk, &mut self.pivots[so..so + sk], so)?;
+            }
+            // U_kj = L_kk⁻¹ · P_k · A_kj for the blocks right of the
+            // diagonal (stored contiguously after it).
+            for idx in sym.diag_idx[k] + 1..sym.row_ptr[k + 1] {
+                let off = sym.val_off[idx];
+                let sj = sym.sizes[sym.col_idx[idx]];
+                let (head, tail) = self.values.split_at_mut(off);
+                let d = &head[d_off..d_off + sk * sk];
+                let b = &mut tail[..sk * sj];
+                apply_row_pivots(b, sj, &self.pivots[so..so + sk]);
+                trsm_lower_unit(d, sk, b, sj);
+            }
+            // Snapshot row k's tail (diagonal + U blocks): the Schur
+            // updates below read it while mutating other rows.
+            let row_end = sym.row_values_end(k);
+            self.scratch.clear();
+            self.scratch.extend_from_slice(&self.values[d_off..row_end]);
+            // L_ik = A_ik · U_kk⁻¹ for the blocks below the diagonal.
+            for &(i, off_ik) in &sym.below[k] {
+                let si = sym.sizes[i];
+                let a = &mut self.values[off_ik..off_ik + si * sk];
+                trsm_right_upper(&self.scratch[..sk * sk], sk, a, si);
+            }
+            // Pre-scheduled Schur updates: C_ij −= L_ik · U_kj. L and C
+            // live in the same block row with col k < col j, so the CSR
+            // layout guarantees l_off < t_off and the split is safe.
+            for u in &sym.upd[sym.upd_ptr[k]..sym.upd_ptr[k + 1]] {
+                debug_assert!(u.l_off + u.rows * sk <= u.t_off);
+                let b = &self.scratch[u.u_off - d_off..u.u_off - d_off + sk * u.cols];
+                let (head, tail) = self.values.split_at_mut(u.t_off);
+                let l = &head[u.l_off..u.l_off + u.rows * sk];
+                gemm_sub(&mut tail[..u.rows * u.cols], l, b, u.rows, sk, u.cols);
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A · X = B` in place for a panel of `ncols` right-hand-side
+    /// columns. `rhs` is row-major `scalar_dim × ncols` in **elimination
+    /// order** (assemble through [`BlockSymbolic::scalar_row`]); on
+    /// return it holds the solution in the same layout. The whole panel
+    /// moves through the factor in one pass — the pivot permutations and
+    /// factor blocks are traversed once regardless of `ncols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len() != scalar_dim · ncols` or the factorization
+    /// has not run.
+    pub fn solve_in_place(&self, sym: &BlockSymbolic, rhs: &mut [Complex], ncols: usize) {
+        assert_eq!(
+            rhs.len(),
+            sym.scalar_dim() * ncols,
+            "right-hand-side panel has the wrong shape"
+        );
+        assert_eq!(self.pivots.len(), sym.scalar_dim(), "factorization missing");
+        if ncols == 0 || sym.scalar_dim() == 0 {
+            return;
+        }
+        let n = sym.block_count();
+        // Forward: apply within-block pivots, unit-lower solves, and
+        // push updates down the below-diagonal column lists.
+        for k in 0..n {
+            let sk = sym.sizes[k];
+            let so = sym.scalar_off[k];
+            let d_off = sym.val_off[sym.diag_idx[k]];
+            let d = &self.values[d_off..d_off + sk * sk];
+            {
+                let rb = &mut rhs[so * ncols..(so + sk) * ncols];
+                apply_row_pivots(rb, ncols, &self.pivots[so..so + sk]);
+                trsm_lower_unit(d, sk, rb, ncols);
+            }
+            let (head, tail) = rhs.split_at_mut((so + sk) * ncols);
+            let rk = &head[so * ncols..];
+            for &(i, off_ik) in &sym.below[k] {
+                let si = sym.sizes[i];
+                let soi = sym.scalar_off[i];
+                let ri = &mut tail[(soi - so - sk) * ncols..][..si * ncols];
+                gemm_sub(
+                    ri,
+                    &self.values[off_ik..off_ik + si * sk],
+                    rk,
+                    si,
+                    sk,
+                    ncols,
+                );
+            }
+        }
+        // Backward: subtract the U blocks right of each diagonal, then
+        // divide through the diagonal factor.
+        for k in (0..n).rev() {
+            let sk = sym.sizes[k];
+            let so = sym.scalar_off[k];
+            for idx in sym.diag_idx[k] + 1..sym.row_ptr[k + 1] {
+                let j = sym.col_idx[idx];
+                let sj = sym.sizes[j];
+                let soj = sym.scalar_off[j];
+                let off = sym.val_off[idx];
+                let (head, tail) = rhs.split_at_mut(soj * ncols);
+                let rk = &mut head[so * ncols..(so + sk) * ncols];
+                gemm_sub(
+                    rk,
+                    &self.values[off..off + sk * sj],
+                    &tail[..sj * ncols],
+                    sk,
+                    sj,
+                    ncols,
+                );
+            }
+            let d_off = sym.val_off[sym.diag_idx[k]];
+            let d = &self.values[d_off..d_off + sk * sk];
+            trsm_upper(d, sk, &mut rhs[so * ncols..(so + sk) * ncols], ncols);
+        }
+    }
+}
+
+/// Dense partial-pivot LU of an `s × s` block in place (compact storage,
+/// unit lower diagonal implicit). `col_base` labels singularity reports
+/// with the block's global scalar offset.
+fn lu_block(
+    a: &mut [Complex],
+    s: usize,
+    piv: &mut [usize],
+    col_base: usize,
+) -> Result<(), SingularMatrixError> {
+    for c in 0..s {
+        let mut pivot_row = c;
+        let mut pivot_mag = a[c * s + c].abs();
+        for r in c + 1..s {
+            let mag = a[r * s + c].abs();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if pivot_mag.is_nan() || pivot_mag <= 1e-300 {
+            return Err(SingularMatrixError {
+                column: col_base + c,
+            });
+        }
+        piv[c] = pivot_row;
+        if pivot_row != c {
+            for cc in 0..s {
+                a.swap(c * s + cc, pivot_row * s + cc);
+            }
+        }
+        let pivot = a[c * s + c];
+        for r in c + 1..s {
+            let factor = a[r * s + c] / pivot;
+            a[r * s + c] = factor;
+            if factor == Complex::ZERO {
+                continue;
+            }
+            for cc in c + 1..s {
+                let sub = factor * a[c * s + cc];
+                a[r * s + cc] -= sub;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies a within-block pivot sequence (LAPACK `ipiv` semantics: swap
+/// row `c` with row `piv[c]`, in order) to a row-major panel.
+fn apply_row_pivots(b: &mut [Complex], ncols: usize, piv: &[usize]) {
+    for (c, &pr) in piv.iter().enumerate() {
+        if pr != c {
+            for cc in 0..ncols {
+                b.swap(c * ncols + cc, pr * ncols + cc);
+            }
+        }
+    }
+}
+
+/// `B ← L⁻¹ B` for the unit-lower triangle of a compact `s × s` LU block.
+fn trsm_lower_unit(l: &[Complex], s: usize, b: &mut [Complex], ncols: usize) {
+    for r in 1..s {
+        let (done, rest) = b.split_at_mut(r * ncols);
+        let row_r = &mut rest[..ncols];
+        for (m, chunk) in done.chunks_exact(ncols).enumerate() {
+            let f = l[r * s + m];
+            if f == Complex::ZERO {
+                continue;
+            }
+            for (x, &y) in row_r.iter_mut().zip(chunk) {
+                *x -= f * y;
+            }
+        }
+    }
+}
+
+/// `B ← U⁻¹ B` for the upper triangle of a compact `s × s` LU block.
+fn trsm_upper(u: &[Complex], s: usize, b: &mut [Complex], ncols: usize) {
+    for r in (0..s).rev() {
+        let (head, tail) = b.split_at_mut((r + 1) * ncols);
+        let row_r = &mut head[r * ncols..];
+        for (t, chunk) in tail.chunks_exact(ncols).enumerate() {
+            let f = u[r * s + (r + 1 + t)];
+            if f == Complex::ZERO {
+                continue;
+            }
+            for (x, &y) in row_r.iter_mut().zip(chunk) {
+                *x -= f * y;
+            }
+        }
+        let d = u[r * s + r];
+        for x in row_r.iter_mut() {
+            *x /= d;
+        }
+    }
+}
+
+/// `A ← A · U⁻¹` for the upper triangle of a compact `s × s` LU block,
+/// applied to every row of a row-major `nrows × s` panel.
+fn trsm_right_upper(u: &[Complex], s: usize, a: &mut [Complex], nrows: usize) {
+    debug_assert_eq!(a.len(), nrows * s);
+    for row in a.chunks_exact_mut(s) {
+        for c in 0..s {
+            let mut acc = row[c];
+            for (m, &x) in row[..c].iter().enumerate() {
+                acc -= x * u[m * s + c];
+            }
+            row[c] = acc / u[c * s + c];
+        }
+    }
+}
+
+/// `C −= A · B` on row-major blocks (`m × k`, `k × n`, `m × n`).
+fn gemm_sub(c: &mut [Complex], a: &[Complex], b: &[Complex], m: usize, k: usize, n: usize) {
+    debug_assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    for (r, crow) in c.chunks_exact_mut(n).take(m).enumerate() {
+        for (t, brow) in b.chunks_exact(n).take(k).enumerate() {
+            let f = a[r * k + t];
+            if f == Complex::ZERO {
+                continue;
+            }
+            for (x, &y) in crow.iter_mut().zip(brow) {
+                *x -= f * y;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CMatrix, LuDecomposition};
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    /// Deterministic pseudo-random fill, as in the `lu` tests.
+    fn rng(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed.wrapping_mul(2685821657736338717).wrapping_add(1);
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        }
+    }
+
+    /// Assembles a random diagonally-dominant block system over the given
+    /// structure, returning both the sparse storage and an equivalent
+    /// dense matrix (in elimination scalar order).
+    fn random_system(
+        sizes: &[usize],
+        edges: &[(usize, usize)],
+        seed: u64,
+    ) -> (BlockSymbolic, BlockSparseLu, CMatrix) {
+        let sym = BlockSymbolic::analyze(sizes, edges);
+        let mut lu = BlockSparseLu::new();
+        lu.reset(&sym);
+        let nd = sym.scalar_dim();
+        let mut dense = CMatrix::zeros(nd, nd);
+        let mut next = rng(seed);
+        let mut stored: Vec<(usize, usize)> = edges.to_vec();
+        stored.extend((0..sizes.len()).map(|b| (b, b)));
+        stored.sort_unstable();
+        stored.dedup();
+        for &(bi, bj) in &stored {
+            for li in 0..sizes[bi] {
+                for lj in 0..sizes[bj] {
+                    let v = if bi == bj && li == lj {
+                        // Dominant diagonal keeps the reference solve
+                        // well-conditioned without defeating pivoting.
+                        c(4.0 + next(), next())
+                    } else {
+                        c(next() * 0.8, next() * 0.8)
+                    };
+                    let off = sym.entry_offset(bi, bj, li, lj).unwrap();
+                    lu.values_mut()[off] = v;
+                    dense[(sym.scalar_row(bi, li), sym.scalar_row(bj, lj))] = v;
+                }
+            }
+        }
+        (sym, lu, dense)
+    }
+
+    #[test]
+    fn chain_structure_solves_like_dense() {
+        // A chain of 5 blocks of mixed sizes: 0–1–2–3–4.
+        let sizes = [2usize, 3, 1, 2, 2];
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4)];
+        let (sym, mut lu, dense) = random_system(&sizes, &edges, 11);
+        lu.factor(&sym).unwrap();
+
+        let nd = sym.scalar_dim();
+        let ncols = 3;
+        let mut next = rng(99);
+        let rhs_mat = CMatrix::from_fn(nd, ncols, |_, _| c(next(), next()));
+        let mut panel: Vec<Complex> = rhs_mat.as_slice().to_vec();
+        lu.solve_in_place(&sym, &mut panel, ncols);
+
+        let reference = LuDecomposition::factor(&dense)
+            .unwrap()
+            .solve_matrix(&rhs_mat);
+        for r in 0..nd {
+            for cc in 0..ncols {
+                assert!(
+                    (panel[r * ncols + cc] - reference[(r, cc)]).abs() < 1e-11,
+                    "mismatch at ({r}, {cc})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_structure_with_fill_solves_like_dense() {
+        // A 3×3 grid of 2-port blocks — elimination must create fill.
+        let sizes = vec![2usize; 9];
+        let mut edges = Vec::new();
+        for r in 0..3 {
+            for cc in 0..3 {
+                let v = r * 3 + cc;
+                if cc + 1 < 3 {
+                    edges.push((v, v + 1));
+                }
+                if r + 1 < 3 {
+                    edges.push((v, v + 3));
+                }
+            }
+        }
+        let (sym, mut lu, dense) = random_system(&sizes, &edges, 5);
+        assert!(sym.fill_block_count() > 0, "a grid must produce fill");
+        lu.factor(&sym).unwrap();
+
+        let nd = sym.scalar_dim();
+        let mut next = rng(7);
+        let rhs_mat = CMatrix::from_fn(nd, 2, |_, _| c(next(), next()));
+        let mut panel: Vec<Complex> = rhs_mat.as_slice().to_vec();
+        lu.solve_in_place(&sym, &mut panel, 2);
+        let reference = LuDecomposition::factor(&dense)
+            .unwrap()
+            .solve_matrix(&rhs_mat);
+        for r in 0..nd {
+            for cc in 0..2 {
+                assert!((panel[r * 2 + cc] - reference[(r, cc)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn refactoring_reuses_storage_deterministically() {
+        let sizes = [2usize, 2, 2];
+        let edges = [(0, 1), (1, 2)];
+        let (sym, mut lu, _) = random_system(&sizes, &edges, 3);
+        let baseline = lu.values().to_vec();
+        lu.factor(&sym).unwrap();
+        let first = lu.values().to_vec();
+        // Reload the identical assembly and refactor: identical bits.
+        lu.load(&baseline);
+        lu.factor(&sym).unwrap();
+        assert_eq!(lu.values(), &first[..]);
+    }
+
+    #[test]
+    fn singular_diagonal_block_is_reported() {
+        let sym = BlockSymbolic::analyze(&[2], &[]);
+        let mut lu = BlockSparseLu::new();
+        lu.reset(&sym);
+        // Rank-1 block: [[1, 2], [2, 4]].
+        lu.values_mut()[sym.entry_offset(0, 0, 0, 0).unwrap()] = c(1.0, 0.0);
+        lu.values_mut()[sym.entry_offset(0, 0, 0, 1).unwrap()] = c(2.0, 0.0);
+        lu.values_mut()[sym.entry_offset(0, 0, 1, 0).unwrap()] = c(2.0, 0.0);
+        lu.values_mut()[sym.entry_offset(0, 0, 1, 1).unwrap()] = c(4.0, 0.0);
+        let err = lu.factor(&sym).unwrap_err();
+        assert_eq!(err.column, 1);
+    }
+
+    #[test]
+    fn empty_system_is_a_no_op() {
+        let sym = BlockSymbolic::analyze(&[], &[]);
+        assert_eq!(sym.scalar_dim(), 0);
+        assert_eq!(sym.values_len(), 0);
+        let mut lu = BlockSparseLu::new();
+        lu.reset(&sym);
+        lu.factor(&sym).unwrap();
+        let mut rhs: Vec<Complex> = Vec::new();
+        lu.solve_in_place(&sym, &mut rhs, 4);
+    }
+
+    #[test]
+    fn ordering_is_deterministic_and_fill_reducing() {
+        // A star: hub 0 connected to six leaves. Eliminating leaves first
+        // produces zero fill; eliminating the hub first fills everything.
+        let sizes = vec![2usize; 7];
+        let edges: Vec<(usize, usize)> = (1..7).map(|l| (0, l)).collect();
+        let a = BlockSymbolic::analyze(&sizes, &edges);
+        let b = BlockSymbolic::analyze(&sizes, &edges);
+        assert_eq!(a.fill_block_count(), 0, "min-degree defers the hub");
+        assert_eq!(a.inv_perm, b.inv_perm, "analysis must be deterministic");
+        // The hub survives until only one leaf is left (a tie it then
+        // wins on block id).
+        assert!(a.inv_perm[0] >= 5, "hub eliminated too early");
+    }
+
+    #[test]
+    fn scalar_rows_cover_the_dimension_exactly() {
+        let sizes = [3usize, 1, 2];
+        let sym = BlockSymbolic::analyze(&sizes, &[(0, 1), (1, 2), (0, 2)]);
+        let mut seen = vec![false; sym.scalar_dim()];
+        for (b, &s) in sizes.iter().enumerate() {
+            for l in 0..s {
+                let r = sym.scalar_row(b, l);
+                assert!(!seen[r], "scalar rows must be disjoint");
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

@@ -1,7 +1,7 @@
 //! S-parameter composition backends.
 //!
-//! Two independent algorithms compute the external scattering matrix of an
-//! elaborated circuit:
+//! Three independent algorithms compute the external scattering matrix of
+//! an elaborated circuit:
 //!
 //! * [`Backend::PortElimination`] — Filipsson's subnetwork-growth
 //!   algorithm: place all instance S-matrices block-diagonally, then
@@ -10,15 +10,23 @@
 //! * [`Backend::Dense`] — the global scattering solve
 //!   `S_ext = S_ee + S_ei (I − P·S_ii)⁻¹ P·S_ie` where `P` swaps connected
 //!   port pairs, using the in-repo complex LU.
+//! * [`Backend::BlockSparse`] — the same scattering system factored by
+//!   the topology-aware block-sparse LU ([`picbench_math::sparse`]):
+//!   unknowns grouped by instance, a fill-reducing elimination order over
+//!   the connectivity graph, and dense pivoting confined to diagonal
+//!   blocks. Asymptotically the fastest on large sparse circuits (meshes,
+//!   lattices); see the README's backend-selection guide.
 //!
-//! Having both lets property tests cross-check the physics: the backends
-//! agree on every benchmark golden design to ~1e-9.
+//! Having several lets property tests cross-check the physics: the
+//! backends agree on every benchmark golden design to ~1e-9.
 
+use crate::blocks::BlockSchedule;
 use crate::elaborate::Circuit;
-use picbench_math::{CMatrix, Complex, LuDecomposition};
+use picbench_math::{BlockSparseLu, CMatrix, Complex, LuDecomposition};
 use picbench_sparams::{ModelError, SMatrix};
 use std::error::Error;
 use std::fmt;
+use std::str::FromStr;
 
 /// Which composition algorithm to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -28,20 +36,44 @@ pub enum Backend {
     PortElimination,
     /// Dense global scattering solve with LU.
     Dense,
+    /// Topology-aware block-sparse scattering solve.
+    BlockSparse,
 }
 
 impl Backend {
-    /// Both composition algorithms, in default-first order — the axis the
+    /// Every composition algorithm, in default-first order — the axis the
     /// conformance harness sweeps when cross-checking backends.
-    pub const ALL: [Backend; 2] = [Backend::PortElimination, Backend::Dense];
+    pub const ALL: [Backend; 3] = [
+        Backend::PortElimination,
+        Backend::Dense,
+        Backend::BlockSparse,
+    ];
+
+    /// Stable kebab-case token used in CLI flags and reports.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Backend::PortElimination => "port-elimination",
+            Backend::Dense => "dense",
+            Backend::BlockSparse => "block-sparse",
+        }
+    }
 }
 
 impl fmt::Display for Backend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Backend::PortElimination => write!(f, "port-elimination"),
-            Backend::Dense => write!(f, "dense"),
-        }
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Backend::ALL
+            .iter()
+            .find(|b| b.token() == s)
+            .copied()
+            .ok_or_else(|| format!("unknown backend {s:?}"))
     }
 }
 
@@ -131,6 +163,7 @@ pub fn evaluate(
     let result = match backend {
         Backend::Dense => evaluate_dense(circuit, wavelength_um),
         Backend::PortElimination => evaluate_elimination(circuit, wavelength_um),
+        Backend::BlockSparse => evaluate_block_sparse(circuit, wavelength_um),
     }?;
     if !result.matrix().is_finite() {
         return Err(SimError::NonFiniteResult { wavelength_um });
@@ -184,6 +217,25 @@ fn evaluate_dense(circuit: &Circuit, wavelength_um: f64) -> Result<SMatrix, SimE
     let x = lu.solve_matrix(&p_s_ie);
     let s_ext = &s_ee + &(&s_ei * &x);
     Ok(SMatrix::from_matrix(circuit.external_names(), s_ext))
+}
+
+/// The naive block-sparse solve: rebuild the block structure, the
+/// symbolic analysis and the assembly from scratch at this one
+/// wavelength. The planned pipeline ([`crate::SweepPlan`]) runs the same
+/// arithmetic with the structure frozen once per topology.
+fn evaluate_block_sparse(circuit: &Circuit, wavelength_um: f64) -> Result<SMatrix, SimError> {
+    let global = assemble_global(circuit, wavelength_um)?;
+    let sched = BlockSchedule::for_circuit(circuit);
+    let mut lu = BlockSparseLu::new();
+    lu.reset(&sched.sym);
+    let mut rhs = vec![Complex::ZERO; sched.n_int * sched.n_ext];
+    sched.scatter_all(circuit.instances.len(), &global, lu.values_mut(), &mut rhs);
+    lu.factor(&sched.sym)
+        .map_err(|_| SimError::SingularSystem { wavelength_um })?;
+    lu.solve_in_place(&sched.sym, &mut rhs, sched.n_ext);
+    let mut out = CMatrix::zeros(0, 0);
+    sched.combine(&global, &rhs, &mut out);
+    Ok(SMatrix::from_matrix(circuit.external_names(), out))
 }
 
 fn evaluate_elimination(circuit: &Circuit, wavelength_um: f64) -> Result<SMatrix, SimError> {
@@ -280,7 +332,7 @@ mod tests {
                 .model("waveguide", "waveguide")
                 .build(),
         );
-        for backend in [Backend::PortElimination, Backend::Dense] {
+        for backend in Backend::ALL {
             let chained = evaluate(&circuit, 1.55, backend).unwrap();
             let direct = evaluate(&single, 1.55, backend).unwrap();
             let a = chained.s("I1", "O1").unwrap();
@@ -370,7 +422,7 @@ mod tests {
             .model("mmi1x2", "mmi1x2")
             .build();
         let circuit = elaborate(&netlist);
-        for backend in [Backend::PortElimination, Backend::Dense] {
+        for backend in Backend::ALL {
             let s = evaluate(&circuit, 1.55, backend).unwrap();
             assert!((s.s("I1", "O1").unwrap().norm_sqr() - 0.5).abs() < 1e-12);
         }
@@ -385,7 +437,7 @@ mod tests {
             .model("waveguide", "waveguide")
             .build();
         let circuit = elaborate(&netlist);
-        for backend in [Backend::PortElimination, Backend::Dense] {
+        for backend in Backend::ALL {
             let s = evaluate(&circuit, 1.55, backend).unwrap();
             assert!(s.s("I1", "O1").unwrap().abs() > 0.99);
         }
@@ -435,7 +487,7 @@ mod tests {
 
         for wl in [1.52, 1.54, 1.551, 1.56, 1.58] {
             let builtin = ring.s_matrix(wl, &settings).unwrap();
-            for backend in [Backend::PortElimination, Backend::Dense] {
+            for backend in Backend::ALL {
                 let discrete = evaluate(&circuit, wl, backend).unwrap();
                 let a = discrete.s("I1", "O1").unwrap();
                 let b = builtin.s("I1", "O1").unwrap();

@@ -48,6 +48,7 @@
 
 pub mod analysis;
 mod backend;
+mod blocks;
 mod composite;
 mod elaborate;
 mod plan;

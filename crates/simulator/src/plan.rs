@@ -45,8 +45,9 @@
 //! with a tolerance, as the property tests do.
 
 use crate::backend::{Backend, SimError};
+use crate::blocks::BlockSchedule;
 use crate::elaborate::Circuit;
-use picbench_math::{CMatrix, Complex, LuDecomposition};
+use picbench_math::{BlockSparseLu, CMatrix, Complex, LuDecomposition};
 use picbench_sparams::SMatrixMemo;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -82,14 +83,20 @@ pub struct SweepSchedule {
     /// Final positions of the external ports after the reduction —
     /// PortElimination backend.
     elim_ext_rows: Vec<usize>,
+    /// Block partition, symbolic factorization and scatter/combine
+    /// recipes — BlockSparse backend.
+    block: BlockSchedule,
 }
 
 impl SweepSchedule {
     /// Computes the sweep structure of a circuit's topology: the
-    /// external/internal partition and pre-permuted gather rows (Dense)
-    /// and the pivot/keep schedule of the pairwise reduction
-    /// (PortElimination). Both backends' schedules are built — the work
-    /// is index bookkeeping, negligible next to a single sweep point.
+    /// external/internal partition and pre-permuted gather rows (Dense),
+    /// the pivot/keep schedule of the pairwise reduction
+    /// (PortElimination), and the block partition plus symbolic
+    /// factorization of the connectivity graph (BlockSparse). All
+    /// backends' schedules are built — the work is index bookkeeping
+    /// plus a one-off symbolic analysis, negligible next to a single
+    /// sweep point.
     pub fn for_circuit(circuit: &Circuit) -> Self {
         let n0 = circuit.total_ports;
         let ext_idx: Vec<usize> = circuit.externals.iter().map(|(_, i)| *i).collect();
@@ -142,6 +149,7 @@ impl SweepSchedule {
             perm_int_idx,
             elim_steps,
             elim_ext_rows,
+            block: BlockSchedule::for_circuit(circuit),
         }
     }
 
@@ -280,9 +288,10 @@ impl<'c> SweepPlan<'c> {
 
     /// Enables or disables the constant-response fold for fully
     /// wavelength-independent circuits (enabled by default). Disabling it
-    /// forces sweeps to solve every grid point — the pre-fold (PR-1)
-    /// behavior, useful for benchmarking the per-point solver; results
-    /// are bit-identical either way.
+    /// forces sweeps to solve every grid point — it also switches the
+    /// block-sparse factor-once stripe batching off — the pre-fold
+    /// (PR-1) behavior, useful for benchmarking the per-point solver;
+    /// results are bit-identical either way.
     pub fn with_constant_fold(mut self, enabled: bool) -> Self {
         self.allow_constant_fold = enabled;
         self
@@ -350,15 +359,43 @@ impl<'c> SweepPlan<'c> {
         let n_ext = self.schedule.ext_idx.len();
         ws.global.reshape(n0, n0);
         ws.global.fill_zero();
-        ws.system.reshape(n_int, n_int);
-        ws.rhs.reshape(n_int, n_ext);
-        ws.x.reshape(n_int, n_ext);
-        ws.elim.reshape(n0, n0);
-        ws.elim_row_p.resize(n0, Complex::ZERO);
-        ws.elim_row_q.resize(n0, Complex::ZERO);
         for (inst, memo) in self.circuit.instances.iter().zip(&self.memos) {
             if let Some(block) = memo.cached() {
                 write_block(&mut ws.global, inst.port_offset, block.matrix());
+            }
+        }
+        // Only the active backend's buffers are sized — the others stay
+        // empty (or keep stale capacity for later reuse) and are never
+        // read.
+        match self.backend {
+            Backend::Dense => {
+                ws.system.reshape(n_int, n_int);
+                ws.rhs.reshape(n_int, n_ext);
+                ws.x.reshape(n_int, n_ext);
+            }
+            Backend::PortElimination => {
+                ws.elim.reshape(n0, n0);
+                ws.elim_row_p.resize(n0, Complex::ZERO);
+                ws.elim_row_q.resize(n0, Complex::ZERO);
+            }
+            Backend::BlockSparse => {
+                // Baselines: the wavelength-independent part of the
+                // system assembly (identity + every memoized instance)
+                // imaged once; per-point assembly copies the image and
+                // scatters only the dispersive instances.
+                let sched = &self.schedule.block;
+                ws.bs_baseline.clear();
+                ws.bs_baseline.resize(sched.sym.values_len(), Complex::ZERO);
+                ws.bs_rhs_baseline.clear();
+                ws.bs_rhs_baseline
+                    .resize(sched.n_int * sched.n_ext, Complex::ZERO);
+                sched.scatter_identity(&mut ws.bs_baseline);
+                for (ii, memo) in self.memos.iter().enumerate() {
+                    if memo.is_cached() {
+                        sched.scatter_matrix_instance(ii, &ws.global, &mut ws.bs_baseline);
+                        sched.scatter_rhs_instance(ii, &ws.global, &mut ws.bs_rhs_baseline);
+                    }
+                }
             }
         }
     }
@@ -377,8 +414,25 @@ impl<'c> SweepPlan<'c> {
         wavelength_um: f64,
         out: &mut CMatrix,
     ) -> Result<(), SimError> {
-        // Refresh the dispersive blocks; memoized blocks were written at
-        // workspace construction and never change.
+        self.refresh_dispersive(ws, wavelength_um)?;
+        match self.backend {
+            Backend::Dense => self.evaluate_dense(ws, wavelength_um, out)?,
+            Backend::PortElimination => self.evaluate_elimination(ws, wavelength_um, out)?,
+            Backend::BlockSparse => self.evaluate_block_sparse(ws, wavelength_um, out)?,
+        }
+        if !out.is_finite() {
+            return Err(SimError::NonFiniteResult { wavelength_um });
+        }
+        Ok(())
+    }
+
+    /// Refreshes the dispersive blocks of the global matrix; memoized
+    /// blocks were written at workspace construction and never change.
+    fn refresh_dispersive(
+        &self,
+        ws: &mut SolveWorkspace,
+        wavelength_um: f64,
+    ) -> Result<(), SimError> {
         for (inst, memo) in self.circuit.instances.iter().zip(&self.memos) {
             if memo.is_cached() {
                 continue;
@@ -392,14 +446,152 @@ impl<'c> SweepPlan<'c> {
                 })?;
             write_block(&mut ws.global, inst.port_offset, s.matrix());
         }
+        Ok(())
+    }
 
-        match self.backend {
-            Backend::Dense => self.evaluate_dense(ws, wavelength_um, out)?,
-            Backend::PortElimination => self.evaluate_elimination(ws, wavelength_um, out)?,
+    /// Whether a batched sweep over this plan may factor the scattering
+    /// system **once** and reuse the solved panel for every wavelength
+    /// point of a stripe: the BlockSparse backend, with every instance
+    /// that feeds the system matrix, the RHS panel or the `S_ei` combine
+    /// coefficients served from the wavelength-independent memo. (Only
+    /// instances with no internal ports may then still be dispersive —
+    /// they contribute `S_ee` entries re-read at every point.)
+    pub fn stripe_factors_once(&self) -> bool {
+        self.backend == Backend::BlockSparse
+            && self.memos.iter().enumerate().all(|(ii, memo)| {
+                memo.is_cached() || !self.schedule.block.instance_touches_system(ii)
+            })
+    }
+
+    /// How a stripe of `points` grid points executes over this plan —
+    /// the single source of truth for the batching eligibility shared by
+    /// [`SweepPlan::evaluate_stripe_into`] and the sweep executor's
+    /// chunk runner (which must branch identically to keep serial and
+    /// parallel sweeps bit-identical).
+    ///
+    /// Disabling the constant fold ([`SweepPlan::with_constant_fold`])
+    /// also disables the factor-once stripe modes: "solve every grid
+    /// point" must mean exactly that, both for benchmarking and so the
+    /// conformance fold axis compares a genuinely recomputed sweep.
+    pub(crate) fn stripe_mode(&self, points: usize) -> StripeMode {
+        if points > 1 && self.allow_constant_fold && self.stripe_factors_once() {
+            if self.is_wavelength_independent() {
+                StripeMode::FactorOnceCopy
+            } else {
+                StripeMode::FactorOnceRecombine
+            }
+        } else {
+            StripeMode::PerPoint
         }
+    }
+
+    /// Evaluates a stripe of wavelength points in one batched pass,
+    /// writing one external S-matrix per point into `outs`.
+    ///
+    /// When [`SweepPlan::stripe_factors_once`] holds, the system is
+    /// assembled and factored for the first point only and the solved
+    /// panel of RHS columns is reused across the whole stripe —
+    /// per-point work drops to refreshing dispersive `S_ee` entries and
+    /// recombining (or a plain copy when the circuit is fully
+    /// wavelength-independent). Otherwise every point runs the full
+    /// [`SweepPlan::evaluate_into`]. Results are element-wise identical
+    /// to per-point evaluation in all cases, and the steady-state stripe
+    /// performs zero heap allocations (see `tests/alloc.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the stripe-local index and [`SimError`] of the first
+    /// failing point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelengths` and `outs` have different lengths.
+    pub fn evaluate_stripe_into(
+        &self,
+        ws: &mut SolveWorkspace,
+        wavelengths: &[f64],
+        outs: &mut [CMatrix],
+    ) -> Result<(), (usize, SimError)> {
+        assert_eq!(
+            wavelengths.len(),
+            outs.len(),
+            "one output matrix per stripe wavelength"
+        );
+        match self.stripe_mode(outs.len()) {
+            StripeMode::PerPoint => {
+                for (offset, (&wl, out)) in wavelengths.iter().zip(outs.iter_mut()).enumerate() {
+                    self.evaluate_into(ws, wl, out).map_err(|e| (offset, e))?;
+                }
+            }
+            mode @ (StripeMode::FactorOnceCopy | StripeMode::FactorOnceRecombine) => {
+                let (first_out, rest) = outs.split_first_mut().expect("points > 1");
+                self.evaluate_into(ws, wavelengths[0], first_out)
+                    .map_err(|e| (0, e))?;
+                for (offset, out) in rest.iter_mut().enumerate() {
+                    match mode {
+                        StripeMode::FactorOnceCopy => out.copy_from(first_out),
+                        _ => self
+                            .evaluate_retained_into(ws, wavelengths[offset + 1], out)
+                            .map_err(|e| (offset + 1, e))?,
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recombines the external response at a new wavelength from the
+    /// factored system and solved panel retained in `ws` by the previous
+    /// [`SweepPlan::evaluate_into`] on this plan. Only meaningful when
+    /// [`SweepPlan::stripe_factors_once`] holds (the retained solve is
+    /// wavelength-independent then); per-point work reduces to the
+    /// dispersive `S_ee` refresh and the sparse combine.
+    pub(crate) fn evaluate_retained_into(
+        &self,
+        ws: &mut SolveWorkspace,
+        wavelength_um: f64,
+        out: &mut CMatrix,
+    ) -> Result<(), SimError> {
+        debug_assert!(self.stripe_factors_once());
+        self.refresh_dispersive(ws, wavelength_um)?;
+        self.schedule.block.combine(&ws.global, &ws.bs_x, out);
         if !out.is_finite() {
             return Err(SimError::NonFiniteResult { wavelength_um });
         }
+        Ok(())
+    }
+
+    /// Block-sparse scattering solve on the frozen block schedule:
+    /// baseline image + dispersive scatter, numeric factor against the
+    /// shared symbolic object, one panel solve for all `n_ext` RHS
+    /// columns, sparse recombination.
+    fn evaluate_block_sparse(
+        &self,
+        ws: &mut SolveWorkspace,
+        wavelength_um: f64,
+        out: &mut CMatrix,
+    ) -> Result<(), SimError> {
+        let sched = &self.schedule.block;
+        if sched.n_int == 0 {
+            sched.combine(&ws.global, &[], out);
+            return Ok(());
+        }
+        ws.bs_lu.load(&ws.bs_baseline);
+        ws.bs_x.clear();
+        ws.bs_x.extend_from_slice(&ws.bs_rhs_baseline);
+        for (ii, memo) in self.memos.iter().enumerate() {
+            if memo.is_cached() {
+                continue;
+            }
+            sched.scatter_matrix_instance(ii, &ws.global, ws.bs_lu.values_mut());
+            sched.scatter_rhs_instance(ii, &ws.global, &mut ws.bs_x);
+        }
+        ws.bs_lu
+            .factor(&sched.sym)
+            .map_err(|_| SimError::SingularSystem { wavelength_um })?;
+        ws.bs_lu
+            .solve_in_place(&sched.sym, &mut ws.bs_x, sched.n_ext);
+        sched.combine(&ws.global, &ws.bs_x, out);
         Ok(())
     }
 
@@ -565,6 +757,20 @@ impl<'c> SweepPlan<'c> {
     }
 }
 
+/// How a stripe of grid points executes over a plan — decided once by
+/// [`SweepPlan::stripe_mode`] and obeyed by both stripe drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StripeMode {
+    /// Solve the first point, copy its matrix into every other slot
+    /// (fully wavelength-independent circuit).
+    FactorOnceCopy,
+    /// Solve the first point, recombine the retained panel per point
+    /// (static system, dispersive `S_ee`-only instances).
+    FactorOnceRecombine,
+    /// Full evaluation at every point.
+    PerPoint,
+}
+
 /// Copies a model block onto the diagonal of the global matrix.
 fn write_block(global: &mut CMatrix, offset: usize, block: &CMatrix) {
     let n = block.rows();
@@ -597,6 +803,14 @@ pub struct SolveWorkspace {
     elim_row_p: Vec<Complex>,
     /// Scratch: pivot row `q` gathered onto the surviving columns.
     elim_row_q: Vec<Complex>,
+    /// Numeric block-sparse factor, re-factored per point (BlockSparse).
+    bs_lu: BlockSparseLu,
+    /// Baseline image of the wavelength-independent system assembly.
+    bs_baseline: Vec<Complex>,
+    /// Baseline image of the wavelength-independent RHS panel.
+    bs_rhs_baseline: Vec<Complex>,
+    /// RHS panel, solved in place into the internal-wave solution `X`.
+    bs_x: Vec<Complex>,
 }
 
 impl SolveWorkspace {
@@ -613,6 +827,10 @@ impl SolveWorkspace {
             elim: CMatrix::zeros(0, 0),
             elim_row_p: Vec::new(),
             elim_row_q: Vec::new(),
+            bs_lu: BlockSparseLu::new(),
+            bs_baseline: Vec::new(),
+            bs_rhs_baseline: Vec::new(),
+            bs_x: Vec::new(),
         }
     }
 }
@@ -655,7 +873,7 @@ mod tests {
     #[test]
     fn plan_matches_naive_evaluate_on_both_backends() {
         let circuit = elaborate(&mzi_from_parts());
-        for backend in [Backend::Dense, Backend::PortElimination] {
+        for backend in Backend::ALL {
             let plan = SweepPlan::new(&circuit, backend).unwrap();
             let mut ws = plan.workspace();
             let mut out = CMatrix::zeros(0, 0);
@@ -687,7 +905,7 @@ mod tests {
         // Evaluating the same wavelength twice through one workspace must
         // be bit-identical — stale state may not leak between points.
         let circuit = elaborate(&mzi_from_parts());
-        for backend in [Backend::Dense, Backend::PortElimination] {
+        for backend in Backend::ALL {
             let plan = SweepPlan::new(&circuit, backend).unwrap();
             let mut ws = plan.workspace();
             let mut first = CMatrix::zeros(0, 0);
@@ -711,7 +929,7 @@ mod tests {
             .model("waveguide", "waveguide")
             .build();
         let small = elaborate(&small_netlist);
-        for backend in [Backend::Dense, Backend::PortElimination] {
+        for backend in Backend::ALL {
             let big_plan = SweepPlan::new(&big, backend).unwrap();
             let small_plan = SweepPlan::new(&small, backend).unwrap();
             let mut ws = big_plan.workspace();
@@ -751,7 +969,7 @@ mod tests {
         assert_eq!(cache.len(), 1);
 
         // A cached-schedule plan computes the same bits as a fresh plan.
-        for backend in [Backend::Dense, Backend::PortElimination] {
+        for backend in Backend::ALL {
             let cached_plan = SweepPlan::with_schedule(&b, backend, Arc::clone(&sb)).unwrap();
             let fresh_plan = SweepPlan::new(&b, backend).unwrap();
             let mut ws_c = cached_plan.workspace();
@@ -777,7 +995,7 @@ mod tests {
             .model("waveguide", "waveguide")
             .build();
         let circuit = elaborate(&netlist);
-        for backend in [Backend::Dense, Backend::PortElimination] {
+        for backend in Backend::ALL {
             let plan = SweepPlan::new(&circuit, backend).unwrap();
             let mut ws = plan.workspace();
             let mut out = CMatrix::zeros(0, 0);

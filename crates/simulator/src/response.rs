@@ -10,7 +10,7 @@
 
 use crate::backend::{evaluate, Backend, SimError};
 use crate::elaborate::Circuit;
-use crate::plan::{SolveWorkspace, SweepPlan};
+use crate::plan::{SolveWorkspace, StripeMode, SweepPlan};
 use picbench_math::{CMatrix, Complex};
 use picbench_sparams::SMatrix;
 use std::fmt;
@@ -360,9 +360,7 @@ pub fn sweep_with_plan(
     let workers = threads.max(1).min(wavelengths.len().max(1));
     if workers <= 1 {
         let mut ws = plan.workspace();
-        for (i, sample) in samples.iter_mut().enumerate() {
-            run_point(plan, &mut ws, wavelengths[i], sample)?;
-        }
+        run_chunk(plan, &mut ws, &wavelengths, &mut samples, 0).map_err(|(_, e)| e)?;
     } else {
         // Contiguous chunks: point cost is uniform across the band, so a
         // static split balances well and needs no synchronisation.
@@ -376,11 +374,13 @@ pub fn sweep_with_plan(
                 handles.push(scope.spawn(move || -> Result<(), (usize, SimError)> {
                     let mut ws = plan.workspace();
                     let base = chunk_index * chunk_len;
-                    for (offset, sample) in chunk.iter_mut().enumerate() {
-                        run_point(plan, &mut ws, wavelengths[base + offset], sample)
-                            .map_err(|e| (base + offset, e))?;
-                    }
-                    Ok(())
+                    run_chunk(
+                        plan,
+                        &mut ws,
+                        &wavelengths[base..base + chunk.len()],
+                        chunk,
+                        base,
+                    )
                 }));
             }
             for handle in handles {
@@ -433,9 +433,7 @@ pub fn sweep_planned(
         run_point(plan, ws, wavelengths[0], &mut samples[0])?;
         replicate_first_sample(&mut samples);
     } else {
-        for (i, sample) in samples.iter_mut().enumerate() {
-            run_point(plan, ws, wavelengths[i], sample)?;
-        }
+        run_chunk(plan, ws, &wavelengths, &mut samples, 0).map_err(|(_, e)| e)?;
     }
     Ok(FrequencyResponse {
         wavelengths,
@@ -460,6 +458,44 @@ fn run_point(
     sample: &mut SMatrix,
 ) -> Result<(), SimError> {
     plan.evaluate_into(ws, wavelength_um, sample.matrix_mut())
+}
+
+/// Runs one contiguous chunk of grid points, batching it as a single
+/// stripe when the plan supports factoring once
+/// ([`SweepPlan::stripe_factors_once`]): the first point solves the
+/// system, the rest reuse the retained factorization (or a plain copy
+/// when the whole circuit is wavelength-independent). Per-point results
+/// are element-wise identical regardless of how the grid is chunked, so
+/// serial and parallel sweeps stay bit-identical. Errors carry the
+/// *global* grid index (`base` + offset).
+fn run_chunk(
+    plan: &SweepPlan<'_>,
+    ws: &mut SolveWorkspace,
+    wavelengths: &[f64],
+    samples: &mut [SMatrix],
+    base: usize,
+) -> Result<(), (usize, SimError)> {
+    debug_assert_eq!(wavelengths.len(), samples.len());
+    match plan.stripe_mode(samples.len()) {
+        StripeMode::PerPoint => {
+            for (offset, (&wl, sample)) in wavelengths.iter().zip(samples.iter_mut()).enumerate() {
+                run_point(plan, ws, wl, sample).map_err(|e| (base + offset, e))?;
+            }
+        }
+        mode @ (StripeMode::FactorOnceCopy | StripeMode::FactorOnceRecombine) => {
+            let (first, rest) = samples.split_first_mut().expect("points > 1");
+            run_point(plan, ws, wavelengths[0], first).map_err(|e| (base, e))?;
+            for (offset, sample) in rest.iter_mut().enumerate() {
+                match mode {
+                    StripeMode::FactorOnceCopy => sample.matrix_mut().copy_from(first.matrix()),
+                    _ => plan
+                        .evaluate_retained_into(ws, wavelengths[offset + 1], sample.matrix_mut())
+                        .map_err(|e| (base + offset + 1, e))?,
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -550,7 +586,7 @@ mod tests {
     fn parallel_sweep_is_element_wise_identical_to_serial() {
         let c = mzi_circuit(10.0);
         let g = WavelengthGrid::paper_default();
-        for backend in [Backend::PortElimination, Backend::Dense] {
+        for backend in Backend::ALL {
             let serial = sweep_serial(&c, &g, backend).unwrap();
             for threads in [2, 3, 8] {
                 let parallel = sweep_parallel(&c, &g, backend, threads).unwrap();
@@ -565,7 +601,7 @@ mod tests {
     fn default_sweep_matches_naive_sweep() {
         let c = mzi_circuit(10.0);
         let g = WavelengthGrid::paper_default();
-        for backend in [Backend::PortElimination, Backend::Dense] {
+        for backend in Backend::ALL {
             let planned = sweep(&c, &g, backend).unwrap();
             let naive = sweep_naive(&c, &g, backend).unwrap();
             let cmp = planned.compare(&naive);

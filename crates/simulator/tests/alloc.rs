@@ -88,7 +88,7 @@ fn memoizable_ladder(rungs: usize) -> Netlist {
 #[test]
 fn per_point_solve_is_allocation_free_on_both_backends() {
     let circuit = elaborate(&memoizable_ladder(6));
-    for backend in [Backend::PortElimination, Backend::Dense] {
+    for backend in Backend::ALL {
         let plan = SweepPlan::new(&circuit, backend).unwrap();
         assert_eq!(
             plan.memoized_instance_count(),
@@ -121,6 +121,45 @@ fn per_point_solve_is_allocation_free_on_both_backends() {
 }
 
 #[test]
+fn batched_stripe_solve_is_allocation_free_after_warmup() {
+    // The block-sparse batched execution: after one warm-up stripe has
+    // pushed every buffer (factor values, pivots, scratch, RHS panel,
+    // output matrices) to its high-water mark, an entire stripe —
+    // assembly, factorization, the panel solve and the per-point output
+    // replication (this fully memoized ladder takes the factor-once copy
+    // path) — must run without touching the allocator. (The recombine
+    // stripe path evaluates dispersive models per point, which allocate
+    // by design; its correctness is covered in tests/block_sparse.rs.)
+    let circuit = elaborate(&memoizable_ladder(6));
+    let plan = SweepPlan::new(&circuit, Backend::BlockSparse).unwrap();
+    let wavelengths: Vec<f64> = (0..16).map(|i| 1.51 + 0.005 * i as f64).collect();
+    let n_ext = 4;
+    let mut ws = plan.workspace();
+    let mut outs: Vec<CMatrix> = (0..wavelengths.len())
+        .map(|_| CMatrix::zeros(n_ext, n_ext))
+        .collect();
+    // Warm-up stripe.
+    plan.evaluate_stripe_into(&mut ws, &wavelengths, &mut outs)
+        .unwrap();
+
+    let (allocations, result) = count_allocations(|| {
+        let mut status = Ok(());
+        for _ in 0..4 {
+            if let Err((_, e)) = plan.evaluate_stripe_into(&mut ws, &wavelengths, &mut outs) {
+                status = Err(e);
+                break;
+            }
+        }
+        status
+    });
+    result.unwrap();
+    assert_eq!(
+        allocations, 0,
+        "batched per-stripe solve must not allocate after warmup"
+    );
+}
+
+#[test]
 fn dispersive_circuits_only_allocate_in_model_evaluation() {
     // With waveguides in the loop the models themselves build fresh
     // S-matrices per point; the *composition* must still be free. Sanity
@@ -141,7 +180,7 @@ fn dispersive_circuits_only_allocate_in_model_evaluation() {
         .model("waveguide", "waveguide")
         .build();
     let circuit = elaborate(&netlist);
-    for backend in [Backend::PortElimination, Backend::Dense] {
+    for backend in Backend::ALL {
         let plan = SweepPlan::new(&circuit, backend).unwrap();
         let mut ws = plan.workspace();
         let mut out = CMatrix::zeros(0, 0);

@@ -1,0 +1,191 @@
+//! Property tests for the block-sparse backend: across every structural
+//! family of the conformance generator, `Backend::BlockSparse` must agree
+//! with `Backend::Dense` within the conformance oracle tolerance — they
+//! solve the same scattering system through different eliminations — and
+//! the batched stripe execution must be element-wise identical to
+//! point-by-point evaluation.
+
+use picbench_conformance::{CircuitStrategy, Family, GeneratorConfig};
+use picbench_math::CMatrix;
+use picbench_sim::{
+    sweep_naive, sweep_serial, Backend, Circuit, ModelRegistry, SweepPlan, WavelengthGrid,
+};
+
+/// The conformance backend tolerance: genuinely different algorithms on
+/// the same physics (see `DiffRunner::backend_tol`).
+const ORACLE_TOL: f64 = 1e-8;
+
+fn cases_per_family() -> usize {
+    // Honour PROPTEST_CASES like the proptest-based suites, scaled down:
+    // these cases run three sweeps each.
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| (n / 16).max(6))
+        .unwrap_or(6)
+}
+
+#[test]
+fn block_sparse_matches_dense_on_every_generator_family() {
+    let registry = ModelRegistry::with_builtins();
+    let grid = WavelengthGrid::new(1.51, 1.59, 7);
+    let cases = cases_per_family();
+    for family in Family::ALL {
+        let strategy = CircuitStrategy::new(GeneratorConfig {
+            families: vec![family],
+            ..GeneratorConfig::default()
+        });
+        for (k, gen) in strategy.sample(0xB10C5, cases).into_iter().enumerate() {
+            let circuit = Circuit::elaborate(&gen.netlist, &registry, None)
+                .expect("generator netlists are valid");
+            let Ok(dense) = sweep_serial(&circuit, &grid, Backend::Dense) else {
+                // A resonance edge case neither backend can solve is not
+                // this test's business (the conformance runner owns it).
+                continue;
+            };
+            let sparse = sweep_serial(&circuit, &grid, Backend::BlockSparse)
+                .unwrap_or_else(|e| panic!("{family} case {k}: block-sparse failed: {e}"));
+            assert_eq!(dense.ports(), sparse.ports(), "{family} case {k}");
+            for i in 0..grid.points {
+                let diff = dense
+                    .sample(i)
+                    .unwrap()
+                    .max_abs_diff(sparse.sample(i).unwrap());
+                assert!(
+                    diff < ORACLE_TOL,
+                    "{family} case {k}, grid point {i}: |ΔS| = {diff:.3e}\n{}",
+                    gen.netlist.to_json_string()
+                );
+            }
+            // The naive (rebuild-per-point) block-sparse path runs the
+            // same arithmetic as the planned one.
+            let naive = sweep_naive(&circuit, &grid, Backend::BlockSparse)
+                .unwrap_or_else(|e| panic!("{family} case {k}: naive block-sparse failed: {e}"));
+            let cmp = naive.compare(&sparse);
+            assert!(
+                cmp.is_equivalent(1e-12),
+                "{family} case {k}: naive vs planned {cmp}"
+            );
+        }
+    }
+}
+
+#[test]
+fn recombine_stripe_matches_per_point_evaluation() {
+    // The factor-once *recombine* stripe mode fires when every instance
+    // feeding the system is memoized but some instance with no internal
+    // ports is dispersive: the coupled core (couplers + crossing) is
+    // static, while a disconnected waveguide contributes
+    // wavelength-dependent S_ee entries that must be refreshed and
+    // recombined at every point.
+    use picbench_netlist::NetlistBuilder;
+    let netlist = NetlistBuilder::new()
+        .instance_with("dc1", "coupler", &[("coupling", 0.3)])
+        .instance("x1", "crossing")
+        .connect("dc1,O1", "x1,I1")
+        .connect("dc1,O2", "x1,I2")
+        .instance_with("lone", "waveguide", &[("length", 35.0)])
+        .port("I1", "dc1,I1")
+        .port("I2", "dc1,I2")
+        .port("O1", "x1,O1")
+        .port("O2", "x1,O2")
+        .port("WI", "lone,I1")
+        .port("WO", "lone,O1")
+        .model("coupler", "coupler")
+        .model("crossing", "crossing")
+        .model("waveguide", "waveguide")
+        .build();
+    let registry = ModelRegistry::with_builtins();
+    let circuit = Circuit::elaborate(&netlist, &registry, None).unwrap();
+    let plan = SweepPlan::new(&circuit, Backend::BlockSparse).unwrap();
+    assert!(
+        plan.stripe_factors_once() && !plan.is_wavelength_independent(),
+        "this circuit must exercise the recombine mode"
+    );
+    let grid = WavelengthGrid::new(1.51, 1.59, 9);
+    let wavelengths = grid.wavelengths();
+    let n_ext = plan.external_count();
+
+    let mut ws = plan.workspace();
+    let mut pointwise: Vec<CMatrix> = (0..wavelengths.len())
+        .map(|_| CMatrix::zeros(n_ext, n_ext))
+        .collect();
+    for (i, &wl) in wavelengths.iter().enumerate() {
+        plan.evaluate_into(&mut ws, wl, &mut pointwise[i]).unwrap();
+    }
+    // The response must actually vary across the sweep (the dispersive
+    // S_ee entries), and the striped execution must reproduce the
+    // per-point loop bit for bit.
+    assert!(pointwise[0].max_abs_diff(&pointwise[8]) > 1e-6);
+    let mut ws = plan.workspace();
+    let mut striped: Vec<CMatrix> = (0..wavelengths.len())
+        .map(|_| CMatrix::zeros(n_ext, n_ext))
+        .collect();
+    plan.evaluate_stripe_into(&mut ws, &wavelengths, &mut striped)
+        .unwrap();
+    assert_eq!(pointwise, striped);
+
+    // Disabling the constant fold must force genuine per-point solves
+    // (the fold axis of the conformance harness relies on this) while
+    // producing the same bits.
+    let unfolded = SweepPlan::new(&circuit, Backend::BlockSparse)
+        .unwrap()
+        .with_constant_fold(false);
+    let mut ws = plan.workspace();
+    let mut per_point: Vec<CMatrix> = (0..wavelengths.len())
+        .map(|_| CMatrix::zeros(n_ext, n_ext))
+        .collect();
+    unfolded
+        .evaluate_stripe_into(&mut ws, &wavelengths, &mut per_point)
+        .unwrap();
+    assert_eq!(pointwise, per_point);
+}
+
+#[test]
+fn stripe_execution_is_identical_to_per_point_evaluation() {
+    let registry = ModelRegistry::with_builtins();
+    let grid = WavelengthGrid::new(1.51, 1.59, 13);
+    let wavelengths = grid.wavelengths();
+    for family in Family::ALL {
+        let strategy = CircuitStrategy::new(GeneratorConfig {
+            families: vec![family],
+            ..GeneratorConfig::default()
+        });
+        for gen in strategy.sample(0x57121BE, 4) {
+            let circuit = Circuit::elaborate(&gen.netlist, &registry, None).unwrap();
+            let plan = SweepPlan::new(&circuit, Backend::BlockSparse).unwrap();
+            let n_ext = plan.external_count();
+
+            let mut ws = plan.workspace();
+            let mut pointwise: Vec<CMatrix> = (0..wavelengths.len())
+                .map(|_| CMatrix::zeros(n_ext, n_ext))
+                .collect();
+            let mut ok = true;
+            for (i, &wl) in wavelengths.iter().enumerate() {
+                if plan.evaluate_into(&mut ws, wl, &mut pointwise[i]).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+
+            // One whole-grid stripe, and an uneven split — both must be
+            // element-wise identical to the per-point loop (this is what
+            // keeps serial and parallel sweeps bit-identical).
+            for bounds in [vec![0, 13], vec![0, 5, 13]] {
+                let mut ws = plan.workspace();
+                let mut striped: Vec<CMatrix> = (0..wavelengths.len())
+                    .map(|_| CMatrix::zeros(n_ext, n_ext))
+                    .collect();
+                for pair in bounds.windows(2) {
+                    let (lo, hi) = (pair[0], pair[1]);
+                    plan.evaluate_stripe_into(&mut ws, &wavelengths[lo..hi], &mut striped[lo..hi])
+                        .unwrap();
+                }
+                assert_eq!(pointwise, striped, "{family}");
+            }
+        }
+    }
+}

@@ -51,7 +51,7 @@ proptest! {
     ) {
         let circuit = elaborate(&chain_netlist(&arms));
         let grid = WavelengthGrid::new(1.51, 1.59, points);
-        for backend in [Backend::Dense, Backend::PortElimination] {
+        for backend in Backend::ALL {
             let naive = sweep_naive(&circuit, &grid, backend).unwrap();
             let planned = sweep_serial(&circuit, &grid, backend).unwrap();
             let cmp = naive.compare(&planned);
@@ -67,7 +67,7 @@ proptest! {
     ) {
         let circuit = elaborate(&chain_netlist(&arms));
         let grid = WavelengthGrid::new(1.51, 1.59, points);
-        for backend in [Backend::Dense, Backend::PortElimination] {
+        for backend in Backend::ALL {
             let serial = sweep_serial(&circuit, &grid, backend).unwrap();
             let parallel = sweep_parallel(&circuit, &grid, backend, threads).unwrap();
             // Element-wise identical, not merely within tolerance.
@@ -91,7 +91,7 @@ proptest! {
         let circuit_b = elaborate(&chain_netlist(&arms_b));
         let grid = WavelengthGrid::new(1.51, 1.59, points);
         let mut schedules = ScheduleCache::new();
-        for backend in [Backend::Dense, Backend::PortElimination] {
+        for backend in Backend::ALL {
             let plan_a =
                 SweepPlan::with_schedule(&circuit_a, backend, schedules.get_or_build(&circuit_a))
                     .unwrap();
