@@ -22,21 +22,57 @@
 //!
 //! Usage: `cargo run --release -p picbench-bench --bin campaign_bench --
 //! [--problems N] [--samples N] [--points N] [--reps N] [--threads N]
-//! [--min-speedup X] [--out PATH]`
+//! [--min-speedup X] [--out PATH] [--store-dir PATH] [--resume]`
 //!
 //! `--min-speedup X` exits non-zero when the cached engine is not at
 //! least `X`× faster than the baseline — CI runs a small workload with
 //! `--min-speedup 1.0` as a tripwire against silently disabling the
 //! cache.
+//!
+//! The bench also measures the **warm-start** path of the persistent
+//! store: a cold campaign populates a store (journal + disk cache
+//! tier), a second campaign over a freshly reopened store handle then
+//! reads it back; the disk-tier hit rate and both wall clocks land in
+//! the JSON. `--store-dir` pins the store location (default: a
+//! temporary directory, removed afterwards); `--resume` makes the warm
+//! run replay journalled cells outright instead of re-evaluating
+//! through the disk tier.
 
-use picbench_core::{run_campaign, CampaignConfig, CampaignGrain, CampaignReport};
+use picbench_core::{
+    run_campaign, Campaign, CampaignConfig, CampaignGrain, CampaignReport, EvalStore,
+    SharedEvalStore,
+};
+use picbench_problems::Problem;
 use picbench_sim::WavelengthGrid;
 use picbench_synthllm::ModelProfile;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn median_ms(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
+}
+
+/// Builds the cached-engine campaign with a persistent store attached —
+/// journalling (and resuming, when asked) through it.
+fn store_campaign(
+    problems: &[Problem],
+    profiles: &[ModelProfile],
+    config: &CampaignConfig,
+    store: SharedEvalStore,
+    resume: bool,
+) -> Campaign {
+    let builder = Campaign::builder()
+        .problems(problems.iter().cloned())
+        .profiles(profiles)
+        .config(config.clone());
+    let builder = if resume {
+        builder.resume_from(store)
+    } else {
+        builder.store(store)
+    };
+    builder.build().expect("valid campaign definition")
 }
 
 struct Args {
@@ -47,11 +83,13 @@ struct Args {
     threads: usize,
     min_speedup: Option<f64>,
     out: String,
+    store_dir: Option<PathBuf>,
+    resume: bool,
 }
 
 fn parse_args() -> Args {
     let usage = "usage: campaign_bench [--problems N] [--samples N] [--points N] [--reps N] \
-                 [--threads N] [--min-speedup X] [--out PATH]";
+                 [--threads N] [--min-speedup X] [--out PATH] [--store-dir PATH] [--resume]";
     let mut args = Args {
         problems: usize::MAX,
         samples: 5,
@@ -60,6 +98,8 @@ fn parse_args() -> Args {
         threads: 0,
         min_speedup: None,
         out: "BENCH_campaign.json".to_string(),
+        store_dir: None,
+        resume: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -105,6 +145,16 @@ fn parse_args() -> Args {
                     eprintln!("--out needs a path; {usage}");
                     std::process::exit(2);
                 });
+            }
+            "--store-dir" => {
+                i += 1;
+                args.store_dir = Some(argv.get(i).map(PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("--store-dir needs a path; {usage}");
+                    std::process::exit(2);
+                }));
+            }
+            "--resume" => {
+                args.resume = true;
             }
             other => {
                 eprintln!("unknown argument {other}; {usage}");
@@ -222,6 +272,72 @@ fn main() {
     assert!(identical_across_threads, "thread count changed results");
     println!("report bit-identical to uncached baseline and across thread counts: true");
 
+    // Warm-start through the persistent store: a cold campaign populates
+    // the journal and the disk cache tier, then a second campaign over a
+    // freshly reopened store handle reads it back. With --resume the
+    // warm run replays journalled cells outright; otherwise it
+    // re-evaluates through the disk tier and the disk hit rate shows how
+    // much work the store absorbed.
+    let store_path = args.store_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "picbench-campaign-bench-store-{}",
+            std::process::id()
+        ))
+    });
+    let ephemeral_store = args.store_dir.is_none();
+    let t = Instant::now();
+    let cold_store = Arc::new(EvalStore::open(&store_path).expect("open eval store"));
+    let cold_report = store_campaign(
+        &problems,
+        &profiles,
+        &cached_config,
+        Arc::clone(&cold_store),
+        false,
+    )
+    .run();
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    cold_store.sync();
+    drop(cold_store);
+    assert!(
+        cold_report.same_results(&cached_report),
+        "attaching a store changed campaign results"
+    );
+
+    let t = Instant::now();
+    let warm_store = Arc::new(EvalStore::open(&store_path).expect("reopen eval store"));
+    let warm_outcome = store_campaign(
+        &problems,
+        &profiles,
+        &cached_config,
+        warm_store,
+        args.resume,
+    )
+    .execute();
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let warm_report = warm_outcome.report.expect("uninterrupted warm run");
+    assert!(
+        warm_report.same_results(&cached_report),
+        "warm start changed campaign results"
+    );
+    let warm_stats = warm_report.cache_stats.expect("cached run has stats");
+    let warm_lookups = warm_stats.lookups();
+    let warm_disk_hits = warm_stats.disk_hits;
+    let warm_start_hit_rate = if warm_lookups > 0 {
+        warm_disk_hits as f64 / warm_lookups as f64
+    } else {
+        0.0
+    };
+    let cells_restored = warm_outcome.cells_restored;
+    if ephemeral_store {
+        let _ = std::fs::remove_dir_all(&store_path);
+    }
+    println!(
+        "store warm start: cold {cold_ms:.0} ms -> warm {warm_ms:.0} ms; \
+         {warm_disk_hits} of {warm_lookups} warm lookups served from disk ({:.1}%), \
+         {cells_restored} cells restored from journal",
+        100.0 * warm_start_hit_rate,
+    );
+
     let baseline = median_ms(baseline_ms);
     let cached = median_ms(cached_ms);
     let speedup = baseline / cached;
@@ -266,6 +382,11 @@ fn main() {
          \"cache\": {{\n    \"lookups\": {},\n    \"response_hits\": {},\n    \
          \"report_hits\": {},\n    \"sim_hits\": {},\n    \"misses\": {},\n    \
          \"hit_rate\": {hit_rate:.4}\n  }},\n  \
+         \"store\": {{\n    \"cold_ms\": {cold_ms:.1},\n    \"warm_ms\": {warm_ms:.1},\n    \
+         \"warm_lookups\": {warm_lookups},\n    \"warm_disk_hits\": {warm_disk_hits},\n    \
+         \"warm_start_hit_rate\": {warm_start_hit_rate:.4},\n    \
+         \"cells_restored\": {cells_restored},\n    \"resume\": {},\n    \
+         \"warm_report_identical\": true\n  }},\n  \
          \"report_identical_to_uncached_and_across_threads\": true,\n  \
          \"generated_by\": \"cargo run --release -p picbench-bench --bin campaign_bench\"\n}}\n",
         problems.len(),
@@ -282,6 +403,7 @@ fn main() {
         stats.report_hits,
         stats.sim_hits,
         stats.misses,
+        args.resume,
     );
     std::fs::write(&args.out, json).expect("write benchmark report");
     println!("wrote {}", args.out);

@@ -1,0 +1,229 @@
+//! `crash_recovery` — the kill/resume drill behind the CI crash-safety
+//! gate.
+//!
+//! The parent process runs one campaign three ways:
+//!
+//! 1. **control** — uninterrupted, fully in-memory;
+//! 2. **crash** — re-executes itself as a child with a
+//!    [`KillPoint::Abort`] installed: the child journals cells through a
+//!    persistent store and hard-aborts (`std::process::abort`, no
+//!    destructors) the moment the N-th cell's journal record is fsync'd;
+//! 3. **resume** — reopens the store the dead child left behind and
+//!    resumes the campaign from its journal.
+//!
+//! The drill passes only if the child really died abnormally, the resume
+//! restored at least the N journalled cells, and the merged report is
+//! **bit-identical** to the control run (`CampaignReport::same_results`).
+//!
+//! Usage: `cargo run --release -p picbench-bench --bin crash_recovery --
+//! [--kill-after N] [--problems N] [--samples N] [--threads N]
+//! [--store-dir PATH]`
+
+use picbench_core::{Campaign, CampaignConfig, CampaignReport, EvalStore, KillPoint};
+use picbench_problems::Problem;
+use picbench_sim::WavelengthGrid;
+use picbench_synthllm::ModelProfile;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Args {
+    kill_after: usize,
+    problems: usize,
+    samples: usize,
+    threads: usize,
+    store_dir: Option<PathBuf>,
+    /// Internal: set when this process is the crash child.
+    child: bool,
+}
+
+fn parse_args() -> Args {
+    let usage = "usage: crash_recovery [--kill-after N] [--problems N] [--samples N] \
+                 [--threads N] [--store-dir PATH]";
+    let mut args = Args {
+        kill_after: 3,
+        problems: 6,
+        samples: 2,
+        threads: 2,
+        store_dir: None,
+        child: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let numeric = |flag: &str, value: Option<&String>| -> usize {
+        value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} needs a non-negative integer; {usage}");
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--kill-after" => {
+                i += 1;
+                args.kill_after = numeric("--kill-after", argv.get(i));
+            }
+            "--problems" => {
+                i += 1;
+                args.problems = numeric("--problems", argv.get(i)).max(1);
+            }
+            "--samples" => {
+                i += 1;
+                args.samples = numeric("--samples", argv.get(i)).max(1);
+            }
+            "--threads" => {
+                i += 1;
+                args.threads = numeric("--threads", argv.get(i));
+            }
+            "--store-dir" => {
+                i += 1;
+                args.store_dir = Some(argv.get(i).map(PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("--store-dir needs a path; {usage}");
+                    std::process::exit(2);
+                }));
+            }
+            "--child" => args.child = true,
+            other => {
+                eprintln!("unknown argument {other}; {usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn workload(args: &Args) -> (Vec<Problem>, Vec<ModelProfile>, CampaignConfig) {
+    let mut problems = picbench_problems::suite();
+    problems.truncate(args.problems);
+    let profiles = vec![ModelProfile::gpt4(), ModelProfile::claude35_sonnet()];
+    let config = CampaignConfig {
+        samples_per_problem: args.samples,
+        k_values: vec![1, args.samples],
+        feedback_iters: vec![0, 1],
+        restrictions: false,
+        seed: 20_250_205,
+        grid: WavelengthGrid::paper_fast(),
+        threads: args.threads,
+        ..CampaignConfig::default()
+    };
+    (problems, profiles, config)
+}
+
+/// The crash child: journal through the store and hard-abort at the
+/// configured cell boundary. Reaching the end of `execute` means the
+/// kill point never tripped — exit 0 and let the parent flag it.
+fn run_child(args: &Args, store_dir: &PathBuf) -> ! {
+    let (problems, profiles, config) = workload(args);
+    let store = Arc::new(EvalStore::open(store_dir).expect("child: open eval store"));
+    let campaign = Campaign::builder()
+        .problems(problems)
+        .profiles(&profiles)
+        .config(config)
+        .store(store)
+        .kill_point(KillPoint::Abort {
+            after_cells: args.kill_after,
+        })
+        .build()
+        .expect("valid campaign definition");
+    let _ = campaign.execute();
+    std::process::exit(0);
+}
+
+fn control_run(args: &Args) -> CampaignReport {
+    let (problems, profiles, config) = workload(args);
+    Campaign::builder()
+        .problems(problems)
+        .profiles(&profiles)
+        .config(config)
+        .build()
+        .expect("valid campaign definition")
+        .run()
+}
+
+fn main() {
+    let args = parse_args();
+    let store_dir = args.store_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("picbench-crash-recovery-{}", std::process::id()))
+    });
+    if args.child {
+        run_child(&args, &store_dir);
+    }
+    let ephemeral = args.store_dir.is_none();
+
+    let (problems, profiles, config) = workload(&args);
+    let cells = problems.len() * profiles.len() * config.feedback_iters.len();
+    let kill_after = args.kill_after.min(cells.saturating_sub(1));
+    println!(
+        "workload: {} problems x {} models x {} feedback settings = {cells} cells; \
+         child aborts after cell {kill_after}",
+        problems.len(),
+        profiles.len(),
+        config.feedback_iters.len(),
+    );
+
+    println!("control: uninterrupted in-memory run...");
+    let control = control_run(&args);
+
+    println!("crash: spawning child with an abort kill point...");
+    let exe = std::env::current_exe().expect("current_exe");
+    let status = std::process::Command::new(exe)
+        .args([
+            "--child",
+            "--kill-after",
+            &kill_after.to_string(),
+            "--problems",
+            &args.problems.to_string(),
+            "--samples",
+            &args.samples.to_string(),
+            "--threads",
+            &args.threads.to_string(),
+            "--store-dir",
+        ])
+        .arg(&store_dir)
+        .status()
+        .expect("spawn crash child");
+    assert!(
+        !status.success(),
+        "child was expected to abort mid-campaign but exited cleanly ({status}); \
+         is --kill-after within the cell count?"
+    );
+    println!("crash: child died as expected ({status})");
+
+    println!("resume: reopening the journal the dead child left behind...");
+    let store = Arc::new(EvalStore::open(&store_dir).expect("reopen eval store"));
+    assert!(
+        !store.recovery().damaged(),
+        "store recovery reported damage after a boundary abort: {:?}",
+        store.recovery()
+    );
+    let outcome = Campaign::builder()
+        .problems(problems)
+        .profiles(&profiles)
+        .config(config)
+        .resume_from(store)
+        .build()
+        .expect("valid campaign definition")
+        .execute();
+    let resumed = outcome.report.expect("resumed run completes");
+
+    assert!(
+        outcome.cells_restored >= kill_after,
+        "resume restored {} cells but the child journalled at least {kill_after}",
+        outcome.cells_restored
+    );
+    assert!(
+        outcome.cells_restored < cells || kill_after == cells,
+        "resume restored every cell — the child cannot have aborted mid-campaign"
+    );
+    assert!(
+        resumed.same_results(&control),
+        "resumed report differs from the uninterrupted control run"
+    );
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+    println!(
+        "resume: restored {} of {cells} cells from the journal, re-ran the rest; \
+         merged report bit-identical to control: true",
+        outcome.cells_restored
+    );
+}

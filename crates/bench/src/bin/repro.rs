@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! repro table1|table2|table3|table4|fig1|fig2|fig3|fig4|all \
-//!     [--samples N] [--seed S] [--threads N] [--problems id,id,...]
+//!     [--samples N] [--seed S] [--threads N] [--problems id,id,...] \
+//!     [--store-dir PATH] [--resume]
 //! repro --list-problems
 //! ```
 //!
@@ -13,6 +14,12 @@
 //! bit-identical for every worker count); everything else is
 //! deterministic. Build with `--release` — the campaign tables simulate
 //! thousands of circuits.
+//!
+//! `--store-dir` journals campaign progress through a crash-safe
+//! persistent store (doubling as the evaluation cache's disk tier);
+//! `--resume` additionally replays cells completed by a previous,
+//! identically-configured run, so an interrupted table regeneration
+//! picks up where it left off and still prints bit-identical numbers.
 
 use picbench_bench::{
     error_histograms, fig1, fig2, fig3, fig4, list_problems, restriction_ablation_table, table1,
@@ -30,11 +37,14 @@ fn ok_or_exit(result: Result<String, String>) -> String {
 fn print_usage() {
     eprintln!(
         "usage: repro <artifact> [--samples N] [--seed S] [--threads N] [--problems id,id,...]\n\
+         \x20             [--store-dir PATH] [--resume]\n\
          artifacts: table1 table2 table3 table4 fig1 fig2 fig3 fig4 all\n\
          extensions: errors (failure-category histogram), ablation (leave-one-out restrictions)\n\
          --list-problems prints the registry inventory and exits\n\
          --problems restricts the Monte-Carlo artifacts (table3/table4/errors/ablation)\n\
-         --threads 0 (default) uses one worker per core; tables are bit-identical either way"
+         --threads 0 (default) uses one worker per core; tables are bit-identical either way\n\
+         --store-dir journals campaign cells through a crash-safe persistent store\n\
+         --resume replays cells journalled by a previous identical run from --store-dir"
     );
 }
 
@@ -88,6 +98,18 @@ fn main() {
                 }
                 scale.problems = Some(ids);
             }
+            "--store-dir" => {
+                i += 1;
+                scale.store_dir = Some(args.get(i).map(std::path::PathBuf::from).unwrap_or_else(
+                    || {
+                        eprintln!("--store-dir needs a directory path");
+                        std::process::exit(2);
+                    },
+                ));
+            }
+            "--resume" => {
+                scale.resume = true;
+            }
             "--list-problems" => {
                 print!("{}", list_problems());
                 return;
@@ -99,6 +121,10 @@ fn main() {
             other => artifacts.push(other.to_string()),
         }
         i += 1;
+    }
+    if scale.resume && scale.store_dir.is_none() {
+        eprintln!("--resume needs --store-dir");
+        std::process::exit(2);
     }
     if artifacts.iter().any(|a| a == "all") {
         artifacts = [

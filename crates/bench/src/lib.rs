@@ -19,8 +19,8 @@
 #![warn(missing_docs)]
 
 use picbench_core::{
-    collect_error_histogram, render_table, restriction_ablation, run_campaign, run_sample,
-    CampaignConfig, CampaignReport, Evaluator, LoopConfig,
+    collect_error_histogram, render_table, restriction_ablation, run_sample, Campaign,
+    CampaignConfig, CampaignReport, EvalStore, Evaluator, LoopConfig,
 };
 use picbench_netlist::{FailureType, PortRef};
 use picbench_prompt::{render_system_prompt, syntax_feedback, SystemPromptConfig};
@@ -41,6 +41,14 @@ pub struct ReproScale {
     /// Restrict Monte-Carlo artifacts to these registry problem ids
     /// (`None` = the full built-in suite, as in the paper).
     pub problems: Option<Vec<String>>,
+    /// Directory of a persistent [`EvalStore`]: campaigns journal
+    /// completed cells through it and use it as the disk tier under the
+    /// evaluation cache (`None` = fully in-memory).
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Resume from the journal in `store_dir`: cells completed by a
+    /// previous identically-configured run are replayed instead of
+    /// re-evaluated. No effect without `store_dir`.
+    pub resume: bool,
 }
 
 impl Default for ReproScale {
@@ -50,6 +58,8 @@ impl Default for ReproScale {
             seed: 20_250_205,
             threads: 0,
             problems: None,
+            store_dir: None,
+            resume: false,
         }
     }
 }
@@ -179,7 +189,22 @@ fn campaign(restrictions: bool, scale: &ReproScale) -> Result<CampaignReport, St
         threads: scale.threads,
         ..CampaignConfig::default()
     };
-    Ok(run_campaign(&profiles, &problems, &config))
+    let mut builder = Campaign::builder()
+        .problems(problems)
+        .profiles(&profiles)
+        .config(config);
+    if let Some(dir) = &scale.store_dir {
+        let store = EvalStore::open(dir)
+            .map_err(|e| format!("cannot open eval store at {}: {e}", dir.display()))?;
+        let store = std::sync::Arc::new(store);
+        builder = if scale.resume {
+            builder.resume_from(store)
+        } else {
+            builder.store(store)
+        };
+    }
+    let session = builder.build().map_err(|e| e.to_string())?;
+    Ok(session.run())
 }
 
 /// Regenerates Table III: Pass@1/Pass@n syntax and functionality for the

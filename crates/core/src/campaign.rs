@@ -32,17 +32,30 @@
 //! grain, with the cache on or off, and across the builder and legacy
 //! [`run_campaign`] entry points. Aggregation iterates cells in a fixed
 //! problem-major order, never in hash-map order.
+//!
+//! Campaigns are also **crash-safe**: attach a persistent
+//! [`EvalStore`](crate::persist::EvalStore) with
+//! [`CampaignBuilder::store`] and every completed cell is journalled
+//! (fsync'd before the cell counts as complete); reopen the store after
+//! a crash and [`CampaignBuilder::resume_from`] replays the journalled
+//! cells and re-runs only the remainder — the merged report stays
+//! bit-identical to an uninterrupted run. [`KillPoint`]s inject crashes
+//! at those same boundaries for recovery drills, and a
+//! [`RetryPolicy`] wrapped around the providers absorbs transient
+//! transport failures deterministically.
 
 use crate::evaluate::{EvalCache, EvalCacheStats, Evaluator};
 use crate::events::{CampaignEvent, CampaignObserver, CancelToken};
 use crate::feedback_loop::{run_sample, LoopConfig};
 use crate::passk::{aggregate_pass_at_k, ProblemTally};
+use crate::persist::SharedEvalStore;
 use picbench_problems::Problem;
 use picbench_sim::{Backend, FrequencyResponse, WavelengthGrid};
-use picbench_synthllm::{ModelProfile, ModelProvider};
+use picbench_store::fnv1a64;
+use picbench_synthllm::{ModelProfile, ModelProvider, RetryEvent, RetryPolicy, RetryProvider};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Work-distribution granularity of [`run_campaign`].
@@ -85,6 +98,12 @@ pub struct CampaignConfig {
     /// are bit-identical either way; this exists so benchmarks can time
     /// the historical baseline engine in the current tree.
     pub legacy_sweeps: bool,
+    /// Retry policy wrapped around every provider at execute time
+    /// (`None` = no retry layer). The wrapped providers keep their
+    /// display names, so report rows are unchanged; retry decisions
+    /// surface as [`CampaignEvent::SampleRetried`] /
+    /// [`CampaignEvent::SampleDegraded`].
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for CampaignConfig {
@@ -100,6 +119,36 @@ impl Default for CampaignConfig {
             grain: CampaignGrain::PerCell,
             cache: true,
             legacy_sweeps: false,
+            retry: None,
+        }
+    }
+}
+
+/// A crash-injection hook for recovery drills: trips once `after_cells`
+/// *freshly evaluated* cells have been journalled this run (restored
+/// cells don't count). The final cell's journal record is fsync'd before
+/// the kill fires, so a resumed run always sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Stop claiming new cells and return a cancelled-style
+    /// [`CampaignOutcome`] (`report: None`), exactly as if a
+    /// [`CancelToken`] had fired at that boundary. In-process drills.
+    Stop {
+        /// Fresh cells to complete before stopping (0 = before any).
+        after_cells: usize,
+    },
+    /// `std::process::abort()` at the same boundary — a hard crash
+    /// running no destructors, for out-of-process recovery drills.
+    Abort {
+        /// Fresh cells to complete before aborting (0 = before any).
+        after_cells: usize,
+    },
+}
+
+impl KillPoint {
+    fn after_cells(self) -> usize {
+        match self {
+            KillPoint::Stop { after_cells } | KillPoint::Abort { after_cells } => after_cells,
         }
     }
 }
@@ -232,6 +281,9 @@ pub struct Campaign {
     config: CampaignConfig,
     observer: Option<Arc<dyn CampaignObserver>>,
     cancel: Option<CancelToken>,
+    store: Option<SharedEvalStore>,
+    resume: bool,
+    kill: Option<KillPoint>,
 }
 
 impl fmt::Debug for Campaign {
@@ -249,6 +301,9 @@ impl fmt::Debug for Campaign {
             .field("config", &self.config)
             .field("observer", &self.observer.is_some())
             .field("cancellable", &self.cancel.is_some())
+            .field("store", &self.store.is_some())
+            .field("resume", &self.resume)
+            .field("kill", &self.kill)
             .finish()
     }
 }
@@ -259,14 +314,17 @@ pub struct CampaignOutcome {
     /// The aggregated report — `None` when the run was cancelled before
     /// every cell completed.
     pub report: Option<CampaignReport>,
-    /// Whether the run was actually cut short by cancellation. A cancel
-    /// request that lands after the last cell completed still yields the
-    /// full report and `cancelled: false`.
+    /// Whether the run was actually cut short — by a [`CancelToken`] or
+    /// a [`KillPoint::Stop`]. A cancel request that lands after the last
+    /// cell completed still yields the full report and `cancelled: false`.
     pub cancelled: bool,
-    /// Cells that ran to completion.
+    /// Cells accounted for — freshly evaluated plus restored.
     pub cells_completed: usize,
     /// Total cells in the matrix.
     pub cells_total: usize,
+    /// Cells replayed from the journal of a previous run instead of
+    /// being re-evaluated (always 0 without `resume_from`).
+    pub cells_restored: usize,
 }
 
 impl Campaign {
@@ -303,9 +361,29 @@ impl Campaign {
             &self.problems,
             &self.providers,
             &self.config,
-            self.observer.as_deref(),
+            self.observer.as_ref(),
             self.cancel.as_ref(),
+            self.store.as_ref(),
+            self.resume,
+            self.kill,
         )
+    }
+
+    /// The fingerprint identifying this campaign's result-relevant
+    /// inputs: problems (ids and golden content hashes), provider
+    /// names, samples, feedback settings, restrictions, seed, grid and
+    /// retry policy. Journal records are keyed by it, so a store can
+    /// hold journals of many campaigns and a resumed run only replays
+    /// cells whose inputs provably match. Scheduling knobs (threads,
+    /// grain, cache) and `k_values` are excluded — they cannot change
+    /// tallies.
+    pub fn fingerprint(&self) -> u64 {
+        let names: Vec<String> = self
+            .providers
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        campaign_fingerprint(&self.problems, &names, &self.config)
     }
 }
 
@@ -333,6 +411,9 @@ pub struct CampaignBuilder {
     config: Option<CampaignConfig>,
     observer: Option<Arc<dyn CampaignObserver>>,
     cancel: Option<CancelToken>,
+    store: Option<SharedEvalStore>,
+    resume: bool,
+    kill: Option<KillPoint>,
 }
 
 impl CampaignBuilder {
@@ -448,6 +529,46 @@ impl CampaignBuilder {
         self
     }
 
+    /// Wraps every provider in a retrying decorator at execute time.
+    ///
+    /// Transient transport failures (rate limits, connection resets,
+    /// timeouts, garbled responses) are retried with deterministic
+    /// seeded backoff instead of degrading into failure verdicts;
+    /// fatal failures and exhausted budgets still degrade, surfaced as
+    /// [`CampaignEvent::SampleDegraded`].
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.config_mut().retry = Some(policy);
+        self
+    }
+
+    /// Attaches a persistent [`EvalStore`](crate::persist::EvalStore):
+    /// the campaign journals every completed cell through it (fsync'd at
+    /// cell boundaries) and uses it as the disk tier under the shared
+    /// evaluation cache. Without [`CampaignBuilder::resume_from`]
+    /// semantics — journal entries of previous runs are ignored.
+    pub fn store(mut self, store: SharedEvalStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches a store *and* resumes from it: cells journalled by a
+    /// previous run of the same campaign (matching
+    /// [`Campaign::fingerprint`]) are replayed as
+    /// [`CampaignEvent::CellRestored`] without re-evaluating; only the
+    /// remainder runs. The merged report is bit-identical to an
+    /// uninterrupted run.
+    pub fn resume_from(mut self, store: SharedEvalStore) -> Self {
+        self.store = Some(store);
+        self.resume = true;
+        self
+    }
+
+    /// Installs a crash-injection [`KillPoint`] for recovery drills.
+    pub fn kill_point(mut self, kill: KillPoint) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+
     /// Attaches a progress observer fed typed [`CampaignEvent`]s.
     pub fn observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
         self.observer = Some(observer);
@@ -504,6 +625,9 @@ impl CampaignBuilder {
             config,
             observer: self.observer,
             cancel: self.cancel,
+            store: self.store,
+            resume: self.resume,
+            kill: self.kill,
         })
     }
 }
@@ -539,19 +663,115 @@ pub fn run_campaign(
         config: config.clone(),
         observer: None,
         cancel: None,
+        store: None,
+        resume: false,
+        kill: None,
     };
     campaign.run()
+}
+
+/// FNV-1a over the campaign's result-relevant inputs; see
+/// [`Campaign::fingerprint`].
+fn campaign_fingerprint(
+    problems: &[Problem],
+    provider_names: &[String],
+    config: &CampaignConfig,
+) -> u64 {
+    fn push_str(buf: &mut Vec<u8>, s: &str) {
+        buf.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        buf.extend_from_slice(s.as_bytes());
+    }
+    let mut buf = Vec::with_capacity(256);
+    buf.extend_from_slice(b"picbench-campaign-v1");
+    buf.extend_from_slice(&(problems.len() as u64).to_le_bytes());
+    for problem in problems {
+        push_str(&mut buf, &problem.id);
+        buf.extend_from_slice(&problem.golden.content_hash().to_le_bytes());
+    }
+    buf.extend_from_slice(&(provider_names.len() as u64).to_le_bytes());
+    for name in provider_names {
+        push_str(&mut buf, name);
+    }
+    buf.extend_from_slice(&(config.samples_per_problem as u64).to_le_bytes());
+    buf.extend_from_slice(&(config.feedback_iters.len() as u64).to_le_bytes());
+    for &ef in &config.feedback_iters {
+        buf.extend_from_slice(&(ef as u64).to_le_bytes());
+    }
+    buf.push(u8::from(config.restrictions));
+    buf.extend_from_slice(&config.seed.to_le_bytes());
+    buf.extend_from_slice(&config.grid.start_um.to_bits().to_le_bytes());
+    buf.extend_from_slice(&config.grid.stop_um.to_bits().to_le_bytes());
+    buf.extend_from_slice(&(config.grid.points as u64).to_le_bytes());
+    match config.retry {
+        Some(policy) => {
+            buf.push(1);
+            buf.extend_from_slice(&policy.digest().to_le_bytes());
+        }
+        None => buf.push(0),
+    }
+    fnv1a64(&buf)
+}
+
+/// Stable journal key of one `(problem × model × feedback)` cell —
+/// derived from identities, not matrix indices, so reordering the
+/// problem or provider lists does not orphan journal records.
+fn cell_journal_key(problem_id: &str, provider: &str, feedback_iters: usize) -> u64 {
+    let mut buf = Vec::with_capacity(problem_id.len() + provider.len() + 24);
+    buf.extend_from_slice(&(problem_id.len() as u64).to_le_bytes());
+    buf.extend_from_slice(problem_id.as_bytes());
+    buf.extend_from_slice(&(provider.len() as u64).to_le_bytes());
+    buf.extend_from_slice(provider.as_bytes());
+    buf.extend_from_slice(&(feedback_iters as u64).to_le_bytes());
+    fnv1a64(&buf)
+}
+
+/// Bridges retry-layer decisions into the campaign event stream.
+fn bridge_retry_event(event: &RetryEvent) -> CampaignEvent {
+    match event {
+        RetryEvent::Retried {
+            provider,
+            problem,
+            sample,
+            attempt,
+            kind,
+            backoff_ms,
+        } => CampaignEvent::SampleRetried {
+            model: provider.clone(),
+            problem_id: problem.clone(),
+            sample: *sample,
+            attempt: *attempt,
+            kind: *kind,
+            backoff_ms: *backoff_ms,
+        },
+        RetryEvent::Degraded {
+            provider,
+            problem,
+            sample,
+            attempts,
+            kind,
+        } => CampaignEvent::SampleDegraded {
+            model: provider.clone(),
+            problem_id: problem.clone(),
+            sample: *sample,
+            attempts: *attempts,
+            kind: *kind,
+        },
+    }
 }
 
 /// The campaign engine: fans `(problem × model × feedback)` cells out
 /// over worker threads, spawning one model instance per cell from the
 /// cell's provider, and aggregates deterministically.
+#[allow(clippy::too_many_arguments)]
 fn execute_campaign(
     problems: &[Problem],
     providers: &[Arc<dyn ModelProvider>],
     config: &CampaignConfig,
-    observer: Option<&dyn CampaignObserver>,
+    observer: Option<&Arc<dyn CampaignObserver>>,
     cancel: Option<&CancelToken>,
+    store: Option<&SharedEvalStore>,
+    resume: bool,
+    kill: Option<KillPoint>,
 ) -> CampaignOutcome {
     assert!(!problems.is_empty(), "campaign needs problems");
     assert!(!providers.is_empty(), "campaign needs model providers");
@@ -562,7 +782,35 @@ fn execute_campaign(
             observer.on_event(&event);
         }
     };
-    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
+
+    // The retry layer decorates providers at execute time, preserving
+    // their display names; its decisions are bridged into the campaign
+    // event stream through the observer.
+    let wrapped: Vec<Arc<dyn ModelProvider>>;
+    let providers: &[Arc<dyn ModelProvider>] = match config.retry {
+        Some(policy) => {
+            wrapped = providers
+                .iter()
+                .map(|provider| {
+                    let mut retrying = RetryProvider::new(Arc::clone(provider), policy);
+                    if let Some(observer) = observer {
+                        let observer = Arc::clone(observer);
+                        retrying = retrying.with_sink(Arc::new(move |event: &RetryEvent| {
+                            observer.on_event(&bridge_retry_event(event));
+                        }));
+                    }
+                    Arc::new(retrying) as Arc<dyn ModelProvider>
+                })
+                .collect();
+            &wrapped
+        }
+        None => providers,
+    };
+
+    // A kill point folds into the same cooperative halt path as the
+    // cancel token: both stop new cells at cell boundaries.
+    let killed = AtomicBool::new(false);
+    let halted = || killed.load(Ordering::Acquire) || cancel.is_some_and(CancelToken::is_cancelled);
     let provider_names: Vec<String> = providers.iter().map(|p| p.name().to_string()).collect();
 
     // Cells in problem-major order; `PerProblem` groups each problem's
@@ -593,12 +841,72 @@ fn execute_campaign(
         cells: cells.len(),
     });
 
+    // Journal identity: the fingerprint scopes records to this exact
+    // campaign, the per-cell keys are derived from identities (problem
+    // id, provider name, feedback setting), not matrix indices.
+    let fingerprint = campaign_fingerprint(problems, &provider_names, config);
+    let cell_keys: Vec<u64> = cells
+        .iter()
+        .map(|cell| {
+            cell_journal_key(
+                &problems[cell.problem].id,
+                &provider_names[cell.profile],
+                config.feedback_iters[cell.ef_idx],
+            )
+        })
+        .collect();
+
+    // Resume: replay cells journalled by a previous run of the same
+    // campaign before any worker starts. Restored tallies were computed
+    // by the same deterministic engine, so the merged report is
+    // bit-identical to an uninterrupted run.
+    let mut restored: Vec<Option<ProblemTally>> = vec![None; cells.len()];
+    let mut cells_restored = 0usize;
+    if resume {
+        if let Some(store) = store {
+            let journal: HashMap<u64, ProblemTally> =
+                store.completed_cells(fingerprint).into_iter().collect();
+            for (index, key) in cell_keys.iter().enumerate() {
+                if let Some(tally) = journal.get(key) {
+                    restored[index] = Some(*tally);
+                    cells_restored += 1;
+                    let cell = cells[index];
+                    emit(CampaignEvent::CellRestored {
+                        problem_id: problems[cell.problem].id.clone(),
+                        model: provider_names[cell.profile].clone(),
+                        feedback_iters: config.feedback_iters[cell.ef_idx],
+                        tally: *tally,
+                        completed: cells_restored,
+                        total: cells.len(),
+                    });
+                }
+            }
+        }
+    }
+
+    // A kill point at boundary 0 trips before any evaluation work.
+    if let Some(kill) = kill {
+        if kill.after_cells() == 0 && cells_restored < cells.len() {
+            match kill {
+                KillPoint::Stop { .. } => killed.store(true, Ordering::Release),
+                KillPoint::Abort { .. } => std::process::abort(),
+            }
+        }
+    }
+
     // Golden responses: simulated once, shared immutably by every worker,
     // and seeded into the evaluation cache so golden-identical candidates
-    // are instant hits. This serial priming phase honours the cancel
-    // token per problem, so an early abort responds promptly instead of
-    // sweeping every golden first.
-    let cache = config.cache.then(|| Arc::new(EvalCache::new()));
+    // are instant hits. This serial priming phase honours the halt
+    // switch per problem, so an early abort responds promptly instead of
+    // sweeping every golden first. When a store is attached it doubles
+    // as the disk tier under the shared cache.
+    let cache = config.cache.then(|| {
+        let mut cache = EvalCache::new();
+        if let Some(store) = store {
+            cache = cache.with_disk(Arc::clone(store));
+        }
+        Arc::new(cache)
+    });
     let goldens: Arc<HashMap<String, Arc<FrequencyResponse>>> = {
         let mut evaluator = Evaluator::new(config.grid, Backend::default());
         if let Some(cache) = &cache {
@@ -606,24 +914,25 @@ fn execute_campaign(
         }
         let mut table = HashMap::with_capacity(problems.len());
         for problem in problems {
-            if cancelled() {
+            if halted() {
                 break;
             }
             table.insert(problem.id.clone(), evaluator.prime_golden(problem));
         }
         Arc::new(table)
     };
-    if cancelled() {
+    if halted() && cells_restored < cells.len() {
         emit(CampaignEvent::CampaignFinished {
-            cells_completed: 0,
+            cells_completed: cells_restored,
             cells_total: cells.len(),
             cancelled: true,
         });
         return CampaignOutcome {
             report: None,
             cancelled: true,
-            cells_completed: 0,
+            cells_completed: cells_restored,
             cells_total: cells.len(),
+            cells_restored,
         };
     }
 
@@ -646,7 +955,9 @@ fn execute_campaign(
     };
 
     let next_unit = AtomicUsize::new(0);
-    let completed = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(cells_restored);
+    let fresh = AtomicUsize::new(0);
+    let store_degraded_reported = AtomicBool::new(false);
     let results: Mutex<Vec<(usize, ProblemTally)>> = Mutex::new(Vec::with_capacity(cells.len()));
 
     std::thread::scope(|scope| {
@@ -661,7 +972,7 @@ fn execute_campaign(
                 }
                 let mut local: Vec<(usize, ProblemTally)> = Vec::new();
                 'units: loop {
-                    if cancelled() {
+                    if halted() {
                         break;
                     }
                     let unit = next_unit.fetch_add(1, Ordering::Relaxed);
@@ -672,8 +983,12 @@ fn execute_campaign(
                         // Cooperative abort at cell boundaries: a started
                         // cell always finishes (and emits CellFinished),
                         // so the event stream stays well-formed.
-                        if cancelled() {
+                        if halted() {
                             break 'units;
+                        }
+                        // Restored cells were replayed up front.
+                        if restored[cell_index].is_some() {
+                            continue;
                         }
                         let cell = cells[cell_index];
                         let problem = &problems[cell.problem];
@@ -708,6 +1023,19 @@ fn execute_campaign(
                                 tally.functional_passes += 1;
                             }
                         }
+                        // Durability barrier: the cell's journal record
+                        // is written and fsync'd *before* the cell is
+                        // counted complete, so any crash after this
+                        // point leaves a resumable journal.
+                        if let Some(store) = store {
+                            if !store.record_cell(fingerprint, cell_keys[cell_index], &tally)
+                                && !store_degraded_reported.swap(true, Ordering::AcqRel)
+                            {
+                                emit(CampaignEvent::StoreDegraded {
+                                    write_errors: store.write_errors(),
+                                });
+                            }
+                        }
                         let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                         emit(CampaignEvent::CellFinished {
                             problem_id: problem.id.clone(),
@@ -718,6 +1046,16 @@ fn execute_campaign(
                             total: cells.len(),
                         });
                         local.push((cell_index, tally));
+                        if let Some(kill) = kill {
+                            if fresh.fetch_add(1, Ordering::Relaxed) + 1 >= kill.after_cells() {
+                                match kill {
+                                    KillPoint::Stop { .. } => {
+                                        killed.store(true, Ordering::Release);
+                                    }
+                                    KillPoint::Abort { .. } => std::process::abort(),
+                                }
+                            }
+                        }
                     }
                 }
                 results.lock().expect("results poisoned").extend(local);
@@ -726,7 +1064,7 @@ fn execute_campaign(
     });
 
     let cells_completed = completed.load(Ordering::Relaxed);
-    if cancelled() && cells_completed < cells.len() {
+    if halted() && cells_completed < cells.len() {
         emit(CampaignEvent::CampaignFinished {
             cells_completed,
             cells_total: cells.len(),
@@ -737,11 +1075,12 @@ fn execute_campaign(
             cancelled: true,
             cells_completed,
             cells_total: cells.len(),
+            cells_restored,
         };
     }
 
     let raw = results.into_inner().expect("results poisoned");
-    let mut by_cell: Vec<Option<ProblemTally>> = vec![None; cells.len()];
+    let mut by_cell: Vec<Option<ProblemTally>> = restored;
     for (index, tally) in raw {
         by_cell[index] = Some(tally);
     }
@@ -804,6 +1143,7 @@ fn execute_campaign(
         cancelled: false,
         cells_completed,
         cells_total: cells.len(),
+        cells_restored,
     }
 }
 

@@ -102,18 +102,18 @@ impl EvalReport {
 /// Identifies one simulation: canonical netlist digest, wavelength grid
 /// (bit pattern), backend, and the problem's external port-count spec
 /// (which participates in validation).
-type SimKey = (u64, (u64, u64, usize), Backend, (usize, usize));
+pub(crate) type SimKey = (u64, (u64, u64, usize), Backend, (usize, usize));
 
 /// A [`SimKey`] further scoped by problem-id digest and functional
 /// tolerance — the key of a finished [`EvalReport`]. (Digests rather
 /// than owned `String`s keep cache lookups allocation-free.)
-type ReportKey = (SimKey, u64, u64);
+pub(crate) type ReportKey = (SimKey, u64, u64);
 
 /// Identifies one raw-response evaluation: response-text digest, grid,
 /// backend, problem-id digest, tolerance. A verdict is a pure function
 /// of these (given the fixed built-in registry), so whole reports can be
 /// replayed from it.
-type ResponseKey = (u64, (u64, u64, usize), Backend, u64, u64);
+pub(crate) type ResponseKey = (u64, (u64, u64, usize), Backend, u64, u64);
 
 /// The memoized outcome of simulating one structurally valid netlist.
 #[derive(Debug, Clone)]
@@ -136,6 +136,10 @@ pub struct EvalCacheStats {
     pub report_hits: u64,
     /// Verdicts re-derived from a memoized sweep.
     pub sim_hits: u64,
+    /// Lookups served from the persistent disk tier (counted separately
+    /// from the memory-tier hits above; a disk hit also warms memory, so
+    /// repeats of the same key surface as memory hits).
+    pub disk_hits: u64,
     /// Evaluations that had to run the full simulation.
     pub misses: u64,
 }
@@ -145,7 +149,7 @@ impl EvalCacheStats {
     /// first-sight responses run no sweep and are counted on neither
     /// side; their repeats surface as `response_hits`.)
     pub fn lookups(&self) -> u64 {
-        self.response_hits + self.report_hits + self.sim_hits + self.misses
+        self.response_hits + self.report_hits + self.sim_hits + self.disk_hits + self.misses
     }
 
     /// Fraction of [`EvalCacheStats::lookups`] served without running a
@@ -174,9 +178,13 @@ pub struct EvalCache {
     sim_shards: Vec<Mutex<HashMap<SimKey, SimOutcome>>>,
     report_shards: Vec<Mutex<HashMap<ReportKey, EvalReport>>>,
     response_shards: Vec<Mutex<HashMap<ResponseKey, EvalReport>>>,
+    /// Optional persistent tier: memory misses fall through to it, and
+    /// fresh computations write through so they warm-start future runs.
+    disk: Option<Arc<crate::persist::EvalStore>>,
     response_hits: AtomicU64,
     report_hits: AtomicU64,
     sim_hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -199,25 +207,61 @@ impl EvalCache {
             response_shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            disk: None,
             response_hits: AtomicU64::new(0),
             report_hits: AtomicU64::new(0),
             sim_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a persistent disk tier: lookups missing every memory
+    /// tier fall through to the store (counted as
+    /// [`EvalCacheStats::disk_hits`] and warming memory), and fresh
+    /// results write through so later runs warm-start. Store write
+    /// failures degrade the store silently — the cache never fails an
+    /// evaluation over its disk tier.
+    pub fn with_disk(mut self, store: Arc<crate::persist::EvalStore>) -> Self {
+        self.disk = Some(store);
+        self
+    }
+
+    /// The attached disk tier, if any.
+    pub fn disk(&self) -> Option<&Arc<crate::persist::EvalStore>> {
+        self.disk.as_ref()
     }
 
     fn shard(hash: u64) -> usize {
         (hash as usize) & (SHARD_COUNT - 1)
     }
 
+    /// Every `get_*` counts its own hit (memory tier, then disk tier);
+    /// `None` means the caller computes — and counts the miss only when
+    /// it actually runs a sweep.
     fn get_report(&self, key: &ReportKey) -> Option<EvalReport> {
-        let shard = self.report_shards[Self::shard(key.0 .0)]
+        {
+            let shard = self.report_shards[Self::shard(key.0 .0)]
+                .lock()
+                .expect("report shard poisoned");
+            if let Some(report) = shard.get(key) {
+                self.report_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(report.clone());
+            }
+        }
+        let report = self.disk.as_ref()?.get_report(key)?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.report_shards[Self::shard(key.0 .0)]
             .lock()
             .expect("report shard poisoned");
-        shard.get(key).cloned()
+        shard.entry(*key).or_insert_with(|| report.clone());
+        Some(report)
     }
 
     fn put_report(&self, key: ReportKey, report: EvalReport) {
+        if let Some(disk) = &self.disk {
+            disk.put_report(&key, &report);
+        }
         let mut shard = self.report_shards[Self::shard(key.0 .0)]
             .lock()
             .expect("report shard poisoned");
@@ -225,13 +269,28 @@ impl EvalCache {
     }
 
     fn get_response(&self, key: &ResponseKey) -> Option<EvalReport> {
-        let shard = self.response_shards[Self::shard(key.0)]
+        {
+            let shard = self.response_shards[Self::shard(key.0)]
+                .lock()
+                .expect("response shard poisoned");
+            if let Some(report) = shard.get(key) {
+                self.response_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(report.clone());
+            }
+        }
+        let report = self.disk.as_ref()?.get_verdict(key)?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.response_shards[Self::shard(key.0)]
             .lock()
             .expect("response shard poisoned");
-        shard.get(key).cloned()
+        shard.entry(*key).or_insert_with(|| report.clone());
+        Some(report)
     }
 
     fn put_response(&self, key: ResponseKey, report: EvalReport) {
+        if let Some(disk) = &self.disk {
+            disk.put_verdict(&key, &report);
+        }
         let mut shard = self.response_shards[Self::shard(key.0)]
             .lock()
             .expect("response shard poisoned");
@@ -239,13 +298,30 @@ impl EvalCache {
     }
 
     fn get_sim(&self, key: &SimKey) -> Option<SimOutcome> {
-        let shard = self.sim_shards[Self::shard(key.0)]
+        {
+            let shard = self.sim_shards[Self::shard(key.0)]
+                .lock()
+                .expect("sim shard poisoned");
+            if let Some(outcome) = shard.get(key) {
+                self.sim_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(outcome.clone());
+            }
+        }
+        // Only successful sweeps are persisted; failures recompute (they
+        // run no sweep, so replaying them from disk would save nothing).
+        let response = self.disk.as_ref()?.get_sim(key)?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        let outcome = SimOutcome::Response(Arc::new(response));
+        let mut shard = self.sim_shards[Self::shard(key.0)]
             .lock()
             .expect("sim shard poisoned");
-        shard.get(key).cloned()
+        Some(shard.entry(*key).or_insert(outcome).clone())
     }
 
     fn put_sim(&self, key: SimKey, outcome: SimOutcome) {
+        if let (Some(disk), SimOutcome::Response(response)) = (&self.disk, &outcome) {
+            disk.put_sim(&key, response);
+        }
         let mut shard = self.sim_shards[Self::shard(key.0)]
             .lock()
             .expect("sim shard poisoned");
@@ -266,6 +342,7 @@ impl EvalCache {
             response_hits: self.response_hits.load(Ordering::Relaxed),
             report_hits: self.report_hits.load(Ordering::Relaxed),
             sim_hits: self.sim_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
@@ -549,7 +626,6 @@ impl Evaluator {
         let key = self.cache.as_ref().map(|_| self.sim_key(problem, hash));
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
             if let Some(outcome) = cache.get_sim(key) {
-                cache.sim_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(outcome);
             }
         }
@@ -595,7 +671,6 @@ impl Evaluator {
         // Level 2: a finished verdict for this exact evaluation.
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
             if let Some(report) = cache.get_report(key) {
-                cache.report_hits.fetch_add(1, Ordering::Relaxed);
                 return report;
             }
         }
@@ -632,7 +707,6 @@ impl Evaluator {
         });
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
             if let Some(report) = cache.get_response(key) {
-                cache.response_hits.fetch_add(1, Ordering::Relaxed);
                 return report;
             }
         }
@@ -792,6 +866,52 @@ mod tests {
         assert_eq!(stats.misses, 1, "{stats:?}");
         assert_eq!(stats.report_hits + stats.sim_hits, 1, "{stats:?}");
         assert_eq!(cache.simulation_count(), 1);
+    }
+
+    #[test]
+    fn disk_tier_warm_starts_across_cache_instances() {
+        use crate::persist::EvalStore;
+        let dir = std::env::temp_dir().join(format!("picbench-disk-tier-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let problem = mzi_ps();
+        let text = wrap(&problem.golden.to_json_string());
+
+        let cold = {
+            let store = Arc::new(EvalStore::open(&dir).unwrap());
+            let cache = Arc::new(EvalCache::new().with_disk(store));
+            let mut ev = Evaluator::default().with_cache(Arc::clone(&cache));
+            let cold = ev.evaluate_response(&problem, &text);
+            assert!(cold.functional_pass());
+            let stats = cache.stats();
+            assert_eq!(stats.misses, 1, "{stats:?}");
+            assert_eq!(stats.disk_hits, 0, "{stats:?}");
+            assert!(cache.disk().unwrap().sync());
+            cold
+        };
+
+        // A fresh process (fresh memory tiers) replays from disk alone.
+        let store = Arc::new(EvalStore::open(&dir).unwrap());
+        let cache = Arc::new(EvalCache::new().with_disk(store));
+        let mut ev = Evaluator::default().with_cache(Arc::clone(&cache));
+        let warm = ev.evaluate_response(&problem, &text);
+        assert!(warm.functional_pass());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 0, "{stats:?}");
+        assert_eq!(stats.disk_hits, 1, "{stats:?}");
+        assert_eq!(
+            stats.response_hits + stats.report_hits + stats.sim_hits,
+            0,
+            "disk hits must not masquerade as memory hits: {stats:?}"
+        );
+        // Bit-identical comparison details across the disk roundtrip.
+        assert_eq!(cold.comparison, warm.comparison);
+
+        // The disk hit warmed memory: repeats are memory hits.
+        let again = ev.evaluate_response(&problem, &text);
+        assert!(again.functional_pass());
+        assert_eq!(cache.stats().response_hits, 1);
+        assert_eq!(cache.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!
 //! ```text
 //! CampaignStarted
-//!   (CellStarted → CellFinished)*   — one pair per completed cell
+//!   (CellRestored)*                 — resumed runs: journalled cells, replayed up front
+//!   [StoreDegraded]                 — at most once, if the store stops accepting writes
+//!   (CellStarted → CellFinished)*   — one pair per freshly evaluated cell
+//!     …SampleRetried / SampleDegraded interleave inside cells when a
+//!     retry policy is active…
 //! [CacheStats]                      — on completion, when caching is on
 //! CampaignFinished { cancelled }
 //! ```
@@ -20,6 +24,7 @@
 
 use crate::evaluate::EvalCacheStats;
 use crate::passk::ProblemTally;
+use picbench_synthllm::TransportErrorKind;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -86,6 +91,62 @@ pub enum CampaignEvent {
         completed: usize,
         /// Total cells in the campaign.
         total: usize,
+    },
+    /// A cell journalled by a previous run of the same campaign was
+    /// restored from the persistent store without re-evaluating
+    /// (resumed campaigns only; emitted before any worker starts).
+    CellRestored {
+        /// Problem id of the cell.
+        problem_id: String,
+        /// Provider display name of the cell.
+        model: String,
+        /// Feedback-iteration setting of the cell.
+        feedback_iters: usize,
+        /// The tally recorded by the previous run.
+        tally: ProblemTally,
+        /// Cells accounted for so far (restored ones included).
+        completed: usize,
+        /// Total cells in the campaign.
+        total: usize,
+    },
+    /// The retry layer absorbed a transient transport failure and will
+    /// re-attempt the sample's response (campaigns with a retry policy
+    /// only).
+    SampleRetried {
+        /// Provider display name.
+        model: String,
+        /// Problem id of the affected sample.
+        problem_id: String,
+        /// Sample index within the cell.
+        sample: u64,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// How the failure was classified.
+        kind: TransportErrorKind,
+        /// Backoff consumed before the retry.
+        backoff_ms: u64,
+    },
+    /// The retry layer gave up — fatal failure, attempts exhausted, or
+    /// backoff budget spent — and the failure response degrades into
+    /// the evaluation pipeline as a classified failure.
+    SampleDegraded {
+        /// Provider display name.
+        model: String,
+        /// Problem id of the affected sample.
+        problem_id: String,
+        /// Sample index within the cell.
+        sample: u64,
+        /// Attempts made, including the degrading one.
+        attempts: u32,
+        /// How the final failure was classified.
+        kind: TransportErrorKind,
+    },
+    /// The persistent store hit a write error and disabled itself for
+    /// the rest of the run; evaluation continues unjournalled. Emitted
+    /// at most once per campaign.
+    StoreDegraded {
+        /// Write errors the store had observed when it degraded.
+        write_errors: u64,
     },
     /// Final counters of the shared evaluation cache (completion only).
     CacheStats(EvalCacheStats),

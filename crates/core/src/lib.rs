@@ -64,13 +64,14 @@ mod evaluate;
 mod events;
 mod feedback_loop;
 mod passk;
+pub mod persist;
 mod report;
 mod stats;
 mod trace;
 
 pub use campaign::{
     run_campaign, Campaign, CampaignBuildError, CampaignBuilder, CampaignConfig, CampaignGrain,
-    CampaignOutcome, CampaignReport, CellScore, ConditionTallies,
+    CampaignOutcome, CampaignReport, CellScore, ConditionTallies, KillPoint,
 };
 pub use evaluate::{
     EvalCache, EvalCacheStats, EvalReport, Evaluator, DEFAULT_FUNCTIONAL_TOLERANCE,
@@ -78,6 +79,10 @@ pub use evaluate::{
 pub use events::{CampaignEvent, CampaignObserver, CancelToken};
 pub use feedback_loop::{run_sample, AttemptRecord, LoopConfig, SampleResult};
 pub use passk::{aggregate_pass_at_k, pass_at_k, ProblemTally};
+pub use persist::{EvalStore, SharedEvalStore};
+// Retry-layer types surface in `CampaignConfig` and `CampaignEvent`;
+// re-exported so campaign drivers need only this crate.
+pub use picbench_synthllm::{RetryEvent, RetryPolicy, RetryProvider, TransportErrorKind};
 pub use report::{render_csv, render_table};
 pub use stats::{collect_error_histogram, restriction_ablation, AblationRow, ErrorHistogram};
 pub use trace::render_trace_markdown;

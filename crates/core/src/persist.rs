@@ -1,0 +1,660 @@
+//! Typed persistence over the crash-safe store: the disk tier under
+//! [`EvalCache`](crate::EvalCache) and the campaign cell journal.
+//!
+//! `picbench-store` is a byte-level key/value log; this module owns the
+//! typed encode/decode for the things PICBench persists:
+//!
+//! * **verdicts** ([`EvalReport`] keyed by response-text digest),
+//! * **reports** ([`EvalReport`] keyed by canonical netlist digest),
+//! * **sweep outcomes** ([`FrequencyResponse`] keyed by simulation key;
+//!   only *successful* sweeps are persisted — failures are cheap to
+//!   classify and recompute),
+//! * **campaign cells** ([`ProblemTally`] keyed by campaign fingerprint
+//!   and cell id — the journal resumable campaigns replay).
+//!
+//! Decoding is defensive end to end: any malformed value decodes to
+//! `None` and the entry recomputes. Corruption costs time, never
+//! correctness — the same contract the store's recovery scan makes at
+//! the byte level.
+
+use crate::evaluate::{EvalReport, ReportKey, ResponseKey, SimKey};
+use crate::passk::ProblemTally;
+use picbench_math::{CMatrix, Complex};
+use picbench_netlist::{FailureType, ValidationIssue};
+use picbench_sim::{Backend, FrequencyResponse, ResponseComparison};
+use picbench_sparams::SMatrix;
+use picbench_store::{RecoveryReport, Store, StoreIo};
+use std::io;
+use std::path::Path;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Record kind of a whole-verdict entry (level 0).
+pub const KIND_VERDICT: u8 = 1;
+/// Record kind of a finished-report entry (level 2).
+pub const KIND_REPORT: u8 = 2;
+/// Record kind of a memoized sweep outcome (level 1).
+pub const KIND_SIM: u8 = 3;
+/// Record kind of a campaign cell-completion journal entry.
+pub const KIND_CELL: u8 = 4;
+
+/// Sanity cap on decoded element counts; corrupt length fields beyond
+/// this are rejected instead of allocated.
+const MAX_DECODE_ELEMS: u64 = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Byte-level encode/decode helpers
+// ---------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let (&first, rest) = self.bytes.split_first()?;
+        self.bytes = rest;
+        Some(first)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        if self.bytes.len() < 8 {
+            return None;
+        }
+        let (head, rest) = self.bytes.split_at(8);
+        self.bytes = rest;
+        Some(u64::from_le_bytes(head.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn count(&mut self) -> Option<usize> {
+        let n = self.u64()?;
+        (n <= MAX_DECODE_ELEMS).then_some(n as usize)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.count()?;
+        if self.bytes.len() < len {
+            return None;
+        }
+        let (head, rest) = self.bytes.split_at(len);
+        self.bytes = rest;
+        String::from_utf8(head.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Key encodings
+// ---------------------------------------------------------------------
+
+fn put_grid(out: &mut Vec<u8>, grid: &(u64, u64, usize)) {
+    put_u64(out, grid.0);
+    put_u64(out, grid.1);
+    put_u64(out, grid.2 as u64);
+}
+
+pub(crate) fn encode_sim_key(key: &SimKey) -> Vec<u8> {
+    let (hash, grid, backend, spec) = key;
+    let mut out = Vec::with_capacity(64);
+    put_u64(&mut out, *hash);
+    put_grid(&mut out, grid);
+    put_str(&mut out, backend.token());
+    put_u64(&mut out, spec.0 as u64);
+    put_u64(&mut out, spec.1 as u64);
+    out
+}
+
+pub(crate) fn encode_report_key(key: &ReportKey) -> Vec<u8> {
+    let (sim, problem, tolerance) = key;
+    let mut out = encode_sim_key(sim);
+    put_u64(&mut out, *problem);
+    put_u64(&mut out, *tolerance);
+    out
+}
+
+pub(crate) fn encode_response_key(key: &ResponseKey) -> Vec<u8> {
+    let (text, grid, backend, problem, tolerance) = key;
+    let mut out = Vec::with_capacity(64);
+    put_u64(&mut out, *text);
+    put_grid(&mut out, grid);
+    put_str(&mut out, backend.token());
+    put_u64(&mut out, *problem);
+    put_u64(&mut out, *tolerance);
+    out
+}
+
+fn encode_cell_key(fingerprint: u64, cell: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    put_u64(&mut out, fingerprint);
+    put_u64(&mut out, cell);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Value encodings
+// ---------------------------------------------------------------------
+
+fn encode_report(report: &EvalReport) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match &report.syntax {
+        Ok(()) => out.push(1),
+        Err(issues) => {
+            out.push(0);
+            put_u64(&mut out, issues.len() as u64);
+            for issue in issues {
+                let index = FailureType::ALL
+                    .iter()
+                    .position(|f| *f == issue.failure)
+                    .expect("FailureType::ALL is exhaustive");
+                out.push(index as u8);
+                put_str(&mut out, &issue.message);
+            }
+        }
+    }
+    out.push(match report.functional {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    });
+    match &report.comparison {
+        None => out.push(0),
+        Some(cmp) => {
+            out.push(1);
+            out.push(u8::from(cmp.ports_match));
+            out.push(u8::from(cmp.grids_match));
+            put_u64(&mut out, cmp.max_power_diff.to_bits());
+            put_u64(&mut out, cmp.rms_power_diff.to_bits());
+        }
+    }
+    out
+}
+
+fn decode_report(bytes: &[u8]) -> Option<EvalReport> {
+    let mut r = Reader::new(bytes);
+    let syntax = match r.u8()? {
+        1 => Ok(()),
+        0 => {
+            let n = r.count()?;
+            let mut issues = Vec::with_capacity(n);
+            for _ in 0..n {
+                let failure = *FailureType::ALL.get(r.u8()? as usize)?;
+                issues.push(ValidationIssue::new(failure, r.str()?));
+            }
+            Err(issues)
+        }
+        _ => return None,
+    };
+    let functional = match r.u8()? {
+        0 => None,
+        1 => Some(false),
+        2 => Some(true),
+        _ => return None,
+    };
+    let comparison = match r.u8()? {
+        0 => None,
+        1 => Some(ResponseComparison {
+            ports_match: r.u8()? == 1,
+            grids_match: r.u8()? == 1,
+            max_power_diff: r.f64()?,
+            rms_power_diff: r.f64()?,
+        }),
+        _ => return None,
+    };
+    r.done().then_some(EvalReport {
+        syntax,
+        functional,
+        comparison,
+    })
+}
+
+fn encode_response(response: &FrequencyResponse) -> Vec<u8> {
+    let ports = response.ports();
+    let wavelengths = response.wavelengths();
+    let dim = ports.len();
+    let mut out = Vec::with_capacity(32 + wavelengths.len() * (8 + dim * dim * 16));
+    put_u64(&mut out, wavelengths.len() as u64);
+    for &wl in wavelengths {
+        put_u64(&mut out, wl.to_bits());
+    }
+    put_u64(&mut out, ports.len() as u64);
+    for port in ports {
+        put_str(&mut out, port);
+    }
+    for i in 0..wavelengths.len() {
+        let sample = response.sample(i).expect("one sample per wavelength");
+        for z in sample.matrix().as_slice() {
+            put_u64(&mut out, z.re.to_bits());
+            put_u64(&mut out, z.im.to_bits());
+        }
+    }
+    out
+}
+
+fn decode_response(bytes: &[u8]) -> Option<FrequencyResponse> {
+    let mut r = Reader::new(bytes);
+    let n_points = r.count()?;
+    let mut wavelengths = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        wavelengths.push(r.f64()?);
+    }
+    let n_ports = r.count()?;
+    let mut ports = Vec::with_capacity(n_ports);
+    for _ in 0..n_ports {
+        ports.push(r.str()?);
+    }
+    let mut samples = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        let mut m = CMatrix::zeros(n_ports, n_ports);
+        for z in m.as_mut_slice() {
+            *z = Complex {
+                re: r.f64()?,
+                im: r.f64()?,
+            };
+        }
+        samples.push(SMatrix::from_matrix(ports.clone(), m));
+    }
+    if !r.done() {
+        return None;
+    }
+    FrequencyResponse::from_parts(wavelengths, ports, samples)
+}
+
+fn encode_tally(tally: &ProblemTally) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    put_u64(&mut out, tally.n as u64);
+    put_u64(&mut out, tally.syntax_passes as u64);
+    put_u64(&mut out, tally.functional_passes as u64);
+    out
+}
+
+fn decode_tally(bytes: &[u8]) -> Option<ProblemTally> {
+    let mut r = Reader::new(bytes);
+    let tally = ProblemTally {
+        n: r.count()?,
+        syntax_passes: r.count()?,
+        functional_passes: r.count()?,
+    };
+    r.done().then_some(tally)
+}
+
+/// Round-trips a [`Backend`] token so key encodings stay in sync with
+/// the backend list (compile-time drift shows up as a test failure).
+#[allow(dead_code)]
+fn backend_roundtrip(backend: Backend) -> Option<Backend> {
+    Backend::from_str(backend.token()).ok()
+}
+
+// ---------------------------------------------------------------------
+// EvalStore
+// ---------------------------------------------------------------------
+
+/// The durable tier: a crash-safe [`Store`] with the typed codecs above.
+///
+/// All write failures degrade instead of crash: the store flips into a
+/// degraded state, further writes become no-ops, and
+/// [`EvalStore::degraded`] lets callers surface the condition once.
+/// Reads keep working off whatever was recovered.
+pub struct EvalStore {
+    store: Mutex<Store>,
+    recovery: RecoveryReport,
+    degraded: AtomicBool,
+    write_errors: AtomicU64,
+}
+
+impl std::fmt::Debug for EvalStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalStore")
+            .field("recovery", &self.recovery)
+            .field("degraded", &self.degraded.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl EvalStore {
+    /// Opens (creating if needed) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures opening the directory; damage *inside* the
+    /// store never fails an open (see [`EvalStore::recovery`]).
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::from_store(Store::open(dir)?))
+    }
+
+    /// Opens over an injectable IO layer (the fault-injection seam).
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures from the initial segment scan.
+    pub fn open_with_io(io: Box<dyn StoreIo>) -> io::Result<Self> {
+        Ok(Self::from_store(Store::open_with_io(io)?))
+    }
+
+    fn from_store(store: Store) -> Self {
+        let recovery = *store.recovery();
+        EvalStore {
+            store: Mutex::new(store),
+            recovery,
+            degraded: AtomicBool::new(false),
+            write_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// What recovery found (and repaired) when this store opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Whether a write failure has put the store into degraded
+    /// (read-only) mode.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Number of writes that failed (the first one degrades the store).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    fn put(&self, kind: u8, key: &[u8], value: &[u8]) {
+        if self.degraded() {
+            return;
+        }
+        let result = {
+            let mut store = self.store.lock().expect("store poisoned");
+            store.put(kind, key, value)
+        };
+        if result.is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            self.degraded.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn get(&self, kind: u8, key: &[u8]) -> Option<Vec<u8>> {
+        let store = self.store.lock().expect("store poisoned");
+        store.get(kind, key).map(<[u8]>::to_vec)
+    }
+
+    /// Flushes and fsyncs — the durability barrier journal writers call
+    /// at cell boundaries. Returns `false` (and degrades) on failure.
+    pub fn sync(&self) -> bool {
+        if self.degraded() {
+            return false;
+        }
+        let result = {
+            let mut store = self.store.lock().expect("store poisoned");
+            store.sync()
+        };
+        if result.is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            self.degraded.store(true, Ordering::Relaxed);
+        }
+        result.is_ok()
+    }
+
+    pub(crate) fn get_verdict(&self, key: &ResponseKey) -> Option<EvalReport> {
+        decode_report(&self.get(KIND_VERDICT, &encode_response_key(key))?)
+    }
+
+    pub(crate) fn put_verdict(&self, key: &ResponseKey, report: &EvalReport) {
+        self.put(
+            KIND_VERDICT,
+            &encode_response_key(key),
+            &encode_report(report),
+        );
+    }
+
+    pub(crate) fn get_report(&self, key: &ReportKey) -> Option<EvalReport> {
+        decode_report(&self.get(KIND_REPORT, &encode_report_key(key))?)
+    }
+
+    pub(crate) fn put_report(&self, key: &ReportKey, report: &EvalReport) {
+        self.put(KIND_REPORT, &encode_report_key(key), &encode_report(report));
+    }
+
+    pub(crate) fn get_sim(&self, key: &SimKey) -> Option<FrequencyResponse> {
+        decode_response(&self.get(KIND_SIM, &encode_sim_key(key))?)
+    }
+
+    pub(crate) fn put_sim(&self, key: &SimKey, response: &FrequencyResponse) {
+        self.put(KIND_SIM, &encode_sim_key(key), &encode_response(response));
+    }
+
+    /// Journals one completed campaign cell under the campaign's
+    /// fingerprint, then syncs — the crash-consistency barrier resumable
+    /// campaigns rely on. Returns whether the entry is durable.
+    pub fn record_cell(&self, fingerprint: u64, cell: u64, tally: &ProblemTally) -> bool {
+        self.put(
+            KIND_CELL,
+            &encode_cell_key(fingerprint, cell),
+            &encode_tally(tally),
+        );
+        self.sync()
+    }
+
+    /// Every durably journaled cell of the campaign with this
+    /// fingerprint (unordered). Malformed entries are skipped.
+    pub fn completed_cells(&self, fingerprint: u64) -> Vec<(u64, ProblemTally)> {
+        let store = self.store.lock().expect("store poisoned");
+        let mut cells = Vec::new();
+        store.for_each(KIND_CELL, |key, value| {
+            let mut r = Reader::new(key);
+            let (Some(fp), Some(cell)) = (r.u64(), r.u64()) else {
+                return;
+            };
+            if fp != fingerprint || !r.done() {
+                return;
+            }
+            if let Some(tally) = decode_tally(value) {
+                cells.push((cell, tally));
+            }
+        });
+        cells
+    }
+}
+
+/// Shared handle to an [`EvalStore`].
+pub type SharedEvalStore = Arc<EvalStore>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picbench_sim::{sweep, Circuit, ModelRegistry, WavelengthGrid};
+
+    fn sample_response() -> FrequencyResponse {
+        let problem = picbench_problems::find("mzi-ps").unwrap();
+        let circuit = Circuit::elaborate(
+            &problem.golden.canonicalize(),
+            &ModelRegistry::with_builtins(),
+            Some(&problem.spec),
+        )
+        .unwrap();
+        sweep(&circuit, &WavelengthGrid::paper_fast(), Backend::default()).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("picbench-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn report_roundtrips_bit_for_bit() {
+        let reports = [
+            EvalReport {
+                syntax: Ok(()),
+                functional: Some(true),
+                comparison: Some(ResponseComparison {
+                    ports_match: true,
+                    grids_match: true,
+                    max_power_diff: 1.25e-9,
+                    rms_power_diff: 3.5e-10,
+                }),
+            },
+            EvalReport {
+                syntax: Ok(()),
+                functional: Some(false),
+                comparison: Some(ResponseComparison {
+                    ports_match: false,
+                    grids_match: true,
+                    max_power_diff: f64::INFINITY,
+                    rms_power_diff: f64::INFINITY,
+                }),
+            },
+            EvalReport {
+                syntax: Err(vec![
+                    ValidationIssue::new(FailureType::WrongPort, "port I9 missing"),
+                    ValidationIssue::new(FailureType::OtherSyntax, "no payload"),
+                ]),
+                functional: None,
+                comparison: None,
+            },
+        ];
+        for report in &reports {
+            let decoded = decode_report(&encode_report(report)).unwrap();
+            assert_eq!(format!("{report:?}"), format!("{decoded:?}"));
+            assert_eq!(
+                report.comparison.map(|c| c.max_power_diff.to_bits()),
+                decoded.comparison.map(|c| c.max_power_diff.to_bits()),
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_or_corrupt_report_decodes_to_none() {
+        let report = EvalReport {
+            syntax: Err(vec![ValidationIssue::new(FailureType::WrongPort, "x")]),
+            functional: None,
+            comparison: None,
+        };
+        let bytes = encode_report(&report);
+        for cut in 0..bytes.len() {
+            assert!(decode_report(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut bad_tag = bytes.clone();
+        bad_tag[0] = 7;
+        assert!(decode_report(&bad_tag).is_none());
+    }
+
+    #[test]
+    fn frequency_response_roundtrips_bit_for_bit() {
+        let response = sample_response();
+        let decoded = decode_response(&encode_response(&response)).unwrap();
+        assert_eq!(response, decoded);
+        // Bit-identical, not approximately equal.
+        for (a, b) in response
+            .wavelengths()
+            .iter()
+            .zip(decoded.wavelengths().iter())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for i in 0..response.wavelengths().len() {
+            let (sa, sb) = (response.sample(i).unwrap(), decoded.sample(i).unwrap());
+            for (za, zb) in sa.matrix().as_slice().iter().zip(sb.matrix().as_slice()) {
+                assert_eq!(za.re.to_bits(), zb.re.to_bits());
+                assert_eq!(za.im.to_bits(), zb.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_response_decodes_to_none() {
+        let bytes = encode_response(&sample_response());
+        for cut in [0, 4, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_response(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn backend_tokens_roundtrip() {
+        for backend in Backend::ALL {
+            assert_eq!(backend_roundtrip(backend), Some(backend));
+        }
+    }
+
+    #[test]
+    fn cell_journal_roundtrips_per_fingerprint() {
+        let dir = temp_dir("cells");
+        let store = EvalStore::open(&dir).unwrap();
+        let tally = ProblemTally {
+            n: 10,
+            syntax_passes: 7,
+            functional_passes: 4,
+        };
+        assert!(store.record_cell(111, 1, &tally));
+        assert!(store.record_cell(111, 2, &tally));
+        assert!(store.record_cell(222, 1, &tally));
+        let mut cells = store.completed_cells(111);
+        cells.sort_by_key(|(cell, _)| *cell);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0], (1, tally));
+        assert_eq!(store.completed_cells(222).len(), 1);
+        assert_eq!(store.completed_cells(333).len(), 0);
+        drop(store);
+        let store = EvalStore::open(&dir).unwrap();
+        assert_eq!(
+            store.completed_cells(111).len(),
+            2,
+            "journal survives reopen"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eval_store_roundtrips_verdicts_and_sims_across_reopen() {
+        let dir = temp_dir("tiers");
+        let response = sample_response();
+        let report = EvalReport {
+            syntax: Ok(()),
+            functional: Some(true),
+            comparison: Some(ResponseComparison {
+                ports_match: true,
+                grids_match: true,
+                max_power_diff: 0.0,
+                rms_power_diff: 0.0,
+            }),
+        };
+        let sim_key: SimKey = (42, (1, 2, 17), Backend::default(), (1, 1));
+        let report_key: ReportKey = (sim_key, 7, 8);
+        let response_key: ResponseKey = (9, (1, 2, 17), Backend::default(), 7, 8);
+        {
+            let store = EvalStore::open(&dir).unwrap();
+            store.put_sim(&sim_key, &response);
+            store.put_report(&report_key, &report);
+            store.put_verdict(&response_key, &report);
+            store.sync();
+        }
+        let store = EvalStore::open(&dir).unwrap();
+        assert_eq!(store.get_sim(&sim_key).unwrap(), response);
+        assert!(store.get_report(&report_key).unwrap().functional_pass());
+        assert!(store.get_verdict(&response_key).unwrap().functional_pass());
+        assert!(store
+            .get_sim(&(43, (1, 2, 17), Backend::default(), (1, 1)))
+            .is_none());
+        assert!(!store.degraded());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -48,6 +48,15 @@ fn assert_well_formed(events: &[CampaignEvent]) -> (usize, bool) {
                 assert_eq!(*completed, finished_cells, "completed counter monotone");
                 assert!(finished_cells <= *total);
             }
+            CampaignEvent::CellRestored { .. } => {
+                panic!("no cell can be restored without resume_from: {event:?}")
+            }
+            CampaignEvent::SampleRetried { .. } | CampaignEvent::SampleDegraded { .. } => {
+                panic!("no retry events without a retry policy: {event:?}")
+            }
+            CampaignEvent::StoreDegraded { .. } => {
+                panic!("no store degradation without a store: {event:?}")
+            }
             CampaignEvent::CacheStats(_) => {}
             CampaignEvent::CampaignFinished {
                 cells_completed,

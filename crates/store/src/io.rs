@@ -1,0 +1,258 @@
+//! The injectable IO layer under the store.
+//!
+//! [`Store`](crate::Store) never touches the filesystem directly: every
+//! byte flows through a [`StoreIo`] (a directory of numbered segments)
+//! and the [`SegmentFile`]s it opens. [`FileIo`] is the production
+//! implementation; [`FaultyIo`] decorates any other implementation with
+//! deterministic fault injection — short writes that simulate a crash
+//! mid-append, bit flips that simulate media corruption on read, and
+//! outright `io::Error`s at scheduled points — so recovery paths are
+//! testable without real power cuts.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// One open segment file: an append-only byte sequence that can be read
+/// back in full, truncated (recovery only) and fsync'd.
+pub trait SegmentFile: Send {
+    /// Reads the entire segment.
+    fn read_all(&mut self) -> io::Result<Vec<u8>>;
+    /// Truncates the segment to `len` bytes (torn-tail recovery).
+    fn truncate_to(&mut self, len: u64) -> io::Result<()>;
+    /// Appends bytes at the end of the segment.
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+    /// Flushes and fsyncs the segment to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A directory of numbered segments.
+pub trait StoreIo: Send {
+    /// The segment ids present, in ascending order.
+    fn list_segments(&mut self) -> io::Result<Vec<u32>>;
+    /// Opens (creating if absent) the segment with the given id.
+    fn open_segment(&mut self, id: u32) -> io::Result<Box<dyn SegmentFile>>;
+}
+
+/// Production [`StoreIo`]: segments are `seg-NNNNNN.picstore` files in
+/// one directory (created on open if missing).
+#[derive(Debug)]
+pub struct FileIo {
+    dir: PathBuf,
+}
+
+impl FileIo {
+    /// Opens (creating if needed) the store directory.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileIo { dir })
+    }
+
+    fn segment_path(&self, id: u32) -> PathBuf {
+        self.dir.join(format!("seg-{id:06}.picstore"))
+    }
+}
+
+impl StoreIo for FileIo {
+    fn list_segments(&mut self) -> io::Result<Vec<u32>> {
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name
+                .strip_prefix("seg-")
+                .and_then(|r| r.strip_suffix(".picstore"))
+            {
+                if let Ok(id) = rest.parse::<u32>() {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    fn open_segment(&mut self, id: u32) -> io::Result<Box<dyn SegmentFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(self.segment_path(id))?;
+        Ok(Box::new(FileSegment { file }))
+    }
+}
+
+struct FileSegment {
+    file: File,
+}
+
+impl SegmentFile for FileSegment {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        self.file.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.seek(SeekFrom::Start(len))?;
+        Ok(())
+    }
+
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// The deterministic fault schedule of a [`FaultyIo`].
+///
+/// Ordinals are 1-based and counted across every segment the decorated
+/// IO opens, so a plan addresses "the Nth append since the store opened"
+/// regardless of rotation.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for the injected-fault geometry (short-write prefix length).
+    pub seed: u64,
+    /// The Nth append writes only a seeded prefix of its bytes and then
+    /// fails — the on-disk image is exactly what a crash mid-write
+    /// leaves behind (a torn tail).
+    pub short_write_at: Option<u64>,
+    /// The Nth IO operation (append or sync) fails outright with the
+    /// given [`io::ErrorKind`], writing nothing.
+    pub io_error_at: Option<(u64, io::ErrorKind)>,
+    /// On every `read_all`, flip the bit at this absolute bit offset (if
+    /// inside the segment) — simulated media corruption, which recovery
+    /// must quarantine via the per-record checksum.
+    pub flip_bit_on_read: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A seeded plan: one short write and one bit flip at
+    /// xorshift-derived points within the given horizon of operations.
+    pub fn seeded(seed: u64, op_horizon: u64) -> Self {
+        let horizon = op_horizon.max(1);
+        let a = crate::segment::xorshift64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let b = crate::segment::xorshift64(a);
+        FaultPlan {
+            seed,
+            short_write_at: Some(a % horizon + 1),
+            io_error_at: None,
+            flip_bit_on_read: Some(b % (horizon * 64).max(1)),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    appends: u64,
+    ops: u64,
+}
+
+/// A [`StoreIo`] decorator that injects faults per a [`FaultPlan`].
+pub struct FaultyIo {
+    inner: Box<dyn StoreIo>,
+    plan: FaultPlan,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultyIo {
+    /// Decorates an IO layer with the given fault schedule.
+    pub fn new(inner: Box<dyn StoreIo>, plan: FaultPlan) -> Self {
+        FaultyIo {
+            inner,
+            plan,
+            state: Arc::new(Mutex::new(FaultState::default())),
+        }
+    }
+}
+
+impl StoreIo for FaultyIo {
+    fn list_segments(&mut self) -> io::Result<Vec<u32>> {
+        self.inner.list_segments()
+    }
+
+    fn open_segment(&mut self, id: u32) -> io::Result<Box<dyn SegmentFile>> {
+        let inner = self.inner.open_segment(id)?;
+        Ok(Box::new(FaultySegment {
+            inner,
+            plan: self.plan.clone(),
+            state: Arc::clone(&self.state),
+        }))
+    }
+}
+
+struct FaultySegment {
+    inner: Box<dyn SegmentFile>,
+    plan: FaultPlan,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultySegment {
+    fn next_op(&self) -> u64 {
+        let mut state = self.state.lock().expect("fault state poisoned");
+        state.ops += 1;
+        state.ops
+    }
+}
+
+impl SegmentFile for FaultySegment {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        let mut bytes = self.inner.read_all()?;
+        if let Some(bit) = self.plan.flip_bit_on_read {
+            let (byte, shift) = ((bit / 8) as usize, (bit % 8) as u32);
+            if byte < bytes.len() {
+                bytes[byte] ^= 1 << shift;
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate_to(len)
+    }
+
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        let op = self.next_op();
+        let append_no = {
+            let mut state = self.state.lock().expect("fault state poisoned");
+            state.appends += 1;
+            state.appends
+        };
+        if let Some((at, kind)) = self.plan.io_error_at {
+            if op == at {
+                return Err(io::Error::new(kind, "injected io error"));
+            }
+        }
+        if self.plan.short_write_at == Some(append_no) && !data.is_empty() {
+            // Crash mid-write: a seeded prefix lands on disk, the rest is
+            // lost, and the caller sees the failure.
+            let keep =
+                (crate::segment::xorshift64(self.plan.seed ^ append_no) as usize) % data.len();
+            self.inner.append(&data[..keep])?;
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected short write (crash mid-append)",
+            ));
+        }
+        self.inner.append(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let op = self.next_op();
+        if let Some((at, kind)) = self.plan.io_error_at {
+            if op == at {
+                return Err(io::Error::new(kind, "injected io error"));
+            }
+        }
+        self.inner.sync()
+    }
+}

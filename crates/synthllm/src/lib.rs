@@ -35,14 +35,19 @@ pub mod corrupt;
 mod knowledge;
 mod profile;
 mod provider;
+mod retry;
 mod synthetic;
 
 pub use corrupt::Corruption;
 pub use knowledge::{bogus_port, instance_ports, ports_of, unused_ports, BUILTIN_PORTS};
 pub use profile::ModelProfile;
 pub use provider::{
-    FlakyProvider, ModelProvider, ReplayLlm, MISSING_TRANSCRIPT, NO_ACTIVE_SAMPLE, PAPER_SEED,
-    RATE_LIMIT_RESPONSE,
+    FailureKind, FlakyProvider, FlakySchedule, ModelProvider, ReplayLlm, FATAL_AUTH_RESPONSE,
+    GARBLED_SUFFIX, MISSING_TRANSCRIPT, NO_ACTIVE_SAMPLE, PAPER_SEED, RATE_LIMIT_RESPONSE,
+    TIMEOUT_RESPONSE, TRANSIENT_IO_RESPONSE,
+};
+pub use retry::{
+    classify_transport, RetryEvent, RetryPolicy, RetryProvider, RetrySink, TransportErrorKind,
 };
 pub use synthetic::{PerfectLlm, SyntheticLlm};
 

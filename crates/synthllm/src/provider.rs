@@ -190,31 +190,116 @@ impl ModelProvider for ReplayLlm {
 pub const RATE_LIMIT_RESPONSE: &str =
     "HTTP 429 Too Many Requests: rate limit exceeded, retry after 30s";
 
+/// Injected transient network failure (connection-level, retryable).
+pub const TRANSIENT_IO_RESPONSE: &str =
+    "connection reset by peer: transient network error while reading response";
+
+/// Injected per-request timeout (retryable).
+pub const TIMEOUT_RESPONSE: &str =
+    "request timed out after 600 seconds waiting for completion tokens";
+
+/// Injected fatal transport failure — retrying cannot help.
+pub const FATAL_AUTH_RESPONSE: &str = "HTTP 401 Unauthorized: invalid API key";
+
+/// Suffix appended to a garbled (truncated mid-stream) response.
+pub const GARBLED_SUFFIX: &str = "[connection closed mid-stream]";
+
+/// The kinds of transport failure [`FlakyProvider`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// An HTTP 429 — the response is replaced wholesale (retryable).
+    RateLimit,
+    /// A connection-level IO error (retryable).
+    TransientIo,
+    /// A per-request timeout (retryable).
+    Timeout,
+    /// The real response truncated mid-stream with [`GARBLED_SUFFIX`]
+    /// appended (retryable — but the underlying turn *was* consumed).
+    Garbled,
+    /// An authentication failure — retrying cannot help.
+    Fatal,
+}
+
+/// When (and how) a [`FlakyProvider`] injects failures. Both schedules
+/// are fully deterministic, so campaigns over flaky providers still
+/// produce bit-identical reports for every thread count.
+#[derive(Debug, Clone)]
+pub enum FlakySchedule {
+    /// Every `period`-th response of each spawned instance fails
+    /// (1-based; `0` disables injection), cycling through `kinds`.
+    Periodic {
+        /// The failure period (`0` = never fail).
+        period: usize,
+        /// Failure kinds, applied round-robin over successive failures.
+        kinds: Vec<FailureKind>,
+    },
+    /// Each response independently fails with probability
+    /// `rate_percent`/100, drawn from a seeded xorshift stream (combined
+    /// with the spawn seed, so distinct campaign cells see distinct but
+    /// reproducible schedules).
+    Seeded {
+        /// Stream seed.
+        seed: u64,
+        /// Failure probability in percent (clamped to 100).
+        rate_percent: u8,
+        /// Failure kinds, selected deterministically per failure.
+        kinds: Vec<FailureKind>,
+    },
+}
+
+impl FlakySchedule {
+    fn kinds(&self) -> &[FailureKind] {
+        match self {
+            FlakySchedule::Periodic { kinds, .. } | FlakySchedule::Seeded { kinds, .. } => kinds,
+        }
+    }
+}
+
+fn xorshift64(mut x: u64) -> u64 {
+    x = x.max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
 /// A decorating provider that deterministically injects transport
 /// failures — the resilience-testing harness for campaign plumbing.
 ///
-/// Every `failure_period`-th response (counted per spawned model
-/// instance, 1-based) is replaced by [`RATE_LIMIT_RESPONSE`]; all other
-/// calls pass through to the wrapped provider's model. The schedule is
-/// counter-based and therefore fully deterministic: a campaign over a
-/// flaky provider still produces bit-identical reports for every thread
-/// count, while exercising exactly the unparseable-response paths a real
-/// API outage would.
+/// The [`FlakySchedule`] decides when a response is replaced (or, for
+/// [`FailureKind::Garbled`], truncated) and with what; all other calls
+/// pass through to the wrapped provider's model. Schedules are
+/// counter- or seed-based and therefore fully deterministic: a campaign
+/// over a flaky provider still produces bit-identical reports for every
+/// thread count, while exercising exactly the failure paths a real API
+/// outage would.
 pub struct FlakyProvider {
     inner: Arc<dyn ModelProvider>,
     name: String,
-    failure_period: usize,
+    schedule: FlakySchedule,
 }
 
 impl FlakyProvider {
     /// Wraps a provider, failing every `failure_period`-th response of
-    /// each spawned instance (`0` disables injection entirely).
+    /// each spawned instance with a rate-limit error (`0` disables
+    /// injection entirely).
     pub fn new(inner: Arc<dyn ModelProvider>, failure_period: usize) -> Self {
+        FlakyProvider::with_schedule(
+            inner,
+            FlakySchedule::Periodic {
+                period: failure_period,
+                kinds: vec![FailureKind::RateLimit],
+            },
+        )
+    }
+
+    /// Wraps a provider with an explicit failure schedule.
+    pub fn with_schedule(inner: Arc<dyn ModelProvider>, schedule: FlakySchedule) -> Self {
         let name = format!("{} [flaky]", inner.name());
         FlakyProvider {
             inner,
             name,
-            failure_period,
+            schedule,
         }
     }
 
@@ -223,13 +308,56 @@ impl FlakyProvider {
         self.name = name.into();
         self
     }
+
+    fn spawn_with(&self, inner: Box<dyn LanguageModel>, seed: u64) -> Box<dyn LanguageModel> {
+        let rng = match &self.schedule {
+            FlakySchedule::Periodic { .. } => 0,
+            FlakySchedule::Seeded { seed: s, .. } => xorshift64(s ^ seed.rotate_left(32)),
+        };
+        Box::new(FlakyLlm {
+            name: self.name.clone(),
+            inner,
+            schedule: self.schedule.clone(),
+            responses: 0,
+            failures: 0,
+            rng,
+        })
+    }
 }
 
 struct FlakyLlm {
     name: String,
     inner: Box<dyn LanguageModel>,
-    failure_period: usize,
+    schedule: FlakySchedule,
     responses: usize,
+    failures: usize,
+    rng: u64,
+}
+
+impl FlakyLlm {
+    /// The failure to inject for this response, if any.
+    fn next_failure(&mut self) -> Option<FailureKind> {
+        self.responses += 1;
+        let kinds = self.schedule.kinds();
+        if kinds.is_empty() {
+            return None;
+        }
+        let fire = match &self.schedule {
+            FlakySchedule::Periodic { period, .. } => {
+                *period > 0 && self.responses.is_multiple_of(*period)
+            }
+            FlakySchedule::Seeded { rate_percent, .. } => {
+                self.rng = xorshift64(self.rng);
+                self.rng % 100 < u64::from((*rate_percent).min(100))
+            }
+        };
+        if !fire {
+            return None;
+        }
+        let kind = kinds[self.failures % kinds.len()];
+        self.failures += 1;
+        Some(kind)
+    }
 }
 
 impl LanguageModel for FlakyLlm {
@@ -242,11 +370,27 @@ impl LanguageModel for FlakyLlm {
     }
 
     fn respond(&mut self, conversation: &Conversation) -> String {
-        self.responses += 1;
-        if self.failure_period > 0 && self.responses.is_multiple_of(self.failure_period) {
-            return RATE_LIMIT_RESPONSE.to_string();
+        match self.next_failure() {
+            None => self.inner.respond(conversation),
+            Some(FailureKind::RateLimit) => RATE_LIMIT_RESPONSE.to_string(),
+            Some(FailureKind::TransientIo) => TRANSIENT_IO_RESPONSE.to_string(),
+            Some(FailureKind::Timeout) => TIMEOUT_RESPONSE.to_string(),
+            Some(FailureKind::Fatal) => FATAL_AUTH_RESPONSE.to_string(),
+            Some(FailureKind::Garbled) => {
+                // Unlike the whole-response replacements above, a garbled
+                // failure *consumes* the underlying turn: the real
+                // response streamed halfway and died, exactly like a
+                // dropped connection.
+                let full = self.inner.respond(conversation);
+                let cut = full
+                    .char_indices()
+                    .map(|(i, _)| i)
+                    .take_while(|&i| i <= full.len() / 2)
+                    .last()
+                    .unwrap_or(0);
+                format!("{}{}", &full[..cut], GARBLED_SUFFIX)
+            }
         }
-        self.inner.respond(conversation)
     }
 }
 
@@ -256,21 +400,11 @@ impl ModelProvider for FlakyProvider {
     }
 
     fn spawn(&self) -> Box<dyn LanguageModel> {
-        Box::new(FlakyLlm {
-            name: self.name.clone(),
-            inner: self.inner.spawn(),
-            failure_period: self.failure_period,
-            responses: 0,
-        })
+        self.spawn_with(self.inner.spawn(), PAPER_SEED)
     }
 
     fn spawn_seeded(&self, seed: u64) -> Box<dyn LanguageModel> {
-        Box::new(FlakyLlm {
-            name: self.name.clone(),
-            inner: self.inner.spawn_seeded(seed),
-            failure_period: self.failure_period,
-            responses: 0,
-        })
+        self.spawn_with(self.inner.spawn_seeded(seed), seed)
     }
 }
 
@@ -345,6 +479,87 @@ mod tests {
         assert_eq!(llm.respond(&conv), RATE_LIMIT_RESPONSE);
         assert_eq!(llm.respond(&conv), "ok");
         assert_eq!(llm.respond(&conv), RATE_LIMIT_RESPONSE);
+    }
+
+    #[test]
+    fn flaky_schedule_cycles_failure_kinds() {
+        let problem = mzi_ps();
+        let conv = conversation(&problem);
+        let inner = Arc::new(ReplayLlm::new("steady").with_response(problem.id.clone(), 0, "ok"));
+        let flaky = FlakyProvider::with_schedule(
+            inner,
+            FlakySchedule::Periodic {
+                period: 2,
+                kinds: vec![
+                    FailureKind::TransientIo,
+                    FailureKind::Timeout,
+                    FailureKind::Fatal,
+                ],
+            },
+        );
+        let mut llm = flaky.spawn();
+        llm.begin_sample(&problem, 0);
+        assert_eq!(llm.respond(&conv), "ok");
+        assert_eq!(llm.respond(&conv), TRANSIENT_IO_RESPONSE);
+        assert_eq!(llm.respond(&conv), "ok");
+        assert_eq!(llm.respond(&conv), TIMEOUT_RESPONSE);
+        assert_eq!(llm.respond(&conv), "ok");
+        assert_eq!(llm.respond(&conv), FATAL_AUTH_RESPONSE);
+        assert_eq!(llm.respond(&conv), "ok");
+        assert_eq!(llm.respond(&conv), TRANSIENT_IO_RESPONSE, "kinds cycle");
+    }
+
+    #[test]
+    fn garbled_failure_truncates_the_real_response() {
+        let problem = mzi_ps();
+        let conv = conversation(&problem);
+        let inner = Arc::new(ReplayLlm::new("steady").with_response(
+            problem.id.clone(),
+            0,
+            "a-long-real-response",
+        ));
+        let flaky = FlakyProvider::with_schedule(
+            inner,
+            FlakySchedule::Periodic {
+                period: 1,
+                kinds: vec![FailureKind::Garbled],
+            },
+        );
+        let mut llm = flaky.spawn();
+        llm.begin_sample(&problem, 0);
+        let garbled = llm.respond(&conv);
+        assert!(garbled.ends_with(GARBLED_SUFFIX), "{garbled}");
+        assert!(garbled.starts_with("a-long-rea"), "{garbled}");
+        assert!(!garbled.contains("a-long-real-response"));
+    }
+
+    #[test]
+    fn seeded_schedule_is_reproducible_and_rate_bounded() {
+        let problem = mzi_ps();
+        let conv = conversation(&problem);
+        let schedule = FlakySchedule::Seeded {
+            seed: 99,
+            rate_percent: 30,
+            kinds: vec![FailureKind::RateLimit, FailureKind::Timeout],
+        };
+        let inner = Arc::new(ReplayLlm::new("steady").with_response(problem.id.clone(), 0, "ok"));
+        let flaky = FlakyProvider::with_schedule(inner, schedule);
+        let run = |seed: u64| {
+            let mut llm = flaky.spawn_seeded(seed);
+            llm.begin_sample(&problem, 0);
+            (0..50).map(|_| llm.respond(&conv)).collect::<Vec<_>>()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same spawn seed, same schedule");
+        let c = run(8);
+        assert_ne!(a, c, "different spawn seeds see different schedules");
+        let failures = a.iter().filter(|r| r.as_str() != "ok").count();
+        assert!(failures > 0, "30% over 50 responses should fire");
+        assert!(
+            failures < 30,
+            "and stay roughly rate-bounded, got {failures}"
+        );
     }
 
     #[test]

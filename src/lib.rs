@@ -13,6 +13,8 @@
 //! * [`synthllm`] — calibrated synthetic language models
 //! * [`core`] — the evaluation framework (syntax/functional checks, error
 //!   classification, feedback loop, Pass@k, campaigns)
+//! * [`store`] — the crash-safe append-only persistent store under the
+//!   evaluation cache and the campaign journal
 //! * [`conformance`] — the verification backbone: seeded circuit
 //!   generation, physics oracles and cross-configuration differential
 //!   fuzzing with counterexample shrinking
@@ -28,4 +30,5 @@ pub use picbench_problems as problems;
 pub use picbench_prompt as prompt;
 pub use picbench_sim as sim;
 pub use picbench_sparams as sparams;
+pub use picbench_store as store;
 pub use picbench_synthllm as synthllm;
