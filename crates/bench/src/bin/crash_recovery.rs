@@ -15,16 +15,25 @@
 //! restored at least the N journalled cells, and the merged report is
 //! **bit-identical** to the control run (`CampaignReport::same_results`).
 //!
+//! A wall-clock watchdog (`--timeout-secs`, default 300) bounds the
+//! child: a kill point that never trips would otherwise hang CI with no
+//! diagnostic. The child's stderr is captured and folded into every
+//! failure message, so a child that panics — instead of aborting at the
+//! boundary — names its actual error in the drill output.
+//!
 //! Usage: `cargo run --release -p picbench-bench --bin crash_recovery --
 //! [--kill-after N] [--problems N] [--samples N] [--threads N]
-//! [--store-dir PATH]`
+//! [--store-dir PATH] [--timeout-secs N]`
 
 use picbench_core::{Campaign, CampaignConfig, CampaignReport, EvalStore, KillPoint};
 use picbench_problems::Problem;
 use picbench_sim::WavelengthGrid;
 use picbench_synthllm::ModelProfile;
+use std::io::Read as _;
 use std::path::PathBuf;
+use std::process::{ExitStatus, Stdio};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Args {
     kill_after: usize,
@@ -32,19 +41,21 @@ struct Args {
     samples: usize,
     threads: usize,
     store_dir: Option<PathBuf>,
+    timeout_secs: u64,
     /// Internal: set when this process is the crash child.
     child: bool,
 }
 
 fn parse_args() -> Args {
     let usage = "usage: crash_recovery [--kill-after N] [--problems N] [--samples N] \
-                 [--threads N] [--store-dir PATH]";
+                 [--threads N] [--store-dir PATH] [--timeout-secs N]";
     let mut args = Args {
         kill_after: 3,
         problems: 6,
         samples: 2,
         threads: 2,
         store_dir: None,
+        timeout_secs: 300,
         child: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -79,6 +90,10 @@ fn parse_args() -> Args {
                     eprintln!("--store-dir needs a path; {usage}");
                     std::process::exit(2);
                 }));
+            }
+            "--timeout-secs" => {
+                i += 1;
+                args.timeout_secs = numeric("--timeout-secs", argv.get(i)).max(1) as u64;
             }
             "--child" => args.child = true,
             other => {
@@ -139,6 +154,56 @@ fn control_run(args: &Args) -> CampaignReport {
         .run()
 }
 
+/// Runs the crash child under a wall-clock watchdog, draining its
+/// stderr on a reader thread. On timeout the child is killed and the
+/// drill panics with whatever the child managed to say — a kill point
+/// that never trips must not hang CI silently.
+fn supervise_child(cmd: &mut std::process::Command, timeout: Duration) -> (ExitStatus, String) {
+    let mut child = cmd
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn crash child");
+    let mut pipe = child.stderr.take().expect("child stderr is piped");
+    let reader = std::thread::spawn(move || {
+        let mut buf = String::new();
+        let _ = pipe.read_to_string(&mut buf);
+        buf
+    });
+    let deadline = Instant::now() + timeout;
+    let status = loop {
+        match child.try_wait().expect("poll crash child") {
+            Some(status) => break status,
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                let stderr = reader.join().unwrap_or_default();
+                panic!(
+                    "crash child exceeded the {}s watchdog and was killed — \
+                     the kill point likely never tripped{}",
+                    timeout.as_secs(),
+                    render_stderr(&stderr)
+                );
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    };
+    (status, reader.join().unwrap_or_default())
+}
+
+/// Indents captured child stderr for inclusion in drill messages;
+/// empty when the child said nothing.
+fn render_stderr(stderr: &str) -> String {
+    if stderr.trim().is_empty() {
+        return String::new();
+    }
+    let indented: String = stderr
+        .trim_end()
+        .lines()
+        .map(|line| format!("\n  | {line}"))
+        .collect();
+    format!("\n  child stderr:{indented}")
+}
+
 fn main() {
     let args = parse_args();
     let store_dir = args.store_dir.clone().unwrap_or_else(|| {
@@ -165,28 +230,33 @@ fn main() {
 
     println!("crash: spawning child with an abort kill point...");
     let exe = std::env::current_exe().expect("current_exe");
-    let status = std::process::Command::new(exe)
-        .args([
-            "--child",
-            "--kill-after",
-            &kill_after.to_string(),
-            "--problems",
-            &args.problems.to_string(),
-            "--samples",
-            &args.samples.to_string(),
-            "--threads",
-            &args.threads.to_string(),
-            "--store-dir",
-        ])
-        .arg(&store_dir)
-        .status()
-        .expect("spawn crash child");
+    let (status, child_stderr) = supervise_child(
+        std::process::Command::new(exe)
+            .args([
+                "--child",
+                "--kill-after",
+                &kill_after.to_string(),
+                "--problems",
+                &args.problems.to_string(),
+                "--samples",
+                &args.samples.to_string(),
+                "--threads",
+                &args.threads.to_string(),
+                "--store-dir",
+            ])
+            .arg(&store_dir),
+        Duration::from_secs(args.timeout_secs),
+    );
     assert!(
         !status.success(),
         "child was expected to abort mid-campaign but exited cleanly ({status}); \
-         is --kill-after within the cell count?"
+         is --kill-after within the cell count?{}",
+        render_stderr(&child_stderr)
     );
-    println!("crash: child died as expected ({status})");
+    println!(
+        "crash: child died as expected ({status}){}",
+        render_stderr(&child_stderr)
+    );
 
     println!("resume: reopening the journal the dead child left behind...");
     let store = Arc::new(EvalStore::open(&store_dir).expect("reopen eval store"));

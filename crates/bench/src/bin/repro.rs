@@ -5,7 +5,7 @@
 //! ```text
 //! repro table1|table2|table3|table4|fig1|fig2|fig3|fig4|all \
 //!     [--samples N] [--seed S] [--threads N] [--problems id,id,...] \
-//!     [--store-dir PATH] [--resume]
+//!     [--store-dir PATH] [--resume] [--shards N]
 //! repro --list-problems
 //! ```
 //!
@@ -20,6 +20,9 @@
 //! `--resume` additionally replays cells completed by a previous,
 //! identically-configured run, so an interrupted table regeneration
 //! picks up where it left off and still prints bit-identical numbers.
+//! `--shards` runs the Monte-Carlo campaigns partitioned over N
+//! supervised worker shards with lease-fenced journals; the tables stay
+//! bit-identical for every shard count.
 
 use picbench_bench::{
     error_histograms, fig1, fig2, fig3, fig4, list_problems, restriction_ablation_table, table1,
@@ -37,14 +40,16 @@ fn ok_or_exit(result: Result<String, String>) -> String {
 fn print_usage() {
     eprintln!(
         "usage: repro <artifact> [--samples N] [--seed S] [--threads N] [--problems id,id,...]\n\
-         \x20             [--store-dir PATH] [--resume]\n\
+         \x20             [--store-dir PATH] [--resume] [--shards N]\n\
          artifacts: table1 table2 table3 table4 fig1 fig2 fig3 fig4 all\n\
          extensions: errors (failure-category histogram), ablation (leave-one-out restrictions)\n\
          --list-problems prints the registry inventory and exits\n\
          --problems restricts the Monte-Carlo artifacts (table3/table4/errors/ablation)\n\
          --threads 0 (default) uses one worker per core; tables are bit-identical either way\n\
          --store-dir journals campaign cells through a crash-safe persistent store\n\
-         --resume replays cells journalled by a previous identical run from --store-dir"
+         --resume replays cells journalled by a previous identical run from --store-dir\n\
+         --shards N (>1) partitions campaigns over N supervised worker shards with\n\
+         \x20        lease-fenced journals; tables are bit-identical for every shard count"
     );
 }
 
@@ -109,6 +114,13 @@ fn main() {
             }
             "--resume" => {
                 scale.resume = true;
+            }
+            "--shards" => {
+                i += 1;
+                scale.shards = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--shards needs a positive integer");
+                    std::process::exit(2);
+                });
             }
             "--list-problems" => {
                 print!("{}", list_problems());

@@ -1,0 +1,568 @@
+//! `shard_campaign` — the sharded-campaign chaos drill behind the CI
+//! fault-tolerance gate, and the bench writing the `"shards"` section of
+//! `BENCH_campaign.json`.
+//!
+//! The parent process runs one campaign two ways:
+//!
+//! 1. **control** — uninterrupted, single-process, in-memory;
+//! 2. **sharded** — partitioned over `--shards` real worker processes
+//!    (this binary re-executed with `--worker-shard`), with a seeded
+//!    [`ChaosPlan`]: `--kill-random` workers are SIGKILLed mid-shard once
+//!    their journals show progress, and `--stall-random` workers hold
+//!    without heartbeats past the lease TTL — forcing one lease-expiry
+//!    reassignment — then revive into their fenced generation.
+//!
+//! The drill passes only if every injected fault produced a shard loss
+//! and reassignment, and the merged report is **bit-identical** to the
+//! control run (`CampaignReport::same_results`). The `"shards"` section
+//! (fault counts, reassignments, redundant-cell ratio, wall clocks) is
+//! spliced into an existing `BENCH_campaign.json` or written standalone.
+//!
+//! Usage: `cargo run --release -p picbench-bench --bin shard_campaign --
+//! [--shards N] [--kill-random N] [--stall-random N] [--stall-ms MS]
+//! [--lease-ttl-ms MS] [--problems N] [--samples N] [--threads N]
+//! [--seed S] [--chaos-seed S] [--models a,b] [--shard-root PATH]
+//! [--out PATH]`
+//!
+//! `--shard-root` pins the per-shard journals to a known directory so CI
+//! can upload them as artifacts when the drill fails (default: a
+//! temporary directory, removed on success).
+
+use picbench_core::{
+    run_shard_worker, Campaign, CampaignConfig, CampaignEvent, CampaignReport, ChaosPlan,
+    LeaseConfig, ProcessLauncher, ShardLossReason, ShardWorkerConfig, ShardWorkload, WorkerStall,
+};
+use picbench_problems::Problem;
+use picbench_prompt::Conversation;
+use picbench_sim::WavelengthGrid;
+use picbench_synthllm::{LanguageModel, ModelProfile, ModelProvider};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Args {
+    shards: u32,
+    kill_random: usize,
+    stall_random: usize,
+    stall_ms: Option<u64>,
+    lease_ttl_ms: u64,
+    problems: usize,
+    samples: usize,
+    threads: usize,
+    seed: u64,
+    chaos_seed: u64,
+    models: Vec<String>,
+    cell_delay_ms: u64,
+    shard_root: Option<PathBuf>,
+    out: String,
+    /// Internal: set (with generation/root) when this process is a
+    /// shard worker spawned by the supervisor's [`ProcessLauncher`].
+    worker_shard: Option<u32>,
+    worker_generation: u32,
+    stall_after_cells: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let usage = "usage: shard_campaign [--shards N] [--kill-random N] [--stall-random N] \
+                 [--stall-ms MS] [--lease-ttl-ms MS] [--problems N] [--samples N] \
+                 [--threads N] [--seed S] [--chaos-seed S] [--models a,b] \
+                 [--cell-delay-ms MS] [--shard-root PATH] [--out PATH]";
+    let mut args = Args {
+        shards: 4,
+        kill_random: 2,
+        stall_random: 1,
+        stall_ms: None,
+        lease_ttl_ms: 5_000,
+        problems: 6,
+        samples: 2,
+        threads: 2,
+        seed: 20_250_205,
+        chaos_seed: 7,
+        models: vec!["GPT-4".to_string(), "Claude 3.5 Sonnet".to_string()],
+        cell_delay_ms: 150,
+        shard_root: None,
+        out: "BENCH_campaign.json".to_string(),
+        worker_shard: None,
+        worker_generation: 0,
+        stall_after_cells: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let numeric = |flag: &str, value: Option<&String>| -> u64 {
+        value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} needs a non-negative integer; {usage}");
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--shards" => {
+                i += 1;
+                args.shards = numeric("--shards", argv.get(i)).max(1) as u32;
+            }
+            "--kill-random" => {
+                i += 1;
+                args.kill_random = numeric("--kill-random", argv.get(i)) as usize;
+            }
+            "--stall-random" => {
+                i += 1;
+                args.stall_random = numeric("--stall-random", argv.get(i)) as usize;
+            }
+            "--stall-ms" => {
+                i += 1;
+                args.stall_ms = Some(numeric("--stall-ms", argv.get(i)));
+            }
+            "--lease-ttl-ms" => {
+                i += 1;
+                args.lease_ttl_ms = numeric("--lease-ttl-ms", argv.get(i)).max(1);
+            }
+            "--problems" => {
+                i += 1;
+                args.problems = numeric("--problems", argv.get(i)).max(1) as usize;
+            }
+            "--samples" => {
+                i += 1;
+                args.samples = numeric("--samples", argv.get(i)).max(1) as usize;
+            }
+            "--threads" => {
+                i += 1;
+                args.threads = numeric("--threads", argv.get(i)) as usize;
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = numeric("--seed", argv.get(i));
+            }
+            "--chaos-seed" => {
+                i += 1;
+                args.chaos_seed = numeric("--chaos-seed", argv.get(i));
+            }
+            "--models" => {
+                i += 1;
+                let names: Vec<String> = argv
+                    .get(i)
+                    .map(|v| {
+                        v.split(',')
+                            .map(str::trim)
+                            .filter(|n| !n.is_empty())
+                            .map(str::to_string)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if names.is_empty() {
+                    eprintln!("--models needs a comma-separated list of profile names; {usage}");
+                    std::process::exit(2);
+                }
+                args.models = names;
+            }
+            "--cell-delay-ms" => {
+                i += 1;
+                args.cell_delay_ms = numeric("--cell-delay-ms", argv.get(i));
+            }
+            "--shard-root" => {
+                i += 1;
+                args.shard_root = Some(argv.get(i).map(PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("--shard-root needs a path; {usage}");
+                    std::process::exit(2);
+                }));
+            }
+            "--out" => {
+                i += 1;
+                args.out = argv.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path; {usage}");
+                    std::process::exit(2);
+                });
+            }
+            "--worker-shard" => {
+                i += 1;
+                args.worker_shard = Some(numeric("--worker-shard", argv.get(i)) as u32);
+            }
+            "--worker-generation" => {
+                i += 1;
+                args.worker_generation = numeric("--worker-generation", argv.get(i)) as u32;
+            }
+            "--stall-after-cells" => {
+                i += 1;
+                args.stall_after_cells = Some(numeric("--stall-after-cells", argv.get(i)) as usize);
+            }
+            other => {
+                eprintln!("unknown argument {other}; {usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// The campaign definition shared — bit for bit — by the control run,
+/// the supervisor, and every worker process: the worker re-derives the
+/// same fingerprint and cell keys from the same flags.
+fn workload(args: &Args) -> (Vec<Problem>, Vec<ModelProfile>, CampaignConfig) {
+    let mut problems = picbench_problems::suite();
+    problems.truncate(args.problems);
+    let profiles: Vec<ModelProfile> = args
+        .models
+        .iter()
+        .map(|name| {
+            ModelProfile::by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown model profile {name:?} (see ModelProfile::all_paper_models)");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let config = CampaignConfig {
+        samples_per_problem: args.samples,
+        k_values: vec![1, args.samples],
+        feedback_iters: vec![0, 1],
+        restrictions: false,
+        seed: args.seed,
+        grid: WavelengthGrid::paper_fast(),
+        threads: args.threads,
+        ..CampaignConfig::default()
+    };
+    (problems, profiles, config)
+}
+
+/// Worker-only pacing: the same provider, plus a fixed sleep before
+/// every model response. Chaos kills are delivered by the supervisor
+/// once a victim's journal shows progress, so a worker must stay
+/// killable for several 50 ms poll ticks per cell — purely additive
+/// latency keeps the window open without touching names, seeding or
+/// responses, so the merged report stays bit-identical to the un-paced
+/// control run.
+struct PacedProvider {
+    inner: Arc<dyn ModelProvider>,
+    delay: Duration,
+}
+
+struct PacedLlm {
+    inner: Box<dyn LanguageModel>,
+    delay: Duration,
+}
+
+impl ModelProvider for PacedProvider {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn spawn(&self) -> Box<dyn LanguageModel> {
+        Box::new(PacedLlm {
+            inner: self.inner.spawn(),
+            delay: self.delay,
+        })
+    }
+
+    fn spawn_seeded(&self, seed: u64) -> Box<dyn LanguageModel> {
+        Box::new(PacedLlm {
+            inner: self.inner.spawn_seeded(seed),
+            delay: self.delay,
+        })
+    }
+}
+
+impl LanguageModel for PacedLlm {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn begin_sample(&mut self, problem: &Problem, sample_index: u64) {
+        self.inner.begin_sample(problem, sample_index);
+    }
+
+    fn respond(&mut self, conversation: &Conversation) -> String {
+        std::thread::sleep(self.delay);
+        self.inner.respond(conversation)
+    }
+}
+
+/// A worker process: run one shard generation to completion and exit
+/// non-zero when the shard's journal is left incomplete (fenced, killed
+/// or degraded) — the supervisor reads that as an unclean loss.
+fn run_worker(args: &Args, shard: u32, root: PathBuf) -> ! {
+    let (problems, profiles, config) = workload(args);
+    let delay = Duration::from_millis(args.cell_delay_ms);
+    let load = ShardWorkload {
+        problems,
+        providers: profiles
+            .iter()
+            .map(|p| {
+                let inner = Arc::new(p.clone()) as Arc<dyn ModelProvider>;
+                if delay.is_zero() {
+                    inner
+                } else {
+                    Arc::new(PacedProvider { inner, delay }) as Arc<dyn ModelProvider>
+                }
+            })
+            .collect(),
+        config,
+    };
+    let stall = args.stall_after_cells.map(|after_cells| WorkerStall {
+        after_cells,
+        hold_ms: args.stall_ms.unwrap_or(0),
+    });
+    let report = run_shard_worker(
+        &load,
+        &ShardWorkerConfig {
+            shard,
+            generation: args.worker_generation,
+            shards: args.shards,
+            root,
+            worker_id: u64::from(std::process::id()),
+            stall,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("worker shard {shard}: {e}");
+        std::process::exit(3);
+    });
+    std::process::exit(i32::from(!report.completed));
+}
+
+fn control_run(args: &Args) -> CampaignReport {
+    let (problems, profiles, config) = workload(args);
+    Campaign::builder()
+        .problems(problems)
+        .profiles(&profiles)
+        .config(config)
+        .build()
+        .expect("valid campaign definition")
+        .run()
+}
+
+/// Splices the `"shards"` section into an existing `BENCH_campaign.json`
+/// (immediately before its trailing `"generated_by"` key) or writes a
+/// standalone report when the file is absent or foreign.
+fn write_report(out: &str, section: &str) {
+    let spliced = std::fs::read_to_string(out).ok().and_then(|text| {
+        let marker = "  \"generated_by\"";
+        let at = text.rfind(marker)?;
+        let mut spliced = String::with_capacity(text.len() + section.len());
+        spliced.push_str(&text[..at]);
+        spliced.push_str(section);
+        spliced.push_str(&text[at..]);
+        Some(spliced)
+    });
+    let json = spliced.unwrap_or_else(|| {
+        format!(
+            "{{\n  \"benchmark\": \"fault-tolerant sharded campaign execution\",\n{section}  \
+             \"generated_by\": \"cargo run --release -p picbench-bench --bin shard_campaign\"\n}}\n"
+        )
+    });
+    std::fs::write(out, json).expect("write benchmark report");
+    println!("wrote {out}");
+}
+
+fn main() {
+    let args = parse_args();
+    let shard_root = args.shard_root.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("picbench-shard-campaign-{}", std::process::id()))
+    });
+    if let Some(shard) = args.worker_shard {
+        run_worker(&args, shard, shard_root);
+    }
+    let ephemeral = args.shard_root.is_none();
+    let stall_ms = args.stall_ms.unwrap_or(args.lease_ttl_ms + 3_000);
+
+    let (problems, profiles, config) = workload(&args);
+    let cells = problems.len() * profiles.len() * config.feedback_iters.len();
+    let chaos = ChaosPlan::seeded(
+        args.chaos_seed,
+        args.shards,
+        args.kill_random,
+        args.stall_random,
+        stall_ms,
+    );
+    let kills_injected = chaos.kills.len();
+    let stalls_injected = chaos.stalls.len();
+    println!(
+        "workload: {} problems x {} models x {} feedback settings = {cells} cells \
+         over {} shards; chaos: {kills_injected} SIGKILL(s), {stalls_injected} stall(s) \
+         of {stall_ms} ms against a {} ms lease TTL",
+        problems.len(),
+        profiles.len(),
+        config.feedback_iters.len(),
+        args.shards,
+        args.lease_ttl_ms,
+    );
+
+    println!("control: uninterrupted single-process run...");
+    let t = Instant::now();
+    let control = control_run(&args);
+    let single_process_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    println!("sharded: spawning worker processes under chaos...");
+    let events: Arc<Mutex<Vec<CampaignEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let launcher = ProcessLauncher {
+        program: std::env::current_exe().expect("current_exe"),
+        base_args: vec![
+            "--problems".to_string(),
+            args.problems.to_string(),
+            "--samples".to_string(),
+            args.samples.to_string(),
+            "--threads".to_string(),
+            args.threads.to_string(),
+            "--seed".to_string(),
+            args.seed.to_string(),
+            "--models".to_string(),
+            args.models.join(","),
+            "--cell-delay-ms".to_string(),
+            args.cell_delay_ms.to_string(),
+        ],
+    };
+    let t = Instant::now();
+    let outcome = Campaign::builder()
+        .problems(problems)
+        .profiles(&profiles)
+        .config(config)
+        .shards(args.shards)
+        .shard_dir(&shard_root)
+        .shard_launcher(Arc::new(launcher))
+        .lease_config(LeaseConfig {
+            ttl_ms: args.lease_ttl_ms,
+            poll_ms: 50,
+            max_takeovers: 16,
+        })
+        .chaos(chaos)
+        .observer(Arc::new(move |event: &CampaignEvent| {
+            match event {
+                CampaignEvent::ShardStarted {
+                    shard,
+                    generation,
+                    cells,
+                } => eprintln!("  shard {shard} gen {generation}: started ({cells} cells)"),
+                CampaignEvent::ShardLost {
+                    shard,
+                    generation,
+                    reason,
+                    cells_done,
+                } => eprintln!(
+                    "  shard {shard} gen {generation}: LOST ({reason:?}) after {cells_done} cells"
+                ),
+                CampaignEvent::ShardReassigned {
+                    shard,
+                    from_generation,
+                    to_generation,
+                } => eprintln!(
+                    "  shard {shard}: reassigned gen {from_generation} -> {to_generation}"
+                ),
+                CampaignEvent::ShardMerged {
+                    shard,
+                    generation,
+                    cells,
+                    quarantined,
+                } => eprintln!(
+                    "  shard {shard} gen {generation}: merged {cells} cells \
+                     ({quarantined} stale quarantined)"
+                ),
+                _ => {}
+            }
+            sink.lock()
+                .expect("event sink poisoned")
+                .push(event.clone());
+        }))
+        .build()
+        .expect("valid sharded campaign definition")
+        .execute();
+    let sharded_ms = t.elapsed().as_secs_f64() * 1e3;
+    let sharded = outcome.report.expect("sharded campaign completes");
+
+    // Tally the drill from the event stream.
+    let events = events.lock().expect("event sink poisoned");
+    let mut expected: HashMap<u32, usize> = HashMap::new();
+    let mut unclean_exits = 0usize;
+    let mut lease_expiries = 0usize;
+    let mut reassignments = 0usize;
+    let mut cells_reassigned = 0usize;
+    let mut quarantined = 0usize;
+    for event in events.iter() {
+        match event {
+            CampaignEvent::ShardStarted { shard, cells, .. } => {
+                expected.entry(*shard).or_insert(*cells);
+            }
+            CampaignEvent::ShardLost {
+                shard,
+                reason,
+                cells_done,
+                ..
+            } => {
+                match reason {
+                    ShardLossReason::LeaseExpired => lease_expiries += 1,
+                    ShardLossReason::WorkerExited { clean: false } => unclean_exits += 1,
+                    ShardLossReason::WorkerExited { clean: true } => {}
+                }
+                cells_reassigned += expected
+                    .get(shard)
+                    .copied()
+                    .unwrap_or(0)
+                    .saturating_sub(*cells_done);
+            }
+            CampaignEvent::ShardReassigned { .. } => reassignments += 1,
+            CampaignEvent::ShardMerged {
+                quarantined: stale, ..
+            } => quarantined += stale,
+            _ => {}
+        }
+    }
+    drop(events);
+
+    assert!(
+        sharded.same_results(&control),
+        "sharded report differs from the single-process control run"
+    );
+    assert!(
+        unclean_exits >= kills_injected,
+        "injected {kills_injected} SIGKILLs but observed only {unclean_exits} unclean exits"
+    );
+    if stalls_injected > 0 && stall_ms > args.lease_ttl_ms {
+        assert!(
+            lease_expiries >= stalls_injected,
+            "injected {stalls_injected} over-TTL stalls but observed only \
+             {lease_expiries} lease expiries"
+        );
+    }
+    assert!(
+        reassignments >= kills_injected + stalls_injected,
+        "every injected fault must cost its shard a generation: \
+         {reassignments} reassignments for {} faults",
+        kills_injected + stalls_injected
+    );
+
+    let redundant_ratio = quarantined as f64 / cells as f64;
+    println!(
+        "sharded report bit-identical to single-process control: true \
+         ({} unclean exits, {lease_expiries} lease expiries, {reassignments} reassignments)",
+        unclean_exits,
+    );
+    println!(
+        "cells: {cells} total, {} inherited across takeovers, {cells_reassigned} reassigned, \
+         {quarantined} stale writes quarantined (redundancy ratio {redundant_ratio:.3})",
+        outcome.cells_restored,
+    );
+    println!(
+        "wall clock: single-process {single_process_ms:.0} ms, \
+         sharded-under-chaos {sharded_ms:.0} ms"
+    );
+
+    let section = format!(
+        "  \"shards\": {{\n    \"shards\": {},\n    \"kills_injected\": {kills_injected},\n    \
+         \"stalls_injected\": {stalls_injected},\n    \"lease_ttl_ms\": {},\n    \
+         \"unclean_exits\": {unclean_exits},\n    \"lease_expiries\": {lease_expiries},\n    \
+         \"reassignments\": {reassignments},\n    \"cells_total\": {cells},\n    \
+         \"cells_reassigned\": {cells_reassigned},\n    \"cells_inherited\": {},\n    \
+         \"cells_quarantined\": {quarantined},\n    \
+         \"redundant_cell_ratio\": {redundant_ratio:.4},\n    \
+         \"single_process_ms\": {single_process_ms:.1},\n    \
+         \"sharded_chaos_ms\": {sharded_ms:.1},\n    \
+         \"report_identical_to_single_process\": true\n  }},\n",
+        args.shards, args.lease_ttl_ms, outcome.cells_restored,
+    );
+    write_report(&args.out, &section);
+
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&shard_root);
+    } else {
+        println!("shard journals kept at {}", shard_root.display());
+    }
+}

@@ -49,6 +49,13 @@ pub struct ReproScale {
     /// previous identically-configured run are replayed instead of
     /// re-evaluated. No effect without `store_dir`.
     pub resume: bool,
+    /// Above 1, the Monte-Carlo campaigns run sharded: the cell matrix
+    /// is partitioned over this many supervised in-process workers,
+    /// each journalling through its own lease-fenced directory, and the
+    /// tables are merged deterministically — bit-identical for every
+    /// shard count. Journals land under `store_dir/shards` when a store
+    /// directory is set, else in a temporary directory.
+    pub shards: u32,
 }
 
 impl Default for ReproScale {
@@ -60,6 +67,7 @@ impl Default for ReproScale {
             problems: None,
             store_dir: None,
             resume: false,
+            shards: 0,
         }
     }
 }
@@ -203,8 +211,33 @@ fn campaign(restrictions: bool, scale: &ReproScale) -> Result<CampaignReport, St
             builder.store(store)
         };
     }
+    // Sharded execution supersedes the in-process engine (and its store
+    // journalling): each worker journals through its own lease-fenced
+    // shard directory instead, and an interrupted run resumes from those
+    // journals when pointed at the same directory again.
+    let mut ephemeral_shard_dir = None;
+    if scale.shards > 1 {
+        let dir = match &scale.store_dir {
+            Some(store_dir) => store_dir.join("shards"),
+            None => {
+                static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                let dir = std::env::temp_dir().join(format!(
+                    "picbench-repro-shards-{}-{}",
+                    std::process::id(),
+                    SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                ));
+                ephemeral_shard_dir = Some(dir.clone());
+                dir
+            }
+        };
+        builder = builder.shards(scale.shards).shard_dir(dir);
+    }
     let session = builder.build().map_err(|e| e.to_string())?;
-    Ok(session.run())
+    let report = session.run();
+    if let Some(dir) = ephemeral_shard_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(report)
 }
 
 /// Regenerates Table III: Pass@1/Pass@n syntax and functionality for the
@@ -496,6 +529,18 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("warp-core"));
+    }
+
+    #[test]
+    fn sharded_table3_is_bit_identical_to_single_process() {
+        let scale = ReproScale {
+            samples: 1,
+            problems: Some(vec!["mzi-ps".to_string()]),
+            ..ReproScale::default()
+        };
+        let single = table3(&scale).unwrap();
+        let sharded = table3(&ReproScale { shards: 3, ..scale }).unwrap();
+        assert_eq!(single, sharded);
     }
 
     #[test]

@@ -47,14 +47,17 @@
 use crate::evaluate::{EvalCache, EvalCacheStats, Evaluator};
 use crate::events::{CampaignEvent, CampaignObserver, CancelToken};
 use crate::feedback_loop::{run_sample, LoopConfig};
+use crate::lease::{Clock, LeaseConfig, SystemClock};
 use crate::passk::{aggregate_pass_at_k, ProblemTally};
 use crate::persist::SharedEvalStore;
+use crate::supervisor::{run_sharded, ChaosPlan, InProcessLauncher, ShardLauncher};
 use picbench_problems::Problem;
 use picbench_sim::{Backend, FrequencyResponse, WavelengthGrid};
 use picbench_store::fnv1a64;
 use picbench_synthllm::{ModelProfile, ModelProvider, RetryEvent, RetryPolicy, RetryProvider};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -218,10 +221,52 @@ impl CampaignReport {
 
 /// One `(problem × model × feedback)` evaluation cell.
 #[derive(Clone, Copy)]
-struct Cell {
-    problem: usize,
-    profile: usize,
-    ef_idx: usize,
+pub(crate) struct Cell {
+    pub(crate) problem: usize,
+    pub(crate) profile: usize,
+    pub(crate) ef_idx: usize,
+}
+
+/// The campaign's cell list in canonical problem-major order — the
+/// order every execution path (single-process engine, shard planner,
+/// merge) agrees on.
+pub(crate) fn matrix_cells(
+    problems: usize,
+    providers: usize,
+    feedback_settings: usize,
+) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(problems * providers * feedback_settings);
+    for problem in 0..problems {
+        for profile in 0..providers {
+            for ef_idx in 0..feedback_settings {
+                cells.push(Cell {
+                    problem,
+                    profile,
+                    ef_idx,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Journal keys for every cell, in the same canonical order.
+pub(crate) fn matrix_cell_keys(
+    problems: &[Problem],
+    provider_names: &[String],
+    config: &CampaignConfig,
+    cells: &[Cell],
+) -> Vec<u64> {
+    cells
+        .iter()
+        .map(|cell| {
+            cell_journal_key(
+                &problems[cell.problem].id,
+                &provider_names[cell.profile],
+                config.feedback_iters[cell.ef_idx],
+            )
+        })
+        .collect()
 }
 
 /// Why [`CampaignBuilder::build`] rejected a session.
@@ -242,6 +287,9 @@ pub enum CampaignBuildError {
     /// Two providers share a display name (report rows, events and
     /// [`CampaignReport::cell`] lookups are keyed by it).
     DuplicateProviderName(String),
+    /// `shards(n)` above 1 without a `shard_dir` — worker journals need
+    /// a home.
+    ShardsWithoutDir,
 }
 
 impl fmt::Display for CampaignBuildError {
@@ -262,6 +310,9 @@ impl fmt::Display for CampaignBuildError {
             CampaignBuildError::DuplicateProviderName(name) => {
                 write!(f, "duplicate provider name {name:?} in campaign")
             }
+            CampaignBuildError::ShardsWithoutDir => {
+                write!(f, "sharded campaign needs a shard_dir for worker journals")
+            }
         }
     }
 }
@@ -276,14 +327,20 @@ impl std::error::Error for CampaignBuildError {}
 /// [`Campaign::execute`] additionally supports cooperative cancellation
 /// via a [`CancelToken`] and returns a [`CampaignOutcome`].
 pub struct Campaign {
-    problems: Vec<Problem>,
-    providers: Vec<Arc<dyn ModelProvider>>,
-    config: CampaignConfig,
-    observer: Option<Arc<dyn CampaignObserver>>,
-    cancel: Option<CancelToken>,
-    store: Option<SharedEvalStore>,
-    resume: bool,
-    kill: Option<KillPoint>,
+    pub(crate) problems: Vec<Problem>,
+    pub(crate) providers: Vec<Arc<dyn ModelProvider>>,
+    pub(crate) config: CampaignConfig,
+    pub(crate) observer: Option<Arc<dyn CampaignObserver>>,
+    pub(crate) cancel: Option<CancelToken>,
+    pub(crate) store: Option<SharedEvalStore>,
+    pub(crate) resume: bool,
+    pub(crate) kill: Option<KillPoint>,
+    pub(crate) shards: u32,
+    pub(crate) shard_dir: Option<PathBuf>,
+    pub(crate) launcher: Option<Arc<dyn ShardLauncher>>,
+    pub(crate) lease: LeaseConfig,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub(crate) chaos: Option<ChaosPlan>,
 }
 
 impl fmt::Debug for Campaign {
@@ -304,6 +361,8 @@ impl fmt::Debug for Campaign {
             .field("store", &self.store.is_some())
             .field("resume", &self.resume)
             .field("kill", &self.kill)
+            .field("shards", &self.shards)
+            .field("shard_dir", &self.shard_dir)
             .finish()
     }
 }
@@ -356,7 +415,17 @@ impl Campaign {
     /// Cancellation is checked at cell boundaries: in-flight cells finish
     /// (emitting their [`CampaignEvent::CellFinished`]), no new cells
     /// start, and the outcome carries `report: None`.
+    ///
+    /// With [`CampaignBuilder::shards`] above 1 the run is routed
+    /// through the shard supervisor instead of the in-process engine:
+    /// workers journal into per-shard directories under the configured
+    /// shard root, the supervisor tracks their leases and reassigns
+    /// lost shards, and the per-shard journals merge into a report
+    /// bit-identical to a single-process run.
     pub fn execute(&self) -> CampaignOutcome {
+        if self.shards > 1 {
+            return run_sharded(self);
+        }
         execute_campaign(
             &self.problems,
             &self.providers,
@@ -414,6 +483,12 @@ pub struct CampaignBuilder {
     store: Option<SharedEvalStore>,
     resume: bool,
     kill: Option<KillPoint>,
+    shards: u32,
+    shard_dir: Option<PathBuf>,
+    launcher: Option<Arc<dyn ShardLauncher>>,
+    lease: Option<LeaseConfig>,
+    clock: Option<Arc<dyn Clock>>,
+    chaos: Option<ChaosPlan>,
 }
 
 impl CampaignBuilder {
@@ -569,6 +644,59 @@ impl CampaignBuilder {
         self
     }
 
+    /// Fans the campaign out over `n` shard worker processes (values of
+    /// 0 and 1 keep the in-process engine). Requires
+    /// [`CampaignBuilder::shard_dir`]: workers journal into per-shard
+    /// directories under it, the supervisor tracks worker leases there,
+    /// and the merged report is bit-identical to a single-process run —
+    /// the shard count is excluded from [`Campaign::fingerprint`], so
+    /// journals recombine across shard counts.
+    pub fn shards(mut self, n: u32) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// The root directory holding per-shard journals
+    /// (`<root>/shard-NNN/gen-GGG/`). Required when
+    /// [`CampaignBuilder::shards`] is above 1.
+    pub fn shard_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.shard_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides how shard workers are launched. The default is
+    /// [`InProcessLauncher`] (worker threads in this process); drills
+    /// and production fan-out use
+    /// [`ProcessLauncher`](crate::supervisor::ProcessLauncher) to spawn
+    /// real worker processes.
+    pub fn shard_launcher(mut self, launcher: Arc<dyn ShardLauncher>) -> Self {
+        self.launcher = Some(launcher);
+        self
+    }
+
+    /// Overrides the supervisor's liveness policy (lease TTL, poll
+    /// interval, takeover bound).
+    pub fn lease_config(mut self, lease: LeaseConfig) -> Self {
+        self.lease = Some(lease);
+        self
+    }
+
+    /// Overrides the supervisor's time source — tests inject a
+    /// [`TestClock`](crate::lease::TestClock) to drive lease expiry
+    /// deterministically.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Installs a fault-injection plan for chaos drills: the supervisor
+    /// kills listed workers once their journals show enough cells, and
+    /// stalls are handed to workers at launch.
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Attaches a progress observer fed typed [`CampaignEvent`]s.
     pub fn observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
         self.observer = Some(observer);
@@ -619,6 +747,9 @@ impl CampaignBuilder {
                 ));
             }
         }
+        if self.shards > 1 && self.shard_dir.is_none() {
+            return Err(CampaignBuildError::ShardsWithoutDir);
+        }
         Ok(Campaign {
             problems: self.problems,
             providers: self.providers,
@@ -628,6 +759,15 @@ impl CampaignBuilder {
             store: self.store,
             resume: self.resume,
             kill: self.kill,
+            shards: self.shards,
+            shard_dir: self.shard_dir,
+            launcher: Some(
+                self.launcher
+                    .unwrap_or_else(|| Arc::new(InProcessLauncher::new())),
+            ),
+            lease: self.lease.unwrap_or_default(),
+            clock: self.clock.unwrap_or_else(|| Arc::new(SystemClock)),
+            chaos: self.chaos,
         })
     }
 }
@@ -666,13 +806,19 @@ pub fn run_campaign(
         store: None,
         resume: false,
         kill: None,
+        shards: 0,
+        shard_dir: None,
+        launcher: None,
+        lease: LeaseConfig::default(),
+        clock: Arc::new(SystemClock),
+        chaos: None,
     };
     campaign.run()
 }
 
 /// FNV-1a over the campaign's result-relevant inputs; see
 /// [`Campaign::fingerprint`].
-fn campaign_fingerprint(
+pub(crate) fn campaign_fingerprint(
     problems: &[Problem],
     provider_names: &[String],
     config: &CampaignConfig,
@@ -715,7 +861,7 @@ fn campaign_fingerprint(
 /// Stable journal key of one `(problem × model × feedback)` cell —
 /// derived from identities, not matrix indices, so reordering the
 /// problem or provider lists does not orphan journal records.
-fn cell_journal_key(problem_id: &str, provider: &str, feedback_iters: usize) -> u64 {
+pub(crate) fn cell_journal_key(problem_id: &str, provider: &str, feedback_iters: usize) -> u64 {
     let mut buf = Vec::with_capacity(problem_id.len() + provider.len() + 24);
     buf.extend_from_slice(&(problem_id.len() as u64).to_le_bytes());
     buf.extend_from_slice(problem_id.as_bytes());
@@ -759,6 +905,125 @@ fn bridge_retry_event(event: &RetryEvent) -> CampaignEvent {
     }
 }
 
+/// Wraps providers in the retry decorator when the config asks for one,
+/// preserving display names; retry decisions bridge into the observer.
+/// Shard workers apply the identical wrapping, so a cell evaluates the
+/// same bytes whether it runs in-process or in a worker.
+pub(crate) fn wrap_retry_providers(
+    providers: &[Arc<dyn ModelProvider>],
+    config: &CampaignConfig,
+    observer: Option<&Arc<dyn CampaignObserver>>,
+) -> Vec<Arc<dyn ModelProvider>> {
+    match config.retry {
+        Some(policy) => providers
+            .iter()
+            .map(|provider| {
+                let mut retrying = RetryProvider::new(Arc::clone(provider), policy);
+                if let Some(observer) = observer {
+                    let observer = Arc::clone(observer);
+                    retrying = retrying.with_sink(Arc::new(move |event: &RetryEvent| {
+                        observer.on_event(&bridge_retry_event(event));
+                    }));
+                }
+                Arc::new(retrying) as Arc<dyn ModelProvider>
+            })
+            .collect(),
+        None => providers.to_vec(),
+    }
+}
+
+/// Evaluates one cell exactly as the engine's worker loop does: a fresh
+/// model instance seeded with the campaign seed, `samples_per_problem`
+/// runs through the feedback loop, tallied. Extracted so shard workers
+/// produce bit-identical tallies.
+pub(crate) fn evaluate_cell(
+    provider: &Arc<dyn ModelProvider>,
+    problem: &Problem,
+    feedback_iters: usize,
+    config: &CampaignConfig,
+    evaluator: &mut Evaluator,
+) -> ProblemTally {
+    let mut llm = provider.spawn_seeded(config.seed);
+    let loop_config = LoopConfig {
+        max_feedback_iters: feedback_iters,
+        restrictions: config.restrictions,
+    };
+    let mut tally = ProblemTally {
+        n: config.samples_per_problem,
+        syntax_passes: 0,
+        functional_passes: 0,
+    };
+    for sample in 0..config.samples_per_problem as u64 {
+        let result = run_sample(llm.as_mut(), problem, evaluator, loop_config, sample);
+        if result.syntax_pass() {
+            tally.syntax_passes += 1;
+        }
+        if result.functional_pass() {
+            tally.functional_passes += 1;
+        }
+    }
+    tally
+}
+
+/// Folds per-cell tallies into a [`CampaignReport`], iterating problems
+/// in input order — deterministic and independent of scheduling. Shared
+/// by the in-process engine and the multi-shard merge, which is what
+/// makes the merged report bit-identical.
+///
+/// # Panics
+///
+/// Panics when a cell is missing — callers verify coverage first.
+pub(crate) fn aggregate_report(
+    problems: &[Problem],
+    provider_names: &[String],
+    config: &CampaignConfig,
+    by_cell: &[Option<ProblemTally>],
+    cache_stats: Option<EvalCacheStats>,
+) -> CampaignReport {
+    let cell_index = |problem: usize, profile: usize, ef_idx: usize| {
+        (problem * provider_names.len() + profile) * config.feedback_iters.len() + ef_idx
+    };
+    let mut conditions: Vec<ConditionTallies> = Vec::new();
+    let mut scores = Vec::new();
+    for (profile_idx, model_name) in provider_names.iter().enumerate() {
+        for (ef_idx, &ef) in config.feedback_iters.iter().enumerate() {
+            let ordered: Vec<(usize, ProblemTally)> = (0..problems.len())
+                .map(|p| {
+                    let tally = by_cell[cell_index(p, profile_idx, ef_idx)]
+                        .expect("every cell was computed");
+                    (p, tally)
+                })
+                .collect();
+            for &k in &config.k_values {
+                let tally_vec: Vec<ProblemTally> = ordered.iter().map(|(_, t)| *t).collect();
+                let (syntax, functional) = aggregate_pass_at_k(&tally_vec, k);
+                scores.push(CellScore {
+                    model: model_name.clone(),
+                    feedback_iters: ef,
+                    k,
+                    syntax,
+                    functional,
+                });
+            }
+            conditions.push(ConditionTallies {
+                model: model_name.clone(),
+                feedback_iters: ef,
+                tallies: ordered
+                    .into_iter()
+                    .map(|(p, tally)| (problems[p].id.clone(), tally))
+                    .collect(),
+            });
+        }
+    }
+    CampaignReport {
+        restrictions: config.restrictions,
+        samples_per_problem: config.samples_per_problem,
+        cells: scores,
+        conditions,
+        cache_stats,
+    }
+}
+
 /// The campaign engine: fans `(problem × model × feedback)` cells out
 /// over worker threads, spawning one model instance per cell from the
 /// cell's provider, and aggregates deterministically.
@@ -786,26 +1051,8 @@ fn execute_campaign(
     // The retry layer decorates providers at execute time, preserving
     // their display names; its decisions are bridged into the campaign
     // event stream through the observer.
-    let wrapped: Vec<Arc<dyn ModelProvider>>;
-    let providers: &[Arc<dyn ModelProvider>] = match config.retry {
-        Some(policy) => {
-            wrapped = providers
-                .iter()
-                .map(|provider| {
-                    let mut retrying = RetryProvider::new(Arc::clone(provider), policy);
-                    if let Some(observer) = observer {
-                        let observer = Arc::clone(observer);
-                        retrying = retrying.with_sink(Arc::new(move |event: &RetryEvent| {
-                            observer.on_event(&bridge_retry_event(event));
-                        }));
-                    }
-                    Arc::new(retrying) as Arc<dyn ModelProvider>
-                })
-                .collect();
-            &wrapped
-        }
-        None => providers,
-    };
+    let providers: Vec<Arc<dyn ModelProvider>> = wrap_retry_providers(providers, config, observer);
+    let providers = &providers[..];
 
     // A kill point folds into the same cooperative halt path as the
     // cancel token: both stop new cells at cell boundaries.
@@ -816,18 +1063,7 @@ fn execute_campaign(
     // Cells in problem-major order; `PerProblem` groups each problem's
     // contiguous run of cells into one work unit.
     let per_problem = providers.len() * config.feedback_iters.len();
-    let mut cells = Vec::with_capacity(problems.len() * per_problem);
-    for problem in 0..problems.len() {
-        for profile in 0..providers.len() {
-            for ef_idx in 0..config.feedback_iters.len() {
-                cells.push(Cell {
-                    problem,
-                    profile,
-                    ef_idx,
-                });
-            }
-        }
-    }
+    let cells = matrix_cells(problems.len(), providers.len(), config.feedback_iters.len());
     let units: Vec<std::ops::Range<usize>> = match config.grain {
         CampaignGrain::PerCell => (0..cells.len()).map(|i| i..i + 1).collect(),
         CampaignGrain::PerProblem => (0..problems.len())
@@ -845,16 +1081,7 @@ fn execute_campaign(
     // campaign, the per-cell keys are derived from identities (problem
     // id, provider name, feedback setting), not matrix indices.
     let fingerprint = campaign_fingerprint(problems, &provider_names, config);
-    let cell_keys: Vec<u64> = cells
-        .iter()
-        .map(|cell| {
-            cell_journal_key(
-                &problems[cell.problem].id,
-                &provider_names[cell.profile],
-                config.feedback_iters[cell.ef_idx],
-            )
-        })
-        .collect();
+    let cell_keys = matrix_cell_keys(problems, &provider_names, config, &cells);
 
     // Resume: replay cells journalled by a previous run of the same
     // campaign before any worker starts. Restored tallies were computed
@@ -998,31 +1225,13 @@ fn execute_campaign(
                             model: provider_names[cell.profile].clone(),
                             feedback_iters,
                         });
-                        let mut llm = providers[cell.profile].spawn_seeded(config.seed);
-                        let loop_config = LoopConfig {
-                            max_feedback_iters: feedback_iters,
-                            restrictions: config.restrictions,
-                        };
-                        let mut tally = ProblemTally {
-                            n: config.samples_per_problem,
-                            syntax_passes: 0,
-                            functional_passes: 0,
-                        };
-                        for sample in 0..config.samples_per_problem as u64 {
-                            let result = run_sample(
-                                llm.as_mut(),
-                                problem,
-                                &mut evaluator,
-                                loop_config,
-                                sample,
-                            );
-                            if result.syntax_pass() {
-                                tally.syntax_passes += 1;
-                            }
-                            if result.functional_pass() {
-                                tally.functional_passes += 1;
-                            }
-                        }
+                        let tally = evaluate_cell(
+                            &providers[cell.profile],
+                            problem,
+                            feedback_iters,
+                            config,
+                            &mut evaluator,
+                        );
                         // Durability barrier: the cell's journal record
                         // is written and fsync'd *before* the cell is
                         // counted complete, so any crash after this
@@ -1084,44 +1293,16 @@ fn execute_campaign(
     for (index, tally) in raw {
         by_cell[index] = Some(tally);
     }
-    let cell_index = |problem: usize, profile: usize, ef_idx: usize| {
-        (problem * providers.len() + profile) * config.feedback_iters.len() + ef_idx
-    };
 
     // Aggregation iterates problems in input order — deterministic and
     // independent of scheduling, hashing and thread count.
-    let mut conditions: Vec<ConditionTallies> = Vec::new();
-    let mut scores = Vec::new();
-    for (profile_idx, model_name) in provider_names.iter().enumerate() {
-        for (ef_idx, &ef) in config.feedback_iters.iter().enumerate() {
-            let ordered: Vec<(usize, ProblemTally)> = (0..problems.len())
-                .map(|p| {
-                    let tally = by_cell[cell_index(p, profile_idx, ef_idx)]
-                        .expect("every cell was computed");
-                    (p, tally)
-                })
-                .collect();
-            for &k in &config.k_values {
-                let tally_vec: Vec<ProblemTally> = ordered.iter().map(|(_, t)| *t).collect();
-                let (syntax, functional) = aggregate_pass_at_k(&tally_vec, k);
-                scores.push(CellScore {
-                    model: model_name.clone(),
-                    feedback_iters: ef,
-                    k,
-                    syntax,
-                    functional,
-                });
-            }
-            conditions.push(ConditionTallies {
-                model: model_name.clone(),
-                feedback_iters: ef,
-                tallies: ordered
-                    .into_iter()
-                    .map(|(p, tally)| (problems[p].id.clone(), tally))
-                    .collect(),
-            });
-        }
-    }
+    let report = aggregate_report(
+        problems,
+        &provider_names,
+        config,
+        &by_cell,
+        cache.as_ref().map(|c| c.stats()),
+    );
 
     if let Some(cache) = &cache {
         emit(CampaignEvent::CacheStats(cache.stats()));
@@ -1133,13 +1314,7 @@ fn execute_campaign(
     });
 
     CampaignOutcome {
-        report: Some(CampaignReport {
-            restrictions: config.restrictions,
-            samples_per_problem: config.samples_per_problem,
-            cells: scores,
-            conditions,
-            cache_stats: cache.map(|c| c.stats()),
-        }),
+        report: Some(report),
         cancelled: false,
         cells_completed,
         cells_total: cells.len(),

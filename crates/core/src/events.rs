@@ -19,6 +19,22 @@
 //! CampaignFinished { cancelled }
 //! ```
 //!
+//! Sharded campaigns (`Campaign::builder().shards(n)`) emit a shard
+//! lifecycle instead of per-cell pairs — the supervisor observes worker
+//! journals from outside, so cell-level events stay inside the worker
+//! processes:
+//!
+//! ```text
+//! CampaignStarted
+//!   (ShardStarted)*                 — one per shard, generation 0
+//!   (ShardHeartbeat)*               — whenever a worker's lease seq advances
+//!   (ShardLost → ShardReassigned → ShardStarted)*
+//!                                   — per takeover: dead/stalled worker
+//!                                     detected, next generation launched
+//!   (ShardMerged)*                  — per shard, once its journal merges
+//! CampaignFinished { cancelled }
+//! ```
+//!
 //! Observer callbacks run on worker threads, inline with evaluation —
 //! keep them cheap (push to a channel, update atomics) and never block.
 
@@ -148,6 +164,66 @@ pub enum CampaignEvent {
         /// Write errors the store had observed when it degraded.
         write_errors: u64,
     },
+    /// A shard worker was launched (sharded campaigns only).
+    ShardStarted {
+        /// Shard index in `0..shards`.
+        shard: u32,
+        /// Lease generation of the launched worker (0 on first launch,
+        /// bumped by every reassignment).
+        generation: u32,
+        /// Cells assigned to this shard.
+        cells: usize,
+    },
+    /// The supervisor observed a shard worker's lease advance (sharded
+    /// campaigns only; emitted once per observed heartbeat, not per
+    /// poll).
+    ShardHeartbeat {
+        /// Shard index.
+        shard: u32,
+        /// Lease generation of the worker that heartbeat.
+        generation: u32,
+        /// The lease sequence number observed.
+        seq: u64,
+        /// Cells visible in the shard's journal at observation time.
+        cells_done: usize,
+    },
+    /// A shard worker was declared gone — its process exited without
+    /// finishing, or its lease expired (sharded campaigns only).
+    ShardLost {
+        /// Shard index.
+        shard: u32,
+        /// Lease generation of the lost worker.
+        generation: u32,
+        /// Why the supervisor gave up on it.
+        reason: ShardLossReason,
+        /// Cells its journal held when it was declared lost — work the
+        /// next generation inherits instead of redoing.
+        cells_done: usize,
+    },
+    /// An orphaned shard was handed to a fresh worker under a new lease
+    /// generation; journal writes from older generations are fenced out
+    /// of the merge (sharded campaigns only).
+    ShardReassigned {
+        /// Shard index.
+        shard: u32,
+        /// The generation that was lost.
+        from_generation: u32,
+        /// The replacement generation about to start.
+        to_generation: u32,
+    },
+    /// A shard's final-generation journal was folded into the campaign
+    /// report (sharded campaigns only).
+    ShardMerged {
+        /// Shard index.
+        shard: u32,
+        /// The generation whose journal was merged.
+        generation: u32,
+        /// Cells the merged journal contributed.
+        cells: usize,
+        /// Journal records quarantined from stale (fenced) generations —
+        /// writes that landed after a takeover.
+        quarantined: usize,
+    },
     /// Final counters of the shared evaluation cache (completion only).
     CacheStats(EvalCacheStats),
     /// The campaign stopped — normally or via cancellation.
@@ -160,6 +236,21 @@ pub enum CampaignEvent {
         /// request arriving after the last cell completed still counts
         /// as a normal finish).
         cancelled: bool,
+    },
+}
+
+/// Why a shard worker was declared lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardLossReason {
+    /// The worker's lease stopped advancing for longer than the
+    /// configured TTL — it may be dead *or merely stalled*; either way
+    /// its generation is fenced and a replacement takes over.
+    LeaseExpired,
+    /// The worker process exited before covering its shard.
+    WorkerExited {
+        /// Whether the exit reported success (a clean exit with an
+        /// incomplete journal is still a loss).
+        clean: bool,
     },
 }
 

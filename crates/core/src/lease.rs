@@ -1,0 +1,202 @@
+//! Time and liveness policy for sharded campaigns.
+//!
+//! The supervisor decides a worker is gone when its lease stops
+//! advancing: each worker heartbeats by bumping the `seq` of its
+//! [`LeaseRecord`](crate::persist::LeaseRecord) at every cell boundary,
+//! the supervisor records *its own* clock whenever it observes the seq
+//! advance, and a lease whose last observed advance is older than
+//! [`LeaseConfig::ttl_ms`] has expired. Worker-side timestamps never
+//! enter the decision — two processes' clocks need not agree.
+//!
+//! All time flows through the [`Clock`] seam so lease-expiry edge cases
+//! (a heartbeat landing exactly on the expiry boundary, a stalled worker
+//! reviving after takeover) are testable deterministically with a
+//! [`TestClock`] instead of real sleeps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// The time source of the supervisor and its workers.
+///
+/// `now_ms` must be comparable across calls on the *same* clock; it
+/// need not be comparable across processes (the supervisor never
+/// compares its readings with a worker's).
+pub trait Clock: Send + Sync {
+    /// Milliseconds since this clock's epoch.
+    fn now_ms(&self) -> u64;
+    /// Blocks the calling thread for (about) `ms` milliseconds.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// The production clock: wall time (`SystemTime`) and real sleeps.
+///
+/// Wall time rather than `Instant` because worker processes stamp their
+/// own lease records and `Instant` epochs differ per process; the
+/// stamps are diagnostic, but meaningless ones help nobody.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// A deterministic test clock: `now_ms` is a counter advanced manually
+/// ([`TestClock::advance`]) or — up to a configurable budget — by
+/// `sleep_ms` itself.
+///
+/// The budget is the key to deterministic expiry tests with *real*
+/// worker threads in the loop: grant the supervisor enough virtual time
+/// to expire the lease under test, and once the budget is spent further
+/// sleeps stop advancing the clock, so replacement leases never expire
+/// spuriously while the test finishes. Every virtual sleep still yields
+/// ~1ms of real time so concurrently running worker threads make
+/// progress.
+#[derive(Debug)]
+pub struct TestClock {
+    now_ms: AtomicU64,
+    auto_budget_ms: AtomicU64,
+}
+
+impl TestClock {
+    /// A clock starting at `now_ms` with no auto-advance budget: only
+    /// [`TestClock::advance`] moves time.
+    pub fn new(now_ms: u64) -> Arc<Self> {
+        Arc::new(TestClock {
+            now_ms: AtomicU64::new(now_ms),
+            auto_budget_ms: AtomicU64::new(0),
+        })
+    }
+
+    /// Grants `ms` more milliseconds of auto-advance: subsequent
+    /// `sleep_ms(n)` calls advance the clock by up to `n`, drawing down
+    /// the budget.
+    pub fn grant_auto_advance(&self, ms: u64) {
+        self.auto_budget_ms.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `ms` immediately.
+    pub fn advance(&self, ms: u64) {
+        self.now_ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for TestClock {
+    fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        // Draw the virtual advance from the budget (compare-and-swap so
+        // concurrent sleepers never overdraw).
+        let mut granted = 0;
+        let mut budget = self.auto_budget_ms.load(Ordering::SeqCst);
+        while budget > 0 {
+            let take = ms.min(budget);
+            match self.auto_budget_ms.compare_exchange(
+                budget,
+                budget - take,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    granted = take;
+                    break;
+                }
+                Err(actual) => budget = actual,
+            }
+        }
+        if granted > 0 {
+            self.now_ms.fetch_add(granted, Ordering::SeqCst);
+        }
+        // Yield a sliver of real time so genuine worker threads run.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Liveness policy of the shard supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseConfig {
+    /// A lease whose observed heartbeat is older than this has expired
+    /// and its shard is reassigned. Equality is *not* expiry: a
+    /// heartbeat landing exactly at the boundary keeps the lease.
+    pub ttl_ms: u64,
+    /// How often the supervisor polls worker journals and leases.
+    pub poll_ms: u64,
+    /// Give-up bound: total shard takeovers (reassignments) before the
+    /// supervisor cancels the campaign instead of looping forever on a
+    /// poisoned shard.
+    pub max_takeovers: u32,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            ttl_ms: 8_000,
+            poll_ms: 50,
+            max_takeovers: 16,
+        }
+    }
+}
+
+/// The expiry predicate, factored out so the boundary semantics are
+/// pinned by unit test rather than buried in the supervisor loop:
+/// a lease is expired only *strictly after* `last_seen + ttl`.
+pub fn lease_expired(now_ms: u64, last_seen_ms: u64, ttl_ms: u64) -> bool {
+    now_ms > last_seen_ms.saturating_add(ttl_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_is_strict_at_the_boundary() {
+        // Heartbeat observed at t=100, ttl 50: alive through t=150,
+        // expired at t=151.
+        assert!(!lease_expired(100, 100, 50));
+        assert!(!lease_expired(149, 100, 50));
+        assert!(!lease_expired(150, 100, 50), "boundary equality is alive");
+        assert!(lease_expired(151, 100, 50));
+        // Saturating: a huge ttl never wraps into instant expiry.
+        assert!(!lease_expired(u64::MAX, 1, u64::MAX));
+    }
+
+    #[test]
+    fn test_clock_advances_manually_and_by_budget() {
+        let clock = TestClock::new(1_000);
+        assert_eq!(clock.now_ms(), 1_000);
+        clock.advance(25);
+        assert_eq!(clock.now_ms(), 1_025);
+        // No budget: sleeping moves no virtual time.
+        clock.sleep_ms(500);
+        assert_eq!(clock.now_ms(), 1_025);
+        // Budget-limited auto-advance.
+        clock.grant_auto_advance(70);
+        clock.sleep_ms(50);
+        assert_eq!(clock.now_ms(), 1_075);
+        clock.sleep_ms(50);
+        assert_eq!(clock.now_ms(), 1_095, "second sleep drains the budget");
+        clock.sleep_ms(50);
+        assert_eq!(clock.now_ms(), 1_095, "budget exhausted");
+    }
+
+    #[test]
+    fn system_clock_is_monotone_enough_to_expire_leases() {
+        let clock = SystemClock;
+        let a = clock.now_ms();
+        clock.sleep_ms(5);
+        let b = clock.now_ms();
+        assert!(b >= a, "wall time went backwards across a sleep");
+        assert!(a > 1_600_000_000_000, "epoch-ms magnitude sanity");
+    }
+}

@@ -63,10 +63,13 @@ pub mod classify;
 mod evaluate;
 mod events;
 mod feedback_loop;
+mod lease;
 mod passk;
 pub mod persist;
 mod report;
+mod shard;
 mod stats;
+pub mod supervisor;
 mod trace;
 
 pub use campaign::{
@@ -76,10 +79,17 @@ pub use campaign::{
 pub use evaluate::{
     EvalCache, EvalCacheStats, EvalReport, Evaluator, DEFAULT_FUNCTIONAL_TOLERANCE,
 };
-pub use events::{CampaignEvent, CampaignObserver, CancelToken};
+pub use events::{CampaignEvent, CampaignObserver, CancelToken, ShardLossReason};
 pub use feedback_loop::{run_sample, AttemptRecord, LoopConfig, SampleResult};
+pub use lease::{lease_expired, Clock, LeaseConfig, SystemClock, TestClock};
 pub use passk::{aggregate_pass_at_k, pass_at_k, ProblemTally};
-pub use persist::{EvalStore, SharedEvalStore};
+pub use persist::{EvalSnapshot, EvalStore, LeaseAdvance, LeaseRecord, SharedEvalStore};
+pub use shard::{shard_journal_dir, ShardMergeError, ShardMergeInfo, ShardMergeOutcome, ShardPlan};
+pub use supervisor::{
+    run_shard_worker, ChaosKill, ChaosPlan, InProcessLauncher, ProcessLauncher, ShardLauncher,
+    ShardWorkerConfig, ShardWorkerHandle, ShardWorkerReport, ShardWorkload, WorkerFault,
+    WorkerRequest, WorkerStall, WorkerState,
+};
 // Retry-layer types surface in `CampaignConfig` and `CampaignEvent`;
 // re-exported so campaign drivers need only this crate.
 pub use picbench_synthllm::{RetryEvent, RetryPolicy, RetryProvider, TransportErrorKind};

@@ -23,7 +23,7 @@ use picbench_math::{CMatrix, Complex};
 use picbench_netlist::{FailureType, ValidationIssue};
 use picbench_sim::{Backend, FrequencyResponse, ResponseComparison};
 use picbench_sparams::SMatrix;
-use picbench_store::{RecoveryReport, Store, StoreIo};
+use picbench_store::{RecoveryReport, Snapshot, Store, StoreIo};
 use std::io;
 use std::path::Path;
 use std::str::FromStr;
@@ -38,6 +38,15 @@ pub const KIND_REPORT: u8 = 2;
 pub const KIND_SIM: u8 = 3;
 /// Record kind of a campaign cell-completion journal entry.
 pub const KIND_CELL: u8 = 4;
+/// Record kind of a shard worker's lease (claim + heartbeats).
+pub const KIND_LEASE: u8 = 5;
+/// Record kind of a shard generation's completion statistics.
+pub const KIND_STATS: u8 = 6;
+/// Record kind marking a cell as *inherited* from a prior generation
+/// during a shard takeover. The merge uses these marks to tell a stale
+/// generation's pre-fence records (inherited by a successor) from its
+/// post-fence ones (quarantined).
+pub const KIND_INHERIT: u8 = 7;
 
 /// Sanity cap on decoded element counts; corrupt length fields beyond
 /// this are rejected instead of allocated.
@@ -149,6 +158,22 @@ fn encode_cell_key(fingerprint: u64, cell: u64) -> Vec<u8> {
     put_u64(&mut out, fingerprint);
     put_u64(&mut out, cell);
     out
+}
+
+fn encode_shard_key(fingerprint: u64, shard: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    put_u64(&mut out, fingerprint);
+    put_u64(&mut out, u64::from(shard));
+    out
+}
+
+fn decode_cell_entry(fingerprint: u64, key: &[u8], value: &[u8]) -> Option<(u64, ProblemTally)> {
+    let mut r = Reader::new(key);
+    let (fp, cell) = (r.u64()?, r.u64()?);
+    if fp != fingerprint || !r.done() {
+        return None;
+    }
+    Some((cell, decode_tally(value)?))
 }
 
 // ---------------------------------------------------------------------
@@ -296,6 +321,95 @@ fn decode_tally(bytes: &[u8]) -> Option<ProblemTally> {
         functional_passes: r.count()?,
     };
     r.done().then_some(tally)
+}
+
+// ---------------------------------------------------------------------
+// Shard leases and generation statistics
+// ---------------------------------------------------------------------
+
+/// A shard worker's liveness record: claimed once at startup, renewed
+/// (with a monotonically increasing `seq`) at every cell boundary.
+///
+/// The supervisor judges liveness by watching `seq` advance against its
+/// *own* clock — `stamp_ms` is informational (it comes from the worker's
+/// clock, which may be skewed in a different process) and never enters
+/// the expiry decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseRecord {
+    /// The lease generation the supervisor assigned this worker. A
+    /// reassignment bumps the generation; journal writes from older
+    /// generations are fenced off the merge.
+    pub generation: u32,
+    /// Random id of the worker process/thread holding the lease.
+    pub worker: u64,
+    /// Heartbeat sequence number; strictly increasing within a lease.
+    pub seq: u64,
+    /// Worker-local wall-clock stamp (ms since the Unix epoch) at the
+    /// time of the heartbeat. Diagnostic only.
+    pub stamp_ms: u64,
+}
+
+fn encode_lease(lease: &LeaseRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_u64(&mut out, u64::from(lease.generation));
+    put_u64(&mut out, lease.worker);
+    put_u64(&mut out, lease.seq);
+    put_u64(&mut out, lease.stamp_ms);
+    out
+}
+
+fn decode_lease(bytes: &[u8]) -> Option<LeaseRecord> {
+    let mut r = Reader::new(bytes);
+    let lease = LeaseRecord {
+        generation: u32::try_from(r.u64()?).ok()?,
+        worker: r.u64()?,
+        seq: r.u64()?,
+        stamp_ms: r.u64()?,
+    };
+    r.done().then_some(lease)
+}
+
+/// What a shard generation did, written by the worker when it finishes
+/// its shard. Merges read these to report redundant-work ratios without
+/// re-deriving them from cell timestamps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardGenStats {
+    /// Cells this generation inherited (re-journalled) from prior
+    /// generations of the same shard.
+    pub restored: u64,
+    /// Cells this generation evaluated fresh.
+    pub evaluated: u64,
+}
+
+fn encode_gen_stats(stats: &ShardGenStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    put_u64(&mut out, stats.restored);
+    put_u64(&mut out, stats.evaluated);
+    out
+}
+
+fn decode_gen_stats(bytes: &[u8]) -> Option<ShardGenStats> {
+    let mut r = Reader::new(bytes);
+    let stats = ShardGenStats {
+        restored: r.u64()?,
+        evaluated: r.u64()?,
+    };
+    r.done().then_some(stats)
+}
+
+/// Outcome of [`EvalStore::advance_lease`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseAdvance {
+    /// The key was absent; this worker now holds the lease.
+    Claimed,
+    /// The previous record belonged to the same `(generation, worker)`
+    /// with an older `seq`; the heartbeat landed.
+    Renewed,
+    /// The stored lease belongs to a different generation or worker (or
+    /// a newer heartbeat) — the caller has been superseded and must stop.
+    Fenced,
+    /// The store is degraded; liveness can no longer be recorded.
+    Degraded,
 }
 
 /// Round-trips a [`Backend`] token so key encodings stay in sync with
@@ -459,15 +573,184 @@ impl EvalStore {
         let store = self.store.lock().expect("store poisoned");
         let mut cells = Vec::new();
         store.for_each(KIND_CELL, |key, value| {
-            let mut r = Reader::new(key);
-            let (Some(fp), Some(cell)) = (r.u64(), r.u64()) else {
-                return;
-            };
-            if fp != fingerprint || !r.done() {
-                return;
+            if let Some(entry) = decode_cell_entry(fingerprint, key, value) {
+                cells.push(entry);
             }
-            if let Some(tally) = decode_tally(value) {
-                cells.push((cell, tally));
+        });
+        cells
+    }
+
+    /// Claims or renews a shard lease with compare-and-swap semantics:
+    /// the write only lands when the stored record is absent (claim) or
+    /// belongs to the same `(generation, worker)` with an older `seq`
+    /// (renew). Anything else is [`LeaseAdvance::Fenced`] — the caller
+    /// has been superseded by a takeover and must stop journalling.
+    ///
+    /// A successful claim is fsynced (so a takeover decision survives a
+    /// supervisor crash); renewals ride the cell-boundary syncs of
+    /// [`EvalStore::record_cell`].
+    pub fn advance_lease(&self, fingerprint: u64, shard: u32, lease: &LeaseRecord) -> LeaseAdvance {
+        if self.degraded() {
+            return LeaseAdvance::Degraded;
+        }
+        let key = encode_shard_key(fingerprint, shard);
+        let value = encode_lease(lease);
+        let result = {
+            let mut store = self.store.lock().expect("store poisoned");
+            match store.get(KIND_LEASE, &key).map(<[u8]>::to_vec) {
+                None => store
+                    .compare_and_put(KIND_LEASE, &key, None, &value)
+                    .map(|landed| {
+                        if landed {
+                            LeaseAdvance::Claimed
+                        } else {
+                            LeaseAdvance::Fenced
+                        }
+                    }),
+                Some(current) => {
+                    // A corrupt previous record never fences: the lease
+                    // protocol recomputes liveness, it never trusts
+                    // damage.
+                    let fenced = decode_lease(&current).is_some_and(|prev| {
+                        prev.generation != lease.generation
+                            || prev.worker != lease.worker
+                            || prev.seq >= lease.seq
+                    });
+                    if fenced {
+                        Ok(LeaseAdvance::Fenced)
+                    } else {
+                        store
+                            .compare_and_put(KIND_LEASE, &key, Some(&current), &value)
+                            .map(|landed| {
+                                if landed {
+                                    LeaseAdvance::Renewed
+                                } else {
+                                    LeaseAdvance::Fenced
+                                }
+                            })
+                    }
+                }
+            }
+        };
+        match result {
+            Ok(outcome) => {
+                if outcome == LeaseAdvance::Claimed && !self.sync() {
+                    return LeaseAdvance::Degraded;
+                }
+                outcome
+            }
+            Err(_) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                self.degraded.store(true, Ordering::Relaxed);
+                LeaseAdvance::Degraded
+            }
+        }
+    }
+
+    /// The last lease written for this shard, if any.
+    pub fn read_lease(&self, fingerprint: u64, shard: u32) -> Option<LeaseRecord> {
+        decode_lease(&self.get(KIND_LEASE, &encode_shard_key(fingerprint, shard))?)
+    }
+
+    /// Journals one cell *inherited* from a prior generation during a
+    /// shard takeover: the cell record itself plus an inherit mark.
+    /// Unsynced — callers sync once after the whole restore pass.
+    pub fn record_inherited_cell(&self, fingerprint: u64, cell: u64, tally: &ProblemTally) {
+        let key = encode_cell_key(fingerprint, cell);
+        self.put(KIND_CELL, &key, &encode_tally(tally));
+        self.put(KIND_INHERIT, &key, b"");
+    }
+
+    /// Journals a shard generation's completion statistics, then syncs.
+    /// Returns whether the entry is durable.
+    pub fn record_shard_stats(&self, fingerprint: u64, shard: u32, stats: &ShardGenStats) -> bool {
+        self.put(
+            KIND_STATS,
+            &encode_shard_key(fingerprint, shard),
+            &encode_gen_stats(stats),
+        );
+        self.sync()
+    }
+}
+
+/// A read-only, point-in-time view of a shard journal directory with the
+/// same typed accessors as [`EvalStore`].
+///
+/// Built on [`picbench_store::Snapshot`], so loading one never creates
+/// files or truncates torn tails — the supervisor polls live worker
+/// journals through this without disturbing the single writer. A missing
+/// directory loads as an empty snapshot.
+pub struct EvalSnapshot {
+    snap: Snapshot,
+}
+
+impl std::fmt::Debug for EvalSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalSnapshot")
+            .field("snapshot", &self.snap)
+            .finish()
+    }
+}
+
+impl EvalSnapshot {
+    /// Loads a read-only view of the store directory as it is right now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures reading existing segment files; a missing
+    /// directory is an empty snapshot, not an error.
+    pub fn load(dir: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(EvalSnapshot {
+            snap: Snapshot::load(dir)?,
+        })
+    }
+
+    /// What the scan classified (nothing was repaired).
+    pub fn recovery(&self) -> &RecoveryReport {
+        self.snap.recovery()
+    }
+
+    /// Every journaled cell of the campaign with this fingerprint that
+    /// was visible at load time (unordered). Malformed entries are
+    /// skipped.
+    pub fn completed_cells(&self, fingerprint: u64) -> Vec<(u64, ProblemTally)> {
+        let mut cells = Vec::new();
+        self.snap.for_each(KIND_CELL, |key, value| {
+            if let Some(entry) = decode_cell_entry(fingerprint, key, value) {
+                cells.push(entry);
+            }
+        });
+        cells
+    }
+
+    /// The last lease visible for this shard, if any.
+    pub fn lease(&self, fingerprint: u64, shard: u32) -> Option<LeaseRecord> {
+        decode_lease(
+            self.snap
+                .get(KIND_LEASE, &encode_shard_key(fingerprint, shard))?,
+        )
+    }
+
+    /// The generation statistics for this shard, if the worker finished.
+    pub fn shard_stats(&self, fingerprint: u64, shard: u32) -> Option<ShardGenStats> {
+        decode_gen_stats(
+            self.snap
+                .get(KIND_STATS, &encode_shard_key(fingerprint, shard))?,
+        )
+    }
+
+    /// Cell keys this generation marked as inherited from prior
+    /// generations during its takeover restore pass. The merge unions
+    /// these marks to separate a stale generation's pre-fence records
+    /// (inherited by a successor) from its post-fence, quarantined ones.
+    pub fn inherited_cells(&self, fingerprint: u64) -> Vec<u64> {
+        let mut cells = Vec::new();
+        self.snap.for_each(KIND_INHERIT, |key, _| {
+            let mut r = Reader::new(key);
+            if let (Some(fp), Some(cell)) = (r.u64(), r.u64()) {
+                if fp == fingerprint && r.done() {
+                    cells.push(cell);
+                }
             }
         });
         cells
@@ -620,6 +903,103 @@ mod tests {
             2,
             "journal survives reopen"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lease_advance_claims_renews_and_fences() {
+        let dir = temp_dir("lease");
+        let store = EvalStore::open(&dir).unwrap();
+        let fp = 99;
+        let gen1 = |worker, seq| LeaseRecord {
+            generation: 1,
+            worker,
+            seq,
+            stamp_ms: 1000 + seq,
+        };
+        // First claim wins, a rival claim on the same shard is fenced.
+        assert_eq!(
+            store.advance_lease(fp, 0, &gen1(7, 0)),
+            LeaseAdvance::Claimed
+        );
+        assert_eq!(
+            store.advance_lease(fp, 0, &gen1(8, 0)),
+            LeaseAdvance::Fenced
+        );
+        // Heartbeats renew only with a strictly newer seq.
+        assert_eq!(
+            store.advance_lease(fp, 0, &gen1(7, 1)),
+            LeaseAdvance::Renewed
+        );
+        assert_eq!(
+            store.advance_lease(fp, 0, &gen1(7, 1)),
+            LeaseAdvance::Fenced
+        );
+        // A different generation never renews in the same store.
+        let gen2 = LeaseRecord {
+            generation: 2,
+            worker: 7,
+            seq: 2,
+            stamp_ms: 0,
+        };
+        assert_eq!(store.advance_lease(fp, 0, &gen2), LeaseAdvance::Fenced);
+        // Other shards are independent keys.
+        assert_eq!(
+            store.advance_lease(fp, 1, &gen1(8, 0)),
+            LeaseAdvance::Claimed
+        );
+        let lease = store.read_lease(fp, 0).unwrap();
+        assert_eq!((lease.worker, lease.seq), (7, 1));
+        drop(store);
+        let store = EvalStore::open(&dir).unwrap();
+        assert_eq!(store.read_lease(fp, 0).unwrap().seq, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eval_snapshot_reads_cells_leases_and_stats_live() {
+        let dir = temp_dir("snapshot");
+        let store = EvalStore::open(&dir).unwrap();
+        let fp = 123;
+        let tally = ProblemTally {
+            n: 4,
+            syntax_passes: 3,
+            functional_passes: 2,
+        };
+        assert!(store.record_cell(fp, 5, &tally));
+        assert_eq!(
+            store.advance_lease(
+                fp,
+                2,
+                &LeaseRecord {
+                    generation: 3,
+                    worker: 42,
+                    seq: 0,
+                    stamp_ms: 7,
+                }
+            ),
+            LeaseAdvance::Claimed
+        );
+        let stats = ShardGenStats {
+            restored: 1,
+            evaluated: 3,
+        };
+        assert!(store.record_shard_stats(fp, 2, &stats));
+        // The writer stays open: the snapshot reads alongside it.
+        let snap = EvalSnapshot::load(&dir).unwrap();
+        assert_eq!(snap.completed_cells(fp), vec![(5, tally)]);
+        assert!(snap.completed_cells(456).is_empty());
+        let lease = snap.lease(fp, 2).unwrap();
+        assert_eq!((lease.generation, lease.worker), (3, 42));
+        assert!(snap.lease(fp, 0).is_none());
+        assert_eq!(snap.shard_stats(fp, 2), Some(stats));
+        assert!(!snap.recovery().damaged());
+        drop(store);
+        // A snapshot of a directory that was never created is empty.
+        let missing = temp_dir("snapshot-missing");
+        let empty = EvalSnapshot::load(&missing).unwrap();
+        assert!(empty.completed_cells(fp).is_empty());
+        assert!(empty.lease(fp, 2).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -58,6 +58,13 @@ fn assert_well_formed(events: &[CampaignEvent]) -> (usize, bool) {
                 panic!("no store degradation without a store: {event:?}")
             }
             CampaignEvent::CacheStats(_) => {}
+            CampaignEvent::ShardStarted { .. }
+            | CampaignEvent::ShardHeartbeat { .. }
+            | CampaignEvent::ShardLost { .. }
+            | CampaignEvent::ShardReassigned { .. }
+            | CampaignEvent::ShardMerged { .. } => {
+                panic!("no shard events without shards: {event:?}")
+            }
             CampaignEvent::CampaignFinished {
                 cells_completed,
                 cells_total,

@@ -67,4 +67,4 @@ mod store;
 
 pub use io::{FaultPlan, FaultyIo, FileIo, SegmentFile, StoreIo};
 pub use segment::{fnv1a64, scan_segment, xorshift64, ScannedRecord, SegmentScan, KIND_FOOTER};
-pub use store::{RecoveryReport, Store, DEFAULT_MAX_SEGMENT_BYTES};
+pub use store::{RecoveryReport, Snapshot, Store, DEFAULT_MAX_SEGMENT_BYTES};

@@ -253,6 +253,41 @@ impl Store {
         Ok(())
     }
 
+    /// Compare-and-put: appends `value` under `(kind, key)` only when
+    /// the currently indexed value equals `expected` (`None` meaning the
+    /// key must be absent). Returns whether the swap landed.
+    ///
+    /// The comparison and the append happen under the store's
+    /// single-writer discipline, so two callers racing through the same
+    /// `Store` handle serialize: exactly one of two conflicting claims
+    /// for an absent key wins. This is the primitive lease claims build
+    /// on — claim with `expected = None`, renew with `expected =
+    /// Some(previous lease bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the reserved footer kind (`0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures from the segment append; on error the
+    /// index is unchanged and the swap did not land.
+    pub fn compare_and_put(
+        &mut self,
+        kind: u8,
+        key: &[u8],
+        expected: Option<&[u8]>,
+        value: &[u8],
+    ) -> io::Result<bool> {
+        if self.get(kind, key) != expected {
+            return Ok(false);
+        }
+        // `put` dedups an identical value; the swap still "landed" then
+        // because the stored state equals the requested state.
+        self.put(kind, key, value)?;
+        Ok(true)
+    }
+
     /// Flushes and fsyncs the active segment — the durability barrier.
     /// Records appended before a completed `sync` survive any crash.
     ///
@@ -265,6 +300,121 @@ impl Store {
             self.dirty = false;
         }
         Ok(())
+    }
+}
+
+/// A read-only, point-in-time view of a store directory.
+///
+/// Unlike [`Store::open`], loading a snapshot never creates files and
+/// never truncates torn tails, so it is safe to point at a directory
+/// another process is *actively appending to*: a partially written
+/// record at the tail is skipped logically (classified as torn, exactly
+/// as a full open would), not repaired on disk. A missing directory
+/// loads as an empty snapshot — a worker that has not started yet looks
+/// the same as one that has journalled nothing.
+///
+/// Supervisors poll worker journals through snapshots; the owning
+/// worker keeps sole write access through its [`Store`].
+pub struct Snapshot {
+    index: Index,
+    recovery: RecoveryReport,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("entries", &self.index.len())
+            .field("recovery", &self.recovery)
+            .finish()
+    }
+}
+
+impl Snapshot {
+    /// Loads a read-only view of the segments currently in `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures reading existing segment files. A missing
+    /// directory is not an error (empty snapshot).
+    pub fn load(dir: impl AsRef<Path>) -> io::Result<Snapshot> {
+        let dir = dir.as_ref();
+        let mut ids: Vec<u32> = Vec::new();
+        match std::fs::read_dir(dir) {
+            Ok(entries) => {
+                for entry in entries {
+                    let name = entry?.file_name();
+                    let name = name.to_string_lossy();
+                    if let Some(rest) = name
+                        .strip_prefix("seg-")
+                        .and_then(|r| r.strip_suffix(".picstore"))
+                    {
+                        if let Ok(id) = rest.parse::<u32>() {
+                            ids.push(id);
+                        }
+                    }
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::NotFound => {}
+            Err(err) => return Err(err),
+        }
+        ids.sort_unstable();
+
+        let mut recovery = RecoveryReport {
+            segments: ids.len() as u32,
+            ..RecoveryReport::default()
+        };
+        let mut index: Index = HashMap::new();
+        for &id in &ids {
+            let bytes = std::fs::read(dir.join(format!("seg-{id:06}.picstore")))?;
+            let scan = scan_segment(&bytes);
+            if scan.bad_header {
+                recovery.corrupt_segments += 1;
+                continue;
+            }
+            recovery.records_recovered += scan.records.len() as u64;
+            recovery.records_quarantined += scan.quarantined;
+            recovery.lost_framing_bytes += scan.lost_framing_bytes;
+            recovery.torn_tail_bytes += scan.torn_tail_bytes;
+            recovery.sealed_segments += u32::from(scan.sealed);
+            recovery.bad_seals += u32::from(scan.bad_seal);
+            for record in scan.records {
+                index.insert(
+                    (record.kind, record.key.into_boxed_slice()),
+                    record.value.into_boxed_slice(),
+                );
+            }
+        }
+        Ok(Snapshot { index, recovery })
+    }
+
+    /// What the scan classified (nothing was repaired).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The value last written for `(kind, key)`, if any.
+    pub fn get(&self, kind: u8, key: &[u8]) -> Option<&[u8]> {
+        self.index.get(&(kind, Box::from(key))).map(|v| &**v)
+    }
+
+    /// Visits every live entry of one kind (iteration order is
+    /// unspecified).
+    pub fn for_each(&self, kind: u8, mut f: impl FnMut(&[u8], &[u8])) {
+        for ((k, key), value) in &self.index {
+            if *k == kind {
+                f(key, value);
+            }
+        }
     }
 }
 
@@ -429,6 +579,90 @@ mod tests {
         assert_eq!(store.recovery().records_quarantined, 1);
         assert_eq!(store.get(1, b"k1"), None, "damaged record never trusted");
         assert_eq!(store.get(1, b"k2"), Some(&b"v2"[..]), "rest recovered");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_and_put_claims_and_fences() {
+        let dir = temp_dir("cas");
+        let mut store = Store::open(&dir).unwrap();
+        // Claim an absent key.
+        assert!(store.compare_and_put(5, b"lease", None, b"gen-0").unwrap());
+        // A second claim against "absent" loses.
+        assert!(!store.compare_and_put(5, b"lease", None, b"rival").unwrap());
+        assert_eq!(store.get(5, b"lease"), Some(&b"gen-0"[..]));
+        // Renew against the exact current bytes wins...
+        assert!(store
+            .compare_and_put(5, b"lease", Some(b"gen-0"), b"gen-1")
+            .unwrap());
+        // ...and a renew against stale bytes is fenced off.
+        assert!(!store
+            .compare_and_put(5, b"lease", Some(b"gen-0"), b"late")
+            .unwrap());
+        assert_eq!(store.get(5, b"lease"), Some(&b"gen-1"[..]));
+        // Swapping to the value already stored is a successful no-op.
+        assert!(store
+            .compare_and_put(5, b"lease", Some(b"gen-1"), b"gen-1")
+            .unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_reads_live_unsynced_appends_without_mutating() {
+        let dir = temp_dir("snapshot");
+        let mut store = Store::open(&dir).unwrap();
+        store.put(1, b"k1", b"v1").unwrap();
+        store.put(1, b"k2", b"v2").unwrap();
+        // No sync: the snapshot still sees the appended bytes through
+        // the page cache, like a supervisor polling a live worker.
+        let snap = Snapshot::load(&dir).unwrap();
+        assert_eq!(snap.get(1, b"k1"), Some(&b"v1"[..]));
+        assert_eq!(snap.get(1, b"k2"), Some(&b"v2"[..]));
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.recovery().damaged());
+        // The writer keeps appending afterwards, unaffected.
+        store.put(1, b"k3", b"v3").unwrap();
+        store.sync().unwrap();
+        assert_eq!(Snapshot::load(&dir).unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_of_missing_dir_is_empty() {
+        let dir = temp_dir("snapshot-missing");
+        let snap = Snapshot::load(&dir).unwrap();
+        assert!(snap.is_empty());
+        assert_eq!(snap.recovery().segments, 0);
+        assert!(!dir.exists(), "loading a snapshot must not create files");
+    }
+
+    #[test]
+    fn snapshot_skips_torn_tail_without_truncating() {
+        let dir = temp_dir("snapshot-torn");
+        {
+            let mut store = Store::open(&dir).unwrap();
+            store.put(1, b"k1", b"v1").unwrap();
+            store.sync().unwrap();
+        }
+        // Simulate a crash mid-append by tacking garbage onto the tail.
+        let seg = dir.join("seg-000000.picstore");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let intact_len = bytes.len() as u64;
+        // Three bytes cannot even hold a length prefix: a torn tail.
+        bytes.extend_from_slice(&[0x2a; 3]);
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let snap = Snapshot::load(&dir).unwrap();
+        assert_eq!(snap.get(1, b"k1"), Some(&b"v1"[..]));
+        assert!(snap.recovery().torn_tail_bytes > 0);
+        assert_eq!(
+            std::fs::metadata(&seg).unwrap().len(),
+            intact_len + 3,
+            "snapshot must never repair the file"
+        );
+        // A full open afterwards still truncates as usual.
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.get(1, b"k1"), Some(&b"v1"[..]));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -199,6 +199,15 @@ impl ModelProfile {
             ModelProfile::gemini15_pro(),
         ]
     }
+
+    /// Looks up a paper profile by its table name, case-insensitively
+    /// (`"GPT-4"`, `"claude 3.5 sonnet"`, …). Worker processes use this
+    /// to rebuild a campaign's provider set from plain CLI flags.
+    pub fn by_name(name: &str) -> Option<ModelProfile> {
+        ModelProfile::all_paper_models()
+            .into_iter()
+            .find(|profile| profile.name.eq_ignore_ascii_case(name.trim()))
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +222,18 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn by_name_resolves_every_paper_model_case_insensitively() {
+        for model in ModelProfile::all_paper_models() {
+            let found = ModelProfile::by_name(model.name).expect("exact name resolves");
+            assert_eq!(found.name, model.name);
+            let relaxed = format!("  {}  ", model.name.to_uppercase());
+            let found = ModelProfile::by_name(&relaxed).expect("case/space-insensitive");
+            assert_eq!(found.name, model.name);
+        }
+        assert!(ModelProfile::by_name("GPT-5").is_none());
     }
 
     #[test]
