@@ -22,7 +22,13 @@
 //!
 //! Usage: `cargo run --release -p picbench-bench --bin campaign_bench --
 //! [--problems N] [--samples N] [--points N] [--reps N] [--threads N]
-//! [--min-speedup X] [--out PATH] [--store-dir PATH] [--resume]`
+//! [--min-speedup X] [--out PATH] [--store-dir PATH] [--resume]
+//! [--events ndjson]`
+//!
+//! `--events ndjson` mirrors the cold store campaign's events to stderr
+//! in the canonical `picbench-server` wire format; the cumulative
+//! [`EvalStoreStats`](picbench_core::EvalStoreStats) counters of the
+//! warm store handle are printed and land in the JSON either way.
 //!
 //! `--min-speedup X` exits non-zero when the cached engine is not at
 //! least `X`× faster than the baseline — CI runs a small workload with
@@ -62,11 +68,15 @@ fn store_campaign(
     config: &CampaignConfig,
     store: SharedEvalStore,
     resume: bool,
+    events_ndjson: bool,
 ) -> Campaign {
-    let builder = Campaign::builder()
+    let mut builder = Campaign::builder()
         .problems(problems.iter().cloned())
         .profiles(profiles)
         .config(config.clone());
+    if events_ndjson {
+        builder = builder.observer(picbench_bench::ndjson_stderr_observer());
+    }
     let builder = if resume {
         builder.resume_from(store)
     } else {
@@ -85,11 +95,13 @@ struct Args {
     out: String,
     store_dir: Option<PathBuf>,
     resume: bool,
+    events_ndjson: bool,
 }
 
 fn parse_args() -> Args {
     let usage = "usage: campaign_bench [--problems N] [--samples N] [--points N] [--reps N] \
-                 [--threads N] [--min-speedup X] [--out PATH] [--store-dir PATH] [--resume]";
+                 [--threads N] [--min-speedup X] [--out PATH] [--store-dir PATH] [--resume] \
+                 [--events ndjson]";
     let mut args = Args {
         problems: usize::MAX,
         samples: 5,
@@ -100,6 +112,7 @@ fn parse_args() -> Args {
         out: "BENCH_campaign.json".to_string(),
         store_dir: None,
         resume: false,
+        events_ndjson: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -155,6 +168,16 @@ fn parse_args() -> Args {
             }
             "--resume" => {
                 args.resume = true;
+            }
+            "--events" => {
+                i += 1;
+                match argv.get(i).map(String::as_str) {
+                    Some("ndjson") => args.events_ndjson = true,
+                    _ => {
+                        eprintln!("--events supports exactly one format: ndjson; {usage}");
+                        std::process::exit(2);
+                    }
+                }
             }
             other => {
                 eprintln!("unknown argument {other}; {usage}");
@@ -293,6 +316,7 @@ fn main() {
         &cached_config,
         Arc::clone(&cold_store),
         false,
+        args.events_ndjson,
     )
     .run();
     let cold_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -309,8 +333,9 @@ fn main() {
         &problems,
         &profiles,
         &cached_config,
-        warm_store,
+        Arc::clone(&warm_store),
         args.resume,
+        false,
     )
     .execute();
     let warm_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -328,6 +353,8 @@ fn main() {
         0.0
     };
     let cells_restored = warm_outcome.cells_restored;
+    let store_stats = warm_store.stats();
+    drop(warm_store);
     if ephemeral_store {
         let _ = std::fs::remove_dir_all(&store_path);
     }
@@ -336,6 +363,16 @@ fn main() {
          {warm_disk_hits} of {warm_lookups} warm lookups served from disk ({:.1}%), \
          {cells_restored} cells restored from journal",
         100.0 * warm_start_hit_rate,
+    );
+    println!(
+        "store counters (warm handle): {} reads ({} hits), {} writes, {} syncs, \
+         {} write errors, degraded: {}",
+        store_stats.reads,
+        store_stats.read_hits,
+        store_stats.writes,
+        store_stats.syncs,
+        store_stats.write_errors,
+        store_stats.degraded,
     );
 
     let baseline = median_ms(baseline_ms);
@@ -386,6 +423,8 @@ fn main() {
          \"warm_lookups\": {warm_lookups},\n    \"warm_disk_hits\": {warm_disk_hits},\n    \
          \"warm_start_hit_rate\": {warm_start_hit_rate:.4},\n    \
          \"cells_restored\": {cells_restored},\n    \"resume\": {},\n    \
+         \"reads\": {},\n    \"read_hits\": {},\n    \"writes\": {},\n    \"syncs\": {},\n    \
+         \"write_errors\": {},\n    \
          \"warm_report_identical\": true\n  }},\n  \
          \"report_identical_to_uncached_and_across_threads\": true,\n  \
          \"generated_by\": \"cargo run --release -p picbench-bench --bin campaign_bench\"\n}}\n",
@@ -404,6 +443,11 @@ fn main() {
         stats.sim_hits,
         stats.misses,
         args.resume,
+        store_stats.reads,
+        store_stats.read_hits,
+        store_stats.writes,
+        store_stats.syncs,
+        store_stats.write_errors,
     );
     std::fs::write(&args.out, json).expect("write benchmark report");
     println!("wrote {}", args.out);

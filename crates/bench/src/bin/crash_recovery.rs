@@ -206,8 +206,18 @@ fn render_stderr(stderr: &str) -> String {
 
 fn main() {
     let args = parse_args();
+    // Pid alone can recur (pid reuse after a killed run leaves its dir
+    // behind); a timestamp makes the ephemeral store unique so parallel
+    // or back-to-back drills never share journals.
     let store_dir = args.store_dir.clone().unwrap_or_else(|| {
-        std::env::temp_dir().join(format!("picbench-crash-recovery-{}", std::process::id()))
+        let nonce = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        std::env::temp_dir().join(format!(
+            "picbench-crash-recovery-{}-{nonce}",
+            std::process::id()
+        ))
     });
     if args.child {
         run_child(&args, &store_dir);

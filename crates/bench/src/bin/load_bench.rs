@@ -1,0 +1,306 @@
+//! `load_bench` — load generator for the benchmark service, written to
+//! `BENCH_server.json`.
+//!
+//! Boots an in-process [`PicbenchServer`] on an ephemeral port and
+//! drives it through the real HTTP client in two phases:
+//!
+//! 1. **ceiling** — N clients submit *paced* campaigns, open their
+//!    event streams, rendezvous on a barrier once every stream is open,
+//!    and drain to completion. Because the campaigns are still running
+//!    at the rendezvous, all N streams are provably concurrent and the
+//!    server's `peak_streams` gauge records the ceiling.
+//! 2. **throughput** — the same clients run several rounds of unpaced
+//!    submit → stream → complete sessions, spread across tenants
+//!    against the one shared evaluation cache. Wall-clock per session
+//!    gives p50/p99 latency; total sessions over total wall clock gives
+//!    sessions/sec. Identical submissions mean later sessions are
+//!    served almost entirely from cache warmed by *other* tenants —
+//!    the cross-tenant hit rate lands in the JSON.
+//!
+//! Usage: `cargo run --release -p picbench-bench --bin load_bench --
+//! [--clients N] [--rounds N] [--tenants N] [--pace-ms MS]
+//! [--min-concurrent N] [--min-throughput X] [--out PATH]`
+//!
+//! `--min-concurrent N` exits non-zero unless the measured concurrent
+//! streaming ceiling reaches N; `--min-throughput X` exits non-zero
+//! below X sessions/sec. CI runs both as tripwires.
+
+use picbench_server::client::ApiClient;
+use picbench_server::server::{PicbenchServer, ServerConfig};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+struct Args {
+    clients: usize,
+    rounds: usize,
+    tenants: usize,
+    pace_ms: u64,
+    min_concurrent: Option<usize>,
+    min_throughput: Option<f64>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let usage = "usage: load_bench [--clients N] [--rounds N] [--tenants N] [--pace-ms MS] \
+                 [--min-concurrent N] [--min-throughput X] [--out PATH]";
+    let mut args = Args {
+        clients: 8,
+        rounds: 4,
+        tenants: 4,
+        pace_ms: 100,
+        min_concurrent: None,
+        min_throughput: None,
+        out: "BENCH_server.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let numeric = |flag: &str, value: Option<&String>| -> usize {
+        value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} needs a non-negative integer; {usage}");
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--clients" => {
+                i += 1;
+                args.clients = numeric("--clients", argv.get(i)).max(1);
+            }
+            "--rounds" => {
+                i += 1;
+                args.rounds = numeric("--rounds", argv.get(i)).max(1);
+            }
+            "--tenants" => {
+                i += 1;
+                args.tenants = numeric("--tenants", argv.get(i)).max(1);
+            }
+            "--pace-ms" => {
+                i += 1;
+                args.pace_ms = numeric("--pace-ms", argv.get(i)) as u64;
+            }
+            "--min-concurrent" => {
+                i += 1;
+                args.min_concurrent = Some(numeric("--min-concurrent", argv.get(i)));
+            }
+            "--min-throughput" => {
+                i += 1;
+                args.min_throughput =
+                    Some(argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--min-throughput needs a number; {usage}");
+                        std::process::exit(2);
+                    }));
+            }
+            "--out" => {
+                i += 1;
+                args.out = argv.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path; {usage}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other}; {usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn campaign_body(pace_ms: u64) -> String {
+    format!(
+        r#"{{"problems": ["mzi-ps", "mzm"], "models": ["GPT-4"], "samples_per_problem": 4,
+            "k_values": [1], "feedback_iters": [0, 1], "seed": 99, "restrictions": false,
+            "pace_ms": {pace_ms}}}"#
+    )
+}
+
+fn run_session(client: &ApiClient, body: &str) -> f64 {
+    let t = Instant::now();
+    let response = client
+        .request("POST", "/v1/campaigns", Some(body))
+        .expect("submit campaign");
+    assert_eq!(response.status, 201, "submit failed: {}", response.body);
+    let id = response
+        .json()
+        .expect("submit response is JSON")
+        .get("id")
+        .and_then(|v| v.as_str().map(String::from))
+        .expect("campaign id");
+    let stream = client
+        .open_stream(&format!("/v1/campaigns/{id}/events"))
+        .expect("open event stream");
+    assert_eq!(stream.status, 200);
+    let lines = stream.collect_lines().expect("drain event stream");
+    assert!(!lines.is_empty(), "stream carried no events");
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let args = parse_args();
+    let server = PicbenchServer::start(ServerConfig {
+        workers: args.clients * 2 + 8,
+        max_sessions: args.clients * 2 + 8,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    println!(
+        "load_bench: {} clients x {} rounds over {} tenants against {addr}",
+        args.clients, args.rounds, args.tenants
+    );
+
+    // Phase 1: the concurrent-streaming ceiling. Paced campaigns stay
+    // alive while every client opens its stream; the barrier after the
+    // open proves all streams were concurrently active.
+    let barrier = Arc::new(Barrier::new(args.clients));
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for client_idx in 0..args.clients {
+            let barrier = Arc::clone(&barrier);
+            let body = campaign_body(args.pace_ms);
+            let tenant = format!("tenant-{}", client_idx % args.tenants);
+            scope.spawn(move || {
+                let client = ApiClient::new(addr).with_tenant(tenant);
+                let response = client
+                    .request("POST", "/v1/campaigns", Some(&body))
+                    .expect("submit paced campaign");
+                assert_eq!(response.status, 201, "submit failed: {}", response.body);
+                let id = response
+                    .json()
+                    .unwrap()
+                    .get("id")
+                    .and_then(|v| v.as_str().map(String::from))
+                    .unwrap();
+                let stream = client
+                    .open_stream(&format!("/v1/campaigns/{id}/events"))
+                    .expect("open event stream");
+                assert_eq!(stream.status, 200);
+                barrier.wait();
+                stream.collect_lines().expect("drain paced stream");
+            });
+        }
+    });
+    let ceiling_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Phase 2: throughput. Unpaced sessions, identical submissions, so
+    // the shared cache (warmed across tenants in phase 1) serves most
+    // of the work.
+    let t = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|client_idx| {
+                let body = campaign_body(0);
+                let tenant = format!("tenant-{}", client_idx % args.tenants);
+                let rounds = args.rounds;
+                scope.spawn(move || {
+                    let client = ApiClient::new(addr).with_tenant(tenant);
+                    (0..rounds)
+                        .map(|_| run_session(&client, &body))
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = t.elapsed().as_secs_f64();
+    let sessions = latencies.len();
+    let sessions_per_sec = sessions as f64 / wall_s;
+    latencies.sort_by(f64::total_cmp);
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    let stats = ApiClient::new(addr)
+        .request("GET", "/v1/stats", None)
+        .expect("stats")
+        .json()
+        .expect("stats JSON");
+    let counter = |path: &[&str]| -> f64 {
+        let mut v = stats.clone();
+        for key in path {
+            v = v
+                .get(key)
+                .cloned()
+                .unwrap_or_else(|| panic!("missing {key}"));
+        }
+        v.as_f64().unwrap_or(0.0)
+    };
+    let peak_streams = counter(&["sessions", "peak_streams"]) as usize;
+    let finished = counter(&["sessions", "finished"]) as usize;
+    let hits = counter(&["cache", "response_hits"])
+        + counter(&["cache", "report_hits"])
+        + counter(&["cache", "sim_hits"])
+        + counter(&["cache", "disk_hits"]);
+    let misses = counter(&["cache", "misses"]);
+    let hit_rate = if hits + misses > 0.0 {
+        hits / (hits + misses)
+    } else {
+        0.0
+    };
+    server.shutdown();
+
+    println!(
+        "ceiling: {} concurrent streaming sessions (drained in {ceiling_ms:.0} ms)",
+        peak_streams
+    );
+    println!(
+        "throughput: {sessions} sessions in {wall_s:.2} s = {sessions_per_sec:.1} sessions/s, \
+         p50 {p50:.1} ms, p99 {p99:.1} ms"
+    );
+    println!(
+        "shared cache across {} tenants: {:.1}% of lookups served without a sweep \
+         ({} sessions finished)",
+        args.tenants,
+        100.0 * hit_rate,
+        finished,
+    );
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"benchmark\": \"picbench-server streaming sessions\",\n  \
+         \"workload\": {{\n    \"clients\": {},\n    \"rounds\": {},\n    \
+         \"tenants\": {},\n    \"pace_ms\": {},\n    \
+         \"submission\": \"2 problems x 1 model x 2 feedback settings x 4 samples\"\n  }},\n  \
+         \"host_cpus\": {cpus},\n  \"results\": {{\n    \
+         \"concurrent_streaming_ceiling\": {peak_streams},\n    \
+         \"sessions\": {sessions},\n    \
+         \"sessions_per_sec\": {sessions_per_sec:.2},\n    \
+         \"latency_p50_ms\": {p50:.1},\n    \"latency_p99_ms\": {p99:.1},\n    \
+         \"cross_tenant_cache_hit_rate\": {hit_rate:.4}\n  }},\n  \
+         \"generated_by\": \"cargo run --release -p picbench-bench --bin load_bench\"\n}}\n",
+        args.clients, args.rounds, args.tenants, args.pace_ms,
+    );
+    std::fs::write(&args.out, json).expect("write benchmark report");
+    println!("wrote {}", args.out);
+
+    let mut failed = false;
+    if let Some(min) = args.min_concurrent {
+        if peak_streams < min {
+            eprintln!("FAIL: concurrent streaming ceiling {peak_streams} below required {min}");
+            failed = true;
+        } else {
+            println!("concurrency gate passed: {peak_streams} >= {min}");
+        }
+    }
+    if let Some(min) = args.min_throughput {
+        if sessions_per_sec < min {
+            eprintln!("FAIL: throughput {sessions_per_sec:.2} sessions/s below required {min:.2}");
+            failed = true;
+        } else {
+            println!("throughput gate passed: {sessions_per_sec:.2} >= {min:.2} sessions/s");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

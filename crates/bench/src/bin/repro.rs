@@ -5,7 +5,7 @@
 //! ```text
 //! repro table1|table2|table3|table4|fig1|fig2|fig3|fig4|all \
 //!     [--samples N] [--seed S] [--threads N] [--problems id,id,...] \
-//!     [--store-dir PATH] [--resume] [--shards N]
+//!     [--store-dir PATH] [--resume] [--shards N] [--events ndjson]
 //! repro --list-problems
 //! ```
 //!
@@ -22,7 +22,9 @@
 //! picks up where it left off and still prints bit-identical numbers.
 //! `--shards` runs the Monte-Carlo campaigns partitioned over N
 //! supervised worker shards with lease-fenced journals; the tables stay
-//! bit-identical for every shard count.
+//! bit-identical for every shard count. `--events ndjson` mirrors every
+//! campaign event to stderr in the canonical wire format that
+//! `picbench-server` streams, one JSON object per line.
 
 use picbench_bench::{
     error_histograms, fig1, fig2, fig3, fig4, list_problems, restriction_ablation_table, table1,
@@ -40,7 +42,7 @@ fn ok_or_exit(result: Result<String, String>) -> String {
 fn print_usage() {
     eprintln!(
         "usage: repro <artifact> [--samples N] [--seed S] [--threads N] [--problems id,id,...]\n\
-         \x20             [--store-dir PATH] [--resume] [--shards N]\n\
+         \x20             [--store-dir PATH] [--resume] [--shards N] [--events ndjson]\n\
          artifacts: table1 table2 table3 table4 fig1 fig2 fig3 fig4 all\n\
          extensions: errors (failure-category histogram), ablation (leave-one-out restrictions)\n\
          --list-problems prints the registry inventory and exits\n\
@@ -49,7 +51,9 @@ fn print_usage() {
          --store-dir journals campaign cells through a crash-safe persistent store\n\
          --resume replays cells journalled by a previous identical run from --store-dir\n\
          --shards N (>1) partitions campaigns over N supervised worker shards with\n\
-         \x20        lease-fenced journals; tables are bit-identical for every shard count"
+         \x20        lease-fenced journals; tables are bit-identical for every shard count\n\
+         --events ndjson mirrors every campaign event to stderr in the picbench-server\n\
+         \x20        wire format (one JSON object per line)"
     );
 }
 
@@ -121,6 +125,16 @@ fn main() {
                     eprintln!("--shards needs a positive integer");
                     std::process::exit(2);
                 });
+            }
+            "--events" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("ndjson") => scale.events_ndjson = true,
+                    _ => {
+                        eprintln!("--events supports exactly one format: ndjson");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--list-problems" => {
                 print!("{}", list_problems());

@@ -355,8 +355,18 @@ fn write_report(out: &str, section: &str) {
 
 fn main() {
     let args = parse_args();
+    // Pid alone can recur (pid reuse after a killed run leaves its dir
+    // behind); a timestamp makes the ephemeral root unique so parallel
+    // or back-to-back drills never share journals.
     let shard_root = args.shard_root.clone().unwrap_or_else(|| {
-        std::env::temp_dir().join(format!("picbench-shard-campaign-{}", std::process::id()))
+        let nonce = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        std::env::temp_dir().join(format!(
+            "picbench-shard-campaign-{}-{nonce}",
+            std::process::id()
+        ))
     });
     if let Some(shard) = args.worker_shard {
         run_worker(&args, shard, shard_root);

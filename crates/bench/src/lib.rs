@@ -20,7 +20,7 @@
 
 use picbench_core::{
     collect_error_histogram, render_table, restriction_ablation, run_sample, Campaign,
-    CampaignConfig, CampaignReport, EvalStore, Evaluator, LoopConfig,
+    CampaignConfig, CampaignEvent, CampaignReport, EvalStore, Evaluator, LoopConfig,
 };
 use picbench_netlist::{FailureType, PortRef};
 use picbench_prompt::{render_system_prompt, syntax_feedback, SystemPromptConfig};
@@ -56,6 +56,11 @@ pub struct ReproScale {
     /// shard count. Journals land under `store_dir/shards` when a store
     /// directory is set, else in a temporary directory.
     pub shards: u32,
+    /// Emit every [`CampaignEvent`] to stderr as a canonical NDJSON
+    /// wire line (the exact bytes `picbench-server` streams over
+    /// `GET /v1/campaigns/{id}/events`), one line per event. Stdout
+    /// stays reserved for the artifact text.
+    pub events_ndjson: bool,
 }
 
 impl Default for ReproScale {
@@ -68,8 +73,18 @@ impl Default for ReproScale {
             store_dir: None,
             resume: false,
             shards: 0,
+            events_ndjson: false,
         }
     }
+}
+
+/// An observer that prints each event's canonical NDJSON wire line to
+/// stderr (`eprintln!` holds the stderr lock per line, so lines stay
+/// whole even from parallel campaign workers).
+pub fn ndjson_stderr_observer() -> std::sync::Arc<dyn picbench_core::CampaignObserver> {
+    std::sync::Arc::new(|event: &CampaignEvent| {
+        eprintln!("{}", picbench_server::wire::encode_event(event));
+    })
 }
 
 /// Resolves the scale's problem selection against the registry.
@@ -201,6 +216,9 @@ fn campaign(restrictions: bool, scale: &ReproScale) -> Result<CampaignReport, St
         .problems(problems)
         .profiles(&profiles)
         .config(config);
+    if scale.events_ndjson {
+        builder = builder.observer(ndjson_stderr_observer());
+    }
     if let Some(dir) = &scale.store_dir {
         let store = EvalStore::open(dir)
             .map_err(|e| format!("cannot open eval store at {}: {e}", dir.display()))?;

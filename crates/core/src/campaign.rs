@@ -44,7 +44,7 @@
 //! [`RetryPolicy`] wrapped around the providers absorbs transient
 //! transport failures deterministically.
 
-use crate::evaluate::{EvalCache, EvalCacheStats, Evaluator};
+use crate::evaluate::{CacheScope, EvalCache, EvalCacheStats, Evaluator};
 use crate::events::{CampaignEvent, CampaignObserver, CancelToken};
 use crate::feedback_loop::{run_sample, LoopConfig};
 use crate::lease::{Clock, LeaseConfig, SystemClock};
@@ -333,6 +333,8 @@ pub struct Campaign {
     pub(crate) observer: Option<Arc<dyn CampaignObserver>>,
     pub(crate) cancel: Option<CancelToken>,
     pub(crate) store: Option<SharedEvalStore>,
+    pub(crate) shared_cache: Option<Arc<EvalCache>>,
+    pub(crate) scope: Option<Arc<CacheScope>>,
     pub(crate) resume: bool,
     pub(crate) kill: Option<KillPoint>,
     pub(crate) shards: u32,
@@ -359,6 +361,8 @@ impl fmt::Debug for Campaign {
             .field("observer", &self.observer.is_some())
             .field("cancellable", &self.cancel.is_some())
             .field("store", &self.store.is_some())
+            .field("shared_cache", &self.shared_cache.is_some())
+            .field("scoped", &self.scope.is_some())
             .field("resume", &self.resume)
             .field("kill", &self.kill)
             .field("shards", &self.shards)
@@ -433,6 +437,8 @@ impl Campaign {
             self.observer.as_ref(),
             self.cancel.as_ref(),
             self.store.as_ref(),
+            self.shared_cache.as_ref(),
+            self.scope.as_ref(),
             self.resume,
             self.kill,
         )
@@ -481,6 +487,8 @@ pub struct CampaignBuilder {
     observer: Option<Arc<dyn CampaignObserver>>,
     cancel: Option<CancelToken>,
     store: Option<SharedEvalStore>,
+    shared_cache: Option<Arc<EvalCache>>,
+    scope: Option<Arc<CacheScope>>,
     resume: bool,
     kill: Option<KillPoint>,
     shards: u32,
@@ -697,6 +705,34 @@ impl CampaignBuilder {
         self
     }
 
+    /// Shares a pre-existing process-wide [`EvalCache`] instead of
+    /// creating a fresh one per run.
+    ///
+    /// This is the multi-tenancy seam: a server hosting many concurrent
+    /// campaigns hands each of them the same cache, so identical
+    /// submissions across tenants replay each other's content-addressed
+    /// results. The cache's own disk tier (if it was built
+    /// [`EvalCache::with_disk`]) is used as-is — an attached
+    /// [`CampaignBuilder::store`] still journals cells but is *not*
+    /// re-wrapped under a shared cache. Ignored when
+    /// [`CampaignBuilder::cache`] is `false` or the campaign is sharded
+    /// across processes ([`CampaignBuilder::shards`] above 1 — worker
+    /// processes cannot share memory).
+    pub fn shared_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Attaches a per-tenant [`CacheScope`]: every cache hit/miss this
+    /// campaign causes is counted into the scope in addition to the
+    /// cache's global counters, and the report's / event stream's
+    /// cache stats show the scope's counters instead of the global
+    /// ones (so one tenant's stats never reflect another's traffic).
+    pub fn cache_scope(mut self, scope: Arc<CacheScope>) -> Self {
+        self.scope = Some(scope);
+        self
+    }
+
     /// Attaches a progress observer fed typed [`CampaignEvent`]s.
     pub fn observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
         self.observer = Some(observer);
@@ -757,6 +793,8 @@ impl CampaignBuilder {
             observer: self.observer,
             cancel: self.cancel,
             store: self.store,
+            shared_cache: self.shared_cache,
+            scope: self.scope,
             resume: self.resume,
             kill: self.kill,
             shards: self.shards,
@@ -804,6 +842,8 @@ pub fn run_campaign(
         observer: None,
         cancel: None,
         store: None,
+        shared_cache: None,
+        scope: None,
         resume: false,
         kill: None,
         shards: 0,
@@ -1035,6 +1075,8 @@ fn execute_campaign(
     observer: Option<&Arc<dyn CampaignObserver>>,
     cancel: Option<&CancelToken>,
     store: Option<&SharedEvalStore>,
+    shared_cache: Option<&Arc<EvalCache>>,
+    scope: Option<&Arc<CacheScope>>,
     resume: bool,
     kill: Option<KillPoint>,
 ) -> CampaignOutcome {
@@ -1127,13 +1169,25 @@ fn execute_campaign(
     // switch per problem, so an early abort responds promptly instead of
     // sweeping every golden first. When a store is attached it doubles
     // as the disk tier under the shared cache.
-    let cache = config.cache.then(|| {
-        let mut cache = EvalCache::new();
-        if let Some(store) = store {
-            cache = cache.with_disk(Arc::clone(store));
+    let cache = config.cache.then(|| match shared_cache {
+        // Multi-tenant path: reuse the injected process-wide cache
+        // verbatim (including whatever disk tier it was built with).
+        Some(shared) => Arc::clone(shared),
+        None => {
+            let mut cache = EvalCache::new();
+            if let Some(store) = store {
+                cache = cache.with_disk(Arc::clone(store));
+            }
+            Arc::new(cache)
         }
-        Arc::new(cache)
     });
+    // With a per-tenant scope attached, reported cache stats are the
+    // scope's counters — a session sharing a process-wide cache must not
+    // see (or leak) other tenants' traffic in its own stream/report.
+    let reported_stats = |cache: &Arc<EvalCache>| match scope {
+        Some(scope) => scope.stats(),
+        None => cache.stats(),
+    };
     let goldens: Arc<HashMap<String, Arc<FrequencyResponse>>> = {
         let mut evaluator = Evaluator::new(config.grid, Backend::default());
         if let Some(cache) = &cache {
@@ -1187,6 +1241,9 @@ fn execute_campaign(
     let store_degraded_reported = AtomicBool::new(false);
     let results: Mutex<Vec<(usize, ProblemTally)>> = Mutex::new(Vec::with_capacity(cells.len()));
 
+    // Rebound under a distinct name: `scope` is shadowed by the thread
+    // scope inside the closure below.
+    let cache_scope = scope;
     std::thread::scope(|scope| {
         for _ in 0..worker_count {
             scope.spawn(|| {
@@ -1196,6 +1253,9 @@ fn execute_campaign(
                     .with_constant_fold(!config.legacy_sweeps);
                 if let Some(cache) = &cache {
                     evaluator = evaluator.with_cache(Arc::clone(cache));
+                }
+                if let Some(scope) = cache_scope {
+                    evaluator = evaluator.with_cache_scope(Arc::clone(scope));
                 }
                 let mut local: Vec<(usize, ProblemTally)> = Vec::new();
                 'units: loop {
@@ -1301,11 +1361,11 @@ fn execute_campaign(
         &provider_names,
         config,
         &by_cell,
-        cache.as_ref().map(|c| c.stats()),
+        cache.as_ref().map(&reported_stats),
     );
 
     if let Some(cache) = &cache {
-        emit(CampaignEvent::CacheStats(cache.stats()));
+        emit(CampaignEvent::CacheStats(reported_stats(cache)));
     }
     emit(CampaignEvent::CampaignFinished {
         cells_completed,
@@ -1464,5 +1524,77 @@ mod tests {
             assert!((0.0..=100.0).contains(&cell.functional));
             assert!(cell.functional <= cell.syntax + 1e-9);
         }
+    }
+
+    #[test]
+    fn shared_cache_multi_tenant_accounting() {
+        let shared = Arc::new(EvalCache::new());
+        let build = |scope: &Arc<CacheScope>| {
+            Campaign::builder()
+                .problems(small_problems())
+                .profiles(&[ModelProfile::gpt4()])
+                .config(small_config())
+                .shared_cache(Arc::clone(&shared))
+                .cache_scope(Arc::clone(scope))
+                .build()
+                .unwrap()
+        };
+
+        // Two tenants submit identical campaigns *concurrently* through
+        // one shared cache.
+        let scope_a = Arc::new(CacheScope::new());
+        let scope_b = Arc::new(CacheScope::new());
+        let (a, b) = std::thread::scope(|s| {
+            let ta = s.spawn(|| build(&scope_a).run());
+            let tb = s.spawn(|| build(&scope_b).run());
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+
+        // Bit-identical reports, regardless of who populated the cache.
+        assert!(a.same_results(&b));
+
+        // Each tenant's report carries *its own* scope counters, not the
+        // cache-wide ones (no cross-tenant traffic leakage) …
+        let (sa, sb) = (scope_a.stats(), scope_b.stats());
+        assert_eq!(a.cache_stats, Some(sa));
+        assert_eq!(b.cache_stats, Some(sb));
+        assert!(sa.lookups() > 0 && sb.lookups() > 0, "{sa:?} {sb:?}");
+
+        // … and the scopes partition the global counters exactly: both
+        // sides count every hit/miss event once, races included.
+        let global = shared.stats();
+        assert_eq!(global.misses, sa.misses + sb.misses, "{global:?}");
+        assert_eq!(
+            global.response_hits,
+            sa.response_hits + sb.response_hits,
+            "{global:?}"
+        );
+        assert_eq!(
+            global.report_hits,
+            sa.report_hits + sb.report_hits,
+            "{global:?}"
+        );
+        assert_eq!(global.sim_hits, sa.sim_hits + sb.sim_hits, "{global:?}");
+        assert_eq!(global.disk_hits, sa.disk_hits + sb.disk_hits, "{global:?}");
+
+        // An isolated run (its own fresh cache) agrees bit for bit with
+        // the shared-cache tenants.
+        let isolated = Campaign::builder()
+            .problems(small_problems())
+            .profiles(&[ModelProfile::gpt4()])
+            .config(small_config())
+            .build()
+            .unwrap()
+            .run();
+        assert!(a.same_results(&isolated));
+
+        // A third identical tenant arriving after the fact is served
+        // entirely from the shared cache: zero misses, all hits.
+        let scope_late = Arc::new(CacheScope::new());
+        let late = build(&scope_late).run();
+        assert!(a.same_results(&late));
+        let sl = scope_late.stats();
+        assert_eq!(sl.misses, 0, "{sl:?}");
+        assert!(sl.response_hits > 0, "{sl:?}");
     }
 }

@@ -164,6 +164,44 @@ impl EvalCacheStats {
     }
 }
 
+/// Per-tenant hit/miss accounting over a shared [`EvalCache`].
+///
+/// A process-wide cache serving several tenants (the `picbench-server`
+/// session table) still needs to answer "who benefited?": a scope is a
+/// bundle of atomic counters that an [`Evaluator`] bumps *in addition
+/// to* the cache's own global counters, on exactly the same events.
+/// Scopes are plain data — they hold no keys and no reports, so handing
+/// a tenant its scope stats can never leak another tenant's results.
+/// Summing every scope's counters reproduces the global counters for
+/// the same window (both sides count each lookup exactly once).
+#[derive(Debug, Default)]
+pub struct CacheScope {
+    response_hits: AtomicU64,
+    report_hits: AtomicU64,
+    sim_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheScope {
+    /// A fresh scope with zeroed counters.
+    pub fn new() -> Self {
+        CacheScope::default()
+    }
+
+    /// Snapshot of this scope's counters (same shape as the cache-wide
+    /// [`EvalCache::stats`], same cheap atomic loads).
+    pub fn stats(&self) -> EvalCacheStats {
+        EvalCacheStats {
+            response_hits: self.response_hits.load(Ordering::Relaxed),
+            report_hits: self.report_hits.load(Ordering::Relaxed),
+            sim_hits: self.sim_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A sharded, thread-safe, content-addressed evaluation cache.
 ///
 /// Level 1 memoizes sweep outcomes by simulation key (canonical netlist
@@ -236,21 +274,28 @@ impl EvalCache {
         (hash as usize) & (SHARD_COUNT - 1)
     }
 
-    /// Every `get_*` counts its own hit (memory tier, then disk tier);
-    /// `None` means the caller computes — and counts the miss only when
-    /// it actually runs a sweep.
-    fn get_report(&self, key: &ReportKey) -> Option<EvalReport> {
+    /// Every `get_*` counts its own hit (memory tier, then disk tier)
+    /// both globally and in the caller's [`CacheScope`], if any; `None`
+    /// means the caller computes — and counts the miss only when it
+    /// actually runs a sweep.
+    fn get_report(&self, key: &ReportKey, scope: Option<&CacheScope>) -> Option<EvalReport> {
         {
             let shard = self.report_shards[Self::shard(key.0 .0)]
                 .lock()
                 .expect("report shard poisoned");
             if let Some(report) = shard.get(key) {
                 self.report_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(scope) = scope {
+                    scope.report_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(report.clone());
             }
         }
         let report = self.disk.as_ref()?.get_report(key)?;
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(scope) = scope {
+            scope.disk_hits.fetch_add(1, Ordering::Relaxed);
+        }
         let mut shard = self.report_shards[Self::shard(key.0 .0)]
             .lock()
             .expect("report shard poisoned");
@@ -268,18 +313,24 @@ impl EvalCache {
         shard.entry(key).or_insert(report);
     }
 
-    fn get_response(&self, key: &ResponseKey) -> Option<EvalReport> {
+    fn get_response(&self, key: &ResponseKey, scope: Option<&CacheScope>) -> Option<EvalReport> {
         {
             let shard = self.response_shards[Self::shard(key.0)]
                 .lock()
                 .expect("response shard poisoned");
             if let Some(report) = shard.get(key) {
                 self.response_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(scope) = scope {
+                    scope.response_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(report.clone());
             }
         }
         let report = self.disk.as_ref()?.get_verdict(key)?;
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(scope) = scope {
+            scope.disk_hits.fetch_add(1, Ordering::Relaxed);
+        }
         let mut shard = self.response_shards[Self::shard(key.0)]
             .lock()
             .expect("response shard poisoned");
@@ -297,13 +348,16 @@ impl EvalCache {
         shard.entry(key).or_insert(report);
     }
 
-    fn get_sim(&self, key: &SimKey) -> Option<SimOutcome> {
+    fn get_sim(&self, key: &SimKey, scope: Option<&CacheScope>) -> Option<SimOutcome> {
         {
             let shard = self.sim_shards[Self::shard(key.0)]
                 .lock()
                 .expect("sim shard poisoned");
             if let Some(outcome) = shard.get(key) {
                 self.sim_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(scope) = scope {
+                    scope.sim_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(outcome.clone());
             }
         }
@@ -311,6 +365,9 @@ impl EvalCache {
         // run no sweep, so replaying them from disk would save nothing).
         let response = self.disk.as_ref()?.get_sim(key)?;
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(scope) = scope {
+            scope.disk_hits.fetch_add(1, Ordering::Relaxed);
+        }
         let outcome = SimOutcome::Response(Arc::new(response));
         let mut shard = self.sim_shards[Self::shard(key.0)]
             .lock()
@@ -362,6 +419,10 @@ pub struct Evaluator {
     sweep_threads: usize,
     /// Shared evaluation cache (optional; campaigns share one).
     cache: Option<Arc<EvalCache>>,
+    /// Per-tenant accounting scope: every cache hit/miss this evaluator
+    /// causes is double-counted here (optional; servers attach one per
+    /// tenant).
+    scope: Option<Arc<CacheScope>>,
     /// Immutable precomputed golden table shared across workers.
     shared_goldens: Option<Arc<HashMap<String, Arc<FrequencyResponse>>>>,
     /// Locally computed golden responses (fallback / standalone use).
@@ -392,6 +453,7 @@ impl Evaluator {
             tolerance: DEFAULT_FUNCTIONAL_TOLERANCE,
             sweep_threads: 0,
             cache: None,
+            scope: None,
             shared_goldens: None,
             golden_cache: HashMap::new(),
             schedules: ScheduleCache::new(),
@@ -410,6 +472,14 @@ impl Evaluator {
     /// Attaches a shared evaluation cache.
     pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a per-tenant accounting scope: cache hits and misses
+    /// this evaluator causes are counted into the scope *in addition
+    /// to* the cache's global counters. No effect without a cache.
+    pub fn with_cache_scope(mut self, scope: Arc<CacheScope>) -> Self {
+        self.scope = Some(scope);
         self
     }
 
@@ -625,7 +695,7 @@ impl Evaluator {
     ) -> Result<SimOutcome, Vec<ValidationIssue>> {
         let key = self.cache.as_ref().map(|_| self.sim_key(problem, hash));
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
-            if let Some(outcome) = cache.get_sim(key) {
+            if let Some(outcome) = cache.get_sim(key, self.scope.as_deref()) {
                 return Ok(outcome);
             }
         }
@@ -636,6 +706,9 @@ impl Evaluator {
         }
         if let Some(cache) = &self.cache {
             cache.misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(scope) = &self.scope {
+                scope.misses.fetch_add(1, Ordering::Relaxed);
+            }
         }
         let canonical = netlist.canonicalize();
         let outcome = match self.simulate_canonical(&canonical, problem) {
@@ -670,7 +743,7 @@ impl Evaluator {
 
         // Level 2: a finished verdict for this exact evaluation.
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
-            if let Some(report) = cache.get_report(key) {
+            if let Some(report) = cache.get_report(key, self.scope.as_deref()) {
                 return report;
             }
         }
@@ -706,7 +779,7 @@ impl Evaluator {
             )
         });
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
-            if let Some(report) = cache.get_response(key) {
+            if let Some(report) = cache.get_response(key, self.scope.as_deref()) {
                 return report;
             }
         }

@@ -77,13 +77,15 @@ pub use campaign::{
     CampaignOutcome, CampaignReport, CellScore, ConditionTallies, KillPoint,
 };
 pub use evaluate::{
-    EvalCache, EvalCacheStats, EvalReport, Evaluator, DEFAULT_FUNCTIONAL_TOLERANCE,
+    CacheScope, EvalCache, EvalCacheStats, EvalReport, Evaluator, DEFAULT_FUNCTIONAL_TOLERANCE,
 };
 pub use events::{CampaignEvent, CampaignObserver, CancelToken, ShardLossReason};
 pub use feedback_loop::{run_sample, AttemptRecord, LoopConfig, SampleResult};
 pub use lease::{lease_expired, Clock, LeaseConfig, SystemClock, TestClock};
 pub use passk::{aggregate_pass_at_k, pass_at_k, ProblemTally};
-pub use persist::{EvalSnapshot, EvalStore, LeaseAdvance, LeaseRecord, SharedEvalStore};
+pub use persist::{
+    EvalSnapshot, EvalStore, EvalStoreStats, LeaseAdvance, LeaseRecord, SharedEvalStore,
+};
 pub use shard::{shard_journal_dir, ShardMergeError, ShardMergeInfo, ShardMergeOutcome, ShardPlan};
 pub use supervisor::{
     run_shard_worker, ChaosKill, ChaosPlan, InProcessLauncher, ProcessLauncher, ShardLauncher,

@@ -434,6 +434,31 @@ pub struct EvalStore {
     recovery: RecoveryReport,
     degraded: AtomicBool,
     write_errors: AtomicU64,
+    reads: AtomicU64,
+    read_hits: AtomicU64,
+    writes: AtomicU64,
+    syncs: AtomicU64,
+}
+
+/// Cumulative counter snapshot of an [`EvalStore`] — cheap atomic loads,
+/// no lock-the-world (the same contract as
+/// [`EvalCacheStats`](crate::EvalCacheStats)). Served by the server's
+/// `GET /v1/stats` and printed by `campaign_bench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStoreStats {
+    /// Typed lookups issued against the store.
+    pub reads: u64,
+    /// Lookups that found a record.
+    pub read_hits: u64,
+    /// Typed records accepted for writing (attempted, not necessarily
+    /// durable — see `write_errors`).
+    pub writes: u64,
+    /// Durability barriers ([`EvalStore::sync`]) that completed.
+    pub syncs: u64,
+    /// Writes or syncs that failed (the first one degrades the store).
+    pub write_errors: u64,
+    /// Whether the store is in degraded (read-only) mode.
+    pub degraded: bool,
 }
 
 impl std::fmt::Debug for EvalStore {
@@ -472,6 +497,10 @@ impl EvalStore {
             recovery,
             degraded: AtomicBool::new(false),
             write_errors: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            read_hits: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
         }
     }
 
@@ -491,10 +520,24 @@ impl EvalStore {
         self.write_errors.load(Ordering::Relaxed)
     }
 
+    /// Cumulative counter snapshot (reads/writes/syncs/errors) — atomic
+    /// loads only, safe to poll from a stats endpoint at any rate.
+    pub fn stats(&self) -> EvalStoreStats {
+        EvalStoreStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            read_hits: self.read_hits.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            degraded: self.degraded(),
+        }
+    }
+
     fn put(&self, kind: u8, key: &[u8], value: &[u8]) {
         if self.degraded() {
             return;
         }
+        self.writes.fetch_add(1, Ordering::Relaxed);
         let result = {
             let mut store = self.store.lock().expect("store poisoned");
             store.put(kind, key, value)
@@ -506,8 +549,13 @@ impl EvalStore {
     }
 
     fn get(&self, kind: u8, key: &[u8]) -> Option<Vec<u8>> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
         let store = self.store.lock().expect("store poisoned");
-        store.get(kind, key).map(<[u8]>::to_vec)
+        let value = store.get(kind, key).map(<[u8]>::to_vec);
+        if value.is_some() {
+            self.read_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
     }
 
     /// Flushes and fsyncs — the durability barrier journal writers call
@@ -523,6 +571,8 @@ impl EvalStore {
         if result.is_err() {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
             self.degraded.store(true, Ordering::Relaxed);
+        } else {
+            self.syncs.fetch_add(1, Ordering::Relaxed);
         }
         result.is_ok()
     }
@@ -595,6 +645,7 @@ impl EvalStore {
         }
         let key = encode_shard_key(fingerprint, shard);
         let value = encode_lease(lease);
+        self.writes.fetch_add(1, Ordering::Relaxed);
         let result = {
             let mut store = self.store.lock().expect("store poisoned");
             match store.get(KIND_LEASE, &key).map(<[u8]>::to_vec) {

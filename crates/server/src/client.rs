@@ -1,0 +1,182 @@
+//! A small blocking HTTP client for the benchmark service.
+//!
+//! Deliberately dependency-free and deliberately *not* general: it
+//! speaks exactly the dialect the server serves (one request per
+//! connection, sized JSON responses, close-delimited NDJSON streams).
+//! The load generator and the integration tests both drive the server
+//! through it, so what CI measures is the same path a real client
+//! takes.
+
+use picbench_netlist::json::{self, Value};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A buffered (non-streaming) HTTP response.
+#[derive(Debug)]
+pub struct ApiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The response body, decoded as UTF-8.
+    pub body: String,
+}
+
+impl ApiResponse {
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error message when the body is not JSON.
+    pub fn json(&self) -> Result<Value, String> {
+        json::parse(&self.body).map_err(|e| e.to_string())
+    }
+}
+
+/// A live NDJSON event stream (`GET /v1/campaigns/{id}/events`).
+#[derive(Debug)]
+pub struct EventStream {
+    /// HTTP status of the stream response (200 for an actual stream).
+    pub status: u16,
+    reader: BufReader<TcpStream>,
+}
+
+impl EventStream {
+    /// Blocks for the next event line. `None` means the server closed
+    /// the stream — the campaign finished (or was cancelled and drained).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn next_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Drains the stream to completion, collecting every line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn collect_lines(mut self) -> io::Result<Vec<String>> {
+        let mut lines = Vec::new();
+        while let Some(line) = self.next_line()? {
+            lines.push(line);
+        }
+        Ok(lines)
+    }
+}
+
+/// A blocking client bound to one server address and one tenant.
+#[derive(Debug, Clone)]
+pub struct ApiClient {
+    addr: SocketAddr,
+    tenant: Option<String>,
+}
+
+impl ApiClient {
+    /// A client for the server at `addr` (default tenant).
+    pub fn new(addr: SocketAddr) -> Self {
+        ApiClient { addr, tenant: None }
+    }
+
+    /// Scopes every request to `tenant` (the `x-picbench-tenant`
+    /// header).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    fn connect_and_send(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<TcpStream> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        let mut head =
+            format!("{method} {path} HTTP/1.1\r\nHost: picbench\r\nConnection: close\r\n");
+        if let Some(tenant) = &self.tenant {
+            head.push_str(&format!("x-picbench-tenant: {tenant}\r\n"));
+        }
+        match body {
+            Some(body) => head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )),
+            None => head.push_str("\r\n"),
+        }
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(stream)
+    }
+
+    fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, Vec<(String, String)>)> {
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        Ok((status, headers))
+    }
+
+    /// Sends one request and buffers the whole response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> io::Result<ApiResponse> {
+        let stream = self.connect_and_send(method, path, body)?;
+        let mut reader = BufReader::new(stream);
+        let (status, headers) = Self::read_head(&mut reader)?;
+        let mut body = Vec::new();
+        match headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+        {
+            Some(len) => {
+                body.resize(len, 0);
+                reader.read_exact(&mut body)?;
+            }
+            None => {
+                reader.read_to_end(&mut body)?;
+            }
+        }
+        Ok(ApiResponse {
+            status,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+
+    /// Opens an event stream; the caller reads lines until `None`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn open_stream(&self, path: &str) -> io::Result<EventStream> {
+        let stream = self.connect_and_send("GET", path, None)?;
+        let mut reader = BufReader::new(stream);
+        let (status, _headers) = Self::read_head(&mut reader)?;
+        Ok(EventStream { status, reader })
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic pacing decorator for providers.
+//!
+//! Synthetic models answer in microseconds, which makes "long-lived"
+//! sessions finish before a test can observe them mid-flight. A
+//! [`PacedProvider`] wraps any provider and sleeps a fixed interval
+//! before every response — the *outputs* are bit-identical to the inner
+//! provider's (same name, same seeding, same text), only wall-clock
+//! changes. Cancellation drills and the load generator use it to hold
+//! many sessions open simultaneously without perturbing results.
+
+use picbench_problems::Problem;
+use picbench_prompt::Conversation;
+use picbench_synthllm::{LanguageModel, ModelProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A [`ModelProvider`] decorator that slows responses down without
+/// changing them.
+pub struct PacedProvider {
+    inner: Arc<dyn ModelProvider>,
+    pace: Duration,
+}
+
+impl PacedProvider {
+    /// Wraps `inner`, sleeping `pace` before every response.
+    pub fn new(inner: Arc<dyn ModelProvider>, pace: Duration) -> Self {
+        PacedProvider { inner, pace }
+    }
+}
+
+impl ModelProvider for PacedProvider {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn spawn(&self) -> Box<dyn LanguageModel> {
+        Box::new(PacedLlm {
+            inner: self.inner.spawn(),
+            pace: self.pace,
+        })
+    }
+
+    fn spawn_seeded(&self, seed: u64) -> Box<dyn LanguageModel> {
+        Box::new(PacedLlm {
+            inner: self.inner.spawn_seeded(seed),
+            pace: self.pace,
+        })
+    }
+}
+
+struct PacedLlm {
+    inner: Box<dyn LanguageModel>,
+    pace: Duration,
+}
+
+impl LanguageModel for PacedLlm {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn begin_sample(&mut self, problem: &Problem, sample_index: u64) {
+        self.inner.begin_sample(problem, sample_index);
+    }
+
+    fn respond(&mut self, conversation: &Conversation) -> String {
+        std::thread::sleep(self.pace);
+        self.inner.respond(conversation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picbench_synthllm::ModelProfile;
+
+    #[test]
+    fn pacing_preserves_responses() {
+        let profile = ModelProfile::gpt4();
+        let paced = PacedProvider::new(Arc::new(profile.clone()), Duration::from_millis(1));
+        assert_eq!(paced.name(), profile.name);
+        let problem = picbench_problems::find("mzi-ps").unwrap();
+        let conversation = Conversation::new();
+        let mut a = profile.spawn_seeded(7);
+        let mut b = paced.spawn_seeded(7);
+        a.begin_sample(&problem, 0);
+        b.begin_sample(&problem, 0);
+        assert_eq!(a.respond(&conversation), b.respond(&conversation));
+    }
+}

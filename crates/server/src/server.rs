@@ -1,0 +1,636 @@
+//! The benchmark-as-a-service HTTP server.
+//!
+//! A [`PicbenchServer`] owns one process-wide [`EvalCache`] (optionally
+//! backed by an [`EvalStore`] disk tier) and a multi-tenant
+//! [`SessionTable`]. Campaigns submitted over HTTP run on supervised
+//! worker threads against the *shared* cache, each under its tenant's
+//! [`CacheScope`], so identical submissions from different tenants hit
+//! each other's cached evaluations while their reported counters stay
+//! fully partitioned.
+//!
+//! ## Routes
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `POST /v1/problem-sets` | Register custom problems (JSON) |
+//! | `POST /v1/campaigns` | Validate knobs, start a campaign session |
+//! | `GET /v1/campaigns/{id}` | Session status and cell progress |
+//! | `GET /v1/campaigns/{id}/events` | Long-lived NDJSON event stream |
+//! | `DELETE /v1/campaigns/{id}` | Cooperative cancellation |
+//! | `GET /v1/stats` | Cache / session / store counters |
+//!
+//! Tenancy rides on the `x-picbench-tenant` header; a session is only
+//! visible to the tenant that created it (foreign lookups are
+//! structurally 404). Shutdown is graceful: the acceptor stops, new
+//! work is refused with 503, in-flight campaigns run to completion and
+//! their streams drain before [`ServerHandle::shutdown`] returns.
+//!
+//! [`EvalStore`]: picbench_core::EvalStore
+
+use crate::http::{self, Request, RequestError};
+use crate::pace::PacedProvider;
+use crate::session::{Session, SessionState, SessionTable};
+use crate::wire;
+use picbench_core::{CacheScope, Campaign, CampaignEvent, EvalCache, EvalStore, SharedEvalStore};
+use picbench_netlist::json::{self, Value};
+use picbench_problems::Problem;
+use picbench_synthllm::{ModelProfile, ModelProvider};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`PicbenchServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. Port 0 (the default) picks an ephemeral port —
+    /// read the real one from [`ServerHandle::addr`].
+    pub addr: SocketAddr,
+    /// Worker threads serving connections. Each long-lived event
+    /// stream occupies a worker for the life of its campaign, so this
+    /// bounds concurrent streams.
+    pub workers: usize,
+    /// Running campaigns admitted before `POST /v1/campaigns` answers
+    /// 429.
+    pub max_sessions: usize,
+    /// When set, the shared cache gains a persistent [`EvalStore`]
+    /// tier rooted here and `GET /v1/stats` reports its counters.
+    ///
+    /// [`EvalStore`]: picbench_core::EvalStore
+    pub store_dir: Option<PathBuf>,
+    /// Evaluation threads per campaign unless the request says
+    /// otherwise. Defaults to 1: with a single evaluation thread the
+    /// event *order* is deterministic, which is what makes streams
+    /// byte-for-byte reproducible.
+    pub default_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("loopback addr parses"),
+            workers: 64,
+            max_sessions: 256,
+            store_dir: None,
+            default_threads: 1,
+        }
+    }
+}
+
+/// Everything the worker threads share.
+struct ServerState {
+    config: ServerConfig,
+    cache: Arc<EvalCache>,
+    store: Option<SharedEvalStore>,
+    sessions: SessionTable,
+    scopes: Mutex<HashMap<String, Arc<CacheScope>>>,
+    problem_sets: Mutex<HashMap<String, Vec<Problem>>>,
+    next_set: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// The per-tenant cache scope, created on the tenant's first
+    /// campaign.
+    fn scope_for(&self, tenant: &str) -> Arc<CacheScope> {
+        let mut scopes = self.scopes.lock().expect("scope table poisoned");
+        Arc::clone(
+            scopes
+                .entry(tenant.to_string())
+                .or_insert_with(|| Arc::new(CacheScope::new())),
+        )
+    }
+}
+
+/// The benchmark service. Construct with [`PicbenchServer::start`].
+pub struct PicbenchServer;
+
+/// A running server: its bound address plus the shutdown lever.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PicbenchServer {
+    /// Binds, spawns the acceptor and worker pool, and returns the
+    /// handle. The server is ready to serve when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound or the store directory
+    /// cannot be opened.
+    pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let store = match &config.store_dir {
+            Some(dir) => Some(Arc::new(EvalStore::open(dir)?)),
+            None => None,
+        };
+        let mut cache = EvalCache::new();
+        if let Some(store) = &store {
+            cache = cache.with_disk(Arc::clone(store));
+        }
+        let state = Arc::new(ServerState {
+            cache: Arc::new(cache),
+            store,
+            sessions: SessionTable::new(),
+            scopes: Mutex::new(HashMap::new()),
+            problem_sets: Mutex::new(HashMap::new()),
+            next_set: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..state.config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || loop {
+                    let conn = rx.lock().expect("worker queue poisoned").recv();
+                    match conn {
+                        Ok(mut stream) => serve_connection(&state, &mut stream),
+                        Err(_) => break, // acceptor gone: shutdown
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                while !state.shutdown.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                    }
+                }
+                // Dropping `tx` here is what releases the workers.
+            })
+        };
+
+        Ok(ServerHandle {
+            addr,
+            state,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight campaigns run
+    /// to completion, drain their streams, join every thread.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Campaigns finish → logs close → streaming workers drain.
+        self.state.sessions.drain();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn serve_connection(state: &Arc<ServerState>, stream: &mut TcpStream) {
+    let request = match http::read_request(stream) {
+        Ok(request) => request,
+        Err(RequestError::ConnectionClosed) => return,
+        Err(RequestError::BodyTooLarge) => {
+            let _ = http::write_error(stream, 413, "request body too large");
+            return;
+        }
+        Err(RequestError::Malformed(why)) => {
+            let _ = http::write_error(stream, 400, why);
+            return;
+        }
+        Err(RequestError::Io(_)) => return,
+    };
+    // Responses to a departed client are not errors worth surfacing.
+    let _ = route(state, &request, stream);
+}
+
+fn tenant_of(request: &Request) -> String {
+    request
+        .header("x-picbench-tenant")
+        .filter(|t| !t.is_empty())
+        .unwrap_or("default")
+        .to_string()
+}
+
+fn route(state: &Arc<ServerState>, request: &Request, stream: &mut TcpStream) -> io::Result<()> {
+    let path = request.path.as_str();
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["v1", "problem-sets"]) => post_problem_set(state, request, stream),
+        ("POST", ["v1", "campaigns"]) => post_campaign(state, request, stream),
+        ("GET", ["v1", "campaigns", id]) => get_campaign(state, request, id, stream),
+        ("GET", ["v1", "campaigns", id, "events"]) => get_events(state, request, id, stream),
+        ("DELETE", ["v1", "campaigns", id]) => delete_campaign(state, request, id, stream),
+        ("GET", ["v1", "stats"]) => get_stats(state, stream),
+        ("POST" | "GET" | "DELETE", _) => http::write_error(stream, 404, "no such route"),
+        _ => http::write_error(stream, 405, "method not allowed"),
+    }
+}
+
+fn post_problem_set(
+    state: &Arc<ServerState>,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> io::Result<()> {
+    if state.shutdown.load(Ordering::Acquire) {
+        return http::write_error(stream, 503, "server is shutting down");
+    }
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return http::write_error(stream, 400, "body is not UTF-8"),
+    };
+    let problems = match picbench_problems::problems_from_json(body) {
+        Ok(problems) => problems,
+        Err(e) => return http::write_error(stream, 400, &format!("invalid problem set: {e}")),
+    };
+    if problems.is_empty() {
+        return http::write_error(stream, 400, "problem set is empty");
+    }
+    let id = format!("ps-{}", state.next_set.fetch_add(1, Ordering::Relaxed) + 1);
+    let ids: Vec<Value> = problems
+        .iter()
+        .map(|p| Value::String(p.id.to_string()))
+        .collect();
+    state
+        .problem_sets
+        .lock()
+        .expect("problem-set table poisoned")
+        .insert(id.clone(), problems);
+    let body = json::to_string(&Value::Object(vec![
+        ("id".into(), Value::String(id)),
+        ("problems".into(), Value::Array(ids)),
+    ]));
+    http::write_json(stream, 201, &body)
+}
+
+/// The validated content of a `POST /v1/campaigns` body.
+struct CampaignRequest {
+    problems: Vec<Problem>,
+    providers: Vec<Arc<dyn ModelProvider>>,
+    samples_per_problem: usize,
+    k_values: Vec<usize>,
+    feedback_iters: Vec<usize>,
+    seed: u64,
+    threads: usize,
+    restrictions: bool,
+    cache: bool,
+}
+
+fn get_usize(value: &Value, key: &str, default: usize) -> Result<usize, String> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_f64() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 && n < 9.0e15 => Ok(n as usize),
+            _ => Err(format!("field '{key}' must be a non-negative integer")),
+        },
+    }
+}
+
+fn get_usize_list(value: &Value, key: &str, default: &[usize]) -> Result<Vec<usize>, String> {
+    match value.get(key) {
+        None => Ok(default.to_vec()),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| match v.as_f64() {
+                Some(n) if n >= 0.0 && n.fract() == 0.0 && n < 9.0e15 => Ok(n as usize),
+                _ => Err(format!("field '{key}' must hold non-negative integers")),
+            })
+            .collect(),
+        Some(_) => Err(format!("field '{key}' must be an array of integers")),
+    }
+}
+
+fn parse_campaign_request(
+    state: &ServerState,
+    body: &Value,
+) -> Result<(CampaignRequest, u64), String> {
+    let models = body
+        .get("models")
+        .and_then(Value::as_array)
+        .ok_or("field 'models' (array of model names) is required")?;
+    if models.is_empty() {
+        return Err("field 'models' is empty".to_string());
+    }
+    let mut providers: Vec<Arc<dyn ModelProvider>> = Vec::new();
+    let pace_ms = match body.get("pace_ms") {
+        None => 0,
+        Some(v) => match v.as_f64() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= 60_000.0 => n as u64,
+            _ => return Err("field 'pace_ms' must be an integer in [0, 60000]".to_string()),
+        },
+    };
+    for model in models {
+        let name = model.as_str().ok_or("model names must be strings")?;
+        let profile =
+            ModelProfile::by_name(name).ok_or_else(|| format!("unknown model '{name}'"))?;
+        let provider: Arc<dyn ModelProvider> = if pace_ms > 0 {
+            Arc::new(PacedProvider::new(
+                Arc::new(profile),
+                Duration::from_millis(pace_ms),
+            ))
+        } else {
+            Arc::new(profile)
+        };
+        providers.push(provider);
+    }
+
+    let mut problems: Vec<Problem> = Vec::new();
+    if let Some(set_id) = body.get("problem_set") {
+        let set_id = set_id
+            .as_str()
+            .ok_or("field 'problem_set' must be a string")?;
+        let sets = state
+            .problem_sets
+            .lock()
+            .expect("problem-set table poisoned");
+        let set = sets
+            .get(set_id)
+            .ok_or_else(|| format!("unknown problem set '{set_id}'"))?;
+        problems.extend(set.iter().cloned());
+    }
+    if let Some(ids) = body.get("problems") {
+        let ids = ids.as_array().ok_or("field 'problems' must be an array")?;
+        for id in ids {
+            let id = id.as_str().ok_or("problem ids must be strings")?;
+            let problem = picbench_problems::find(id)
+                .ok_or_else(|| format!("unknown builtin problem '{id}'"))?;
+            problems.push(problem);
+        }
+    }
+    if problems.is_empty() {
+        return Err("no problems: give 'problems' (builtin ids), 'problem_set', or both".into());
+    }
+
+    let samples_per_problem = get_usize(body, "samples_per_problem", 2)?;
+    let k_values = get_usize_list(body, "k_values", &[1])?;
+    let feedback_iters = get_usize_list(body, "feedback_iters", &[0])?;
+    let seed = match body.get("seed") {
+        None => picbench_synthllm::PAPER_SEED,
+        Some(v) => match v.as_f64() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 && n < 9.0e15 => n as u64,
+            _ => return Err("field 'seed' must be a non-negative integer".to_string()),
+        },
+    };
+    let threads = get_usize(body, "threads", state.config.default_threads)?;
+    let restrictions = match body.get("restrictions") {
+        None => true,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => return Err("field 'restrictions' must be a boolean".to_string()),
+    };
+    let cache = match body.get("cache") {
+        None => true,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => return Err("field 'cache' must be a boolean".to_string()),
+    };
+    Ok((
+        CampaignRequest {
+            problems,
+            providers,
+            samples_per_problem,
+            k_values,
+            feedback_iters,
+            seed,
+            threads,
+            restrictions,
+            cache,
+        },
+        pace_ms,
+    ))
+}
+
+fn post_campaign(
+    state: &Arc<ServerState>,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> io::Result<()> {
+    if state.shutdown.load(Ordering::Acquire) {
+        return http::write_error(stream, 503, "server is shutting down");
+    }
+    let tenant = tenant_of(request);
+    let body = match std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(body) => body,
+        Err(e) => return http::write_error(stream, 400, &format!("invalid JSON body: {e}")),
+    };
+    let (spec, _pace_ms) = match parse_campaign_request(state, &body) {
+        Ok(parsed) => parsed,
+        Err(e) => return http::write_error(stream, 400, &e),
+    };
+
+    let Some(session) = state.sessions.admit(&tenant, state.config.max_sessions) else {
+        return http::write_error(stream, 429, "session capacity reached");
+    };
+
+    let campaign = {
+        let observer_session = Arc::clone(&session);
+        let mut builder = Campaign::builder()
+            .problems(spec.problems)
+            .providers(spec.providers)
+            .samples_per_problem(spec.samples_per_problem)
+            .k_values(spec.k_values)
+            .feedback_iters(spec.feedback_iters)
+            .seed(spec.seed)
+            .threads(spec.threads)
+            .restrictions(spec.restrictions)
+            .cache(spec.cache)
+            .cancel_token(session.cancel.clone())
+            .observer(Arc::new(move |event: &CampaignEvent| {
+                match event {
+                    CampaignEvent::CampaignStarted { cells, .. } => {
+                        observer_session.set_cells_total(*cells);
+                    }
+                    CampaignEvent::CellFinished { completed, .. }
+                    | CampaignEvent::CellRestored { completed, .. } => {
+                        observer_session.note_cell_completed(*completed);
+                    }
+                    _ => {}
+                }
+                observer_session.log.push(wire::encode_event(event));
+            }));
+        if spec.cache {
+            builder = builder
+                .shared_cache(Arc::clone(&state.cache))
+                .cache_scope(state.scope_for(&tenant));
+        }
+        match builder.build() {
+            Ok(campaign) => campaign,
+            Err(e) => {
+                state.sessions.finish(&session, SessionState::Failed);
+                return http::write_error(stream, 400, &format!("invalid campaign: {e:?}"));
+            }
+        }
+    };
+
+    let runner = {
+        let state = Arc::clone(state);
+        let session = Arc::clone(&session);
+        std::thread::spawn(move || {
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| campaign.execute()));
+            let final_state = match &outcome {
+                Ok(outcome) if outcome.cancelled => SessionState::Cancelled,
+                Ok(_) => SessionState::Finished,
+                Err(_) => SessionState::Failed,
+            };
+            state.sessions.finish(&session, final_state);
+        })
+    };
+    state.sessions.track_runner(runner);
+
+    let body = json::to_string(&Value::Object(vec![
+        ("id".into(), Value::String(session.id.clone())),
+        ("state".into(), Value::String("running".into())),
+    ]));
+    http::write_json(stream, 201, &body)
+}
+
+fn session_status(session: &Session) -> Value {
+    let (completed, total) = session.progress();
+    Value::Object(vec![
+        ("id".into(), Value::String(session.id.clone())),
+        (
+            "state".into(),
+            Value::String(session.state().token().into()),
+        ),
+        ("cells_completed".into(), wire::num(completed as u64)),
+        ("cells_total".into(), wire::num(total as u64)),
+    ])
+}
+
+fn get_campaign(
+    state: &Arc<ServerState>,
+    request: &Request,
+    id: &str,
+    stream: &mut TcpStream,
+) -> io::Result<()> {
+    let tenant = tenant_of(request);
+    match state.sessions.get(&tenant, id) {
+        Some(session) => http::write_json(stream, 200, &json::to_string(&session_status(&session))),
+        None => http::write_error(stream, 404, "no such campaign"),
+    }
+}
+
+fn get_events(
+    state: &Arc<ServerState>,
+    request: &Request,
+    id: &str,
+    stream: &mut TcpStream,
+) -> io::Result<()> {
+    let tenant = tenant_of(request);
+    let Some(session) = state.sessions.get(&tenant, id) else {
+        return http::write_error(stream, 404, "no such campaign");
+    };
+    let _guard = state.sessions.stream_guard();
+    http::write_stream_head(stream)?;
+    let mut cursor = 0usize;
+    while let Some(lines) = session.log.wait_from(cursor) {
+        cursor += lines.len();
+        for line in lines {
+            // A departed client ends the stream, nothing more.
+            use std::io::Write;
+            stream.write_all(line.as_bytes())?;
+            stream.write_all(b"\n")?;
+        }
+        use std::io::Write;
+        stream.flush()?;
+    }
+    Ok(())
+}
+
+fn delete_campaign(
+    state: &Arc<ServerState>,
+    request: &Request,
+    id: &str,
+    stream: &mut TcpStream,
+) -> io::Result<()> {
+    let tenant = tenant_of(request);
+    let Some(session) = state.sessions.get(&tenant, id) else {
+        return http::write_error(stream, 404, "no such campaign");
+    };
+    session.cancel.cancel();
+    let body = json::to_string(&Value::Object(vec![
+        ("id".into(), Value::String(session.id.clone())),
+        ("state".into(), Value::String("cancelling".into())),
+    ]));
+    http::write_json(stream, 202, &body)
+}
+
+fn get_stats(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<()> {
+    let sessions = state.sessions.stats();
+    let session_obj = Value::Object(vec![
+        ("active".into(), wire::num(sessions.active as u64)),
+        ("peak_active".into(), wire::num(sessions.peak_active as u64)),
+        (
+            "active_streams".into(),
+            wire::num(sessions.active_streams as u64),
+        ),
+        (
+            "peak_streams".into(),
+            wire::num(sessions.peak_streams as u64),
+        ),
+        ("started".into(), wire::num(sessions.started)),
+        ("finished".into(), wire::num(sessions.finished)),
+        ("cancelled".into(), wire::num(sessions.cancelled)),
+    ]);
+    let tenants = {
+        let scopes = state.scopes.lock().expect("scope table poisoned");
+        let mut entries: Vec<(String, Value)> = scopes
+            .iter()
+            .map(|(tenant, scope)| (tenant.clone(), wire::stats_value(&scope.stats())))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    };
+    let store = match &state.store {
+        None => Value::Null,
+        Some(store) => {
+            let stats = store.stats();
+            Value::Object(vec![
+                ("reads".into(), wire::num(stats.reads)),
+                ("read_hits".into(), wire::num(stats.read_hits)),
+                ("writes".into(), wire::num(stats.writes)),
+                ("syncs".into(), wire::num(stats.syncs)),
+                ("write_errors".into(), wire::num(stats.write_errors)),
+                ("degraded".into(), Value::Bool(stats.degraded)),
+            ])
+        }
+    };
+    let body = json::to_string(&Value::Object(vec![
+        ("sessions".into(), session_obj),
+        ("cache".into(), wire::stats_value(&state.cache.stats())),
+        ("tenants".into(), tenants),
+        ("store".into(), store),
+    ]));
+    http::write_json(stream, 200, &body)
+}

@@ -1,0 +1,362 @@
+//! The multi-tenant session table: one entry per campaign run over the
+//! wire.
+//!
+//! A [`Session`] bridges the in-process observer seam to any number of
+//! HTTP stream readers: the campaign's [`CampaignObserver`] pushes each
+//! event — already encoded to its canonical wire line — into an
+//! append-only [`EventLog`]; readers replay the log from index 0 and
+//! block on a condvar for more, so a reader that connects late (or
+//! reconnects) sees exactly the same byte sequence as one that was
+//! there from the start. The log closes when the campaign thread
+//! finishes, which is what ends the streams.
+//!
+//! [`CampaignObserver`]: picbench_core::CampaignObserver
+
+use picbench_core::CancelToken;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Where a session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// The campaign is still evaluating.
+    Running,
+    /// The campaign ran to completion.
+    Finished,
+    /// The campaign was cut short by cooperative cancellation.
+    Cancelled,
+    /// The campaign thread panicked (a bug, surfaced rather than hung).
+    Failed,
+}
+
+impl SessionState {
+    /// The wire token served in status responses.
+    pub fn token(self) -> &'static str {
+        match self {
+            SessionState::Running => "running",
+            SessionState::Finished => "finished",
+            SessionState::Cancelled => "cancelled",
+            SessionState::Failed => "failed",
+        }
+    }
+}
+
+#[derive(Default)]
+struct LogInner {
+    lines: Vec<Arc<str>>,
+    closed: bool,
+}
+
+/// An append-only, multi-reader log of encoded event lines.
+#[derive(Default)]
+pub struct EventLog {
+    inner: Mutex<LogInner>,
+    grew: Condvar,
+}
+
+impl EventLog {
+    /// Appends one encoded line (no trailing newline) and wakes readers.
+    pub fn push(&self, line: String) {
+        let mut inner = self.inner.lock().expect("event log poisoned");
+        inner.lines.push(Arc::from(line));
+        self.grew.notify_all();
+    }
+
+    /// Closes the log: readers drain what remains and stop.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("event log poisoned");
+        inner.closed = true;
+        self.grew.notify_all();
+    }
+
+    /// Lines currently in the log.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("event log poisoned").lines.len()
+    }
+
+    /// Whether the log holds no lines yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the lines from `from` on, blocking until at least one is
+    /// available or the log closes. `None` means closed-and-drained —
+    /// the reader's stream is complete.
+    pub fn wait_from(&self, from: usize) -> Option<Vec<Arc<str>>> {
+        let mut inner = self.inner.lock().expect("event log poisoned");
+        loop {
+            if inner.lines.len() > from {
+                return Some(inner.lines[from..].to_vec());
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.grew.wait(inner).expect("event log poisoned");
+        }
+    }
+
+    /// A snapshot of every line currently in the log (non-blocking).
+    pub fn snapshot(&self) -> Vec<Arc<str>> {
+        self.inner.lock().expect("event log poisoned").lines.clone()
+    }
+}
+
+/// One campaign run over the wire.
+pub struct Session {
+    /// Server-assigned session id (`c-N`).
+    pub id: String,
+    /// The tenant that owns it; other tenants cannot see it at all.
+    pub tenant: String,
+    /// The cooperative cancellation switch `DELETE` flips.
+    pub cancel: CancelToken,
+    /// The encoded event stream, replayable from the start.
+    pub log: EventLog,
+    state: Mutex<SessionState>,
+    cells_total: AtomicUsize,
+    cells_completed: AtomicUsize,
+}
+
+impl Session {
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        *self.state.lock().expect("session state poisoned")
+    }
+
+    /// Records the matrix size once it is known.
+    pub fn set_cells_total(&self, total: usize) {
+        self.cells_total.store(total, Ordering::Relaxed);
+    }
+
+    /// Bumps the completed-cell gauge (observer-side).
+    pub fn note_cell_completed(&self, completed: usize) {
+        self.cells_completed.store(completed, Ordering::Relaxed);
+    }
+
+    /// `(completed, total)` cell progress.
+    pub fn progress(&self) -> (usize, usize) {
+        (
+            self.cells_completed.load(Ordering::Relaxed),
+            self.cells_total.load(Ordering::Relaxed),
+        )
+    }
+
+    fn transition(&self, to: SessionState) {
+        *self.state.lock().expect("session state poisoned") = to;
+    }
+}
+
+/// Counter snapshot of a [`SessionTable`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions whose campaign thread is still running.
+    pub active: usize,
+    /// High-water mark of `active`.
+    pub peak_active: usize,
+    /// Event streams currently being served.
+    pub active_streams: usize,
+    /// High-water mark of `active_streams` — the measured
+    /// concurrent-streaming-session ceiling.
+    pub peak_streams: usize,
+    /// Sessions ever admitted.
+    pub started: u64,
+    /// Sessions that ran to completion.
+    pub finished: u64,
+    /// Sessions cut short by cancellation.
+    pub cancelled: u64,
+}
+
+/// The process-wide registry of sessions, plus its gauges.
+#[derive(Default)]
+pub struct SessionTable {
+    sessions: Mutex<HashMap<String, Arc<Session>>>,
+    runners: Mutex<Vec<JoinHandle<()>>>,
+    next_id: AtomicU64,
+    active: AtomicUsize,
+    peak_active: AtomicUsize,
+    active_streams: AtomicUsize,
+    peak_streams: AtomicUsize,
+    started: AtomicU64,
+    finished: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+fn bump_peak(gauge: &AtomicUsize, peak: &AtomicUsize) {
+    let now = gauge.fetch_add(1, Ordering::AcqRel) + 1;
+    peak.fetch_max(now, Ordering::AcqRel);
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SessionTable::default()
+    }
+
+    /// Admits a new session for `tenant`, unless `max_active` running
+    /// sessions already exist (`None` = at capacity; the server answers
+    /// 429).
+    pub fn admit(&self, tenant: &str, max_active: usize) -> Option<Arc<Session>> {
+        let mut sessions = self.sessions.lock().expect("session table poisoned");
+        if self.active.load(Ordering::Acquire) >= max_active {
+            return None;
+        }
+        let id = format!("c-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let session = Arc::new(Session {
+            id: id.clone(),
+            tenant: tenant.to_string(),
+            cancel: CancelToken::new(),
+            log: EventLog::default(),
+            state: Mutex::new(SessionState::Running),
+            cells_total: AtomicUsize::new(0),
+            cells_completed: AtomicUsize::new(0),
+        });
+        sessions.insert(id, Arc::clone(&session));
+        bump_peak(&self.active, &self.peak_active);
+        self.started.fetch_add(1, Ordering::Relaxed);
+        Some(session)
+    }
+
+    /// Registers the session's campaign thread so shutdown can drain it.
+    pub fn track_runner(&self, handle: JoinHandle<()>) {
+        self.runners
+            .lock()
+            .expect("session runners poisoned")
+            .push(handle);
+    }
+
+    /// Looks a session up *within* a tenant: sessions of other tenants
+    /// are indistinguishable from absent ones by construction.
+    pub fn get(&self, tenant: &str, id: &str) -> Option<Arc<Session>> {
+        let sessions = self.sessions.lock().expect("session table poisoned");
+        sessions.get(id).filter(|s| s.tenant == tenant).cloned()
+    }
+
+    /// Marks a session's campaign finished (called by its runner thread
+    /// as its last act before the log closes).
+    pub fn finish(&self, session: &Session, state: SessionState) {
+        session.transition(state);
+        self.active.fetch_sub(1, Ordering::AcqRel);
+        match state {
+            SessionState::Cancelled => self.cancelled.fetch_add(1, Ordering::Relaxed),
+            _ => self.finished.fetch_add(1, Ordering::Relaxed),
+        };
+        session.log.close();
+    }
+
+    /// Accounts an event stream for the session's lifetime; hold the
+    /// guard while serving.
+    pub fn stream_guard(&self) -> StreamGuard<'_> {
+        bump_peak(&self.active_streams, &self.peak_streams);
+        StreamGuard { table: self }
+    }
+
+    /// Counter snapshot (atomic loads, no lock-the-world).
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            active: self.active.load(Ordering::Relaxed),
+            peak_active: self.peak_active.load(Ordering::Relaxed),
+            active_streams: self.active_streams.load(Ordering::Relaxed),
+            peak_streams: self.peak_streams.load(Ordering::Relaxed),
+            started: self.started.load(Ordering::Relaxed),
+            finished: self.finished.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Joins every campaign thread (graceful-shutdown drain). In-flight
+    /// campaigns run to completion; their logs close, which ends their
+    /// streams.
+    pub fn drain(&self) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut runners = self.runners.lock().expect("session runners poisoned");
+            runners.drain(..).collect()
+        };
+        for handle in handles {
+            // A panicked runner already transitioned its session to
+            // Failed; the drain still completes.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// RAII guard accounting one live event stream.
+pub struct StreamGuard<'a> {
+    table: &'a SessionTable,
+}
+
+impl Drop for StreamGuard<'_> {
+    fn drop(&mut self) {
+        self.table.active_streams.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_replays_identically_for_late_readers() {
+        let log = EventLog::default();
+        log.push("a".into());
+        log.push("b".into());
+        let early = log.wait_from(0).unwrap();
+        log.push("c".into());
+        log.close();
+        let late = log.snapshot();
+        assert_eq!(early.len(), 2);
+        assert_eq!(late.len(), 3);
+        assert_eq!(&*late[0], "a");
+        assert_eq!(log.wait_from(3), None, "closed and drained");
+    }
+
+    #[test]
+    fn wait_from_blocks_until_growth() {
+        let log = Arc::new(EventLog::default());
+        let writer = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                log.push("x".into());
+                log.close();
+            })
+        };
+        assert_eq!(log.wait_from(0).unwrap().len(), 1);
+        assert!(log.wait_from(1).is_none());
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn tenancy_is_structural() {
+        let table = SessionTable::new();
+        let session = table.admit("alice", 8).unwrap();
+        assert!(table.get("alice", &session.id).is_some());
+        assert!(table.get("bob", &session.id).is_none());
+        assert!(table.get("alice", "c-999").is_none());
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_released() {
+        let table = SessionTable::new();
+        let a = table.admit("t", 2).unwrap();
+        let _b = table.admit("t", 2).unwrap();
+        assert!(table.admit("t", 2).is_none(), "at capacity");
+        table.finish(&a, SessionState::Finished);
+        assert!(table.admit("t", 2).is_some(), "capacity released");
+        let stats = table.stats();
+        assert_eq!(stats.peak_active, 2);
+        assert_eq!(stats.started, 3);
+    }
+
+    #[test]
+    fn stream_gauge_tracks_peak() {
+        let table = SessionTable::new();
+        {
+            let _a = table.stream_guard();
+            let _b = table.stream_guard();
+            assert_eq!(table.stats().active_streams, 2);
+        }
+        let stats = table.stats();
+        assert_eq!(stats.active_streams, 0);
+        assert_eq!(stats.peak_streams, 2);
+    }
+}

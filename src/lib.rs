@@ -18,6 +18,9 @@
 //! * [`conformance`] — the verification backbone: seeded circuit
 //!   generation, physics oracles and cross-configuration differential
 //!   fuzzing with counterexample shrinking
+//! * [`server`] — benchmark-as-a-service: a dependency-free HTTP
+//!   server streaming multi-tenant campaign sessions over a shared
+//!   evaluation cache
 //!
 //! See the repository README for a walkthrough and `DESIGN.md` for the
 //! paper-to-code mapping.
@@ -28,6 +31,7 @@ pub use picbench_math as math;
 pub use picbench_netlist as netlist;
 pub use picbench_problems as problems;
 pub use picbench_prompt as prompt;
+pub use picbench_server as server;
 pub use picbench_sim as sim;
 pub use picbench_sparams as sparams;
 pub use picbench_store as store;
