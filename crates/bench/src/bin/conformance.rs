@@ -2,7 +2,8 @@
 //!
 //! Generates `--cases` seeded circuits across the structural families,
 //! sweeps each through every configured differential axis (backends,
-//! constant fold, parallelism, cache, canonicalization, naive sweep) and
+//! constant fold, parallelism, cache, canonicalization, naive sweep,
+//! SIMD-vs-scalar dispatch) and
 //! the physics oracles (reciprocity, passivity, unitarity for lossless
 //! mixes, wavelength continuity), shrinks any failure to a minimal
 //! counterexample and writes it as a replayable corpus case.

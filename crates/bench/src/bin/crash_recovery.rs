@@ -204,21 +204,41 @@ fn render_stderr(stderr: &str) -> String {
     format!("\n  child stderr:{indented}")
 }
 
+/// Claims a fresh ephemeral directory under the system temp dir.
+///
+/// The name mixes the wall clock, the PID and a process-local counter,
+/// and creation is fail-closed (`create_dir`, not `create_dir_all`): a
+/// nonce collision — pid reuse against a leftover dir, a coarse or
+/// backwards clock, two claims inside one process — surfaces as a retry
+/// with a bumped counter instead of two runs silently sharing a store.
+fn claim_ephemeral_dir(prefix: &str) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let pid = std::process::id();
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    for _ in 0..64 {
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("{prefix}-{pid}-{stamp}-{seq}"));
+        match std::fs::create_dir(&dir) {
+            Ok(()) => return dir,
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => panic!("create ephemeral dir {}: {e}", dir.display()),
+        }
+    }
+    panic!(
+        "could not claim an ephemeral directory under {} after 64 attempts",
+        std::env::temp_dir().display()
+    );
+}
+
 fn main() {
     let args = parse_args();
-    // Pid alone can recur (pid reuse after a killed run leaves its dir
-    // behind); a timestamp makes the ephemeral store unique so parallel
-    // or back-to-back drills never share journals.
-    let store_dir = args.store_dir.clone().unwrap_or_else(|| {
-        let nonce = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos())
-            .unwrap_or(0);
-        std::env::temp_dir().join(format!(
-            "picbench-crash-recovery-{}-{nonce}",
-            std::process::id()
-        ))
-    });
+    let store_dir = args
+        .store_dir
+        .clone()
+        .unwrap_or_else(|| claim_ephemeral_dir("picbench-crash-recovery"));
     if args.child {
         run_child(&args, &store_dir);
     }

@@ -29,6 +29,12 @@
 //!   driven point by point here (its factor-once batching would
 //!   likewise degenerate on a dispersionless mesh).
 //!
+//! The block-sparse plan is additionally re-measured with kernel
+//! dispatch pinned to the scalar tier
+//! (`picbench_math::simd::with_forced_scalar`), producing per-ISA rows
+//! (`plan_by_isa`) and the `simd_speedup` of the detected vector tier
+//! over scalar; the report records the active tier in `simd_level`.
+//!
 //! The median over `--reps` repetitions is reported; every backend is
 //! cross-checked against the naive dense reference (the
 //! `max_abs_diff_vs_dense` column — the conformance oracle tolerance is
@@ -43,6 +49,7 @@
 //!
 //! [`sweep`]: picbench_sim::sweep
 
+use picbench_math::simd::{active_level, with_forced_scalar, SimdLevel};
 use picbench_math::{decomp, CMatrix};
 use picbench_problems::meshes::mesh_netlist;
 use picbench_sim::{
@@ -66,6 +73,10 @@ struct BackendResult {
     backend: Backend,
     naive_ms: f64,
     plan_ms: f64,
+    /// The same plan loop with kernel dispatch forced to the scalar
+    /// tier — block-sparse only, `None` when the ambient tier already
+    /// is scalar (the row would duplicate `plan_ms`).
+    scalar_plan_ms: Option<f64>,
     max_abs_diff_vs_naive: f64,
     max_abs_diff_vs_dense: f64,
 }
@@ -183,6 +194,11 @@ fn main() {
         for &backend in &backends {
             let mut naive_ms = Vec::with_capacity(reps);
             let mut plan_ms = Vec::with_capacity(reps);
+            // Per-ISA comparison: only the block-sparse solve dispatches
+            // through the SIMD kernel table, and the scalar row is only
+            // interesting when a vector tier is actually active.
+            let isa_row = backend == Backend::BlockSparse && active_level() != SimdLevel::Scalar;
+            let mut scalar_ms = Vec::with_capacity(if isa_row { reps } else { 0 });
             let mut diff_vs_own_naive = 0.0f64;
             let mut diff_vs_dense = 0.0f64;
             for _ in 0..reps {
@@ -207,6 +223,33 @@ fn main() {
                 }
                 plan_ms.push(t.elapsed().as_secs_f64() * 1e3);
 
+                if isa_row {
+                    let mut scalar_outs: Vec<CMatrix> = (0..wavelengths.len())
+                        .map(|_| CMatrix::zeros(n_ext, n_ext))
+                        .collect();
+                    let t = Instant::now();
+                    with_forced_scalar(|| {
+                        let plan = SweepPlan::new(&circuit, backend).expect("plan builds");
+                        let mut ws = plan.workspace();
+                        for (k, &wl) in wavelengths.iter().enumerate() {
+                            plan.evaluate_into(&mut ws, wl, &mut scalar_outs[k])
+                                .expect("forced-scalar point solve");
+                        }
+                    });
+                    scalar_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                    // The cross-tier contract (FMA contraction only):
+                    // the `simd` conformance axis tolerance.
+                    let mut tier_diff = 0.0f64;
+                    for (out, scalar) in outs.iter().zip(&scalar_outs) {
+                        tier_diff = tier_diff.max(out.max_abs_diff(scalar));
+                    }
+                    assert!(
+                        tier_diff < 1e-9,
+                        "{backend}: {} tier disagrees with forced scalar by {tier_diff:.3e}",
+                        active_level().token()
+                    );
+                }
+
                 for (k, out) in outs.iter().enumerate() {
                     let own = naive.sample(k).expect("sample exists").matrix();
                     diff_vs_own_naive = diff_vs_own_naive.max(out.max_abs_diff(own));
@@ -229,10 +272,19 @@ fn main() {
                  max |dS| vs dense {diff_vs_dense:.2e})",
                 naive / plan
             );
+            let scalar_plan = (!scalar_ms.is_empty()).then(|| median_ms(scalar_ms));
+            if let Some(s) = scalar_plan {
+                println!(
+                    "{backend} ISA dispatch: scalar {s:.2} ms -> {} {plan:.2} ms ({:.2}x)",
+                    active_level().token(),
+                    s / plan
+                );
+            }
             results.push(BackendResult {
                 backend,
                 naive_ms: naive,
                 plan_ms: plan,
+                scalar_plan_ms: scalar_plan,
                 max_abs_diff_vs_naive: diff_vs_own_naive,
                 max_abs_diff_vs_dense: diff_vs_dense,
             });
@@ -278,12 +330,25 @@ fn main() {
             if k > 0 {
                 results_json.push_str(",\n");
             }
+            // Per-ISA rows: the plan time under each measured dispatch
+            // tier, plus the vector tier's speedup over forced scalar.
+            let isa_json = match r.scalar_plan_ms {
+                Some(s) => format!(
+                    ",\n          \"plan_by_isa\": {{\n            \"scalar\": {:.3},\n            \
+                     \"{}\": {:.3}\n          }},\n          \"simd_speedup\": {:.2}",
+                    s,
+                    active_level().token(),
+                    r.plan_ms,
+                    s / r.plan_ms
+                ),
+                None => String::new(),
+            };
             let _ = write!(
                 results_json,
                 "        {{\n          \"backend\": \"{}\",\n          \"naive_ms\": {:.3},\n          \
                  \"plan_ms\": {:.3},\n          \"speedup_vs_naive\": {:.2},\n          \
                  \"max_abs_diff_vs_naive\": {:.3e},\n          \
-                 \"max_abs_diff_vs_dense\": {:.3e}\n        }}",
+                 \"max_abs_diff_vs_dense\": {:.3e}{isa_json}\n        }}",
                 r.backend,
                 r.naive_ms,
                 r.plan_ms,
@@ -316,11 +381,13 @@ fn main() {
         );
     }
 
+    let level = active_level().token();
     let json = format!(
         "{{\n  \"benchmark\": \"wavelength-sweep plan/execute pipeline\",\n  \
          \"metric\": \"median wall-clock per full sweep, milliseconds (per-point solve; \
          the production sweep() folds these fully dispersionless meshes to a single point)\",\n  \
          \"repetitions\": {reps},\n  \"host_cpus\": {cpus},\n  \"threads_used\": {threads},\n  \
+         \"simd_level\": \"{level}\",\n  \
          \"workloads\": [\n{workload_json}\n  ],\n  \
          \"generated_by\": \"cargo run --release -p picbench-bench --bin sweep_bench\"\n}}\n"
     );

@@ -13,6 +13,7 @@
 //! | `cache` | cold, cached-cold and cached-hit evaluator | bit-identical |
 //! | `canonicalization` | raw vs canonicalized document | bit-identical via the evaluator, ≤ `backend_tol` direct |
 //! | `naive-sweep` | per-point rebuild vs planned pipeline | ≤ `naive_tol` |
+//! | `simd` | block-sparse sweep, ambient SIMD tier vs forced scalar | ≤ `simd_tol` |
 //!
 //! A failed comparison produces a [`Disagreement`]; [`DiffRunner::shrink`]
 //! then greedily minimizes the circuit while the disagreement reproduces,
@@ -52,17 +53,24 @@ pub enum DiffAxis {
     Canonicalization,
     /// Naive per-point rebuild vs the planned pipeline.
     NaiveSweep,
+    /// Block-sparse sweep under the ambient SIMD dispatch tier vs the
+    /// same sweep forced to the scalar kernels. The vector tiers
+    /// contract multiply-adds into FMAs, so agreement is
+    /// tolerance-gated rather than bit-exact; within one tier the sweep
+    /// stays deterministic.
+    Simd,
 }
 
 impl DiffAxis {
     /// Every axis, in documentation order.
-    pub const ALL: [DiffAxis; 6] = [
+    pub const ALL: [DiffAxis; 7] = [
         DiffAxis::Backends,
         DiffAxis::ConstantFold,
         DiffAxis::Parallelism,
         DiffAxis::Cache,
         DiffAxis::Canonicalization,
         DiffAxis::NaiveSweep,
+        DiffAxis::Simd,
     ];
 
     /// Stable kebab-case token used in corpus files and CLI flags.
@@ -74,6 +82,7 @@ impl DiffAxis {
             DiffAxis::Cache => "cache",
             DiffAxis::Canonicalization => "canonicalization",
             DiffAxis::NaiveSweep => "naive-sweep",
+            DiffAxis::Simd => "simd",
         }
     }
 }
@@ -134,6 +143,7 @@ pub struct DiffRunner {
     axes: Vec<DiffAxis>,
     backend_tol: f64,
     naive_tol: f64,
+    simd_tol: f64,
     perturbation: Option<Perturbation>,
 }
 
@@ -144,6 +154,7 @@ impl fmt::Debug for DiffRunner {
             .field("axes", &self.axes)
             .field("backend_tol", &self.backend_tol)
             .field("naive_tol", &self.naive_tol)
+            .field("simd_tol", &self.simd_tol)
             .field("perturbed", &self.perturbation.is_some())
             .finish()
     }
@@ -164,6 +175,7 @@ impl DiffRunner {
             axes: DiffAxis::ALL.to_vec(),
             backend_tol: 1e-8,
             naive_tol: 1e-9,
+            simd_tol: 1e-9,
             perturbation: None,
         }
     }
@@ -178,6 +190,12 @@ impl DiffRunner {
     /// tolerance.
     pub fn with_backend_tol(mut self, tol: f64) -> Self {
         self.backend_tol = tol;
+        self
+    }
+
+    /// Overrides the SIMD-vs-forced-scalar tolerance.
+    pub fn with_simd_tol(mut self, tol: f64) -> Self {
+        self.simd_tol = tol;
         self
     }
 
@@ -232,6 +250,7 @@ impl DiffRunner {
             DiffAxis::Cache => self.check_cache(netlist),
             DiffAxis::Canonicalization => self.check_canonicalization(netlist, &reference),
             DiffAxis::NaiveSweep => self.check_naive(&circuit, &reference),
+            DiffAxis::Simd => self.check_simd(&circuit),
         }
     }
 
@@ -414,6 +433,30 @@ impl DiffRunner {
             close_enough(DiffAxis::NaiveSweep, &planned, &naive, self.naive_tol)?;
         }
         Ok(())
+    }
+
+    fn check_simd(&self, circuit: &Circuit) -> Result<(), Disagreement> {
+        // The block-sparse backend is the only composition path that
+        // dispatches through the runtime-selected SIMD kernel table, so
+        // it carries the whole axis: one sweep under the ambient tier
+        // (AVX-512/AVX2/NEON where detected, scalar under
+        // `PICBENCH_FORCE_SCALAR=1` — the comparison is then vacuously
+        // exact), one with dispatch pinned to the scalar kernels.
+        let ambient =
+            sweep_serial(circuit, &self.grid, Backend::BlockSparse).map_err(|e| Disagreement {
+                axis: DiffAxis::Simd,
+                max_diff: f64::INFINITY,
+                detail: format!("block-sparse sweep failed under the ambient SIMD tier: {e}"),
+            })?;
+        let scalar = picbench_math::simd::with_forced_scalar(|| {
+            sweep_serial(circuit, &self.grid, Backend::BlockSparse)
+        })
+        .map_err(|e| Disagreement {
+            axis: DiffAxis::Simd,
+            max_diff: f64::INFINITY,
+            detail: format!("block-sparse sweep failed under forced-scalar dispatch: {e}"),
+        })?;
+        close_enough(DiffAxis::Simd, &scalar, &ambient, self.simd_tol)
     }
 
     /// Wraps a netlist as a self-golden problem so it can flow through

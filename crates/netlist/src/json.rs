@@ -15,7 +15,7 @@ use std::error::Error;
 use std::fmt;
 
 /// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// `null`
     Null,
@@ -23,12 +23,47 @@ pub enum Value {
     Bool(bool),
     /// Any JSON number (stored as `f64`).
     Number(f64),
+    /// An unsigned integer too large for `f64` to hold exactly.
+    ///
+    /// [`parse`] only produces this variant for unsigned integer
+    /// literals that would lose precision as `f64` (magnitude above
+    /// 2⁵³ and not a multiple of a suitable power of two) — ordinary
+    /// integers keep arriving as [`Value::Number`], and the two
+    /// variants compare equal whenever they denote the same integer.
+    /// Producers that must round-trip full-range counters (the event
+    /// wire format) construct it directly for every `u64`.
+    Uint(u64),
     /// A string.
     String(String),
     /// An array.
     Array(Vec<Value>),
     /// An object; key order is preserved.
     Object(Vec<(String, Value)>),
+}
+
+/// 2⁶⁴ as `f64` — the first value *above* the `u64` range. An `f64`
+/// strictly below this (and non-negative, integral) casts to `u64`
+/// without saturation.
+const TWO_POW_64: f64 = 18_446_744_073_709_551_616.0;
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Number(a), Value::Number(b)) => a == b,
+            (Value::Uint(a), Value::Uint(b)) => a == b,
+            // A float equals an unsigned integer exactly when it denotes
+            // the same mathematical integer.
+            (Value::Number(n), Value::Uint(u)) | (Value::Uint(u), Value::Number(n)) => {
+                *n >= 0.0 && n.fract() == 0.0 && *n < TWO_POW_64 && *n as u64 == *u
+            }
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Value {
@@ -48,10 +83,27 @@ impl Value {
         }
     }
 
-    /// Returns the numeric value, if this is a number.
+    /// Returns the numeric value, if this is a number. Lossy for a
+    /// [`Value::Uint`] above 2⁵³ — use [`Value::as_u64`] when exactness
+    /// matters.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(n) => Some(*n),
+            Value::Uint(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the exact unsigned integer this value denotes, if it
+    /// does: any [`Value::Uint`], or a [`Value::Number`] that is a
+    /// non-negative integer representable in `u64` without rounding.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Uint(u) => Some(*u),
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n < TWO_POW_64 => {
+                let u = *n as u64;
+                (u as f64 == *n).then_some(u)
+            }
             _ => None,
         }
     }
@@ -77,7 +129,7 @@ impl Value {
         match self {
             Value::Null => "null",
             Value::Bool(_) => "boolean",
-            Value::Number(_) => "number",
+            Value::Number(_) | Value::Uint(_) => "number",
             Value::String(_) => "string",
             Value::Array(_) => "array",
             Value::Object(_) => "object",
@@ -387,6 +439,20 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.error_at(JsonErrorKind::InvalidNumber, start))?;
+        // An unsigned integer literal that `f64` cannot hold exactly
+        // keeps its exact value as a `Uint`; everything else — floats,
+        // negatives, and integers f64 represents exactly — stays a
+        // `Number`, so consumers matching on `Number` see what they
+        // always saw.
+        if !text.starts_with('-') && !text.contains(['.', 'e', 'E']) {
+            if let Ok(u) = text.parse::<u64>() {
+                let f = u as f64;
+                if f < TWO_POW_64 && f as u64 == u {
+                    return Ok(Value::Number(f));
+                }
+                return Ok(Value::Uint(u));
+            }
+        }
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| self.error_at(JsonErrorKind::InvalidNumber, start))
@@ -439,11 +505,20 @@ fn escape_into(out: &mut String, s: &str) {
 }
 
 fn format_number(n: f64) -> String {
+    if !n.is_finite() {
+        // JSON has no lexeme for NaN or infinity; `null` is the
+        // conventional stand-in (what JSON.stringify emits) and keeps
+        // the output parseable instead of corrupting the document.
+        return "null".to_string();
+    }
+    if n == 0.0 && n.is_sign_negative() {
+        // `0` would silently drop the sign; `-0` parses back to -0.0.
+        return "-0".to_string();
+    }
     if n.fract() == 0.0 && n.abs() < 1e15 {
         format!("{}", n as i64)
     } else {
-        let s = format!("{n}");
-        s
+        format!("{n}")
     }
 }
 
@@ -452,6 +527,7 @@ fn write_value(out: &mut String, v: &Value, indent: usize, level: usize) {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::Number(n) => out.push_str(&format_number(*n)),
+        Value::Uint(u) => out.push_str(&u.to_string()),
         Value::String(s) => escape_into(out, s),
         Value::Array(items) => {
             if items.is_empty() {
@@ -623,6 +699,68 @@ mod tests {
         assert_eq!(to_string(&Value::Number(10.0)), "10");
         assert_eq!(to_string(&Value::Number(10.5)), "10.5");
         assert_eq!(to_string(&Value::Number(-0.25)), "-0.25");
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        assert_eq!(to_string(&Value::Number(-0.0)), "-0");
+        let back = parse("-0").unwrap().as_f64().unwrap();
+        assert_eq!(back, 0.0);
+        assert!(back.is_sign_negative());
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::Number(f64::INFINITY)), "null");
+        assert_eq!(to_string(&Value::Number(f64::NEG_INFINITY)), "null");
+        // The stand-in stays parseable.
+        assert_eq!(parse("null").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn huge_unsigned_integers_round_trip_exactly() {
+        for u in [
+            9_007_199_254_740_993u64, // 2^53 + 1: first f64-unrepresentable
+            u64::MAX,
+            u64::MAX - 1,
+        ] {
+            let s = u.to_string();
+            let v = parse(&s).unwrap();
+            assert_eq!(v, Value::Uint(u), "{s}");
+            assert_eq!(v.as_u64(), Some(u));
+            assert_eq!(to_string(&v), s);
+        }
+        // Exactly-representable big integers stay `Number` for
+        // backwards-compatible pattern matching…
+        let v = parse("9007199254740992").unwrap();
+        assert_eq!(v, Value::Number(9_007_199_254_740_992.0));
+        // …but still read back exactly through as_u64.
+        assert_eq!(v.as_u64(), Some(9_007_199_254_740_992u64));
+    }
+
+    #[test]
+    fn cross_variant_number_equality() {
+        assert_eq!(Value::Number(3.0), Value::Uint(3));
+        assert_eq!(Value::Uint(0), Value::Number(0.0));
+        assert_ne!(Value::Number(3.5), Value::Uint(3));
+        assert_ne!(Value::Number(-1.0), Value::Uint(1));
+        // 2^53 + 1 rounds to 2^53 as f64 — they are different integers.
+        assert_ne!(
+            Value::Number(9_007_199_254_740_992.0),
+            Value::Uint(9_007_199_254_740_993)
+        );
+        assert_ne!(Value::Number(f64::NAN), Value::Uint(0));
+    }
+
+    #[test]
+    fn as_u64_rejects_inexact_and_out_of_range() {
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+        assert_eq!(Value::Number(f64::NAN).as_u64(), None);
+        assert_eq!(Value::Number(TWO_POW_64).as_u64(), None);
+        assert_eq!(Value::String("3".into()).as_u64(), None);
+        assert_eq!(Value::Number(7.0).as_u64(), Some(7));
     }
 
     #[test]

@@ -27,13 +27,15 @@ mod complex;
 pub mod decomp;
 mod lu;
 mod matrix;
+pub mod simd;
 pub mod sparse;
 
 pub use complex::Complex;
 pub use decomp::{DecomposeError, GivensFactor, MeshDecomposition, MeshScheme};
 pub use lu::{inverse, solve, LuDecomposition, SingularMatrixError};
 pub use matrix::CMatrix;
-pub use sparse::{BlockSparseLu, BlockSymbolic};
+pub use simd::SimdLevel;
+pub use sparse::{BlockSparseLu, BlockSymbolic, SplitComplexVec};
 
 /// Speed of light in vacuum, metres per second.
 pub const SPEED_OF_LIGHT_M_S: f64 = 299_792_458.0;

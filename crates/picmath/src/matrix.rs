@@ -185,6 +185,22 @@ impl CMatrix {
         self.data.fill(Complex::ZERO);
     }
 
+    /// Overwrites the matrix by interleaving a split-complex (SoA) pair
+    /// of component slices, reshaping to `rows × cols`. A pure copy — the
+    /// bits of each entry are exactly the source components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re`/`im` are not both `rows · cols` long.
+    pub fn fill_from_split(&mut self, rows: usize, cols: usize, re: &[f64], im: &[f64]) {
+        assert_eq!(re.len(), rows * cols, "split source has the wrong shape");
+        assert_eq!(im.len(), re.len(), "split components disagree in length");
+        self.reshape(rows, cols);
+        for ((dst, &r), &i) in self.data.iter_mut().zip(re).zip(im) {
+            *dst = Complex::new(r, i);
+        }
+    }
+
     /// Makes `self` an entry-wise copy of `other`, reshaping as needed and
     /// reusing the existing storage.
     pub fn copy_from(&mut self, other: &CMatrix) {

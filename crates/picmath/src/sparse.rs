@@ -22,6 +22,18 @@
 //!   (pivoting never crosses blocks, so the structure is truly static),
 //!   and solve whole panels of right-hand-side columns in one pass.
 //!
+//! Values live in **split-complex (SoA) storage** — [`SplitComplexVec`],
+//! parallel real/imaginary `f64` arrays — so the panel-shaped hot loops
+//! (Schur-update GEMMs, triangular panel solves) run through the
+//! runtime-dispatched SIMD kernels of [`crate::simd`]. The tiny
+//! sequential kernels (within-block pivoted LU, row pivots, the
+//! right-sided triangular solve) stay scalar: their blocks are a handful
+//! of entries wide and keeping them scalar keeps them trivially
+//! bit-identical. Every dispatched kernel is bit-identical to the scalar
+//! fallback by the lane-order contract documented in [`crate::simd`], so
+//! factorizations and solves produce the same bits on every instruction
+//! set (and under `PICBENCH_FORCE_SCALAR=1`).
+//!
 //! One symbolic object serves every wavelength point of a sweep and every
 //! worker thread; each [`BlockSparseLu`] is cheap per-worker state whose
 //! buffers reach a high-water mark after the first factorization and
@@ -36,40 +48,181 @@
 //! ## Example
 //!
 //! ```
-//! use picbench_math::{sparse::{BlockSymbolic, BlockSparseLu}, Complex};
+//! use picbench_math::{sparse::{BlockSymbolic, BlockSparseLu}, Complex, SplitComplexVec};
 //!
 //! // Two 1×1 blocks coupled to each other: [[2, 1], [1, 2]].
 //! let sym = BlockSymbolic::analyze(&[1, 1], &[(0, 1)]);
 //! let mut lu = BlockSparseLu::new();
 //! lu.reset(&sym);
-//! lu.values_mut()[sym.entry_offset(0, 0, 0, 0).unwrap()] = Complex::real(2.0);
-//! lu.values_mut()[sym.entry_offset(0, 1, 0, 0).unwrap()] = Complex::real(1.0);
-//! lu.values_mut()[sym.entry_offset(1, 0, 0, 0).unwrap()] = Complex::real(1.0);
-//! lu.values_mut()[sym.entry_offset(1, 1, 0, 0).unwrap()] = Complex::real(2.0);
+//! lu.values_mut().set(sym.entry_offset(0, 0, 0, 0).unwrap(), Complex::real(2.0));
+//! lu.values_mut().set(sym.entry_offset(0, 1, 0, 0).unwrap(), Complex::real(1.0));
+//! lu.values_mut().set(sym.entry_offset(1, 0, 0, 0).unwrap(), Complex::real(1.0));
+//! lu.values_mut().set(sym.entry_offset(1, 1, 0, 0).unwrap(), Complex::real(2.0));
 //! lu.factor(&sym)?;
-//! let mut rhs = [Complex::real(3.0), Complex::real(3.0)];
+//! let mut rhs = SplitComplexVec::from_interleaved(&[Complex::real(3.0), Complex::real(3.0)]);
 //! lu.solve_in_place(&sym, &mut rhs, 1);
-//! assert!((rhs[sym.scalar_row(0, 0)] - Complex::ONE).abs() < 1e-12);
-//! assert!((rhs[sym.scalar_row(1, 0)] - Complex::ONE).abs() < 1e-12);
+//! assert!((rhs.get(sym.scalar_row(0, 0)) - Complex::ONE).abs() < 1e-12);
+//! assert!((rhs.get(sym.scalar_row(1, 0)) - Complex::ONE).abs() < 1e-12);
 //! # Ok::<(), picbench_math::SingularMatrixError>(())
 //! ```
 
-use crate::{Complex, SingularMatrixError};
-use std::collections::BTreeSet;
+use crate::{simd, Complex, SingularMatrixError};
 
-/// One pre-resolved Schur-complement update `C_ij −= L_ik · U_kj`, with
-/// every operand located by value offset at analysis time.
+/// Split-complex (structure-of-arrays) storage: a logical `Vec<Complex>`
+/// held as two parallel `f64` arrays, one of real parts and one of
+/// imaginary parts. This is the panel layout the SIMD kernels of
+/// [`crate::simd`] consume — a lane loads `LANES` consecutive real (or
+/// imaginary) components with one unshuffled read.
+///
+/// Indexing helpers ([`SplitComplexVec::get`] / [`SplitComplexVec::set`] /
+/// [`SplitComplexVec::add_assign`] / [`SplitComplexVec::sub_assign`])
+/// keep scatter/assembly call sites as readable as the interleaved
+/// layout was; the component accessors ([`SplitComplexVec::re`],
+/// [`SplitComplexVec::im`], [`SplitComplexVec::parts_mut`]) feed the
+/// kernels. All growth APIs reuse capacity, so a buffer that reached its
+/// high-water mark never allocates again.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SplitComplexVec {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl SplitComplexVec {
+    /// An empty vector.
+    pub fn new() -> Self {
+        SplitComplexVec {
+            re: Vec::new(),
+            im: Vec::new(),
+        }
+    }
+
+    /// Builds split storage from interleaved complex values.
+    pub fn from_interleaved(src: &[Complex]) -> Self {
+        SplitComplexVec {
+            re: src.iter().map(|z| z.re).collect(),
+            im: src.iter().map(|z| z.im).collect(),
+        }
+    }
+
+    /// Logical length in complex elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.re.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.re.is_empty()
+    }
+
+    /// Removes every element, keeping capacity.
+    pub fn clear(&mut self) {
+        self.re.clear();
+        self.im.clear();
+    }
+
+    /// Resizes to `len` elements, all zero (capacity is reused).
+    pub fn resize_zero(&mut self, len: usize) {
+        self.re.clear();
+        self.re.resize(len, 0.0);
+        self.im.clear();
+        self.im.resize(len, 0.0);
+    }
+
+    /// Makes `self` an element-wise copy of `src` (capacity is reused).
+    pub fn copy_from(&mut self, src: &SplitComplexVec) {
+        self.re.clear();
+        self.re.extend_from_slice(&src.re);
+        self.im.clear();
+        self.im.extend_from_slice(&src.im);
+    }
+
+    /// Makes `self` a copy of `src[start..end]` (capacity is reused).
+    pub fn copy_range_from(&mut self, src: &SplitComplexVec, start: usize, end: usize) {
+        self.re.clear();
+        self.re.extend_from_slice(&src.re[start..end]);
+        self.im.clear();
+        self.im.extend_from_slice(&src.im[start..end]);
+    }
+
+    /// The element at `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Complex {
+        Complex::new(self.re[i], self.im[i])
+    }
+
+    /// Overwrites the element at `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: Complex) {
+        self.re[i] = v.re;
+        self.im[i] = v.im;
+    }
+
+    /// Adds `v` to the element at `i`.
+    #[inline]
+    pub fn add_assign(&mut self, i: usize, v: Complex) {
+        self.re[i] += v.re;
+        self.im[i] += v.im;
+    }
+
+    /// Subtracts `v` from the element at `i`.
+    #[inline]
+    pub fn sub_assign(&mut self, i: usize, v: Complex) {
+        self.re[i] -= v.re;
+        self.im[i] -= v.im;
+    }
+
+    /// The real components.
+    #[inline]
+    pub fn re(&self) -> &[f64] {
+        &self.re
+    }
+
+    /// The imaginary components.
+    #[inline]
+    pub fn im(&self) -> &[f64] {
+        &self.im
+    }
+
+    /// Both component arrays, mutably.
+    #[inline]
+    pub fn parts_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.re, &mut self.im)
+    }
+
+    /// Interleaves back into a `Vec<Complex>` (tests, diagnostics).
+    pub fn to_interleaved(&self) -> Vec<Complex> {
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&r, &i)| Complex::new(r, i))
+            .collect()
+    }
+}
+
+/// One pre-resolved Schur-complement run `C_i,J −= L_ik · U_k,J`, with
+/// every operand located at analysis time. `J` is a maximal run of
+/// consecutive tail columns of step `k` that are also stored
+/// consecutively in row `i`'s panel, so one GEMM covers as many target
+/// columns as the layouts allow.
 #[derive(Debug, Clone, Copy)]
 struct SchurUpdate {
-    /// Offset of the `L_ik` block (rows × s_k).
+    /// Absolute value offset of the `L_ik` block (rows × s_k, row stride
+    /// `ld`).
     l_off: usize,
-    /// Offset of the `U_kj` block (s_k × cols) within the step's row tail.
-    u_off: usize,
-    /// Offset of the target block `C_ij` (rows × cols).
+    /// Column offset of the run's first `U` column within row `k`'s
+    /// panel (the snapshot the factor reads; row stride = row `k`'s
+    /// panel width).
+    b_col: usize,
+    /// Absolute value offset of the run's first target column in row
+    /// `i`'s panel (rows × cols, row stride `ld`).
     t_off: usize,
+    /// Row stride of row `i`'s panel — shared by `L_ik` and the target.
+    ld: usize,
     /// Scalar rows of the update (size of block `i`).
     rows: usize,
-    /// Scalar columns of the update (size of block `j`).
+    /// Scalar columns of the run (summed sizes of its blocks `j`).
     cols: usize,
 }
 
@@ -91,19 +244,38 @@ pub struct BlockSymbolic {
     row_ptr: Vec<usize>,
     /// Stored block columns (elimination positions), ascending per row.
     col_idx: Vec<usize>,
-    /// Offset of each stored block's values (row-major within the block).
-    val_off: Vec<usize>,
+    /// Value offset of each block row's panel. A row's stored blocks are
+    /// packed side by side into one row-major `s_r × row_stride[r]`
+    /// panel, so a whole block row (and any consecutive run of its
+    /// blocks) is a strided matrix the SIMD kernels consume directly.
+    row_base: Vec<usize>,
+    /// Scalar width of each block row's panel (summed stored block
+    /// widths).
+    row_stride: Vec<usize>,
+    /// Column offset of each stored block within its row panel (parallel
+    /// to `col_idx`).
+    col_off: Vec<usize>,
     /// Index into `col_idx` of each row's diagonal block.
     diag_idx: Vec<usize>,
     /// Total scalar length of the value storage.
     values_len: usize,
     /// Per step `k`: stored blocks below the diagonal in column `k`, as
-    /// `(row position, value offset)`, ascending by row.
+    /// `(row position, absolute value offset of the block's first
+    /// element)`, ascending by row; the block's row stride is its row's
+    /// `row_stride`.
     below: Vec<Vec<(usize, usize)>>,
     /// Flattened Schur-update schedule, grouped per step by `upd_ptr`.
     upd: Vec<SchurUpdate>,
     /// `upd[upd_ptr[k]..upd_ptr[k + 1]]` are step `k`'s updates.
     upd_ptr: Vec<usize>,
+    /// Backward-solve runs, grouped per row by `bwd_ptr`: maximal runs
+    /// of consecutive stored U columns, as `(value offset of the run's
+    /// first element, scalar width, scalar row offset of the first
+    /// column)`. Consecutive stored columns are adjacent both in the
+    /// row panel and in the solution vector, so each run is one gemm.
+    bwd: Vec<(usize, usize, usize)>,
+    /// `bwd[bwd_ptr[k]..bwd_ptr[k + 1]]` are row `k`'s U runs.
+    bwd_ptr: Vec<usize>,
     /// Stored blocks present before fill (diagnostics).
     structural: usize,
 }
@@ -123,46 +295,73 @@ impl BlockSymbolic {
     /// Panics if an edge references a block out of range.
     pub fn analyze(sizes: &[usize], edges: &[(usize, usize)]) -> Self {
         let n = sizes.len();
-        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        let words = n.div_ceil(64).max(1);
+        let mut adjb = vec![0u64; n * words];
         for &(a, b) in edges {
             assert!(
                 a < n && b < n,
                 "edge ({a}, {b}) out of range for {n} blocks"
             );
             if a != b {
-                adj[a].insert(b);
-                adj[b].insert(a);
+                adjb[a * words + b / 64] |= 1 << (b % 64);
+                adjb[b * words + a / 64] |= 1 << (a % 64);
             }
         }
 
         // Greedy minimum degree on the (progressively filled) block
-        // graph. O(n²·deg) — negligible next to a single sweep point for
-        // the few hundred blocks a circuit produces.
+        // graph, with bitset adjacency rows. Eliminating a vertex only
+        // changes the adjacency of its live neighborhood, so degrees are
+        // recomputed for those rows alone; the selection rule (min
+        // degree, ties to the lowest block id) is unchanged, so the
+        // ordering — and every downstream layout — is identical to the
+        // naive scan.
+        let mut alive_bits = vec![0u64; words];
+        for v in 0..n {
+            alive_bits[v / 64] |= 1 << (v % 64);
+        }
+        let sum_deg = |row: &[u64], alive: &[u64]| -> usize {
+            let mut s = 0usize;
+            for (w, (&rw, &aw)) in row.iter().zip(alive).enumerate() {
+                let mut m = rw & aw;
+                while m != 0 {
+                    s += sizes[w * 64 + m.trailing_zeros() as usize];
+                    m &= m - 1;
+                }
+            }
+            s
+        };
+        let mut deg: Vec<usize> = (0..n)
+            .map(|v| sum_deg(&adjb[v * words..(v + 1) * words], &alive_bits))
+            .collect();
         let mut alive = vec![true; n];
         let mut perm = Vec::with_capacity(n);
+        let mut nbrs = vec![0u64; words];
         for _ in 0..n {
             let mut best = usize::MAX;
             let mut best_deg = usize::MAX;
-            for (v, &live) in alive.iter().enumerate() {
-                if !live {
-                    continue;
-                }
-                let deg: usize = adj[v]
-                    .iter()
-                    .filter(|&&u| alive[u])
-                    .map(|&u| sizes[u])
-                    .sum();
-                if deg < best_deg {
-                    best_deg = deg;
+            for v in 0..n {
+                if alive[v] && deg[v] < best_deg {
+                    best_deg = deg[v];
                     best = v;
                 }
             }
             alive[best] = false;
-            let nbrs: Vec<usize> = adj[best].iter().copied().filter(|&u| alive[u]).collect();
-            for (xi, &a) in nbrs.iter().enumerate() {
-                for &b in &nbrs[xi + 1..] {
-                    adj[a].insert(b);
-                    adj[b].insert(a);
+            alive_bits[best / 64] &= !(1 << (best % 64));
+            // Fill: the live neighborhood of `best` becomes a clique.
+            for (w, nb) in nbrs.iter_mut().enumerate() {
+                *nb = adjb[best * words + w] & alive_bits[w];
+            }
+            for w in 0..words {
+                let mut m = nbrs[w];
+                while m != 0 {
+                    let a = w * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let row = &mut adjb[a * words..(a + 1) * words];
+                    for (x, &nb) in row.iter_mut().zip(&nbrs) {
+                        *x |= nb;
+                    }
+                    row[a / 64] &= !(1 << (a % 64));
+                    deg[a] = sum_deg(&adjb[a * words..(a + 1) * words], &alive_bits);
                 }
             }
             perm.push(best);
@@ -181,7 +380,6 @@ impl BlockSymbolic {
         }
 
         // Bit-matrix pattern in elimination coordinates.
-        let words = n.div_ceil(64).max(1);
         let mut bits = vec![0u64; n * words];
         let set =
             |bits: &mut Vec<u64>, r: usize, c: usize| bits[r * words + c / 64] |= 1 << (c % 64);
@@ -218,24 +416,33 @@ impl BlockSymbolic {
             }
         }
 
-        // Block-CSR layout over the final pattern.
+        // Panel layout over the final pattern: each block row's stored
+        // blocks pack side by side into one row-major `s_r × W_r` panel,
+        // so consecutive stored columns are consecutive in memory and
+        // the panel kernels run full-width.
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut col_idx = Vec::new();
-        let mut val_off = Vec::new();
+        let mut row_base = Vec::with_capacity(n);
+        let mut row_stride = Vec::with_capacity(n);
+        let mut col_off = Vec::new();
         let mut diag_idx = Vec::with_capacity(n);
         let mut values_len = 0usize;
         row_ptr.push(0);
         for r in 0..n {
+            row_base.push(values_len);
+            let mut width = 0usize;
             for c in 0..n {
                 if bits[r * words + c / 64] >> (c % 64) & 1 == 1 {
                     if c == r {
                         diag_idx.push(col_idx.len());
                     }
                     col_idx.push(c);
-                    val_off.push(values_len);
-                    values_len += psizes[r] * psizes[c];
+                    col_off.push(width);
+                    width += psizes[c];
                 }
             }
+            row_stride.push(width);
+            values_len += psizes[r] * width;
             row_ptr.push(col_idx.len());
         }
 
@@ -243,35 +450,81 @@ impl BlockSymbolic {
         let mut below: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
         for r in 0..n {
             for idx in row_ptr[r]..diag_idx[r] {
-                below[col_idx[idx]].push((r, val_off[idx]));
+                below[col_idx[idx]].push((r, row_base[r] + col_off[idx]));
             }
         }
 
-        // Pre-resolve every Schur update's target offset.
+        // Pre-resolve the Schur-update schedule, merging tail columns
+        // that are consecutive in the target row's panel into one run
+        // (they are always consecutive in step `k`'s panel).
         let locate = |row: usize, col: usize| -> usize {
             let range = row_ptr[row]..row_ptr[row + 1];
             let rel = col_idx[range.clone()]
                 .binary_search(&col)
                 .expect("fill closure guarantees the update target is stored");
-            val_off[range.start + rel]
+            row_base[row] + col_off[range.start + rel]
         };
         let mut upd = Vec::new();
         let mut upd_ptr = Vec::with_capacity(n + 1);
         upd_ptr.push(0);
         for k in 0..n {
             for &(i, l_off) in &below[k] {
-                for idx in diag_idx[k] + 1..row_ptr[k + 1] {
-                    let j = col_idx[idx];
+                let mut idx = diag_idx[k] + 1;
+                while idx < row_ptr[k + 1] {
+                    let t_off = locate(i, col_idx[idx]);
+                    let b_col = col_off[idx];
+                    let mut cols = psizes[col_idx[idx]];
+                    let mut prev_t = t_off;
+                    let mut prev_w = cols;
+                    idx += 1;
+                    while idx < row_ptr[k + 1] {
+                        let t_next = locate(i, col_idx[idx]);
+                        if t_next != prev_t + prev_w {
+                            break;
+                        }
+                        prev_t = t_next;
+                        prev_w = psizes[col_idx[idx]];
+                        cols += prev_w;
+                        idx += 1;
+                    }
                     upd.push(SchurUpdate {
                         l_off,
-                        u_off: val_off[idx],
-                        t_off: locate(i, j),
+                        b_col,
+                        t_off,
+                        ld: row_stride[i],
                         rows: psizes[i],
-                        cols: psizes[j],
+                        cols,
                     });
                 }
             }
             upd_ptr.push(upd.len());
+        }
+
+        // Backward-solve runs: consecutive stored U columns of a row are
+        // adjacent in its panel *and* (because stored columns ascend and
+        // scalar offsets are cumulative) in the solution vector, so each
+        // maximal run collapses to a single gemm. Splitting a gemm on the
+        // k dimension only splits the sequential accumulation chain, so
+        // the merged form is bit-identical to per-block calls.
+        let mut bwd = Vec::new();
+        let mut bwd_ptr = Vec::with_capacity(n + 1);
+        bwd_ptr.push(0);
+        for k in 0..n {
+            let mut idx = diag_idx[k] + 1;
+            while idx < row_ptr[k + 1] {
+                let u_off = row_base[k] + col_off[idx];
+                let so = scalar_off[col_idx[idx]];
+                let mut prev = col_idx[idx];
+                let mut width = psizes[prev];
+                idx += 1;
+                while idx < row_ptr[k + 1] && col_idx[idx] == prev + 1 {
+                    prev = col_idx[idx];
+                    width += psizes[prev];
+                    idx += 1;
+                }
+                bwd.push((u_off, width, so));
+            }
+            bwd_ptr.push(bwd.len());
         }
 
         BlockSymbolic {
@@ -281,12 +534,16 @@ impl BlockSymbolic {
             scalar_dim,
             row_ptr,
             col_idx,
-            val_off,
+            row_base,
+            row_stride,
+            col_off,
             diag_idx,
             values_len,
             below,
             upd,
             upd_ptr,
+            bwd,
+            bwd_ptr,
             structural,
         }
     }
@@ -337,28 +594,25 @@ impl BlockSymbolic {
         let (pi, pj) = (self.inv_perm[bi], self.inv_perm[bj]);
         let range = self.row_ptr[pi]..self.row_ptr[pi + 1];
         let rel = self.col_idx[range.clone()].binary_search(&pj).ok()?;
-        Some(self.val_off[range.start + rel] + li * self.sizes[pj] + lj)
-    }
-
-    /// End offset of row `k`'s contiguous value storage.
-    fn row_values_end(&self, k: usize) -> usize {
-        self.val_off
-            .get(self.row_ptr[k + 1])
-            .copied()
-            .unwrap_or(self.values_len)
+        Some(self.row_base[pi] + li * self.row_stride[pi] + self.col_off[range.start + rel] + lj)
     }
 }
 
-/// Numeric state of a block-sparse LU: the value storage of the factor,
-/// the within-block pivot permutations and a scratch row. Reusable — one
-/// per worker, re-[`BlockSparseLu::factor`]ed at every wavelength point
-/// against a shared [`BlockSymbolic`]; every buffer stops allocating once
-/// it reaches its high-water mark.
+/// Numeric state of a block-sparse LU: the value storage of the factor
+/// (split-complex — see [`SplitComplexVec`]), the within-block pivot
+/// permutations and a scratch row. Reusable — one per worker,
+/// re-[`BlockSparseLu::factor`]ed at every wavelength point against a
+/// shared [`BlockSymbolic`]; every buffer stops allocating once it
+/// reaches its high-water mark.
+///
+/// The panel-shaped inner loops dispatch through [`crate::simd::kernels`]
+/// and are bit-identical across instruction sets; see the module docs.
 #[derive(Debug)]
 pub struct BlockSparseLu {
-    values: Vec<Complex>,
+    values: SplitComplexVec,
     pivots: Vec<usize>,
-    scratch: Vec<Complex>,
+    scratch: SplitComplexVec,
+    diag_inv: Vec<Complex>,
 }
 
 impl Default for BlockSparseLu {
@@ -372,36 +626,35 @@ impl BlockSparseLu {
     /// or [`BlockSparseLu::load`] before assembling.
     pub fn new() -> Self {
         BlockSparseLu {
-            values: Vec::new(),
+            values: SplitComplexVec::new(),
             pivots: Vec::new(),
-            scratch: Vec::new(),
+            scratch: SplitComplexVec::new(),
+            diag_inv: Vec::new(),
         }
     }
 
     /// Zeroes the value storage and sizes it for `sym`. Fill blocks start
     /// (and must remain, until factoring) all-zero.
     pub fn reset(&mut self, sym: &BlockSymbolic) {
-        self.values.clear();
-        self.values.resize(sym.values_len(), Complex::ZERO);
+        self.values.resize_zero(sym.values_len());
     }
 
     /// Replaces the value storage with a copy of `baseline` (an image
     /// produced by a previous assembly — the wavelength-independent part
     /// of a sweep's system). No allocation once capacity has grown.
-    pub fn load(&mut self, baseline: &[Complex]) {
-        self.values.clear();
-        self.values.extend_from_slice(baseline);
+    pub fn load(&mut self, baseline: &SplitComplexVec) {
+        self.values.copy_from(baseline);
     }
 
     /// Mutable access to the value storage for scattering assembly
     /// entries at offsets from [`BlockSymbolic::entry_offset`].
-    pub fn values_mut(&mut self) -> &mut [Complex] {
+    pub fn values_mut(&mut self) -> &mut SplitComplexVec {
         &mut self.values
     }
 
     /// Read access to the value storage (a baseline image to
     /// [`BlockSparseLu::load`] later, or diagnostics).
-    pub fn values(&self) -> &[Complex] {
+    pub fn values(&self) -> &SplitComplexVec {
         &self.values
     }
 
@@ -430,47 +683,111 @@ impl BlockSparseLu {
         );
         self.pivots.clear();
         self.pivots.resize(sym.scalar_dim(), 0);
+        let kern = simd::kernels();
         let n = sym.block_count();
         for k in 0..n {
             let sk = sym.sizes[k];
-            let d_off = sym.val_off[sym.diag_idx[k]];
             let so = sym.scalar_off[k];
-            // Factor the diagonal block with dense partial pivoting.
+            let w = sym.row_stride[k];
+            let base = sym.row_base[k];
+            let d_col = sym.col_off[sym.diag_idx[k]];
+            let d_off = base + d_col;
+            // Factor the diagonal block with dense partial pivoting
+            // (scalar: a few entries wide, sequential by construction).
             {
-                let d = &mut self.values[d_off..d_off + sk * sk];
-                lu_block(d, sk, &mut self.pivots[so..so + sk], so)?;
+                let (vr, vi) = self.values.parts_mut();
+                lu_block(vr, vi, d_off, w, sk, &mut self.pivots[so..so + sk], so)?;
             }
-            // U_kj = L_kk⁻¹ · P_k · A_kj for the blocks right of the
-            // diagonal (stored contiguously after it).
-            for idx in sym.diag_idx[k] + 1..sym.row_ptr[k + 1] {
-                let off = sym.val_off[idx];
-                let sj = sym.sizes[sym.col_idx[idx]];
-                let (head, tail) = self.values.split_at_mut(off);
-                let d = &head[d_off..d_off + sk * sk];
-                let b = &mut tail[..sk * sj];
-                apply_row_pivots(b, sj, &self.pivots[so..so + sk]);
-                trsm_lower_unit(d, sk, b, sj);
+            // U_k,tail = L_kk⁻¹ · P_k · A_k,tail for everything right of
+            // the diagonal — one contiguous strip of the row panel, so
+            // the pivots and the unit-lower solve run over the whole
+            // tail at full width.
+            let tail = w - d_col - sk;
+            if tail > 0 {
+                let (vr, vi) = self.values.parts_mut();
+                apply_row_pivots(vr, vi, d_off + sk, w, tail, &self.pivots[so..so + sk]);
+                let pr = vr.as_mut_ptr();
+                let pi = vi.as_mut_ptr();
+                // SAFETY: the triangle (columns `d_col..d_col+sk`) and
+                // the tail (columns after it) are disjoint strips of row
+                // `k`'s in-bounds panel; the kernel reads the former and
+                // writes the latter.
+                unsafe {
+                    kern.trsm_lower_unit_ptr(
+                        sk,
+                        tail,
+                        pr.add(d_off),
+                        pi.add(d_off),
+                        w,
+                        pr.add(d_off + sk),
+                        pi.add(d_off + sk),
+                        w,
+                    );
+                }
             }
-            // Snapshot row k's tail (diagonal + U blocks): the Schur
-            // updates below read it while mutating other rows.
-            let row_end = sym.row_values_end(k);
-            self.scratch.clear();
-            self.scratch.extend_from_slice(&self.values[d_off..row_end]);
-            // L_ik = A_ik · U_kk⁻¹ for the blocks below the diagonal.
+            // Snapshot row k's panel from the diagonal column on — the L
+            // strip left of it is never read by this step's consumers —
+            // because the Schur updates below read it while mutating
+            // other rows. In scratch coordinates column `c` of the panel
+            // sits at `c - d_col`.
+            let snap = base + d_col;
+            self.scratch
+                .copy_range_from(&self.values, snap, base + sk * w);
+            // Hoist the diagonal reciprocals once per step: every block
+            // below shares `U_kk`, and `x / u` is defined as
+            // `x * u.recip()`, so multiplying is bit-identical to
+            // dividing inside the loop.
+            self.diag_inv.clear();
+            self.diag_inv.extend((0..sk).map(|c| {
+                Complex::new(self.scratch.re[c * w + c], self.scratch.im[c * w + c]).recip()
+            }));
+            // L_ik = A_ik · U_kk⁻¹ for the blocks below the diagonal
+            // (scalar: sequential dependence along each row).
             for &(i, off_ik) in &sym.below[k] {
                 let si = sym.sizes[i];
-                let a = &mut self.values[off_ik..off_ik + si * sk];
-                trsm_right_upper(&self.scratch[..sk * sk], sk, a, si);
+                let (vr, vi) = self.values.parts_mut();
+                trsm_right_upper(
+                    &self.scratch.re,
+                    &self.scratch.im,
+                    0,
+                    w,
+                    sk,
+                    &self.diag_inv,
+                    vr,
+                    vi,
+                    off_ik,
+                    sym.row_stride[i],
+                    si,
+                );
             }
-            // Pre-scheduled Schur updates: C_ij −= L_ik · U_kj. L and C
-            // live in the same block row with col k < col j, so the CSR
-            // layout guarantees l_off < t_off and the split is safe.
+            // Pre-scheduled Schur runs: C_i,J −= L_ik · U_k,J. L and the
+            // target strip live in the same row panel with col k < every
+            // col of J, so their column ranges are disjoint.
             for u in &sym.upd[sym.upd_ptr[k]..sym.upd_ptr[k + 1]] {
-                debug_assert!(u.l_off + u.rows * sk <= u.t_off);
-                let b = &self.scratch[u.u_off - d_off..u.u_off - d_off + sk * u.cols];
-                let (head, tail) = self.values.split_at_mut(u.t_off);
-                let l = &head[u.l_off..u.l_off + u.rows * sk];
-                gemm_sub(&mut tail[..u.rows * u.cols], l, b, u.rows, sk, u.cols);
+                debug_assert!(u.l_off + sk <= u.t_off);
+                let (vr, vi) = self.values.parts_mut();
+                let pr = vr.as_mut_ptr();
+                let pi = vi.as_mut_ptr();
+                // SAFETY: B comes from the scratch snapshot (a separate
+                // buffer); L and C are disjoint column strips of row
+                // `i`'s in-bounds panel (asserted above), and every
+                // strided access stays inside that panel.
+                unsafe {
+                    kern.gemm_sub_ptr(
+                        u.rows,
+                        sk,
+                        u.cols,
+                        pr.add(u.l_off),
+                        pi.add(u.l_off),
+                        u.ld,
+                        self.scratch.re.as_ptr().add(u.b_col - d_col),
+                        self.scratch.im.as_ptr().add(u.b_col - d_col),
+                        w,
+                        pr.add(u.t_off),
+                        pi.add(u.t_off),
+                        u.ld,
+                    );
+                }
             }
         }
         Ok(())
@@ -487,7 +804,7 @@ impl BlockSparseLu {
     ///
     /// Panics if `rhs.len() != scalar_dim · ncols` or the factorization
     /// has not run.
-    pub fn solve_in_place(&self, sym: &BlockSymbolic, rhs: &mut [Complex], ncols: usize) {
+    pub fn solve_in_place(&self, sym: &BlockSymbolic, rhs: &mut SplitComplexVec, ncols: usize) {
         assert_eq!(
             rhs.len(),
             sym.scalar_dim() * ncols,
@@ -497,33 +814,54 @@ impl BlockSparseLu {
         if ncols == 0 || sym.scalar_dim() == 0 {
             return;
         }
+        let kern = simd::kernels();
         let n = sym.block_count();
+        let vr = &self.values.re;
+        let vi = &self.values.im;
+        let (rr, ri) = rhs.parts_mut();
         // Forward: apply within-block pivots, unit-lower solves, and
         // push updates down the below-diagonal column lists.
         for k in 0..n {
             let sk = sym.sizes[k];
             let so = sym.scalar_off[k];
-            let d_off = sym.val_off[sym.diag_idx[k]];
-            let d = &self.values[d_off..d_off + sk * sk];
-            {
-                let rb = &mut rhs[so * ncols..(so + sk) * ncols];
-                apply_row_pivots(rb, ncols, &self.pivots[so..so + sk]);
-                trsm_lower_unit(d, sk, rb, ncols);
-            }
-            let (head, tail) = rhs.split_at_mut((so + sk) * ncols);
-            let rk = &head[so * ncols..];
-            for &(i, off_ik) in &sym.below[k] {
-                let si = sym.sizes[i];
-                let soi = sym.scalar_off[i];
-                let ri = &mut tail[(soi - so - sk) * ncols..][..si * ncols];
-                gemm_sub(
-                    ri,
-                    &self.values[off_ik..off_ik + si * sk],
-                    rk,
-                    si,
+            let w = sym.row_stride[k];
+            let d_off = sym.row_base[k] + sym.col_off[sym.diag_idx[k]];
+            apply_row_pivots(rr, ri, so * ncols, ncols, ncols, &self.pivots[so..so + sk]);
+            let rp = rr.as_mut_ptr();
+            let ip = ri.as_mut_ptr();
+            // SAFETY: the factor panels are read-only here; the RHS rows
+            // touched per call ([so, so+sk) then each [soi, soi+si) with
+            // soi ≥ so + sk) are in-bounds and disjoint from the rows
+            // read as B.
+            unsafe {
+                kern.trsm_lower_unit_ptr(
                     sk,
                     ncols,
+                    vr.as_ptr().add(d_off),
+                    vi.as_ptr().add(d_off),
+                    w,
+                    rp.add(so * ncols),
+                    ip.add(so * ncols),
+                    ncols,
                 );
+                for &(i, off_ik) in &sym.below[k] {
+                    let si = sym.sizes[i];
+                    let soi = sym.scalar_off[i];
+                    kern.gemm_sub_ptr(
+                        si,
+                        sk,
+                        ncols,
+                        vr.as_ptr().add(off_ik),
+                        vi.as_ptr().add(off_ik),
+                        sym.row_stride[i],
+                        rp.add(so * ncols),
+                        ip.add(so * ncols),
+                        ncols,
+                        rp.add(soi * ncols),
+                        ip.add(soi * ncols),
+                        ncols,
+                    );
+                }
             }
         }
         // Backward: subtract the U blocks right of each diagonal, then
@@ -531,43 +869,72 @@ impl BlockSparseLu {
         for k in (0..n).rev() {
             let sk = sym.sizes[k];
             let so = sym.scalar_off[k];
-            for idx in sym.diag_idx[k] + 1..sym.row_ptr[k + 1] {
-                let j = sym.col_idx[idx];
-                let sj = sym.sizes[j];
-                let soj = sym.scalar_off[j];
-                let off = sym.val_off[idx];
-                let (head, tail) = rhs.split_at_mut(soj * ncols);
-                let rk = &mut head[so * ncols..(so + sk) * ncols];
-                gemm_sub(
-                    rk,
-                    &self.values[off..off + sk * sj],
-                    &tail[..sj * ncols],
+            let w = sym.row_stride[k];
+            let base = sym.row_base[k];
+            let rp = rr.as_mut_ptr();
+            let ip = ri.as_mut_ptr();
+            // SAFETY: same in-bounds/disjointness argument as the forward
+            // pass — every U block has col j > k, so soj ≥ so + sk and
+            // the B rows never alias the C rows.
+            unsafe {
+                for &(u_off, width, soj) in &sym.bwd[sym.bwd_ptr[k]..sym.bwd_ptr[k + 1]] {
+                    kern.gemm_sub_ptr(
+                        sk,
+                        width,
+                        ncols,
+                        vr.as_ptr().add(u_off),
+                        vi.as_ptr().add(u_off),
+                        w,
+                        rp.add(soj * ncols),
+                        ip.add(soj * ncols),
+                        ncols,
+                        rp.add(so * ncols),
+                        ip.add(so * ncols),
+                        ncols,
+                    );
+                }
+                let d_off = base + sym.col_off[sym.diag_idx[k]];
+                kern.trsm_upper_ptr(
                     sk,
-                    sj,
+                    ncols,
+                    vr.as_ptr().add(d_off),
+                    vi.as_ptr().add(d_off),
+                    w,
+                    rp.add(so * ncols),
+                    ip.add(so * ncols),
                     ncols,
                 );
             }
-            let d_off = sym.val_off[sym.diag_idx[k]];
-            let d = &self.values[d_off..d_off + sk * sk];
-            trsm_upper(d, sk, &mut rhs[so * ncols..(so + sk) * ncols], ncols);
         }
     }
 }
 
-/// Dense partial-pivot LU of an `s × s` block in place (compact storage,
-/// unit lower diagonal implicit). `col_base` labels singularity reports
-/// with the block's global scalar offset.
+/// Dense partial-pivot LU of an `s × s` block in place. The block lives
+/// at element offset `base` of a row panel with row stride `ld` (split
+/// storage, unit lower diagonal implicit). The pivot swaps touch only the
+/// block's own `s` columns — the U tail right of it is permuted
+/// separately by [`apply_row_pivots`]. `col_base` labels singularity
+/// reports with the block's global scalar offset. Scalar on purpose:
+/// blocks are a handful of entries wide and the pivot search/swap
+/// sequence is inherently sequential.
 fn lu_block(
-    a: &mut [Complex],
+    ar: &mut [f64],
+    ai: &mut [f64],
+    base: usize,
+    ld: usize,
     s: usize,
     piv: &mut [usize],
     col_base: usize,
 ) -> Result<(), SingularMatrixError> {
+    #[inline(always)]
+    fn at(re: &[f64], im: &[f64], idx: usize) -> Complex {
+        Complex::new(re[idx], im[idx])
+    }
     for c in 0..s {
         let mut pivot_row = c;
-        let mut pivot_mag = a[c * s + c].abs();
+        let mut pivot_mag = at(ar, ai, base + c * ld + c).abs();
         for r in c + 1..s {
-            let mag = a[r * s + c].abs();
+            let mag = at(ar, ai, base + r * ld + c).abs();
             if mag > pivot_mag {
                 pivot_mag = mag;
                 pivot_row = r;
@@ -581,19 +948,22 @@ fn lu_block(
         piv[c] = pivot_row;
         if pivot_row != c {
             for cc in 0..s {
-                a.swap(c * s + cc, pivot_row * s + cc);
+                ar.swap(base + c * ld + cc, base + pivot_row * ld + cc);
+                ai.swap(base + c * ld + cc, base + pivot_row * ld + cc);
             }
         }
-        let pivot = a[c * s + c];
+        let pivot = at(ar, ai, base + c * ld + c);
         for r in c + 1..s {
-            let factor = a[r * s + c] / pivot;
-            a[r * s + c] = factor;
+            let factor = at(ar, ai, base + r * ld + c) / pivot;
+            ar[base + r * ld + c] = factor.re;
+            ai[base + r * ld + c] = factor.im;
             if factor == Complex::ZERO {
                 continue;
             }
             for cc in c + 1..s {
-                let sub = factor * a[c * s + cc];
-                a[r * s + cc] -= sub;
+                let sub = factor * at(ar, ai, base + c * ld + cc);
+                ar[base + r * ld + cc] -= sub.re;
+                ai[base + r * ld + cc] -= sub.im;
             }
         }
     }
@@ -601,82 +971,58 @@ fn lu_block(
 }
 
 /// Applies a within-block pivot sequence (LAPACK `ipiv` semantics: swap
-/// row `c` with row `piv[c]`, in order) to a row-major panel.
-fn apply_row_pivots(b: &mut [Complex], ncols: usize, piv: &[usize]) {
+/// row `c` with row `piv[c]`, in order) to `len` columns of a split panel
+/// starting at element offset `base` with row stride `ld`.
+fn apply_row_pivots(
+    br: &mut [f64],
+    bi: &mut [f64],
+    base: usize,
+    ld: usize,
+    len: usize,
+    piv: &[usize],
+) {
     for (c, &pr) in piv.iter().enumerate() {
         if pr != c {
-            for cc in 0..ncols {
-                b.swap(c * ncols + cc, pr * ncols + cc);
+            for cc in 0..len {
+                br.swap(base + c * ld + cc, base + pr * ld + cc);
+                bi.swap(base + c * ld + cc, base + pr * ld + cc);
             }
         }
     }
 }
 
-/// `B ← L⁻¹ B` for the unit-lower triangle of a compact `s × s` LU block.
-fn trsm_lower_unit(l: &[Complex], s: usize, b: &mut [Complex], ncols: usize) {
-    for r in 1..s {
-        let (done, rest) = b.split_at_mut(r * ncols);
-        let row_r = &mut rest[..ncols];
-        for (m, chunk) in done.chunks_exact(ncols).enumerate() {
-            let f = l[r * s + m];
-            if f == Complex::ZERO {
-                continue;
-            }
-            for (x, &y) in row_r.iter_mut().zip(chunk) {
-                *x -= f * y;
-            }
-        }
-    }
-}
-
-/// `B ← U⁻¹ B` for the upper triangle of a compact `s × s` LU block.
-fn trsm_upper(u: &[Complex], s: usize, b: &mut [Complex], ncols: usize) {
-    for r in (0..s).rev() {
-        let (head, tail) = b.split_at_mut((r + 1) * ncols);
-        let row_r = &mut head[r * ncols..];
-        for (t, chunk) in tail.chunks_exact(ncols).enumerate() {
-            let f = u[r * s + (r + 1 + t)];
-            if f == Complex::ZERO {
-                continue;
-            }
-            for (x, &y) in row_r.iter_mut().zip(chunk) {
-                *x -= f * y;
-            }
-        }
-        let d = u[r * s + r];
-        for x in row_r.iter_mut() {
-            *x /= d;
-        }
-    }
-}
-
-/// `A ← A · U⁻¹` for the upper triangle of a compact `s × s` LU block,
-/// applied to every row of a row-major `nrows × s` panel.
-fn trsm_right_upper(u: &[Complex], s: usize, a: &mut [Complex], nrows: usize) {
-    debug_assert_eq!(a.len(), nrows * s);
-    for row in a.chunks_exact_mut(s) {
+/// `A ← A · U⁻¹` for the upper triangle of a compact `s × s` LU block at
+/// element offset `u_base` (row stride `ld_u`), applied to every row of
+/// an `nrows × s` split panel at offset `a_base` (row stride `ld_a`).
+/// `inv` carries the pre-computed diagonal reciprocals (hoisted by the
+/// caller: `x / u == x * u.recip()` by [`Complex`]'s `Div` definition, so
+/// sharing them across blocks changes no bits). Scalar on purpose: each
+/// row's entries depend sequentially on the previous ones.
+#[allow(clippy::too_many_arguments)]
+fn trsm_right_upper(
+    ur: &[f64],
+    ui: &[f64],
+    u_base: usize,
+    ld_u: usize,
+    s: usize,
+    inv: &[Complex],
+    ar: &mut [f64],
+    ai: &mut [f64],
+    a_base: usize,
+    ld_a: usize,
+    nrows: usize,
+) {
+    for row in 0..nrows {
+        let base = a_base + row * ld_a;
         for c in 0..s {
-            let mut acc = row[c];
-            for (m, &x) in row[..c].iter().enumerate() {
-                acc -= x * u[m * s + c];
+            let mut acc = Complex::new(ar[base + c], ai[base + c]);
+            for m in 0..c {
+                let x = Complex::new(ar[base + m], ai[base + m]);
+                acc -= x * Complex::new(ur[u_base + m * ld_u + c], ui[u_base + m * ld_u + c]);
             }
-            row[c] = acc / u[c * s + c];
-        }
-    }
-}
-
-/// `C −= A · B` on row-major blocks (`m × k`, `k × n`, `m × n`).
-fn gemm_sub(c: &mut [Complex], a: &[Complex], b: &[Complex], m: usize, k: usize, n: usize) {
-    debug_assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
-    for (r, crow) in c.chunks_exact_mut(n).take(m).enumerate() {
-        for (t, brow) in b.chunks_exact(n).take(k).enumerate() {
-            let f = a[r * k + t];
-            if f == Complex::ZERO {
-                continue;
-            }
-            for (x, &y) in crow.iter_mut().zip(brow) {
-                *x -= f * y;
-            }
+            let v = acc * inv[c];
+            ar[base + c] = v.re;
+            ai[base + c] = v.im;
         }
     }
 }
@@ -730,7 +1076,7 @@ mod tests {
                         c(next() * 0.8, next() * 0.8)
                     };
                     let off = sym.entry_offset(bi, bj, li, lj).unwrap();
-                    lu.values_mut()[off] = v;
+                    lu.values_mut().set(off, v);
                     dense[(sym.scalar_row(bi, li), sym.scalar_row(bj, lj))] = v;
                 }
             }
@@ -750,7 +1096,7 @@ mod tests {
         let ncols = 3;
         let mut next = rng(99);
         let rhs_mat = CMatrix::from_fn(nd, ncols, |_, _| c(next(), next()));
-        let mut panel: Vec<Complex> = rhs_mat.as_slice().to_vec();
+        let mut panel = SplitComplexVec::from_interleaved(rhs_mat.as_slice());
         lu.solve_in_place(&sym, &mut panel, ncols);
 
         let reference = LuDecomposition::factor(&dense)
@@ -759,7 +1105,7 @@ mod tests {
         for r in 0..nd {
             for cc in 0..ncols {
                 assert!(
-                    (panel[r * ncols + cc] - reference[(r, cc)]).abs() < 1e-11,
+                    (panel.get(r * ncols + cc) - reference[(r, cc)]).abs() < 1e-11,
                     "mismatch at ({r}, {cc})"
                 );
             }
@@ -789,14 +1135,14 @@ mod tests {
         let nd = sym.scalar_dim();
         let mut next = rng(7);
         let rhs_mat = CMatrix::from_fn(nd, 2, |_, _| c(next(), next()));
-        let mut panel: Vec<Complex> = rhs_mat.as_slice().to_vec();
+        let mut panel = SplitComplexVec::from_interleaved(rhs_mat.as_slice());
         lu.solve_in_place(&sym, &mut panel, 2);
         let reference = LuDecomposition::factor(&dense)
             .unwrap()
             .solve_matrix(&rhs_mat);
         for r in 0..nd {
             for cc in 0..2 {
-                assert!((panel[r * 2 + cc] - reference[(r, cc)]).abs() < 1e-10);
+                assert!((panel.get(r * 2 + cc) - reference[(r, cc)]).abs() < 1e-10);
             }
         }
     }
@@ -806,13 +1152,64 @@ mod tests {
         let sizes = [2usize, 2, 2];
         let edges = [(0, 1), (1, 2)];
         let (sym, mut lu, _) = random_system(&sizes, &edges, 3);
-        let baseline = lu.values().to_vec();
+        let baseline = lu.values().clone();
         lu.factor(&sym).unwrap();
-        let first = lu.values().to_vec();
+        let first = lu.values().clone();
         // Reload the identical assembly and refactor: identical bits.
         lu.load(&baseline);
         lu.factor(&sym).unwrap();
-        assert_eq!(lu.values(), &first[..]);
+        assert_eq!(lu.values(), &first);
+    }
+
+    #[test]
+    fn forced_scalar_factor_and_solve_agree_within_tolerance() {
+        // The vector tiers deviate from the scalar fallback only by FMA
+        // contraction (see `simd`'s module docs); verify end-to-end on a
+        // filled system that factor and solution stay within a tolerance
+        // far tighter than any structural divergence could produce.
+        let sizes = vec![3usize; 9];
+        let mut edges = Vec::new();
+        for r in 0..3 {
+            for cc in 0..3 {
+                let v = r * 3 + cc;
+                if cc + 1 < 3 {
+                    edges.push((v, v + 1));
+                }
+                if r + 1 < 3 {
+                    edges.push((v, v + 3));
+                }
+            }
+        }
+        let (sym, mut lu, _) = random_system(&sizes, &edges, 21);
+        let baseline = lu.values().clone();
+        let nd = sym.scalar_dim();
+        let ncols = 5;
+        let mut next = rng(33);
+        let rhs: Vec<Complex> = (0..nd * ncols).map(|_| c(next(), next())).collect();
+
+        lu.factor(&sym).unwrap();
+        let simd_factor = lu.values().clone();
+        let mut simd_panel = SplitComplexVec::from_interleaved(&rhs);
+        lu.solve_in_place(&sym, &mut simd_panel, ncols);
+
+        let (scalar_factor, scalar_panel) = simd::with_forced_scalar(|| {
+            lu.load(&baseline);
+            lu.factor(&sym).unwrap();
+            let mut panel = SplitComplexVec::from_interleaved(&rhs);
+            lu.solve_in_place(&sym, &mut panel, ncols);
+            (lu.values().clone(), panel)
+        });
+
+        let close = |a: &SplitComplexVec, b: &SplitComplexVec, what: &str| {
+            assert_eq!(a.len(), b.len());
+            for idx in 0..a.len() {
+                let d = (a.get(idx) - b.get(idx)).abs();
+                let scale = b.get(idx).abs().max(1.0);
+                assert!(d <= 1e-11 * scale, "{what}[{idx}]: |Δ| = {d:e}");
+            }
+        };
+        close(&simd_factor, &scalar_factor, "factor");
+        close(&simd_panel, &scalar_panel, "solution");
     }
 
     #[test]
@@ -821,10 +1218,14 @@ mod tests {
         let mut lu = BlockSparseLu::new();
         lu.reset(&sym);
         // Rank-1 block: [[1, 2], [2, 4]].
-        lu.values_mut()[sym.entry_offset(0, 0, 0, 0).unwrap()] = c(1.0, 0.0);
-        lu.values_mut()[sym.entry_offset(0, 0, 0, 1).unwrap()] = c(2.0, 0.0);
-        lu.values_mut()[sym.entry_offset(0, 0, 1, 0).unwrap()] = c(2.0, 0.0);
-        lu.values_mut()[sym.entry_offset(0, 0, 1, 1).unwrap()] = c(4.0, 0.0);
+        lu.values_mut()
+            .set(sym.entry_offset(0, 0, 0, 0).unwrap(), c(1.0, 0.0));
+        lu.values_mut()
+            .set(sym.entry_offset(0, 0, 0, 1).unwrap(), c(2.0, 0.0));
+        lu.values_mut()
+            .set(sym.entry_offset(0, 0, 1, 0).unwrap(), c(2.0, 0.0));
+        lu.values_mut()
+            .set(sym.entry_offset(0, 0, 1, 1).unwrap(), c(4.0, 0.0));
         let err = lu.factor(&sym).unwrap_err();
         assert_eq!(err.column, 1);
     }
@@ -837,7 +1238,7 @@ mod tests {
         let mut lu = BlockSparseLu::new();
         lu.reset(&sym);
         lu.factor(&sym).unwrap();
-        let mut rhs: Vec<Complex> = Vec::new();
+        let mut rhs = SplitComplexVec::new();
         lu.solve_in_place(&sym, &mut rhs, 4);
     }
 
@@ -869,5 +1270,26 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn split_vec_round_trips_and_indexes() {
+        let src = [c(1.0, -2.0), c(0.0, 0.5), c(-3.0, 4.0)];
+        let mut v = SplitComplexVec::from_interleaved(&src);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.to_interleaved(), src);
+        v.add_assign(1, c(1.0, 1.0));
+        v.sub_assign(2, c(0.5, 0.0));
+        assert_eq!(v.get(1), c(1.0, 1.5));
+        assert_eq!(v.get(2), c(-3.5, 4.0));
+        let mut w = SplitComplexVec::new();
+        w.copy_from(&v);
+        assert_eq!(w, v);
+        w.resize_zero(2);
+        assert_eq!(w.get(0), Complex::ZERO);
+        let mut r = SplitComplexVec::new();
+        r.copy_range_from(&v, 1, 3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(0), v.get(1));
     }
 }

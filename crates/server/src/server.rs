@@ -554,15 +554,13 @@ fn get_events(
     let _guard = state.sessions.stream_guard();
     http::write_stream_head(stream)?;
     let mut cursor = 0usize;
-    while let Some(lines) = session.log.wait_from(cursor) {
-        cursor += lines.len();
-        for line in lines {
-            // A departed client ends the stream, nothing more.
-            use std::io::Write;
-            stream.write_all(line.as_bytes())?;
-            stream.write_all(b"\n")?;
-        }
+    // Chunks arrive newline-terminated (the log's commit watermark only
+    // rests on line boundaries), so they stream straight through. A
+    // departed client ends the stream, nothing more.
+    while let Some(chunk) = session.log.wait_from(cursor) {
+        cursor += chunk.len();
         use std::io::Write;
+        stream.write_all(&chunk)?;
         stream.flush()?;
     }
     Ok(())

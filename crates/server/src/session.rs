@@ -4,11 +4,14 @@
 //! A [`Session`] bridges the in-process observer seam to any number of
 //! HTTP stream readers: the campaign's [`CampaignObserver`] pushes each
 //! event — already encoded to its canonical wire line — into an
-//! append-only [`EventLog`]; readers replay the log from index 0 and
+//! append-only [`EventLog`]; readers replay the log from byte 0 and
 //! block on a condvar for more, so a reader that connects late (or
 //! reconnects) sees exactly the same byte sequence as one that was
-//! there from the start. The log closes when the campaign thread
-//! finishes, which is what ends the streams.
+//! there from the start. Publication is gated by a commit watermark
+//! that only ever rests on a newline boundary, so no reader — however
+//! unluckily scheduled against the writer — can observe a torn NDJSON
+//! line. The log closes when the campaign thread finishes, which is
+//! what ends the streams.
 //!
 //! [`CampaignObserver`]: picbench_core::CampaignObserver
 
@@ -45,11 +48,22 @@ impl SessionState {
 
 #[derive(Default)]
 struct LogInner {
-    lines: Vec<Arc<str>>,
+    /// Raw NDJSON bytes: one `\n`-terminated line per event. Bytes past
+    /// `committed` belong to a line still being appended.
+    buf: Vec<u8>,
+    /// Publication watermark. Always rests on a newline boundary (or 0),
+    /// and everything below it is immutable — readers are handed
+    /// exactly `buf[..committed]` and can never see a torn line.
+    committed: usize,
     closed: bool,
 }
 
-/// An append-only, multi-reader log of encoded event lines.
+/// An append-only, multi-reader byte log of encoded event lines.
+///
+/// Readers address the log by *byte* offset and only ever observe the
+/// committed prefix, which grows monotonically and ends at a newline.
+/// Writers may stage a line incrementally with [`EventLog::append_bytes`];
+/// staged bytes publish when their terminating newline lands.
 #[derive(Default)]
 pub struct EventLog {
     inner: Mutex<LogInner>,
@@ -57,38 +71,62 @@ pub struct EventLog {
 }
 
 impl EventLog {
-    /// Appends one encoded line (no trailing newline) and wakes readers.
+    /// Appends one encoded line (no trailing newline), commits it and
+    /// wakes readers.
     pub fn push(&self, line: String) {
+        debug_assert!(
+            !line.contains('\n'),
+            "wire lines are single-line by contract"
+        );
         let mut inner = self.inner.lock().expect("event log poisoned");
-        inner.lines.push(Arc::from(line));
+        inner.buf.extend_from_slice(line.as_bytes());
+        inner.buf.push(b'\n');
+        inner.committed = inner.buf.len();
         self.grew.notify_all();
     }
 
-    /// Closes the log: readers drain what remains and stop.
+    /// Appends raw stream bytes, committing only up to the last newline
+    /// they complete. A partial trailing line stays staged — invisible
+    /// to every reader — until a later append delivers its `\n`.
+    pub fn append_bytes(&self, bytes: &[u8]) {
+        let mut inner = self.inner.lock().expect("event log poisoned");
+        inner.buf.extend_from_slice(bytes);
+        let committed = inner.committed;
+        if let Some(last_nl) = inner.buf[committed..].iter().rposition(|&b| b == b'\n') {
+            inner.committed = committed + last_nl + 1;
+            self.grew.notify_all();
+        }
+    }
+
+    /// Closes the log: readers drain the committed prefix and stop. Any
+    /// staged partial line is discarded rather than published torn.
     pub fn close(&self) {
         let mut inner = self.inner.lock().expect("event log poisoned");
         inner.closed = true;
+        let committed = inner.committed;
+        inner.buf.truncate(committed);
         self.grew.notify_all();
     }
 
-    /// Lines currently in the log.
-    pub fn len(&self) -> usize {
-        self.inner.lock().expect("event log poisoned").lines.len()
+    /// Committed (reader-visible) bytes currently in the log.
+    pub fn committed_len(&self) -> usize {
+        self.inner.lock().expect("event log poisoned").committed
     }
 
-    /// Whether the log holds no lines yet.
+    /// Whether the log holds no committed bytes yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.committed_len() == 0
     }
 
-    /// Returns the lines from `from` on, blocking until at least one is
-    /// available or the log closes. `None` means closed-and-drained —
-    /// the reader's stream is complete.
-    pub fn wait_from(&self, from: usize) -> Option<Vec<Arc<str>>> {
+    /// Returns the committed bytes from offset `from` on, blocking until
+    /// some are available or the log closes. `None` means
+    /// closed-and-drained — the reader's stream is complete. The
+    /// returned chunk always ends at a newline boundary.
+    pub fn wait_from(&self, from: usize) -> Option<Vec<u8>> {
         let mut inner = self.inner.lock().expect("event log poisoned");
         loop {
-            if inner.lines.len() > from {
-                return Some(inner.lines[from..].to_vec());
+            if inner.committed > from {
+                return Some(inner.buf[from..inner.committed].to_vec());
             }
             if inner.closed {
                 return None;
@@ -97,9 +135,10 @@ impl EventLog {
         }
     }
 
-    /// A snapshot of every line currently in the log (non-blocking).
-    pub fn snapshot(&self) -> Vec<Arc<str>> {
-        self.inner.lock().expect("event log poisoned").lines.clone()
+    /// A snapshot of the committed prefix (non-blocking).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let inner = self.inner.lock().expect("event log poisoned");
+        inner.buf[..inner.committed].to_vec()
     }
 }
 
@@ -304,10 +343,9 @@ mod tests {
         log.push("c".into());
         log.close();
         let late = log.snapshot();
-        assert_eq!(early.len(), 2);
-        assert_eq!(late.len(), 3);
-        assert_eq!(&*late[0], "a");
-        assert_eq!(log.wait_from(3), None, "closed and drained");
+        assert_eq!(early, b"a\nb\n");
+        assert_eq!(late, b"a\nb\nc\n");
+        assert_eq!(log.wait_from(late.len()), None, "closed and drained");
     }
 
     #[test]
@@ -320,9 +358,79 @@ mod tests {
                 log.close();
             })
         };
-        assert_eq!(log.wait_from(0).unwrap().len(), 1);
-        assert!(log.wait_from(1).is_none());
+        assert_eq!(log.wait_from(0).unwrap(), b"x\n");
+        assert!(log.wait_from(2).is_none());
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn partial_lines_stay_invisible_until_their_newline() {
+        let log = EventLog::default();
+        log.append_bytes(b"{\"event\":\"camp");
+        assert!(log.is_empty(), "no newline yet, nothing published");
+        assert_eq!(log.snapshot(), b"");
+        log.append_bytes(b"aign_started\"}\n{\"torn");
+        // The completed first line publishes; the torn tail does not.
+        assert_eq!(log.snapshot(), b"{\"event\":\"campaign_started\"}\n");
+        log.append_bytes(b"\"}\n");
+        assert_eq!(
+            log.snapshot(),
+            b"{\"event\":\"campaign_started\"}\n{\"torn\"}\n"
+        );
+    }
+
+    #[test]
+    fn close_discards_a_staged_partial_line() {
+        let log = EventLog::default();
+        log.append_bytes(b"whole\nhalf-a-li");
+        log.close();
+        assert_eq!(log.snapshot(), b"whole\n");
+        assert_eq!(log.wait_from(6), None);
+    }
+
+    #[test]
+    fn racing_reader_never_observes_a_torn_line() {
+        // A writer streams many lines in deliberately awkward chunks
+        // (splitting mid-line and mid-escape) while a reader tails the
+        // log concurrently. Every chunk the reader is handed must end
+        // on a newline boundary, and the total replay must be exactly
+        // the byte sequence a from-the-start reader would see.
+        let log = Arc::new(EventLog::default());
+        let n_lines = 500usize;
+        let expected: Vec<u8> = (0..n_lines)
+            .flat_map(|i| format!("{{\"event\":\"tick\",\"seq\":{i}}}\n").into_bytes())
+            .collect();
+
+        let reader = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(chunk) = log.wait_from(seen.len()) {
+                    assert_eq!(
+                        chunk.last(),
+                        Some(&b'\n'),
+                        "reader handed a chunk not ending at a newline"
+                    );
+                    seen.extend_from_slice(&chunk);
+                }
+                seen
+            })
+        };
+
+        // Deterministically vary chunk sizes 1..=7 to hit every split
+        // position across the corpus.
+        let mut pos = 0usize;
+        let mut step = 1usize;
+        while pos < expected.len() {
+            let end = (pos + step).min(expected.len());
+            log.append_bytes(&expected[pos..end]);
+            pos = end;
+            step = step % 7 + 1;
+        }
+        log.close();
+
+        let seen = reader.join().expect("reader panicked");
+        assert_eq!(seen, expected, "late replay must be byte-identical");
     }
 
     #[test]

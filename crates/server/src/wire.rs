@@ -8,9 +8,10 @@
 //! reads off `GET /v1/campaigns/{id}/events`, and `repro --events
 //! ndjson` emits exactly the same lines.
 //!
-//! Counters ride as JSON numbers; every counter in the engine is far
-//! below 2⁵³, so the f64 round-trip through the hand-rolled JSON layer
-//! is exact and [`decode_event`] ∘ [`encode_event`] is the identity.
+//! Counters ride as JSON numbers built with [`Value::Uint`], which the
+//! JSON layer serializes and re-parses exactly over the whole `u64`
+//! range — no f64 detour — so [`decode_event`] ∘ [`encode_event`] is
+//! the identity for every event, including counters at or beyond 2⁵³.
 
 use picbench_core::{
     CampaignEvent, EvalCacheStats, ProblemTally, ShardLossReason, TransportErrorKind,
@@ -40,7 +41,7 @@ impl fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 pub(crate) fn num(v: u64) -> Value {
-    Value::Number(v as f64)
+    Value::Uint(v)
 }
 
 fn text(v: &str) -> Value {
@@ -275,13 +276,9 @@ fn field<'a>(value: &'a Value, key: &str) -> Result<&'a Value, WireError> {
 }
 
 fn get_u64(value: &Value, key: &str) -> Result<u64, WireError> {
-    let n = field(value, key)?
-        .as_f64()
-        .ok_or_else(|| shape(format!("{key} must be a number")))?;
-    if n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
-        return Err(shape(format!("{key} must be a non-negative integer")));
-    }
-    Ok(n as u64)
+    field(value, key)?
+        .as_u64()
+        .ok_or_else(|| shape(format!("{key} must be a non-negative integer")))
 }
 
 fn get_usize(value: &Value, key: &str) -> Result<usize, WireError> {

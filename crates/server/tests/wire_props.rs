@@ -1,0 +1,232 @@
+//! Property tests for the NDJSON event wire format: `decode_event` ∘
+//! `encode_event` must be the identity over the *entire* event enum,
+//! with counters drawn heavily from the corners where a float detour
+//! would corrupt them — 0, 2⁵³ ± 1, `u64::MAX` — and strings that
+//! exercise escaping.
+
+use picbench_core::{
+    CampaignEvent, EvalCacheStats, ProblemTally, ShardLossReason, TransportErrorKind,
+};
+use picbench_server::wire::{decode_event, encode_event};
+use proptest::prelude::*;
+
+/// Unsigned counters, weighted toward the f64-dangerous corners.
+fn corner_u64() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just((1u64 << 53) - 1),
+        Just(1u64 << 53),
+        Just((1u64 << 53) + 1), // first integer f64 cannot represent
+        Just(u64::MAX - 1),
+        Just(u64::MAX),
+        any::<u64>(),
+    ]
+}
+
+fn corner_usize() -> impl Strategy<Value = usize> {
+    corner_u64().prop_map(|v| v as usize)
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    // Identifiers plus escape-worthy characters: quotes, backslashes,
+    // control characters, non-ASCII.
+    "[a-zA-Z0-9 _.,\\-\"\\\\\\n\\tµ→]{0,16}"
+}
+
+fn kind() -> impl Strategy<Value = TransportErrorKind> {
+    prop_oneof![
+        Just(TransportErrorKind::RateLimit),
+        Just(TransportErrorKind::TransientIo),
+        Just(TransportErrorKind::Timeout),
+        Just(TransportErrorKind::Garbled),
+        Just(TransportErrorKind::Fatal),
+    ]
+}
+
+fn tally() -> impl Strategy<Value = ProblemTally> {
+    (corner_usize(), corner_usize(), corner_usize()).prop_map(|(n, s, f)| ProblemTally {
+        n,
+        syntax_passes: s,
+        functional_passes: f,
+    })
+}
+
+fn loss_reason() -> impl Strategy<Value = ShardLossReason> {
+    prop_oneof![
+        Just(ShardLossReason::LeaseExpired),
+        any::<bool>().prop_map(|clean| ShardLossReason::WorkerExited { clean }),
+    ]
+}
+
+fn event() -> impl Strategy<Value = CampaignEvent> {
+    prop_oneof![
+        (corner_usize(), corner_usize(), corner_usize()).prop_map(
+            |(problems, providers, cells)| {
+                CampaignEvent::CampaignStarted {
+                    problems,
+                    providers,
+                    cells,
+                }
+            }
+        ),
+        (ident(), ident(), corner_usize()).prop_map(|(problem_id, model, feedback_iters)| {
+            CampaignEvent::CellStarted {
+                problem_id,
+                model,
+                feedback_iters,
+            }
+        }),
+        (
+            ident(),
+            ident(),
+            corner_usize(),
+            tally(),
+            corner_usize(),
+            corner_usize()
+        )
+            .prop_map(
+                |(problem_id, model, feedback_iters, tally, completed, total)| {
+                    CampaignEvent::CellFinished {
+                        problem_id,
+                        model,
+                        feedback_iters,
+                        tally,
+                        completed,
+                        total,
+                    }
+                }
+            ),
+        (
+            ident(),
+            ident(),
+            corner_usize(),
+            tally(),
+            corner_usize(),
+            corner_usize()
+        )
+            .prop_map(
+                |(problem_id, model, feedback_iters, tally, completed, total)| {
+                    CampaignEvent::CellRestored {
+                        problem_id,
+                        model,
+                        feedback_iters,
+                        tally,
+                        completed,
+                        total,
+                    }
+                }
+            ),
+        (
+            ident(),
+            ident(),
+            corner_u64(),
+            any::<u32>(),
+            kind(),
+            corner_u64()
+        )
+            .prop_map(|(model, problem_id, sample, attempt, kind, backoff_ms)| {
+                CampaignEvent::SampleRetried {
+                    model,
+                    problem_id,
+                    sample,
+                    attempt,
+                    kind,
+                    backoff_ms,
+                }
+            }),
+        (ident(), ident(), corner_u64(), any::<u32>(), kind()).prop_map(
+            |(model, problem_id, sample, attempts, kind)| {
+                CampaignEvent::SampleDegraded {
+                    model,
+                    problem_id,
+                    sample,
+                    attempts,
+                    kind,
+                }
+            }
+        ),
+        corner_u64().prop_map(|write_errors| CampaignEvent::StoreDegraded { write_errors }),
+        (any::<u32>(), any::<u32>(), corner_usize()).prop_map(|(shard, generation, cells)| {
+            CampaignEvent::ShardStarted {
+                shard,
+                generation,
+                cells,
+            }
+        }),
+        (any::<u32>(), any::<u32>(), corner_u64(), corner_usize()).prop_map(
+            |(shard, generation, seq, cells_done)| CampaignEvent::ShardHeartbeat {
+                shard,
+                generation,
+                seq,
+                cells_done,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), loss_reason(), corner_usize()).prop_map(
+            |(shard, generation, reason, cells_done)| CampaignEvent::ShardLost {
+                shard,
+                generation,
+                reason,
+                cells_done,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+            |(shard, from_generation, to_generation)| CampaignEvent::ShardReassigned {
+                shard,
+                from_generation,
+                to_generation,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), corner_usize(), corner_usize()).prop_map(
+            |(shard, generation, cells, quarantined)| CampaignEvent::ShardMerged {
+                shard,
+                generation,
+                cells,
+                quarantined,
+            }
+        ),
+        (
+            corner_u64(),
+            corner_u64(),
+            corner_u64(),
+            corner_u64(),
+            corner_u64()
+        )
+            .prop_map(
+                |(response_hits, report_hits, sim_hits, disk_hits, misses)| {
+                    CampaignEvent::CacheStats(EvalCacheStats {
+                        response_hits,
+                        report_hits,
+                        sim_hits,
+                        disk_hits,
+                        misses,
+                    })
+                }
+            ),
+        (corner_usize(), corner_usize(), any::<bool>()).prop_map(
+            |(cells_completed, cells_total, cancelled)| CampaignEvent::CampaignFinished {
+                cells_completed,
+                cells_total,
+                cancelled,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn decode_inverts_encode_over_the_full_enum(ev in event()) {
+        let line = encode_event(&ev);
+        prop_assert!(!line.contains('\n'), "one line per event: {line}");
+        let back = decode_event(&line)
+            .unwrap_or_else(|e| panic!("decode failed for {line}: {e}"));
+        prop_assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(ev in event()) {
+        prop_assert_eq!(encode_event(&ev), encode_event(&ev));
+    }
+}

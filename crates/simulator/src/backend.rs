@@ -22,7 +22,7 @@
 
 use crate::blocks::BlockSchedule;
 use crate::elaborate::Circuit;
-use picbench_math::{BlockSparseLu, CMatrix, Complex, LuDecomposition};
+use picbench_math::{BlockSparseLu, CMatrix, Complex, LuDecomposition, SplitComplexVec};
 use picbench_sparams::{ModelError, SMatrix};
 use std::error::Error;
 use std::fmt;
@@ -228,13 +228,15 @@ fn evaluate_block_sparse(circuit: &Circuit, wavelength_um: f64) -> Result<SMatri
     let sched = BlockSchedule::for_circuit(circuit);
     let mut lu = BlockSparseLu::new();
     lu.reset(&sched.sym);
-    let mut rhs = vec![Complex::ZERO; sched.n_int * sched.n_ext];
+    let mut rhs = SplitComplexVec::new();
+    rhs.resize_zero(sched.n_int * sched.n_ext);
     sched.scatter_all(circuit.instances.len(), &global, lu.values_mut(), &mut rhs);
     lu.factor(&sched.sym)
         .map_err(|_| SimError::SingularSystem { wavelength_um })?;
     lu.solve_in_place(&sched.sym, &mut rhs, sched.n_ext);
     let mut out = CMatrix::zeros(0, 0);
-    sched.combine(&global, &rhs, &mut out);
+    let mut stage = SplitComplexVec::new();
+    sched.combine(&global, &rhs, &mut stage, &mut out);
     Ok(SMatrix::from_matrix(circuit.external_names(), out))
 }
 

@@ -28,7 +28,7 @@
 //! per-point backend and the planned sweep pipeline alike.
 
 use crate::elaborate::Circuit;
-use picbench_math::{BlockSymbolic, CMatrix, Complex};
+use picbench_math::{simd, BlockSymbolic, CMatrix, Complex, SplitComplexVec};
 
 /// One scatter target: read `global[(row, col)]`, combine into the flat
 /// destination offset `dst`.
@@ -273,25 +273,30 @@ impl BlockSchedule {
     /// Adds the identity and instance `ii`'s `−S` contributions to the
     /// factor value storage, reading the instance's diagonal block of
     /// `global`.
-    pub fn scatter_matrix_instance(&self, ii: usize, global: &CMatrix, values: &mut [Complex]) {
+    pub fn scatter_matrix_instance(
+        &self,
+        ii: usize,
+        global: &CMatrix,
+        values: &mut SplitComplexVec,
+    ) {
         let (start, end) = self.matrix_ranges[ii];
         for s in &self.matrix_scatter[start..end] {
-            values[s.dst] -= global.at(s.row, s.col);
+            values.sub_assign(s.dst, global.at(s.row, s.col));
         }
     }
 
     /// Adds instance `ii`'s `+S` contributions to the RHS panel.
-    pub fn scatter_rhs_instance(&self, ii: usize, global: &CMatrix, rhs: &mut [Complex]) {
+    pub fn scatter_rhs_instance(&self, ii: usize, global: &CMatrix, rhs: &mut SplitComplexVec) {
         let (start, end) = self.rhs_ranges[ii];
         for s in &self.rhs_scatter[start..end] {
-            rhs[s.dst] += global.at(s.row, s.col);
+            rhs.add_assign(s.dst, global.at(s.row, s.col));
         }
     }
 
     /// Adds the identity's `+1` diagonal into the factor value storage.
-    pub fn scatter_identity(&self, values: &mut [Complex]) {
+    pub fn scatter_identity(&self, values: &mut SplitComplexVec) {
         for &off in &self.diag_ones {
-            values[off] += Complex::ONE;
+            values.add_assign(off, Complex::ONE);
         }
     }
 
@@ -301,8 +306,8 @@ impl BlockSchedule {
         &self,
         n_instances: usize,
         global: &CMatrix,
-        values: &mut [Complex],
-        rhs: &mut [Complex],
+        values: &mut SplitComplexVec,
+        rhs: &mut SplitComplexVec,
     ) {
         self.scatter_identity(values);
         for ii in 0..n_instances {
@@ -311,27 +316,42 @@ impl BlockSchedule {
         }
     }
 
-    /// Reconstructs the external S-matrix from the solved panel `x`
+    /// Reconstructs the external S-matrix from the solved split panel `x`
     /// (row-major `n_int × n_ext` in elimination order):
     /// `out = S_ee + S_ei · X`, touching only structurally nonzero
-    /// entries. `out` is reshaped to `n_ext × n_ext`.
-    pub fn combine(&self, global: &CMatrix, x: &[Complex], out: &mut CMatrix) {
+    /// entries. The sum accumulates in the caller's split `stage` buffer
+    /// (resized to `n_ext × n_ext`, no allocation at steady state) with
+    /// the `S_ei` rows running through the dispatched SIMD axpy; a final
+    /// bit-exact interleave copy lands in `out`, reshaped `n_ext × n_ext`.
+    pub fn combine(
+        &self,
+        global: &CMatrix,
+        x: &SplitComplexVec,
+        stage: &mut SplitComplexVec,
+        out: &mut CMatrix,
+    ) {
         let n_ext = self.n_ext;
-        out.reshape(n_ext, n_ext);
-        out.fill_zero();
+        stage.resize_zero(n_ext * n_ext);
         for t in &self.ee_terms {
-            *out.at_mut(t.r, t.c) += global.at(t.row, t.col);
+            stage.add_assign(t.r * n_ext + t.c, global.at(t.row, t.col));
         }
+        let kern = simd::kernels();
+        let (sr, si) = stage.parts_mut();
         for t in &self.ei_terms {
             let coeff = global.at(t.row, t.col);
             if coeff == Complex::ZERO {
                 continue;
             }
-            let x_row = &x[t.x_row * n_ext..(t.x_row + 1) * n_ext];
-            let out_row = &mut out.as_mut_slice()[t.r * n_ext..(t.r + 1) * n_ext];
-            for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                *o += coeff * xv;
-            }
+            let xr = &x.re()[t.x_row * n_ext..(t.x_row + 1) * n_ext];
+            let xi = &x.im()[t.x_row * n_ext..(t.x_row + 1) * n_ext];
+            kern.axpy_add(
+                coeff,
+                xr,
+                xi,
+                &mut sr[t.r * n_ext..(t.r + 1) * n_ext],
+                &mut si[t.r * n_ext..(t.r + 1) * n_ext],
+            );
         }
+        out.fill_from_split(n_ext, n_ext, sr, si);
     }
 }

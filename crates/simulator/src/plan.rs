@@ -47,7 +47,7 @@
 use crate::backend::{Backend, SimError};
 use crate::blocks::BlockSchedule;
 use crate::elaborate::Circuit;
-use picbench_math::{BlockSparseLu, CMatrix, Complex, LuDecomposition};
+use picbench_math::{BlockSparseLu, CMatrix, Complex, LuDecomposition, SplitComplexVec};
 use picbench_sparams::SMatrixMemo;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -60,6 +60,48 @@ use std::sync::Arc;
 struct ElimStep {
     p: usize,
     q: usize,
+}
+
+/// Fenwick tree over alive/dead flags: `rank(i)` counts alive entries
+/// strictly below `i`, which is exactly an entry's current row position
+/// in an order-preserving elimination.
+struct FenwickRank {
+    tree: Vec<i64>,
+}
+
+impl FenwickRank {
+    fn all_alive(n: usize) -> Self {
+        let mut tree = vec![0i64; n + 1];
+        for i in 1..=n {
+            tree[i] += 1;
+            let j = i + (i & i.wrapping_neg());
+            if j <= n {
+                let add = tree[i];
+                tree[j] += add;
+            }
+        }
+        FenwickRank { tree }
+    }
+
+    /// Number of alive entries in `0..i` (i.e. the current position of
+    /// entry `i`, assuming `i` itself is still alive).
+    fn rank(&self, i: usize) -> usize {
+        let mut sum = 0i64;
+        let mut j = i;
+        while j > 0 {
+            sum += self.tree[j];
+            j -= j & j.wrapping_neg();
+        }
+        sum as usize
+    }
+
+    fn kill(&mut self, i: usize) {
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] -= 1;
+            j += j & j.wrapping_neg();
+        }
+    }
 }
 
 /// Everything about a sweep that is determined by circuit *topology*
@@ -116,31 +158,25 @@ impl SweepSchedule {
         }
 
         // PortElimination: replay the index bookkeeping of the reduction
-        // once, recording pivot positions and keep lists.
-        const GONE: usize = usize::MAX;
-        let mut index: Vec<usize> = (0..n0).collect();
-        let mut n = n0;
+        // once, recording pivot positions. Removing two rows keeps the
+        // relative order of the survivors, so a port's position at any
+        // step is its rank among the ports still alive — two Fenwick
+        // prefix-sum queries per connection instead of an O(ports)
+        // renumbering pass (the schedule is identical either way).
+        let mut alive = FenwickRank::all_alive(n0);
         let mut elim_steps = Vec::with_capacity(circuit.connections.len());
-        let mut new_pos = vec![GONE; n0];
         for &(ga, gb) in &circuit.connections {
-            let p = index[ga];
-            let q = index[gb];
-            debug_assert!(p != GONE && q != GONE, "port connected twice");
-            let keep: Vec<usize> = (0..n).filter(|&k| k != p && k != q).collect();
-            for (ri, &old) in keep.iter().enumerate() {
-                new_pos[old] = ri;
-            }
-            for gi in index.iter_mut() {
-                if *gi != GONE {
-                    *gi = new_pos[*gi];
-                }
-            }
-            new_pos[..n].fill(GONE);
-            n -= 2;
+            let p = alive.rank(ga);
+            let q = alive.rank(gb);
+            alive.kill(ga);
+            alive.kill(gb);
             elim_steps.push(ElimStep { p, q });
         }
-        let elim_ext_rows: Vec<usize> = circuit.externals.iter().map(|(_, g)| index[*g]).collect();
-        debug_assert!(elim_ext_rows.iter().all(|&r| r != GONE));
+        let elim_ext_rows: Vec<usize> = circuit
+            .externals
+            .iter()
+            .map(|(_, g)| alive.rank(*g))
+            .collect();
 
         SweepSchedule {
             total_ports: n0,
@@ -358,7 +394,15 @@ impl<'c> SweepPlan<'c> {
         let n_int = self.schedule.int_idx.len();
         let n_ext = self.schedule.ext_idx.len();
         ws.global.reshape(n0, n0);
-        ws.global.fill_zero();
+        // The staging matrix is block-diagonal by instance, and every
+        // block-sparse read of it (matrix/RHS scatters, ee/ei combine
+        // terms) stays inside one instance's diagonal block — written by
+        // `write_block` before any read (memoized below, dispersive per
+        // point). Only the dense and elimination gathers, which also read
+        // the zero cross-instance entries, need all n0² entries cleared.
+        if self.backend != Backend::BlockSparse {
+            ws.global.fill_zero();
+        }
         for (inst, memo) in self.circuit.instances.iter().zip(&self.memos) {
             if let Some(block) = memo.cached() {
                 write_block(&mut ws.global, inst.port_offset, block.matrix());
@@ -384,11 +428,8 @@ impl<'c> SweepPlan<'c> {
                 // imaged once; per-point assembly copies the image and
                 // scatters only the dispersive instances.
                 let sched = &self.schedule.block;
-                ws.bs_baseline.clear();
-                ws.bs_baseline.resize(sched.sym.values_len(), Complex::ZERO);
-                ws.bs_rhs_baseline.clear();
-                ws.bs_rhs_baseline
-                    .resize(sched.n_int * sched.n_ext, Complex::ZERO);
+                ws.bs_baseline.resize_zero(sched.sym.values_len());
+                ws.bs_rhs_baseline.resize_zero(sched.n_int * sched.n_ext);
                 sched.scatter_identity(&mut ws.bs_baseline);
                 for (ii, memo) in self.memos.iter().enumerate() {
                     if memo.is_cached() {
@@ -554,7 +595,9 @@ impl<'c> SweepPlan<'c> {
     ) -> Result<(), SimError> {
         debug_assert!(self.stripe_factors_once());
         self.refresh_dispersive(ws, wavelength_um)?;
-        self.schedule.block.combine(&ws.global, &ws.bs_x, out);
+        self.schedule
+            .block
+            .combine(&ws.global, &ws.bs_x, &mut ws.bs_stage, out);
         if !out.is_finite() {
             return Err(SimError::NonFiniteResult { wavelength_um });
         }
@@ -573,12 +616,12 @@ impl<'c> SweepPlan<'c> {
     ) -> Result<(), SimError> {
         let sched = &self.schedule.block;
         if sched.n_int == 0 {
-            sched.combine(&ws.global, &[], out);
+            ws.bs_x.clear();
+            sched.combine(&ws.global, &ws.bs_x, &mut ws.bs_stage, out);
             return Ok(());
         }
         ws.bs_lu.load(&ws.bs_baseline);
-        ws.bs_x.clear();
-        ws.bs_x.extend_from_slice(&ws.bs_rhs_baseline);
+        ws.bs_x.copy_from(&ws.bs_rhs_baseline);
         for (ii, memo) in self.memos.iter().enumerate() {
             if memo.is_cached() {
                 continue;
@@ -591,7 +634,7 @@ impl<'c> SweepPlan<'c> {
             .map_err(|_| SimError::SingularSystem { wavelength_um })?;
         ws.bs_lu
             .solve_in_place(&sched.sym, &mut ws.bs_x, sched.n_ext);
-        sched.combine(&ws.global, &ws.bs_x, out);
+        sched.combine(&ws.global, &ws.bs_x, &mut ws.bs_stage, out);
         Ok(())
     }
 
@@ -805,12 +848,15 @@ pub struct SolveWorkspace {
     elim_row_q: Vec<Complex>,
     /// Numeric block-sparse factor, re-factored per point (BlockSparse).
     bs_lu: BlockSparseLu,
-    /// Baseline image of the wavelength-independent system assembly.
-    bs_baseline: Vec<Complex>,
+    /// Baseline image of the wavelength-independent system assembly
+    /// (split-complex, the solver's panel layout).
+    bs_baseline: SplitComplexVec,
     /// Baseline image of the wavelength-independent RHS panel.
-    bs_rhs_baseline: Vec<Complex>,
+    bs_rhs_baseline: SplitComplexVec,
     /// RHS panel, solved in place into the internal-wave solution `X`.
-    bs_x: Vec<Complex>,
+    bs_x: SplitComplexVec,
+    /// Split staging buffer for the `S_ee + S_ei·X` combine.
+    bs_stage: SplitComplexVec,
 }
 
 impl SolveWorkspace {
@@ -828,9 +874,10 @@ impl SolveWorkspace {
             elim_row_p: Vec::new(),
             elim_row_q: Vec::new(),
             bs_lu: BlockSparseLu::new(),
-            bs_baseline: Vec::new(),
-            bs_rhs_baseline: Vec::new(),
-            bs_x: Vec::new(),
+            bs_baseline: SplitComplexVec::new(),
+            bs_rhs_baseline: SplitComplexVec::new(),
+            bs_x: SplitComplexVec::new(),
+            bs_stage: SplitComplexVec::new(),
         }
     }
 }

@@ -160,6 +160,50 @@ fn batched_stripe_solve_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn warmed_soa_stripe_solve_is_allocation_free_on_every_dispatch_tier() {
+    // The split-complex (SoA) panel kernels must not hide allocations
+    // behind ISA dispatch: once the stripe buffers are warmed, the
+    // whole solve stays allocation-free both under the ambient (widest
+    // detected) SIMD tier and with dispatch forced to the scalar
+    // kernels — the tiers share the panel workspace, they differ only
+    // in the kernel bodies.
+    let circuit = elaborate(&memoizable_ladder(6));
+    let plan = SweepPlan::new(&circuit, Backend::BlockSparse).unwrap();
+    let wavelengths: Vec<f64> = (0..16).map(|i| 1.51 + 0.005 * i as f64).collect();
+    let mut ws = plan.workspace();
+    let mut outs: Vec<CMatrix> = (0..wavelengths.len())
+        .map(|_| CMatrix::zeros(4, 4))
+        .collect();
+    // Warm up under both tiers.
+    plan.evaluate_stripe_into(&mut ws, &wavelengths, &mut outs)
+        .unwrap();
+    picbench_math::simd::with_forced_scalar(|| {
+        plan.evaluate_stripe_into(&mut ws, &wavelengths, &mut outs)
+    })
+    .unwrap();
+
+    let (ambient, result) =
+        count_allocations(|| plan.evaluate_stripe_into(&mut ws, &wavelengths, &mut outs));
+    result.map_err(|(_, e)| e).unwrap();
+    assert_eq!(
+        ambient,
+        0,
+        "warmed SoA stripe solve must not allocate under the {} tier",
+        picbench_math::simd::active_level().token()
+    );
+    let (scalar, result) = count_allocations(|| {
+        picbench_math::simd::with_forced_scalar(|| {
+            plan.evaluate_stripe_into(&mut ws, &wavelengths, &mut outs)
+        })
+    });
+    result.map_err(|(_, e)| e).unwrap();
+    assert_eq!(
+        scalar, 0,
+        "warmed SoA stripe solve must not allocate under forced-scalar dispatch"
+    );
+}
+
+#[test]
 fn dispersive_circuits_only_allocate_in_model_evaluation() {
     // With waveguides in the loop the models themselves build fresh
     // S-matrices per point; the *composition* must still be free. Sanity

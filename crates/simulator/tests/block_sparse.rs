@@ -71,6 +71,61 @@ fn block_sparse_matches_dense_on_every_generator_family() {
 }
 
 #[test]
+fn forced_scalar_and_simd_dispatch_agree_on_every_generator_family() {
+    // The block-sparse solve dispatches through the runtime-selected
+    // SIMD kernel table; the vector tiers contract multiply-adds into
+    // FMAs, so cross-tier agreement is tolerance-gated (the `simd`
+    // conformance axis documents the contract) while each tier on its
+    // own must be deterministic. On a host without vector units — or
+    // under `PICBENCH_FORCE_SCALAR=1` — both runs take the scalar path
+    // and the comparison is vacuously exact; the determinism half of the
+    // test still bites.
+    const SIMD_TOL: f64 = 1e-9;
+    let registry = ModelRegistry::with_builtins();
+    let grid = WavelengthGrid::new(1.51, 1.59, 7);
+    let cases = cases_per_family();
+    for family in Family::ALL {
+        let strategy = CircuitStrategy::new(GeneratorConfig {
+            families: vec![family],
+            ..GeneratorConfig::default()
+        });
+        for (k, gen) in strategy.sample(0x51D_FACE, cases).into_iter().enumerate() {
+            let circuit = Circuit::elaborate(&gen.netlist, &registry, None)
+                .expect("generator netlists are valid");
+            let Ok(ambient) = sweep_serial(&circuit, &grid, Backend::BlockSparse) else {
+                continue;
+            };
+            let scalar = picbench_math::simd::with_forced_scalar(|| {
+                sweep_serial(&circuit, &grid, Backend::BlockSparse)
+            })
+            .unwrap_or_else(|e| panic!("{family} case {k}: forced-scalar sweep failed: {e}"));
+            assert_eq!(ambient.ports(), scalar.ports(), "{family} case {k}");
+            for i in 0..grid.points {
+                let diff = ambient
+                    .sample(i)
+                    .unwrap()
+                    .max_abs_diff(scalar.sample(i).unwrap());
+                assert!(
+                    diff < SIMD_TOL,
+                    "{family} case {k}, grid point {i}: {} tier vs scalar |ΔS| = {diff:.3e}\n{}",
+                    picbench_math::simd::active_level().token(),
+                    gen.netlist.to_json_string()
+                );
+            }
+            // Within the scalar tier the sweep is bit-deterministic.
+            let again = picbench_math::simd::with_forced_scalar(|| {
+                sweep_serial(&circuit, &grid, Backend::BlockSparse)
+            })
+            .unwrap();
+            assert_eq!(
+                scalar, again,
+                "{family} case {k}: forced-scalar sweep is not deterministic"
+            );
+        }
+    }
+}
+
+#[test]
 fn recombine_stripe_matches_per_point_evaluation() {
     // The factor-once *recombine* stripe mode fires when every instance
     // feeding the system is memoized but some instance with no internal
