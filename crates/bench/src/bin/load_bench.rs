@@ -192,7 +192,7 @@ fn main() {
     // the shared cache (warmed across tenants in phase 1) serves most
     // of the work.
     let t = Instant::now();
-    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+    let (mut latencies, transport_retries): (Vec<f64>, u64) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|client_idx| {
                 let body = campaign_body(0);
@@ -200,16 +200,19 @@ fn main() {
                 let rounds = args.rounds;
                 scope.spawn(move || {
                     let client = ApiClient::new(addr).with_tenant(tenant);
-                    (0..rounds)
-                        .map(|_| run_session(&client, &body))
-                        .collect::<Vec<f64>>()
+                    let latencies: Vec<f64> =
+                        (0..rounds).map(|_| run_session(&client, &body)).collect();
+                    (latencies, client.retries())
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
-            .collect()
+            .map(|h| h.join().expect("client thread"))
+            .fold((Vec::new(), 0u64), |(mut all, retries), (latencies, r)| {
+                all.extend(latencies);
+                (all, retries + r)
+            })
     });
     let wall_s = t.elapsed().as_secs_f64();
     let sessions = latencies.len();
@@ -253,7 +256,8 @@ fn main() {
     );
     println!(
         "throughput: {sessions} sessions in {wall_s:.2} s = {sessions_per_sec:.1} sessions/s, \
-         p50 {p50:.1} ms, p99 {p99:.1} ms"
+         p50 {p50:.1} ms, p99 {p99:.1} ms, {transport_retries} transient-failure \
+         retries absorbed by clients"
     );
     println!(
         "shared cache across {} tenants: {:.1}% of lookups served without a sweep \
@@ -276,6 +280,7 @@ fn main() {
          \"sessions\": {sessions},\n    \
          \"sessions_per_sec\": {sessions_per_sec:.2},\n    \
          \"latency_p50_ms\": {p50:.1},\n    \"latency_p99_ms\": {p99:.1},\n    \
+         \"transport_retries\": {transport_retries},\n    \
          \"cross_tenant_cache_hit_rate\": {hit_rate:.4}\n  }},\n  \
          \"generated_by\": \"cargo run --release -p picbench-bench --bin load_bench\"\n}}\n",
         args.clients, args.rounds, args.tenants, args.pace_ms,

@@ -1,0 +1,289 @@
+//! Property tests of coordinator append idempotency: for **any**
+//! interleaving of duplicated, reordered and replayed append deliveries
+//! across generations, the coordinator's journal state is a pure
+//! function of the *set* of batches delivered —
+//!
+//! * the merged cell set over the final generation is exactly the
+//!   scripted campaign's cells, with the final generation's tallies
+//!   (stale post-fence writes never leak a value);
+//! * the quarantined counter is exact: precisely the stale generation's
+//!   post-fence cells, never double-counted by duplicates;
+//! * the shard's generation statistics survive untouched;
+//! * replaying the entire delivery history answers `duplicate` for
+//!   every batch and leaves the state bit-identical.
+
+use picbench_coord::proto::{self, AppendOutcome, AppendRequest, RecordMsg, StateRequest};
+use picbench_coord::Coordinator;
+use picbench_core::{collect_shard_cells, ProblemTally, ShardGenStats};
+use picbench_netlist::json;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "picbench-coord-props-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const FINGERPRINT: u64 = 0xfeed_beef_cafe_0001;
+const SHARD: u32 = 0;
+
+fn cell_key(i: usize) -> u64 {
+    (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn good_tally(i: usize) -> ProblemTally {
+    ProblemTally {
+        n: 4,
+        syntax_passes: 1 + i % 3,
+        functional_passes: i % 2,
+    }
+}
+
+/// Deliberately different from any [`good_tally`]: if a stale write
+/// ever leaks into the merge, the tally comparison catches it.
+fn poison_tally() -> ProblemTally {
+    ProblemTally {
+        n: 99,
+        syntax_passes: 99,
+        functional_passes: 99,
+    }
+}
+
+/// The scripted two-generation campaign history for one shard:
+///
+/// * generation 0 journals `inherited` cells, then is fenced;
+/// * after the fence, the stale generation-0 worker journals `stale`
+///   *more* cells (poison tallies) into its own directory;
+/// * the generation-1 takeover inherits the `inherited` cells,
+///   evaluates the remaining `total - inherited` fresh, and records
+///   stats.
+///
+/// Every batch is one [`AppendRequest`] with a unique
+/// `(generation, seq)` dedup key.
+fn script(total: usize, inherited: usize, stale: usize) -> Vec<AppendRequest> {
+    let gen1_base = 1u64 << 32;
+    let mut batches = Vec::new();
+    for i in 0..inherited {
+        batches.push(AppendRequest {
+            fingerprint: FINGERPRINT,
+            shard: SHARD,
+            generation: 0,
+            seq: i as u64,
+            sync: true,
+            records: vec![RecordMsg::Cell {
+                cell: cell_key(i),
+                tally: good_tally(i),
+            }],
+        });
+    }
+    // Post-fence stale writes: the revived generation-0 worker keeps
+    // going over cells the takeover will (re-)evaluate, with different
+    // (poison) results.
+    for s in 0..stale {
+        let i = inherited + s;
+        batches.push(AppendRequest {
+            fingerprint: FINGERPRINT,
+            shard: SHARD,
+            generation: 0,
+            seq: (inherited + s) as u64,
+            sync: true,
+            records: vec![RecordMsg::Cell {
+                cell: cell_key(i),
+                tally: poison_tally(),
+            }],
+        });
+    }
+    // Takeover: inherit in one batch, evaluate the rest, record stats.
+    batches.push(AppendRequest {
+        fingerprint: FINGERPRINT,
+        shard: SHARD,
+        generation: 1,
+        seq: gen1_base,
+        sync: true,
+        records: (0..inherited)
+            .map(|i| RecordMsg::Inherited {
+                cell: cell_key(i),
+                tally: good_tally(i),
+            })
+            .collect(),
+    });
+    for i in inherited..total {
+        batches.push(AppendRequest {
+            fingerprint: FINGERPRINT,
+            shard: SHARD,
+            generation: 1,
+            seq: gen1_base + 1 + (i - inherited) as u64,
+            sync: true,
+            records: vec![RecordMsg::Cell {
+                cell: cell_key(i),
+                tally: good_tally(i),
+            }],
+        });
+    }
+    batches.push(AppendRequest {
+        fingerprint: FINGERPRINT,
+        shard: SHARD,
+        generation: 1,
+        seq: gen1_base + 1 + (total - inherited) as u64,
+        sync: true,
+        records: vec![RecordMsg::Stats {
+            stats: ShardGenStats {
+                restored: inherited as u64,
+                evaluated: (total - inherited) as u64,
+            },
+        }],
+    });
+    batches
+}
+
+fn deliver(coordinator: &Coordinator, batch: &AppendRequest) -> AppendOutcome {
+    let reply = coordinator.handle("append", &batch.encode());
+    assert_eq!(reply.status, 200, "append rejected: {}", reply.body);
+    let v = json::parse(&reply.body).expect("append reply is JSON");
+    proto::decode_append_reply(&v).expect("append reply decodes")
+}
+
+/// Asserts the coordinator's journal state matches the script exactly.
+fn assert_converged(root: &Path, total: usize, inherited: usize, stale: usize) {
+    let collected = collect_shard_cells(root, FINGERPRINT).expect("collect");
+    assert_eq!(collected.len(), 1, "one shard journalled");
+    let shard = &collected[0];
+    assert_eq!(shard.shard, SHARD);
+    assert_eq!(shard.generation, 1, "merge reads the final generation");
+    assert_eq!(
+        shard.quarantined, stale,
+        "quarantine accounting must be exact"
+    );
+    let cells: HashMap<u64, ProblemTally> = shard.cells.iter().copied().collect();
+    assert_eq!(cells.len(), total, "merged cell set is the full range");
+    for i in 0..total {
+        assert_eq!(
+            cells.get(&cell_key(i)),
+            Some(&good_tally(i)),
+            "cell {i}: stale write leaked or cell missing"
+        );
+    }
+    assert_eq!(
+        shard.stats,
+        Some(ShardGenStats {
+            restored: inherited as u64,
+            evaluated: (total - inherited) as u64,
+        })
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any shuffled interleaving with duplicated deliveries converges
+    /// to the same exact state, and a full replay is all-duplicates and
+    /// state-preserving.
+    #[test]
+    fn shuffled_duplicated_deliveries_converge_exactly(
+        total in 2usize..10,
+        inherited_frac in 0usize..=100,
+        stale_frac in 0usize..=100,
+        order_seed in any::<u64>(),
+        dup_selector in any::<u64>(),
+    ) {
+        let inherited = inherited_frac * total / 101;
+        let stale = stale_frac * (total - inherited) / 101;
+        let batches = script(total, inherited, stale);
+
+        // Delivery sequence: every batch once, plus a seed-chosen
+        // subset duplicated, the whole thing shuffled. (A "duplicate"
+        // delivered before its twin just swaps which delivery is the
+        // original — the dedup key is what matters.)
+        let mut sequence: Vec<usize> = (0..batches.len()).collect();
+        for (i, _) in batches.iter().enumerate() {
+            if (dup_selector >> (i % 64)) & 1 == 1 {
+                sequence.push(i);
+            }
+        }
+        let mut rng = order_seed | 1;
+        for i in (1..sequence.len()).rev() {
+            rng = picbench_store::xorshift64(rng);
+            sequence.swap(i, (rng % (i as u64 + 1)) as usize);
+        }
+
+        let root = temp_dir("shuffle");
+        let coordinator = Coordinator::new(&root);
+        let mut applied = 0u64;
+        let mut duplicates = 0u64;
+        for &index in &sequence {
+            match deliver(&coordinator, &batches[index]) {
+                AppendOutcome::Applied => applied += 1,
+                AppendOutcome::Duplicate => duplicates += 1,
+                AppendOutcome::Degraded => panic!("store degraded in test"),
+            }
+        }
+        prop_assert!(
+            applied == batches.len() as u64,
+            "each unique batch applies once: {applied} of {}",
+            batches.len()
+        );
+        prop_assert_eq!(duplicates, (sequence.len() - batches.len()) as u64);
+        assert_converged(&root, total, inherited, stale);
+
+        // Full-history replay: all duplicates, nothing changes.
+        for &index in &sequence {
+            prop_assert_eq!(deliver(&coordinator, &batches[index]), AppendOutcome::Duplicate);
+        }
+        assert_converged(&root, total, inherited, stale);
+        prop_assert_eq!(
+            coordinator.counters().duplicates,
+            duplicates + sequence.len() as u64
+        );
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The dedup set survives a coordinator restart: replays against a
+    /// *fresh* coordinator over the same root still answer `duplicate`,
+    /// and the state stays exact.
+    #[test]
+    fn replay_across_coordinator_restart_is_deduped(
+        total in 2usize..8,
+        inherited_frac in 0usize..=100,
+        stale_frac in 0usize..=100,
+    ) {
+        let inherited = inherited_frac * total / 101;
+        let stale = stale_frac * (total - inherited) / 101;
+        let batches = script(total, inherited, stale);
+        let root = temp_dir("restart");
+        {
+            let coordinator = Coordinator::new(&root);
+            for batch in &batches {
+                prop_assert_eq!(deliver(&coordinator, batch), AppendOutcome::Applied);
+            }
+            assert_converged(&root, total, inherited, stale);
+        }
+        // Fresh instance, same journal root: the applied markers were
+        // journalled durably, so every replay is a duplicate.
+        let coordinator = Coordinator::new(&root);
+        for batch in &batches {
+            prop_assert_eq!(deliver(&coordinator, batch), AppendOutcome::Duplicate);
+        }
+        assert_converged(&root, total, inherited, stale);
+        prop_assert_eq!(coordinator.counters().duplicates, batches.len() as u64);
+
+        // And the state route reports the same exact merged view.
+        let reply = coordinator.handle("state", &StateRequest { fingerprint: FINGERPRINT }.encode());
+        prop_assert_eq!(reply.status, 200);
+        let v = json::parse(&reply.body).expect("state reply is JSON");
+        let state = proto::decode_state_reply(&v).expect("state decodes");
+        prop_assert_eq!(state.cells.len(), total);
+        prop_assert_eq!(state.shards.len(), 1);
+        prop_assert_eq!(state.shards[0].quarantined, stale as u64);
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -63,6 +63,7 @@ pub mod classify;
 mod evaluate;
 mod events;
 mod feedback_loop;
+pub mod journal;
 mod lease;
 mod passk;
 pub mod persist;
@@ -81,16 +82,21 @@ pub use evaluate::{
 };
 pub use events::{CampaignEvent, CampaignObserver, CancelToken, ShardLossReason};
 pub use feedback_loop::{run_sample, AttemptRecord, LoopConfig, SampleResult};
+pub use journal::{LocalShardJournal, ShardJournal};
 pub use lease::{lease_expired, Clock, LeaseConfig, SystemClock, TestClock};
 pub use passk::{aggregate_pass_at_k, pass_at_k, ProblemTally};
 pub use persist::{
-    EvalSnapshot, EvalStore, EvalStoreStats, LeaseAdvance, LeaseRecord, SharedEvalStore,
+    EvalSnapshot, EvalStore, EvalStoreStats, LeaseAdvance, LeaseRecord, ShardGenStats,
+    SharedEvalStore,
 };
-pub use shard::{shard_journal_dir, ShardMergeError, ShardMergeInfo, ShardMergeOutcome, ShardPlan};
+pub use shard::{
+    collect_shard_cells, shard_journal_dir, ShardCells, ShardMergeError, ShardMergeInfo,
+    ShardMergeOutcome, ShardPlan,
+};
 pub use supervisor::{
-    run_shard_worker, ChaosKill, ChaosPlan, InProcessLauncher, ProcessLauncher, ShardLauncher,
-    ShardWorkerConfig, ShardWorkerHandle, ShardWorkerReport, ShardWorkload, WorkerFault,
-    WorkerRequest, WorkerStall, WorkerState,
+    run_shard_worker, run_shard_worker_with, ChaosKill, ChaosPlan, InProcessLauncher,
+    ProcessLauncher, ShardLauncher, ShardWorkerConfig, ShardWorkerHandle, ShardWorkerReport,
+    ShardWorkload, WorkerFault, WorkerRequest, WorkerStall, WorkerState,
 };
 // Retry-layer types surface in `CampaignConfig` and `CampaignEvent`;
 // re-exported so campaign drivers need only this crate.

@@ -47,6 +47,12 @@ pub const KIND_STATS: u8 = 6;
 /// generation's pre-fence records (inherited by a successor) from its
 /// post-fence ones (quarantined).
 pub const KIND_INHERIT: u8 = 7;
+/// Record kind marking a remote journal append (keyed by campaign
+/// fingerprint and record seq) as applied. The network coordinator
+/// writes the marker *after* the records of a batch, so a batch whose
+/// marker survived a crash is known to be fully applied and a
+/// replayed delivery dedupes exactly.
+pub const KIND_APPLIED: u8 = 8;
 
 /// Sanity cap on decoded element counts; corrupt length fields beyond
 /// this are rejected instead of allocated.
@@ -721,6 +727,41 @@ impl EvalStore {
             &encode_gen_stats(stats),
         );
         self.sync()
+    }
+
+    /// Journals one completed campaign cell *without* syncing — the
+    /// network coordinator applies a remote worker's batch record by
+    /// record and issues one durability barrier per batch instead of
+    /// one per cell.
+    pub fn journal_cell(&self, fingerprint: u64, cell: u64, tally: &ProblemTally) {
+        self.put(
+            KIND_CELL,
+            &encode_cell_key(fingerprint, cell),
+            &encode_tally(tally),
+        );
+    }
+
+    /// Marks a remote append batch (identified by its record `seq`) as
+    /// applied. Written after the batch's records, unsynced — it rides
+    /// the batch's own durability barrier.
+    pub fn record_applied(&self, fingerprint: u64, seq: u64) {
+        self.put(KIND_APPLIED, &encode_cell_key(fingerprint, seq), b"");
+    }
+
+    /// Every `(fingerprint, seq)` applied-marker pair in the journal —
+    /// how a restarted coordinator rebuilds its exactly-once dedup set.
+    pub fn applied_records(&self) -> Vec<(u64, u64)> {
+        let store = self.store.lock().expect("store poisoned");
+        let mut pairs = Vec::new();
+        store.for_each(KIND_APPLIED, |key, _| {
+            let mut r = Reader::new(key);
+            if let (Some(fp), Some(seq)) = (r.u64(), r.u64()) {
+                if r.done() {
+                    pairs.push((fp, seq));
+                }
+            }
+        });
+        pairs
     }
 }
 

@@ -21,7 +21,7 @@ use crate::campaign::{
     CampaignConfig, CampaignReport,
 };
 use crate::passk::ProblemTally;
-use crate::persist::EvalSnapshot;
+use crate::persist::{EvalSnapshot, ShardGenStats};
 use picbench_problems::Problem;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -107,7 +107,7 @@ pub(crate) fn latest_generation(root: &Path, shard: u32) -> io::Result<Option<u3
 }
 
 /// The shard directories present under a root, ascending.
-fn shard_ids(root: &Path) -> io::Result<Vec<u32>> {
+pub(crate) fn shard_ids(root: &Path) -> io::Result<Vec<u32>> {
     let mut ids = Vec::new();
     match std::fs::read_dir(root) {
         Ok(entries) => {
@@ -200,43 +200,47 @@ impl From<io::Error> for ShardMergeError {
     }
 }
 
-/// Merges every shard's final-generation journal under `root` into one
-/// report. See the module docs for the fencing/quarantine semantics.
-pub(crate) fn merge_shard_journals(
-    problems: &[Problem],
-    provider_names: &[String],
-    config: &CampaignConfig,
-    fingerprint: u64,
-    cell_keys: &[u64],
-    root: &Path,
-) -> Result<ShardMergeOutcome, ShardMergeError> {
-    let key_to_index: HashMap<u64, usize> = cell_keys
-        .iter()
-        .enumerate()
-        .map(|(index, &key)| (key, index))
-        .collect();
-    let mut by_cell: Vec<Option<ProblemTally>> = vec![None; cell_keys.len()];
-    let mut shards = Vec::new();
-    let mut restored = 0u64;
-    let mut evaluated = 0u64;
+/// The raw journal contents of one shard under a campaign root: its
+/// final (merge-visible) generation's cells plus the quarantine and
+/// statistics accounting over every stale generation.
+///
+/// This is the shared read path under the supervisor's journal merge, the
+/// coordinator's merged-state route, and the chaos drills' independent
+/// quarantine recount — one definition of "what a shard contributed",
+/// so they cannot disagree.
+#[derive(Debug, Clone)]
+pub struct ShardCells {
+    /// Shard index.
+    pub shard: u32,
+    /// The final generation present — the only one whose cells merge.
+    pub generation: u32,
+    /// The final generation's completed cells (unordered; may include
+    /// keys outside this campaign's matrix, which merges ignore).
+    pub cells: Vec<(u64, ProblemTally)>,
+    /// Cells journalled by superseded generations after their fence
+    /// that no successor inherit-marked — counted, never merged.
+    pub quarantined: usize,
+    /// The final generation's completion statistics, if its worker
+    /// finished.
+    pub stats: Option<ShardGenStats>,
+}
+
+/// Reads every shard journal under `root`, ascending by shard index:
+/// final-generation cells, stale-generation quarantine accounting and
+/// completion statistics. See the module docs for the fencing
+/// semantics this encodes.
+///
+/// # Errors
+///
+/// Propagates IO failures reading existing journal directories (a
+/// missing directory reads as empty, not as an error).
+pub fn collect_shard_cells(root: &Path, fingerprint: u64) -> io::Result<Vec<ShardCells>> {
+    let mut collected = Vec::new();
     for shard in shard_ids(root)? {
         let Some(final_gen) = latest_generation(root, shard)? else {
             continue;
         };
         let snap = EvalSnapshot::load(shard_journal_dir(root, shard, final_gen))?;
-        let final_cells: HashMap<u64, ProblemTally> =
-            snap.completed_cells(fingerprint).into_iter().collect();
-        let mut contributed = 0;
-        for (key, tally) in &final_cells {
-            if let Some(&index) = key_to_index.get(key) {
-                by_cell[index] = Some(*tally);
-                contributed += 1;
-            }
-        }
-        if let Some(stats) = snap.shard_stats(fingerprint, shard) {
-            restored += stats.restored;
-            evaluated += stats.evaluated;
-        }
         // Stale generations are fenced: a record some successor
         // inherit-marked during its restore pass was written before that
         // successor's fence; anything else a stale generation holds
@@ -261,11 +265,53 @@ pub(crate) fn merge_shard_journals(
                 .filter(|key| !inherited.contains(key))
                 .count();
         }
-        shards.push(ShardMergeInfo {
+        collected.push(ShardCells {
             shard,
             generation: final_gen,
-            cells: contributed,
+            cells: snap.completed_cells(fingerprint),
             quarantined,
+            stats: snap.shard_stats(fingerprint, shard),
+        });
+    }
+    Ok(collected)
+}
+
+/// Merges every shard's final-generation journal under `root` into one
+/// report. See the module docs for the fencing/quarantine semantics.
+pub(crate) fn merge_shard_journals(
+    problems: &[Problem],
+    provider_names: &[String],
+    config: &CampaignConfig,
+    fingerprint: u64,
+    cell_keys: &[u64],
+    root: &Path,
+) -> Result<ShardMergeOutcome, ShardMergeError> {
+    let key_to_index: HashMap<u64, usize> = cell_keys
+        .iter()
+        .enumerate()
+        .map(|(index, &key)| (key, index))
+        .collect();
+    let mut by_cell: Vec<Option<ProblemTally>> = vec![None; cell_keys.len()];
+    let mut shards = Vec::new();
+    let mut restored = 0u64;
+    let mut evaluated = 0u64;
+    for collected in collect_shard_cells(root, fingerprint)? {
+        let mut contributed = 0;
+        for (key, tally) in &collected.cells {
+            if let Some(&index) = key_to_index.get(key) {
+                by_cell[index] = Some(*tally);
+                contributed += 1;
+            }
+        }
+        if let Some(stats) = collected.stats {
+            restored += stats.restored;
+            evaluated += stats.evaluated;
+        }
+        shards.push(ShardMergeInfo {
+            shard: collected.shard,
+            generation: collected.generation,
+            cells: contributed,
+            quarantined: collected.quarantined,
         });
     }
     let missing = by_cell.iter().filter(|cell| cell.is_none()).count();

@@ -32,8 +32,9 @@ use crate::campaign::{
 };
 use crate::evaluate::{EvalCache, Evaluator};
 use crate::events::{CampaignEvent, ShardLossReason};
+use crate::journal::{LocalShardJournal, ShardJournal};
 use crate::lease::{lease_expired, Clock, SystemClock};
-use crate::persist::{EvalSnapshot, EvalStore, LeaseAdvance, LeaseRecord, ShardGenStats};
+use crate::persist::{EvalSnapshot, LeaseAdvance, LeaseRecord, ShardGenStats};
 use crate::shard::{latest_generation, merge_shard_journals, shard_journal_dir, ShardPlan};
 use picbench_problems::Problem;
 use picbench_sim::{Backend, FrequencyResponse};
@@ -236,7 +237,9 @@ impl ShardLauncher for InProcessLauncher {
         std::thread::spawn(move || {
             let hooks = WorkerHooks { kill, fault };
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                shard_worker_body(&workload, &config, &hooks)
+                let journal =
+                    LocalShardJournal::open(&config.root, config.shard, config.generation)?;
+                shard_worker_body(&workload, &config, &journal, &hooks)
             }));
             if let Ok(Ok(report)) = outcome {
                 clean.store(report.completed, Ordering::Release);
@@ -455,12 +458,32 @@ pub fn run_shard_worker(
     workload: &ShardWorkload,
     config: &ShardWorkerConfig,
 ) -> io::Result<ShardWorkerReport> {
-    shard_worker_body(workload, config, &WorkerHooks::none())
+    let journal = LocalShardJournal::open(&config.root, config.shard, config.generation)?;
+    shard_worker_body(workload, config, &journal, &WorkerHooks::none())
+}
+
+/// Runs one shard worker over an explicit [`ShardJournal`] — the entry
+/// point for remote workers, whose journal is a coordinator client
+/// rather than a locally opened store. Identical body to
+/// [`run_shard_worker`]; only where the records land differs.
+///
+/// # Errors
+///
+/// Propagates failures reading prior generations through the journal
+/// seam. Journal *write* failures do not error: the journal degrades,
+/// the lease stops advancing, and the supervisor reassigns the shard.
+pub fn run_shard_worker_with(
+    workload: &ShardWorkload,
+    config: &ShardWorkerConfig,
+    journal: &dyn ShardJournal,
+) -> io::Result<ShardWorkerReport> {
+    shard_worker_body(workload, config, journal, &WorkerHooks::none())
 }
 
 fn shard_worker_body(
     workload: &ShardWorkload,
     config: &ShardWorkerConfig,
+    journal: &dyn ShardJournal,
     hooks: &WorkerHooks,
 ) -> io::Result<ShardWorkerReport> {
     let clock = SystemClock;
@@ -491,26 +514,21 @@ fn shard_worker_body(
     }
     let range = plan.cells(config.shard);
 
-    let store = EvalStore::open(shard_journal_dir(
-        &config.root,
-        config.shard,
-        config.generation,
-    ))?;
     let mut lease = LeaseRecord {
         generation: config.generation,
         worker: config.worker_id,
         seq: 0,
         stamp_ms: clock.now_ms(),
     };
-    match store.advance_lease(fingerprint, config.shard, &lease) {
+    match journal.advance_lease(fingerprint, config.shard, &lease) {
         LeaseAdvance::Claimed | LeaseAdvance::Renewed => {}
         LeaseAdvance::Fenced | LeaseAdvance::Degraded => return Ok(report),
     }
-    let mut heartbeat = |store: &EvalStore| {
+    let mut heartbeat = |journal: &dyn ShardJournal| {
         lease.seq += 1;
         lease.stamp_ms = clock.now_ms();
         matches!(
-            store.advance_lease(fingerprint, config.shard, &lease),
+            journal.advance_lease(fingerprint, config.shard, &lease),
             LeaseAdvance::Claimed | LeaseAdvance::Renewed
         )
     };
@@ -521,10 +539,9 @@ fn shard_worker_body(
     // for tallies.
     let mut have: HashSet<u64> = HashSet::new();
     for generation in 0..config.generation {
-        let snap = EvalSnapshot::load(shard_journal_dir(&config.root, config.shard, generation))?;
-        for (key, tally) in snap.completed_cells(fingerprint) {
+        for (key, tally) in journal.prior_generation_cells(fingerprint, generation)? {
             if have.insert(key) {
-                store.record_inherited_cell(fingerprint, key, &tally);
+                journal.record_inherited_cell(fingerprint, key, &tally);
             }
         }
     }
@@ -532,8 +549,8 @@ fn shard_worker_body(
         .clone()
         .filter(|&index| have.contains(&cell_keys[index]))
         .count();
-    store.sync();
-    if !heartbeat(&store) {
+    journal.sync();
+    if !heartbeat(journal) {
         return Ok(report);
     }
 
@@ -562,7 +579,7 @@ fn shard_worker_body(
         }
         Arc::new(table)
     };
-    if !heartbeat(&store) {
+    if !heartbeat(journal) {
         return Ok(report);
     }
 
@@ -616,13 +633,13 @@ fn shard_worker_body(
             cfg,
             &mut evaluator,
         );
-        store.record_cell(fingerprint, cell_keys[index], &tally);
+        journal.record_cell(fingerprint, cell_keys[index], &tally);
         report.evaluated += 1;
-        if !heartbeat(&store) {
+        if !heartbeat(journal) {
             return Ok(report);
         }
     }
-    store.record_shard_stats(
+    journal.record_shard_stats(
         fingerprint,
         config.shard,
         &ShardGenStats {
@@ -630,7 +647,7 @@ fn shard_worker_body(
             evaluated: report.evaluated as u64,
         },
     );
-    report.completed = !store.degraded();
+    report.completed = !journal.degraded();
     Ok(report)
 }
 

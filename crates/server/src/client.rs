@@ -10,6 +10,9 @@
 use picbench_netlist::json::{self, Value};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A buffered (non-streaming) HTTP response.
 #[derive(Debug)]
@@ -72,17 +75,74 @@ impl EventStream {
     }
 }
 
+/// Bounded-retry policy for *idempotent* requests: transient
+/// connect/reset failures on `GET`s (including stream opens) are
+/// retried with seeded exponential backoff, so a server restart or a
+/// refused connection during bring-up does not fail the whole load run.
+/// Non-idempotent methods (`POST`, `DELETE`) are never retried — a
+/// campaign submission that timed out may still have been admitted.
+#[derive(Debug, Clone)]
+pub struct ClientRetry {
+    /// Total attempts per idempotent request (first try included).
+    pub max_attempts: u32,
+    /// First backoff; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// Jitter seed — same seed, same backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for ClientRetry {
+    fn default() -> Self {
+        ClientRetry {
+            max_attempts: 3,
+            base_backoff_ms: 25,
+            max_backoff_ms: 400,
+            seed: picbench_synthllm::PAPER_SEED,
+        }
+    }
+}
+
+/// Connection-level failures worth a retry; anything else (including
+/// every HTTP status — a 4xx/5xx is an *answer*, not a transport
+/// failure) surfaces immediately.
+fn transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::Interrupted
+    )
+}
+
 /// A blocking client bound to one server address and one tenant.
 #[derive(Debug, Clone)]
 pub struct ApiClient {
     addr: SocketAddr,
     tenant: Option<String>,
+    retry: ClientRetry,
+    jitter: Arc<AtomicU64>,
+    retries: Arc<AtomicU64>,
 }
 
 impl ApiClient {
     /// A client for the server at `addr` (default tenant).
     pub fn new(addr: SocketAddr) -> Self {
-        ApiClient { addr, tenant: None }
+        let retry = ClientRetry::default();
+        let jitter = Arc::new(AtomicU64::new(retry.seed | 1));
+        ApiClient {
+            addr,
+            tenant: None,
+            retry,
+            jitter,
+            retries: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Scopes every request to `tenant` (the `x-picbench-tenant`
@@ -90,6 +150,54 @@ impl ApiClient {
     pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
         self.tenant = Some(tenant.into());
         self
+    }
+
+    /// Replaces the idempotent-request retry policy.
+    pub fn with_retry(mut self, retry: ClientRetry) -> Self {
+        self.jitter = Arc::new(AtomicU64::new(retry.seed | 1));
+        self.retry = retry;
+        self
+    }
+
+    /// Transient-failure retries performed so far, across this client
+    /// and its clones.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn backoff_ms(&self, attempt: u32) -> u64 {
+        let exp = self
+            .retry
+            .base_backoff_ms
+            .checked_shl(attempt.saturating_sub(1).min(16))
+            .unwrap_or(u64::MAX)
+            .min(self.retry.max_backoff_ms)
+            .max(1);
+        let draw = self
+            .jitter
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |x| {
+                Some(picbench_store::xorshift64(x))
+            })
+            .unwrap_or(1);
+        // ±25% deterministic jitter around the exponential step.
+        let spread = exp / 2;
+        exp - exp / 4 + if spread > 0 { draw % spread } else { 0 }
+    }
+
+    /// Runs an idempotent operation under the retry policy.
+    fn with_retries<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) if transient(e.kind()) && attempt < self.retry.max_attempts.max(1) => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(self.backoff_ms(attempt)));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn connect_and_send(
@@ -139,12 +247,12 @@ impl ApiClient {
         Ok((status, headers))
     }
 
-    /// Sends one request and buffers the whole response.
-    ///
-    /// # Errors
-    ///
-    /// Propagates transport failures.
-    pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> io::Result<ApiResponse> {
+    fn request_once(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ApiResponse> {
         let stream = self.connect_and_send(method, path, body)?;
         let mut reader = BufReader::new(stream);
         let (status, headers) = Self::read_head(&mut reader)?;
@@ -168,15 +276,35 @@ impl ApiClient {
         })
     }
 
-    /// Opens an event stream; the caller reads lines until `None`.
+    /// Sends one request and buffers the whole response. `GET`s retry
+    /// transient connect/reset failures under [`ClientRetry`]; other
+    /// methods get exactly one attempt (a lost response does not prove
+    /// the request was not applied).
     ///
     /// # Errors
     ///
-    /// Propagates transport failures.
+    /// Propagates transport failures (after retries, for `GET`s).
+    pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> io::Result<ApiResponse> {
+        if method == "GET" {
+            self.with_retries(|| self.request_once(method, path, body))
+        } else {
+            self.request_once(method, path, body)
+        }
+    }
+
+    /// Opens an event stream; the caller reads lines until `None`.
+    /// Opening is idempotent (the stream replays from the start), so
+    /// transient failures are retried under [`ClientRetry`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures after retries.
     pub fn open_stream(&self, path: &str) -> io::Result<EventStream> {
-        let stream = self.connect_and_send("GET", path, None)?;
-        let mut reader = BufReader::new(stream);
-        let (status, _headers) = Self::read_head(&mut reader)?;
-        Ok(EventStream { status, reader })
+        self.with_retries(|| {
+            let stream = self.connect_and_send("GET", path, None)?;
+            let mut reader = BufReader::new(stream);
+            let (status, _headers) = Self::read_head(&mut reader)?;
+            Ok(EventStream { status, reader })
+        })
     }
 }

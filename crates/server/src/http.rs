@@ -50,13 +50,24 @@ pub enum RequestError {
     Malformed(&'static str),
     /// The declared body exceeds [`MAX_BODY_BYTES`].
     BodyTooLarge,
+    /// The client stalled past the socket read deadline mid-request —
+    /// mapped to a 408 so the worker thread is freed instead of held
+    /// hostage by a half-sent request.
+    TimedOut,
     /// Transport failure mid-request.
     Io(io::Error),
 }
 
 impl From<io::Error> for RequestError {
     fn from(e: io::Error) -> Self {
-        RequestError::Io(e)
+        if matches!(
+            e.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ) {
+            RequestError::TimedOut
+        } else {
+            RequestError::Io(e)
+        }
     }
 }
 
@@ -131,11 +142,18 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
         return Err(RequestError::BodyTooLarge);
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|_| {
-        RequestError::Io(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "body shorter than content-length",
-        ))
+    reader.read_exact(&mut body).map_err(|e| {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ) {
+            RequestError::TimedOut
+        } else {
+            RequestError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "body shorter than content-length",
+            ))
+        }
     })?;
 
     Ok(Request {
@@ -154,6 +172,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",

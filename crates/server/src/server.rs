@@ -18,6 +18,14 @@
 //! | `GET /v1/campaigns/{id}/events` | Long-lived NDJSON event stream |
 //! | `DELETE /v1/campaigns/{id}` | Cooperative cancellation |
 //! | `GET /v1/stats` | Cache / session / store counters |
+//! | `POST /v1/coord/{op}` | Campaign coordination RPC (lease / append / cells / state) |
+//!
+//! The coordination routes are enabled by [`ServerConfig::coord_root`]
+//! and delegate to a [`Coordinator`] owning the shard-journal tree on
+//! the coordinator host; remote shard workers speak to them through
+//! `picbench_coord::HttpTransport`. They are idempotent by design
+//! (generation-fenced leases, `(fingerprint, seq)`-deduped appends), so
+//! worker-side retries over a flaky network are safe.
 //!
 //! Tenancy rides on the `x-picbench-tenant` header; a session is only
 //! visible to the tenant that created it (foreign lookups are
@@ -31,6 +39,7 @@ use crate::http::{self, Request, RequestError};
 use crate::pace::PacedProvider;
 use crate::session::{Session, SessionState, SessionTable};
 use crate::wire;
+use picbench_coord::Coordinator;
 use picbench_core::{CacheScope, Campaign, CampaignEvent, EvalCache, EvalStore, SharedEvalStore};
 use picbench_netlist::json::{self, Value};
 use picbench_problems::Problem;
@@ -68,6 +77,20 @@ pub struct ServerConfig {
     /// event *order* is deterministic, which is what makes streams
     /// byte-for-byte reproducible.
     pub default_threads: usize,
+    /// When set, the server exposes `POST /v1/coord/{op}` backed by a
+    /// [`Coordinator`] rooted at this shard-journal directory, turning
+    /// the process into a campaign coordinator for remote shard
+    /// workers. The supervising campaign on this host must merge from
+    /// the same directory.
+    pub coord_root: Option<PathBuf>,
+    /// Socket read deadline per connection, in milliseconds. A client
+    /// that stalls mid-request past this deadline gets a 408 and its
+    /// worker thread is freed. `0` disables the deadline.
+    pub read_timeout_ms: u64,
+    /// Socket write deadline per connection, in milliseconds. Bounds
+    /// how long a response (or one event-stream chunk) may sit blocked
+    /// on a client that stopped reading. `0` disables the deadline.
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +101,9 @@ impl Default for ServerConfig {
             max_sessions: 256,
             store_dir: None,
             default_threads: 1,
+            coord_root: None,
+            read_timeout_ms: 10_000,
+            write_timeout_ms: 30_000,
         }
     }
 }
@@ -92,6 +118,7 @@ struct ServerState {
     problem_sets: Mutex<HashMap<String, Vec<Problem>>>,
     next_set: AtomicU64,
     shutdown: AtomicBool,
+    coord: Option<Arc<Coordinator>>,
 }
 
 impl ServerState {
@@ -139,6 +166,10 @@ impl PicbenchServer {
         if let Some(store) = &store {
             cache = cache.with_disk(Arc::clone(store));
         }
+        let coord = config
+            .coord_root
+            .as_ref()
+            .map(|root| Arc::new(Coordinator::new(root)));
         let state = Arc::new(ServerState {
             cache: Arc::new(cache),
             store,
@@ -147,6 +178,7 @@ impl PicbenchServer {
             problem_sets: Mutex::new(HashMap::new()),
             next_set: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            coord,
             config,
         });
 
@@ -217,6 +249,12 @@ impl ServerHandle {
 }
 
 fn serve_connection(state: &Arc<ServerState>, stream: &mut TcpStream) {
+    // Deadlines keep a stalled or dead peer from pinning a worker
+    // thread: reads give up with a 408, writes (including event-stream
+    // chunks to a client that stopped reading) abort the connection.
+    let timeout = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+    let _ = stream.set_read_timeout(timeout(state.config.read_timeout_ms));
+    let _ = stream.set_write_timeout(timeout(state.config.write_timeout_ms));
     let request = match http::read_request(stream) {
         Ok(request) => request,
         Err(RequestError::ConnectionClosed) => return,
@@ -226,6 +264,10 @@ fn serve_connection(state: &Arc<ServerState>, stream: &mut TcpStream) {
         }
         Err(RequestError::Malformed(why)) => {
             let _ = http::write_error(stream, 400, why);
+            return;
+        }
+        Err(RequestError::TimedOut) => {
+            let _ = http::write_error(stream, 408, "request timed out");
             return;
         }
         Err(RequestError::Io(_)) => return,
@@ -252,9 +294,33 @@ fn route(state: &Arc<ServerState>, request: &Request, stream: &mut TcpStream) ->
         ("GET", ["v1", "campaigns", id, "events"]) => get_events(state, request, id, stream),
         ("DELETE", ["v1", "campaigns", id]) => delete_campaign(state, request, id, stream),
         ("GET", ["v1", "stats"]) => get_stats(state, stream),
+        ("POST", ["v1", "coord", op]) => post_coord(state, request, op, stream),
         ("POST" | "GET" | "DELETE", _) => http::write_error(stream, 404, "no such route"),
         _ => http::write_error(stream, 405, "method not allowed"),
     }
+}
+
+/// Campaign coordination RPC: delegates to the [`Coordinator`], which
+/// owns all protocol decisions (lease fencing, append dedup) and maps
+/// them onto HTTP statuses. Deliberately *not* gated on the shutdown
+/// flag: workers retry idempotently, and a coordinator restarting
+/// mid-campaign should answer in-flight appends for as long as the
+/// socket is alive.
+fn post_coord(
+    state: &Arc<ServerState>,
+    request: &Request,
+    op: &str,
+    stream: &mut TcpStream,
+) -> io::Result<()> {
+    let Some(coordinator) = &state.coord else {
+        return http::write_error(stream, 404, "coordination is not enabled on this server");
+    };
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return http::write_error(stream, 400, "body is not UTF-8"),
+    };
+    let reply = coordinator.handle(op, body);
+    http::write_json(stream, reply.status, &reply.body)
 }
 
 fn post_problem_set(
